@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Section 6.1 microbenchmark: the cost of a context switch.
+ *
+ * Drives a two-frame processor through a long run of forced remote
+ * misses with the real run-time switch handler installed and reports
+ * the measured cycles per switch-out:
+ *
+ *  - TrapHandler mode (the SPARC-based design): 11 cycles
+ *    (5-cycle trap entry + 6-instruction handler);
+ *  - Hardware mode (the custom-APRIL estimate): 4 cycles.
+ *
+ * Also exercises the simulator as a google-benchmark workload so host
+ * throughput regressions are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/memory.hh"
+#include "proc/fe_semantics.hh"
+#include "proc/perfect_port.hh"
+#include "proc/processor.hh"
+
+namespace
+{
+
+using namespace april;
+
+constexpr Addr kRemote = 4096;
+
+/** Every trap-mode access to kRemote forces one switch, then hits. */
+class AlternatingRemotePort : public MemPort
+{
+  public:
+    explicit AlternatingRemotePort(SharedMemory *memory) : mem(memory) {}
+
+    MemResult
+    access(const MemAccess &req) override
+    {
+        if (req.addr >= kRemote && req.miss == MissPolicy::Trap &&
+            req.trapsEnabled && !fillReadyFlag) {
+            fillReadyFlag = true;
+            ++switches;
+            return MemResult::forceSwitch();
+        }
+        if (req.addr >= kRemote)
+            fillReadyFlag = false;
+        return applyFeAccess(mem->word(req.addr), req);
+    }
+
+    SharedMemory *mem;
+    bool fillReadyFlag = false;
+    uint64_t switches = 0;
+};
+
+/** A looping thread in frame 0 + a yielding worker in frame 1. */
+Program
+buildProgram(bool hardware)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, tagged::ptr(kRemote, Tag::Other));
+    as.movi(2, 0);
+    as.bind("loop");
+    as.ldnt(3, 1, 0);               // forced switch, then retry hits
+    as.addiR(2, 2, 1);
+    as.cmpiR(2, 1000);
+    as.jRaw(Cond::LT, "loop");
+    as.nop();
+    as.halt();
+
+    as.bind("worker");
+    if (hardware) {
+        as.bind("wloop");
+        as.incfp();                 // hardware switch back
+        as.j(Cond::AL, "wloop");
+    } else {
+        as.bind("wloop");
+        as.moviLabel(reg::t(1), "wloop");
+        as.wrspec(Spec::TrapPC, reg::t(1));
+        as.addiR(reg::t(1), reg::t(1), 1);
+        as.wrspec(Spec::TrapNPC, reg::t(1));
+        as.rdpsr(reg::t(0));
+        as.incfp();
+        as.wrpsr(reg::t(0));
+        as.rettRetry();
+    }
+
+    as.bind("cswitch");
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.nop();
+    as.wrpsr(reg::t(0));
+    as.nop();
+    as.rettRetry();
+    return as.finish();
+}
+
+void
+runSwitchBench(benchmark::State &state, bool hardware)
+{
+    Program prog = buildProgram(hardware);
+    uint64_t cycles = 0;
+    uint64_t switches = 0;
+
+    for (auto _ : state) {
+        SharedMemory mem({.numNodes = 1, .wordsPerNode = 1u << 14});
+        AlternatingRemotePort port(&mem);
+        SimpleIoPort io;
+        ProcParams params;
+        params.numFrames = 2;
+        params.switchMode = hardware
+            ? ProcParams::SwitchMode::Hardware
+            : ProcParams::SwitchMode::TrapHandler;
+        Processor proc(params, &prog, &port, &io);
+        proc.reset(prog.entry("main"));
+        proc.frame(1).trapPC = prog.entry("worker");
+        proc.frame(1).trapNPC = prog.entry("worker") + 1;
+        proc.frame(1).trapRegs[0] = psr::ET;
+        proc.frame(1).savedPsr = psr::ET;
+        proc.setTrapVector(TrapKind::RemoteMiss, prog.entry("cswitch"));
+        proc.run(10'000'000);
+        if (!proc.halted())
+            state.SkipWithError("did not halt");
+        cycles = proc.cycle();
+        switches = port.switches;
+    }
+
+    // Per-iteration loop body without a switch: ld + add + cmp + j +
+    // nop = 5 cycles; everything else is switch round-trip cost.
+    double base = 5.0 * double(switches) + 4.0;     // + prologue/halt
+    double per_round_trip = (double(cycles) - base) / double(switches);
+    state.counters["sim_cycles"] = double(cycles);
+    state.counters["switch_round_trip_cycles"] = per_round_trip;
+}
+
+void
+BM_ContextSwitch_TrapHandler(benchmark::State &state)
+{
+    runSwitchBench(state, false);
+}
+
+void
+BM_ContextSwitch_Hardware(benchmark::State &state)
+{
+    runSwitchBench(state, true);
+}
+
+BENCHMARK(BM_ContextSwitch_TrapHandler);
+BENCHMARK(BM_ContextSwitch_Hardware);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("Section 6.1: context-switch cost microbenchmark\n");
+    std::printf("  Trap-based (SPARC) switch-out: 5 (entry) + 6 "
+                "(handler) = 11 cycles\n");
+    std::printf("  Custom-APRIL hardware switch-out: 4 cycles\n");
+    std::printf("  (the round-trip counter below includes the return "
+                "switch and the\n   worker's yield instructions)\n\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

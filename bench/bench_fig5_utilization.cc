@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates Figure 5 (and prints Table 4): processor utilization
+ * U(p) as a function of resident threads, decomposed into the ideal
+ * curve, network effects, cache + network effects, and context-switch
+ * overhead, for the default 8000-processor machine at C = 10 cycles.
+ *
+ * The regions between adjacent curves correspond to the labels in the
+ * paper's figure: Ideal - (network) = Network Effects, (network) -
+ * (cache+network) = Cache Effects, (cache+network) - U = CS Overhead,
+ * and U itself is Useful Work.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "model/scalability.hh"
+
+int
+main()
+{
+    using namespace april::model;
+
+    ModelParams params;     // Table 4 defaults
+    ScalabilityModel model(params);
+
+    std::printf("Table 4: Default system parameters\n");
+    std::printf("  %-28s %10.0f cycles\n", "Memory latency",
+                params.memLatency);
+    std::printf("  %-28s %10d\n", "Network dimension n", params.netDim);
+    std::printf("  %-28s %10d\n", "Network radix k", params.netRadix);
+    std::printf("  %-28s %10.0f %%\n", "Fixed miss rate",
+                params.fixedMissRate * 100);
+    std::printf("  %-28s %10.0f\n", "Average packet size",
+                params.packetSize);
+    std::printf("  %-28s %10.0f bytes\n", "Cache block size",
+                params.blockBytes);
+    std::printf("  %-28s %10.0f blocks\n", "Thread working set size",
+                params.workingSetBlocks);
+    std::printf("  %-28s %10.0f Kbytes\n", "Cache size",
+                params.cacheBytes / 1024);
+    std::printf("  %-28s %10.0f cycles\n", "Context switch overhead C",
+                params.switchOverhead);
+    std::printf("\n");
+    std::printf("Derived: average hops nk/3 = %.0f, unloaded round-trip"
+                " latency T(1) = %.0f cycles\n\n",
+                model.avgHops(), model.baseLatency());
+
+    std::printf("Figure 5: Processor utilization U(p) vs resident "
+                "threads p\n");
+    std::printf("%3s  %8s  %8s  %8s  %8s    %6s  %6s  %5s\n", "p",
+                "useful", "cs-ovhd", "cache+nw", "ideal", "m(p)",
+                "T(p)", "rho");
+    for (int p = 0; p <= 8; ++p) {
+        if (p == 0) {
+            std::printf("%3d  %8.3f  %8.3f  %8.3f  %8.3f\n", 0, 0.0,
+                        0.0, 0.0, 0.0);
+            continue;
+        }
+        ModelPoint pt = model.evaluate(p);
+        std::printf("%3d  %8.3f  %8.3f  %8.3f  %8.3f    %6.4f  %6.1f"
+                    "  %5.2f%s\n",
+                    p, pt.utilization, model.utilizationNoSwitch(p),
+                    model.utilizationFixedCache(p),
+                    model.utilizationIdeal(p), pt.missRate, pt.latency,
+                    pt.channelRho, pt.saturated ? "  [sat]" : "");
+    }
+
+    std::printf("\nHeadline claims (Section 8):\n");
+    std::printf("  U(3) = %.3f   (paper: close to 0.80 with 3 resident "
+                "threads)\n", model.utilization(3));
+    double peak = 0;
+    for (int p = 1; p <= 8; ++p)
+        peak = std::max(peak, model.utilization(p));
+    std::printf("  max U = %.3f  (paper: limited to about 0.80)\n",
+                peak);
+    std::printf("  U(1) = %.3f   (paper: 1/(1+m(1)T(1)) = %.3f)\n",
+                model.utilization(1), 1.0 / (1.0 + 0.02 * 55.0));
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Design-space exploration with the Section 8 analytical model:
+ * sweep context-switch overhead, cache size and network radix around
+ * the Table 4 operating point, as an architect would when sizing a
+ * machine like ALEWIFE.
+ *
+ * Usage: scalability_model [threads]
+ */
+
+#include <cstdio>
+#include <initializer_list>
+#include <cstdlib>
+
+#include "model/scalability.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace april::model;
+
+    double p = argc > 1 ? std::atof(argv[1]) : 3;
+
+    std::printf("Operating point: %g resident threads (Table 4 "
+                "defaults otherwise)\n\n", p);
+
+    {
+        ScalabilityModel m{ModelParams{}};
+        auto pt = m.evaluate(p);
+        std::printf("baseline: U=%.3f  m=%.4f  T=%.1f  rho=%.2f%s\n\n",
+                    pt.utilization, pt.missRate, pt.latency,
+                    pt.channelRho,
+                    pt.saturated ? "  [switch-limited]" : "");
+    }
+
+    std::printf("context-switch overhead sweep (the 4..11-cycle "
+                "design range is benign):\n");
+    for (double c : {1.0, 4.0, 11.0, 32.0, 100.0}) {
+        ModelParams params;
+        params.switchOverhead = c;
+        std::printf("  C=%5.0f  U(p)=%.3f\n", c,
+                    ScalabilityModel(params).utilization(p));
+    }
+
+    std::printf("\ncache size sweep (working sets of %g threads):\n",
+                p);
+    for (double kb : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+        ModelParams params;
+        params.cacheBytes = kb * 1024;
+        std::printf("  %6.0f KB  U(p)=%.3f\n", kb,
+                    ScalabilityModel(params).utilization(p));
+    }
+
+    std::printf("\nnetwork radix sweep at fixed dimension 3 "
+                "(larger machines, longer latencies):\n");
+    for (int k : {4, 8, 12, 16, 20, 28}) {
+        ModelParams params;
+        params.netRadix = k;
+        ScalabilityModel m(params);
+        std::printf("  k=%2d (%6.0f nodes)  T(1)=%5.1f  U(%g)=%.3f  "
+                    "U(1)=%.3f\n",
+                    k, double(k) * k * k, m.baseLatency(), p,
+                    m.utilization(p), m.utilization(1));
+    }
+
+    std::printf("\nAs the machine grows, single-thread utilization "
+                "collapses with latency while the\nmultithreaded "
+                "processor holds its plateau — the core argument for "
+                "APRIL.\n");
+    return 0;
+}

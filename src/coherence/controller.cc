@@ -1,0 +1,470 @@
+#include "coherence/controller.hh"
+
+#include "common/logging.hh"
+#include "proc/fe_semantics.hh"
+#include "proc/processor.hh"
+
+namespace april::coh
+{
+
+Controller::Controller(const ControllerParams &p, uint32_t node_id,
+                       uint32_t num_frames, SharedMemory *memory,
+                       Fabric *fabric_, stats::Group *parent)
+    : stats::Group("ctrl" + std::to_string(node_id), parent),
+      statLocalMisses(this, "localMisses", "misses served locally"),
+      statRemoteMisses(this, "remoteMisses",
+                       "misses needing the network"),
+      statInvSent(this, "invalidations", "invalidations sent"),
+      statWritebacks(this, "writebacks", "dirty lines written back"),
+      params(p), nodeId(node_id), mem(memory), fabric(fabric_),
+      _cache(p.cache, this), mshrs(num_frames)
+{
+}
+
+uint32_t
+Controller::homeOf(Addr line_addr) const
+{
+    return mem->homeNode(line_addr * params.cache.lineWords);
+}
+
+std::vector<MemWord>
+Controller::readMemoryLine(Addr line_addr) const
+{
+    std::vector<MemWord> words(params.cache.lineWords);
+    for (uint32_t i = 0; i < params.cache.lineWords; ++i)
+        words[i] = mem->word(line_addr * params.cache.lineWords + i);
+    return words;
+}
+
+void
+Controller::writeMemoryLine(Addr line_addr,
+                            const std::vector<MemWord> &words)
+{
+    for (uint32_t i = 0; i < params.cache.lineWords; ++i)
+        mem->word(line_addr * params.cache.lineWords + i) = words[i];
+}
+
+void
+Controller::send(uint32_t to, Message msg)
+{
+    msg.from = nodeId;
+    delayed.push_back({fabric->now() + params.occupancy, to, msg});
+}
+
+void
+Controller::sendAfterMemory(uint32_t to, Message msg)
+{
+    msg.from = nodeId;
+    delayed.push_back(
+        {fabric->now() + params.occupancy + params.memLatency, to, msg});
+}
+
+void
+Controller::dispatch(uint32_t to, const Message &msg)
+{
+    if (to == nodeId) {
+        inbox.push_back(msg);
+    } else {
+        fabric->transmit(to, msg,
+                         carriesData(msg.type) ? params.dataFlits
+                                               : params.reqFlits);
+    }
+}
+
+void
+Controller::tick()
+{
+    // Dispatch due delayed work (occupancy / memory latency).
+    for (size_t i = 0; i < delayed.size();) {
+        if (delayed[i].due <= fabric->now()) {
+            Delayed d = delayed[i];
+            delayed.erase(delayed.begin() + long(i));
+            dispatch(d.to, d.msg);
+        } else {
+            ++i;
+        }
+    }
+    // Handle a bounded number of messages per cycle (occupancy).
+    int budget = 2;
+    while (budget-- > 0 && !inbox.empty()) {
+        Message msg = inbox.front();
+        inbox.pop_front();
+        handleMessage(msg);
+    }
+}
+
+void
+Controller::receive(const Message &msg)
+{
+    inbox.push_back(msg);
+}
+
+bool
+Controller::fillReady(uint8_t frame) const
+{
+    return !mshrs.at(frame).valid;
+}
+
+// ---------------------------------------------------------------------
+// Processor side
+// ---------------------------------------------------------------------
+
+MemResult
+Controller::access(const MemAccess &req)
+{
+    Addr line_addr = _cache.lineOf(req.addr);
+    uint32_t offset = _cache.offsetOf(req.addr);
+    bool need_m = req.op == MemOp::Store || req.op == MemOp::Tas ||
+                  (req.op == MemOp::Load && req.feModify);
+
+    if (req.op == MemOp::Flush) {
+        // Software-enforced coherence support (Section 3.4): write
+        // back and invalidate; dirty data increments the fence
+        // counter until the home acknowledges.
+        cache::CacheLine *line = _cache.find(line_addr);
+        MemResult res = MemResult::ready(0, true);
+        if (line && line->state == cache::LineState::Modified) {
+            Message wb;
+            wb.type = MsgType::WbData;
+            wb.lineAddr = line_addr;
+            wb.requester = nodeId;
+            wb.fenceAck = true;
+            wb.data = line->words;
+            send(homeOf(line_addr), wb);
+            ++statWritebacks;
+            res.fenceDelta = 1;
+        }
+        if (line)
+            _cache.invalidate(line_addr);
+        return res;
+    }
+
+    cache::CacheLine *line = _cache.find(line_addr);
+    if (line && (line->state == cache::LineState::Modified ||
+                 (!need_m && line->state == cache::LineState::Shared))) {
+        ++_cache.statHits;
+        _cache.use(line);
+        return applyFeAccess(line->words[offset], req);
+    }
+
+    uint32_t home = homeOf(line_addr);
+    Mshr &m = mshrs.at(req.frame);
+
+    if (!(m.valid && m.lineAddr == line_addr)) {
+        if (m.valid) {
+            // The frame already has a different transaction in
+            // flight (e.g. a handler touching another line): hold.
+            return MemResult::retry();
+        }
+        ++_cache.statMisses;
+        m.valid = true;
+        m.lineAddr = line_addr;
+        m.write = need_m;
+        Message msg;
+        msg.type = need_m ? MsgType::WriteReq : MsgType::ReadReq;
+        msg.lineAddr = line_addr;
+        msg.requester = nodeId;
+        send(home, msg);
+        if (home == nodeId)
+            ++statLocalMisses;
+        else
+            ++statRemoteMisses;
+    }
+
+    // "The cache controller forces a context switch on the processor,
+    // typically on remote network requests" — local misses hold.
+    if (home != nodeId && req.miss == MissPolicy::Trap &&
+        req.trapsEnabled) {
+        return MemResult::forceSwitch();
+    }
+    return MemResult::retry();
+}
+
+void
+Controller::evict(const cache::Victim &victim)
+{
+    if (!victim.valid)
+        return;
+    if (victim.state == cache::LineState::Modified) {
+        Message wb;
+        wb.type = MsgType::WbData;
+        wb.lineAddr = victim.lineAddr;
+        wb.requester = nodeId;
+        wb.data = victim.words;
+        send(homeOf(victim.lineAddr), wb);
+        ++statWritebacks;
+    }
+    // Shared lines drop silently; the stale sharer bit is harmless
+    // (we acknowledge any later invalidation without a copy).
+}
+
+void
+Controller::fill(const Message &msg)
+{
+    // An upgrade reply refreshes the line already resident (filling a
+    // second way would leave a stale duplicate that lookups can hit).
+    cache::CacheLine *line = _cache.find(msg.lineAddr);
+    if (!line) {
+        cache::Victim victim;
+        line = _cache.allocate(msg.lineAddr, &victim);
+        evict(victim);
+    }
+    line->words = msg.data;
+    line->state = msg.type == MsgType::WriteReply
+        ? cache::LineState::Modified
+        : cache::LineState::Shared;
+    _cache.use(line);
+    for (Mshr &m : mshrs) {
+        if (m.valid && m.lineAddr == msg.lineAddr)
+            m.valid = false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Home (directory) side
+// ---------------------------------------------------------------------
+
+void
+Controller::handleMessage(const Message &msg)
+{
+    static const bool trace_msgs = getenv("APRIL_COH_TRACE") != nullptr;
+    if (trace_msgs) {
+        fprintf(stderr, "[c%llu n%u] msg type=%d line=%u from=%u req=%u\n",
+                (unsigned long long)fabric->now(), nodeId, int(msg.type),
+                msg.lineAddr, msg.from, msg.requester);
+    }
+    switch (msg.type) {
+      case MsgType::ReadReq:
+      case MsgType::WriteReq: {
+        DirEntry &e = directory[msg.lineAddr];
+        if (e.busy) {
+            e.waiting.push_back(msg);
+            return;
+        }
+        handleHomeRequest(msg, e);
+        return;
+      }
+
+      case MsgType::InvAck: {
+        DirEntry &e = directory[msg.lineAddr];
+        if (!e.busy || e.wait != DirEntry::Wait::Acks ||
+            e.pendingAcks == 0) {
+            return;             // stale ack for a dropped copy
+        }
+        if (--e.pendingAcks == 0)
+            completePending(msg.lineAddr, e);
+        return;
+      }
+
+      case MsgType::WbData: {
+        DirEntry &e = directory[msg.lineAddr];
+        writeMemoryLine(msg.lineAddr, msg.data);
+        if (msg.fenceAck) {
+            Message ack;
+            ack.type = MsgType::FenceAck;
+            ack.lineAddr = msg.lineAddr;
+            send(msg.requester, ack);
+        }
+        if (e.state == DirEntry::S::Exclusive && e.owner == msg.from) {
+            if (e.busy && e.wait == DirEntry::Wait::Data) {
+                completePending(msg.lineAddr, e);
+            } else if (!e.busy) {
+                // Unsolicited eviction: the owner gave up its copy.
+                e.state = DirEntry::S::Uncached;
+                e.sharers.clear();
+            }
+        }
+        return;
+      }
+
+      case MsgType::WbEmpty: {
+        // The owner's copy raced away via an eviction whose WbData
+        // (FIFO-ordered on the same route) has already updated memory.
+        DirEntry &e = directory[msg.lineAddr];
+        if (e.busy && e.wait == DirEntry::Wait::Data &&
+            e.state == DirEntry::S::Exclusive && e.owner == msg.from) {
+            completePending(msg.lineAddr, e);
+        }
+        return;
+      }
+
+      case MsgType::Unpend: {
+        DirEntry &e = directory[msg.lineAddr];
+        e.busy = false;
+        drainWaiting(msg.lineAddr);
+        return;
+      }
+
+      case MsgType::Inv: {
+        _cache.invalidate(msg.lineAddr);
+        Message ack;
+        ack.type = MsgType::InvAck;
+        ack.lineAddr = msg.lineAddr;
+        send(msg.from, ack);
+        return;
+      }
+
+      case MsgType::WbReq: {
+        cache::CacheLine *line = _cache.find(msg.lineAddr);
+        if (line && line->state == cache::LineState::Modified) {
+            Message wb;
+            wb.type = MsgType::WbData;
+            wb.lineAddr = msg.lineAddr;
+            wb.requester = nodeId;
+            wb.data = line->words;
+            if (msg.isWrite)
+                _cache.invalidate(msg.lineAddr);
+            else
+                line->state = cache::LineState::Shared;
+            send(msg.from, wb);
+            ++statWritebacks;
+        } else {
+            Message none;
+            none.type = MsgType::WbEmpty;
+            none.lineAddr = msg.lineAddr;
+            send(msg.from, none);
+        }
+        return;
+      }
+
+      case MsgType::ReadReply:
+      case MsgType::WriteReply:
+        fill(msg);
+        return;
+
+      case MsgType::FenceAck:
+        if (proc)
+            proc->decFence();
+        return;
+    }
+}
+
+void
+Controller::handleHomeRequest(const Message &msg, DirEntry &e)
+{
+    bool write = msg.type == MsgType::WriteReq;
+    Addr line_addr = msg.lineAddr;
+
+    // An Exclusive entry whose owner re-requests has lost its copy to
+    // an eviction (whose WbData arrived first, FIFO): fold to
+    // Uncached.
+    if (e.state == DirEntry::S::Exclusive && e.owner == msg.requester) {
+        e.state = DirEntry::S::Uncached;
+        e.sharers.clear();
+    }
+
+    switch (e.state) {
+      case DirEntry::S::Uncached: {
+        e.busy = true;
+        if (write) {
+            e.state = DirEntry::S::Exclusive;
+            e.owner = msg.requester;
+            e.sharers.clear();
+        } else {
+            e.state = DirEntry::S::Shared;
+            e.sharers = {msg.requester};
+        }
+        replyAndUnpend(line_addr, msg.requester, write);
+        return;
+      }
+
+      case DirEntry::S::Shared: {
+        if (!write) {
+            e.busy = true;
+            e.sharers.insert(msg.requester);
+            replyAndUnpend(line_addr, msg.requester, false);
+            return;
+        }
+        // Strong coherence: invalidate every other sharer and wait
+        // for all acknowledgments before granting exclusivity.
+        std::set<uint32_t> to_inv = e.sharers;
+        to_inv.erase(msg.requester);
+        if (to_inv.empty()) {
+            e.busy = true;
+            e.state = DirEntry::S::Exclusive;
+            e.owner = msg.requester;
+            e.sharers.clear();
+            replyAndUnpend(line_addr, msg.requester, true);
+            return;
+        }
+        e.busy = true;
+        e.wait = DirEntry::Wait::Acks;
+        e.pendingReq = msg;
+        e.pendingAcks = uint32_t(to_inv.size());
+        for (uint32_t s : to_inv) {
+            Message inv;
+            inv.type = MsgType::Inv;
+            inv.lineAddr = line_addr;
+            send(s, inv);
+            ++statInvSent;
+        }
+        return;
+      }
+
+      case DirEntry::S::Exclusive: {
+        e.busy = true;
+        e.wait = DirEntry::Wait::Data;
+        e.pendingReq = msg;
+        Message wbreq;
+        wbreq.type = MsgType::WbReq;
+        wbreq.lineAddr = line_addr;
+        wbreq.isWrite = write;
+        send(e.owner, wbreq);
+        return;
+      }
+    }
+}
+
+void
+Controller::replyAndUnpend(Addr line_addr, uint32_t requester, bool write)
+{
+    Message reply;
+    reply.type = write ? MsgType::WriteReply : MsgType::ReadReply;
+    reply.lineAddr = line_addr;
+    reply.data = readMemoryLine(line_addr);
+    sendAfterMemory(requester, reply);
+    // Scheduled after the reply at the same time: dispatch order in
+    // the delayed queue (and FIFO network routes) keeps the grant
+    // ahead of anything a drained waiter triggers.
+    Message unpend;
+    unpend.type = MsgType::Unpend;
+    unpend.lineAddr = line_addr;
+    sendAfterMemory(nodeId, unpend);
+}
+
+void
+Controller::completePending(Addr line_addr, DirEntry &e)
+{
+    Message req = e.pendingReq;
+    bool write = req.type == MsgType::WriteReq;
+
+    uint32_t prev_owner = e.owner;
+    bool was_exclusive = e.state == DirEntry::S::Exclusive;
+    if (write) {
+        e.state = DirEntry::S::Exclusive;
+        e.owner = req.requester;
+        e.sharers.clear();
+    } else {
+        e.state = DirEntry::S::Shared;
+        e.sharers.clear();
+        if (was_exclusive)
+            e.sharers.insert(prev_owner);   // downgraded, kept a copy
+        e.sharers.insert(req.requester);
+    }
+    e.wait = DirEntry::Wait::None;
+    e.pendingAcks = 0;
+    replyAndUnpend(line_addr, req.requester, write);
+}
+
+void
+Controller::drainWaiting(Addr line_addr)
+{
+    DirEntry &e = directory[line_addr];
+    while (!e.busy && !e.waiting.empty()) {
+        Message next = e.waiting.front();
+        e.waiting.pop_front();
+        handleHomeRequest(next, e);
+    }
+}
+
+} // namespace april::coh

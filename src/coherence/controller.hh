@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The per-node cache/directory controller (Figure 1, Section 5).
+ *
+ * The controller sits between the APRIL core and the machine:
+ *
+ *  - it services processor accesses out of the local cache, applying
+ *    the full/empty semantics (it "performs full/empty bit
+ *    synchronization");
+ *  - on a miss it runs the directory protocol, deciding per access
+ *    whether to hold the processor (MHOLD -> Retry) or to force a
+ *    context switch (MEXC -> Switch): "a context switch occurs
+ *    whenever the network must be used to satisfy a request"
+ *    (Section 2.1);
+ *  - it is the home site for its node's memory range: a full-map
+ *    directory with strong coherence (invalidation acknowledgments
+ *    counted before exclusive ownership is granted);
+ *  - one outstanding transaction per hardware task frame, matching
+ *    the switch-spinning design.
+ */
+
+#ifndef APRIL_COHERENCE_CONTROLLER_HH
+#define APRIL_COHERENCE_CONTROLLER_HH
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "coherence/protocol.hh"
+#include "mem/memory.hh"
+#include "proc/ports.hh"
+
+namespace april
+{
+class Processor;
+} // namespace april
+
+namespace april::coh
+{
+using april::Processor;
+
+/** Controller configuration. */
+struct ControllerParams
+{
+    cache::CacheParams cache;
+    uint32_t memLatency = 10;   ///< local DRAM access (Table 4)
+    uint32_t occupancy = 2;     ///< controller cycles per message
+    uint32_t reqFlits = 2;      ///< network size of a request
+    uint32_t dataFlits = 6;     ///< network size of a data-carrying msg
+};
+
+/** Message transport provided by the enclosing machine. */
+class Fabric
+{
+  public:
+    virtual ~Fabric() = default;
+
+    /** Ship @p msg to node @p to (@p flits for the network model). */
+    virtual void transmit(uint32_t to, const Message &msg,
+                          uint32_t flits) = 0;
+    virtual uint64_t now() const = 0;
+};
+
+/** The cache + directory controller; also the core's memory port. */
+class Controller : public MemPort, public stats::Group
+{
+  public:
+    Controller(const ControllerParams &params, uint32_t node_id,
+               uint32_t num_frames, SharedMemory *memory,
+               Fabric *fabric, stats::Group *parent = nullptr);
+
+    /** Wire up the processor (for fence acknowledgments). */
+    void setProcessor(Processor *p) { proc = p; }
+
+    // MemPort interface (processor side).
+    MemResult access(const MemAccess &req) override;
+    bool fillReady(uint8_t frame) const override;
+
+    /** A network message arrived for this node. */
+    void receive(const Message &msg);
+
+    /** Advance one cycle: dispatch due work. */
+    void tick();
+
+    cache::Cache &cacheRef() { return _cache; }
+
+    stats::Scalar statLocalMisses;
+    stats::Scalar statRemoteMisses;
+    stats::Scalar statInvSent;
+    stats::Scalar statWritebacks;
+
+  private:
+    /** Directory entry for one home line. */
+    struct DirEntry
+    {
+        enum class S : uint8_t { Uncached, Shared, Exclusive };
+        /// What the in-progress transaction is waiting on.
+        enum class Wait : uint8_t { None, Acks, Data };
+
+        S state = S::Uncached;
+        std::set<uint32_t> sharers;
+        uint32_t owner = 0;
+        bool busy = false;          ///< transaction in progress
+        Wait wait = Wait::None;
+        uint32_t pendingAcks = 0;
+        Message pendingReq;
+        std::deque<Message> waiting;
+    };
+
+    /** Outstanding processor transaction (one per task frame). */
+    struct Mshr
+    {
+        bool valid = false;
+        Addr lineAddr = 0;
+        bool write = false;
+    };
+
+    uint32_t homeOf(Addr line_addr) const;
+    /** Queue @p msg for @p to after controller occupancy. */
+    void send(uint32_t to, Message msg);
+    /** Queue @p msg for @p to after occupancy + memory latency. */
+    void sendAfterMemory(uint32_t to, Message msg);
+    void dispatch(uint32_t to, const Message &msg);
+
+    void handleMessage(const Message &msg);
+    void handleHomeRequest(const Message &msg, DirEntry &e);
+    void completePending(Addr line_addr, DirEntry &e);
+    void drainWaiting(Addr line_addr);
+    void fill(const Message &msg);
+    /** Schedule reply + unpend marker behind the memory access. */
+    void replyAndUnpend(Addr line_addr, uint32_t requester, bool write);
+
+    std::vector<MemWord> readMemoryLine(Addr line_addr) const;
+    void writeMemoryLine(Addr line_addr,
+                         const std::vector<MemWord> &words);
+    void evict(const cache::Victim &victim);
+
+    ControllerParams params;
+    uint32_t nodeId;
+    SharedMemory *mem;
+    Fabric *fabric;
+    Processor *proc = nullptr;
+    cache::Cache _cache;
+
+    std::map<Addr, DirEntry> directory;
+    std::vector<Mshr> mshrs;
+
+    struct Delayed
+    {
+        uint64_t due;
+        uint32_t to;
+        Message msg;
+    };
+
+    std::deque<Delayed> delayed;    ///< occupancy/memory-latency queue
+    std::deque<Message> inbox;
+};
+
+} // namespace april::coh
+
+#endif // APRIL_COHERENCE_CONTROLLER_HH

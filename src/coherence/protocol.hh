@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Messages of the directory-based cache-coherence protocol
+ * (Section 2.1; Chaiken et al. [5]). The directory is full-map and
+ * enforces strong coherence: a line is either uncached, shared by a
+ * set of readers, or exclusively owned by one writer, and writes wait
+ * for explicit invalidation acknowledgments — the "long-latency
+ * acknowledgment messages" whose tolerance motivates APRIL's
+ * multithreading.
+ */
+
+#ifndef APRIL_COHERENCE_PROTOCOL_HH
+#define APRIL_COHERENCE_PROTOCOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/types.hh"
+
+namespace april::coh
+{
+
+enum class MsgType : uint8_t
+{
+    ReadReq,    ///< requester -> home: shared copy wanted
+    WriteReq,   ///< requester -> home: exclusive copy wanted
+    ReadReply,  ///< home -> requester: line data, Shared
+    WriteReply, ///< home -> requester: line data, Modified
+    Inv,        ///< home -> sharer: drop your copy
+    InvAck,     ///< sharer -> home
+    WbReq,      ///< home -> owner: send the dirty line back
+    WbData,     ///< owner -> home: dirty data (response or eviction)
+    WbEmpty,    ///< owner -> home: no modified copy here (raced away)
+    FenceAck,   ///< home -> flusher: writeback acknowledged (fence--)
+    Unpend,     ///< home -> home: a reply has dispatched; the line's
+                ///< transaction is over and waiters may be drained.
+                ///< Scheduling this *behind* the reply on the same
+                ///< ordered path is what keeps grants and subsequent
+                ///< recalls FIFO on the network.
+};
+
+/** One protocol message. */
+struct Message
+{
+    MsgType type = MsgType::ReadReq;
+    Addr lineAddr = 0;          ///< line-granular address
+    uint32_t from = 0;          ///< sending node
+    uint32_t requester = 0;     ///< original requester (3-hop paths)
+    bool isWrite = false;       ///< WbReq: invalidate the owner too
+    bool fenceAck = false;      ///< WbData: caused by FLUSH, ack it
+    std::vector<MemWord> data;  ///< line payload where applicable
+};
+
+/** @return true for messages that carry a data payload. */
+inline bool
+carriesData(MsgType t)
+{
+    return t == MsgType::ReadReply || t == MsgType::WriteReply ||
+           t == MsgType::WbData;
+}
+
+} // namespace april::coh
+
+#endif // APRIL_COHERENCE_PROTOCOL_HH

@@ -1,0 +1,59 @@
+#include "common/logging.hh"
+
+#include <iostream>
+#include <mutex>
+#include <set>
+
+namespace april
+{
+
+namespace
+{
+
+bool quietFlag = false;
+std::mutex emitMutex;
+
+} // namespace
+
+void
+setQuiet(bool q)
+{
+    quietFlag = q;
+}
+
+bool
+quiet()
+{
+    return quietFlag;
+}
+
+namespace detail
+{
+
+void
+emit(const char *level, const std::string &msg)
+{
+    if (quietFlag && (std::string(level) == "info" ||
+                      std::string(level) == "warn")) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(emitMutex);
+    std::cerr << level << ": " << msg << std::endl;
+}
+
+bool
+emitOnce(const char *level, const std::string &msg)
+{
+    static std::set<std::string> seen;
+    {
+        std::lock_guard<std::mutex> lock(emitMutex);
+        if (!seen.insert(msg).second)
+            return false;
+    }
+    emit(level, msg);
+    return true;
+}
+
+} // namespace detail
+
+} // namespace april

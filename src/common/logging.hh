@@ -1,0 +1,133 @@
+/**
+ * @file
+ * gem5-style status and error reporting for the APRIL simulator.
+ *
+ * Two error levels are provided, following the gem5 convention:
+ *
+ *  - panic():  something happened that should never happen regardless
+ *              of what the user does — a simulator bug.
+ *  - fatal():  the simulation cannot continue because of a user-level
+ *              problem (bad configuration, malformed workload, ...).
+ *
+ * Unlike gem5, both raise typed C++ exceptions instead of calling
+ * abort()/exit(); this keeps the simulator usable as a library and
+ * makes error paths unit-testable. inform()/warn() print to stderr and
+ * never stop the simulation.
+ */
+
+#ifndef APRIL_COMMON_LOGGING_HH
+#define APRIL_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace april
+{
+
+/** Base class of all simulator-raised errors. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Raised by panic(): an internal simulator invariant was violated. */
+class PanicError : public SimError
+{
+  public:
+    explicit PanicError(const std::string &msg) : SimError(msg) {}
+};
+
+/** Raised by fatal(): a user-correctable condition stops the run. */
+class FatalError : public SimError
+{
+  public:
+    explicit FatalError(const std::string &msg) : SimError(msg) {}
+};
+
+namespace detail
+{
+
+/** Fold a heterogeneous argument pack into one message string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void emit(const char *level, const std::string &msg);
+bool emitOnce(const char *level, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and raise PanicError.
+ *
+ * @param args message fragments, streamed together.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::formatMessage(std::forward<Args>(args)...);
+    detail::emit("panic", msg);
+    throw PanicError(msg);
+}
+
+/** Report a user-level configuration problem and raise FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::formatMessage(std::forward<Args>(args)...);
+    detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** panic() unless the given condition holds. */
+template <typename Cond, typename... Args>
+void
+panicIfNot(const Cond &cond, Args &&...args)
+{
+    if (!cond)
+        panic(std::forward<Args>(args)...);
+}
+
+/** Warn about questionable but survivable behavior. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit("warn", detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Like warn(), but each distinct message prints only once. */
+template <typename... Args>
+void
+warnOnce(Args &&...args)
+{
+    detail::emitOnce("warn",
+                     detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Print a purely informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit("info", detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Globally silence inform()/warn() output (used by benchmarks). */
+void setQuiet(bool quiet);
+
+/** @return true when inform()/warn() output is suppressed. */
+bool quiet();
+
+} // namespace april
+
+#endif // APRIL_COMMON_LOGGING_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in the simulator (work-stealing victim
+ * selection, synthetic workload generation, network traffic) draws
+ * from an explicitly seeded Rng so that runs are reproducible.
+ * The core is splitmix64, which is small, fast and well distributed.
+ */
+
+#ifndef APRIL_COMMON_RANDOM_HH
+#define APRIL_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace april
+{
+
+/** Deterministic splitmix64 pseudo-random generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x2545F4914F6CDD1DULL) : state(seed) {}
+
+    /** @return the next raw 64-bit pseudo-random value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /** @return a uniform integer in [0, bound). @p bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + int64_t(below(uint64_t(hi - lo + 1)));
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** @return true with probability @p prob. */
+    bool
+    chance(double prob)
+    {
+        return uniform() < prob;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace april
+
+#endif // APRIL_COMMON_RANDOM_HH

@@ -1,0 +1,161 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace april::stats
+{
+
+Info::Info(Group *parent, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    if (parent)
+        parent->addStat(this);
+}
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(44) << (prefix + name())
+       << std::right << std::setw(14) << _value
+       << "  # " << desc() << "\n";
+}
+
+void
+Average::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(44) << (prefix + name())
+       << std::right << std::setw(14) << mean()
+       << "  # " << desc() << " (samples=" << _count << ")\n";
+}
+
+Distribution::Distribution(Group *parent, std::string name, std::string desc,
+                           int64_t lo, int64_t hi, int64_t bucket_size)
+    : Info(parent, std::move(name), std::move(desc)),
+      _lo(lo), _hi(hi), _bucketSize(bucket_size)
+{
+    if (bucket_size <= 0 || hi <= lo)
+        panic("Distribution ", this->name(), ": bad bucket spec");
+    _buckets.resize(size_t((hi - lo + bucket_size - 1) / bucket_size), 0);
+    reset();
+}
+
+void
+Distribution::sample(int64_t v)
+{
+    if (_count == 0) {
+        _min = _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    ++_count;
+    _sum += double(v);
+
+    if (v < _lo)
+        ++_underflow;
+    else if (v >= _hi)
+        ++_overflow;
+    else
+        ++_buckets[size_t((v - _lo) / _bucketSize)];
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(44) << (prefix + name())
+       << std::right << std::setw(14) << mean()
+       << "  # " << desc() << " (mean; samples=" << _count
+       << " min=" << (_count ? _min : 0)
+       << " max=" << (_count ? _max : 0) << ")\n";
+    for (size_t i = 0; i < _buckets.size(); ++i) {
+        if (!_buckets[i])
+            continue;
+        int64_t b_lo = _lo + int64_t(i) * _bucketSize;
+        os << std::left << std::setw(44)
+           << (prefix + name() + "[" + std::to_string(b_lo) + ","
+               + std::to_string(b_lo + _bucketSize) + ")")
+           << std::right << std::setw(14) << _buckets[i] << "\n";
+    }
+    if (_underflow) {
+        os << std::left << std::setw(44) << (prefix + name() + "[under]")
+           << std::right << std::setw(14) << _underflow << "\n";
+    }
+    if (_overflow) {
+        os << std::left << std::setw(44) << (prefix + name() + "[over]")
+           << std::right << std::setw(14) << _overflow << "\n";
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = _overflow = 0;
+    _count = 0;
+    _sum = 0;
+    _min = std::numeric_limits<int64_t>::max();
+    _max = std::numeric_limits<int64_t>::min();
+}
+
+void
+Formula::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(44) << (prefix + name())
+       << std::right << std::setw(14) << value()
+       << "  # " << desc() << "\n";
+}
+
+Group::Group(std::string name, Group *parent)
+    : _name(std::move(name)), _parent(parent)
+{
+    if (_parent)
+        _parent->addChild(this);
+}
+
+Group::~Group()
+{
+    if (_parent)
+        _parent->removeChild(this);
+}
+
+void
+Group::removeChild(Group *g)
+{
+    _children.erase(std::remove(_children.begin(), _children.end(), g),
+                    _children.end());
+}
+
+void
+Group::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string here = prefix.empty() ? _name : prefix + "." + _name;
+    for (const Info *info : _stats)
+        info->print(os, here + ".");
+    for (const Group *child : _children)
+        child->dump(os, here);
+}
+
+void
+Group::resetStats()
+{
+    for (Info *info : _stats)
+        info->reset();
+    for (Group *child : _children)
+        child->resetStats();
+}
+
+const Info *
+Group::findStat(const std::string &name) const
+{
+    for (const Info *info : _stats) {
+        if (info->name() == name)
+            return info;
+    }
+    return nullptr;
+}
+
+} // namespace april::stats

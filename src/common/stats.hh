@@ -1,0 +1,186 @@
+/**
+ * @file
+ * A small gem5-inspired statistics package.
+ *
+ * Statistics are owned by a stats::Group; each statistic has a name and
+ * a description and knows how to print itself. Groups nest, so a
+ * machine can dump one coherent report covering processors, caches,
+ * directories and network routers.
+ */
+
+#ifndef APRIL_COMMON_STATS_HH
+#define APRIL_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace april::stats
+{
+
+class Group;
+
+/** Common interface of all statistics. */
+class Info
+{
+  public:
+    Info(Group *parent, std::string name, std::string desc);
+    virtual ~Info() = default;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Print "name value # desc" style line(s). */
+    virtual void print(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset the statistic to its initial state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A monotonically updated scalar counter / value. */
+class Scalar : public Info
+{
+  public:
+    Scalar(Group *parent, std::string name, std::string desc)
+        : Info(parent, std::move(name), std::move(desc))
+    {}
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const { return _value; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/** Arithmetic mean of all sampled values. */
+class Average : public Info
+{
+  public:
+    Average(Group *parent, std::string name, std::string desc)
+        : Info(parent, std::move(name), std::move(desc))
+    {}
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    double mean() const { return _count ? _sum / double(_count) : 0.0; }
+    uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { _sum = 0; _count = 0; }
+
+  private:
+    double _sum = 0;
+    uint64_t _count = 0;
+};
+
+/** Fixed-width bucketed histogram with underflow/overflow bins. */
+class Distribution : public Info
+{
+  public:
+    /**
+     * @param lo lowest bucketed value (inclusive)
+     * @param hi highest bucketed value (exclusive)
+     * @param bucket_size width of each bucket
+     */
+    Distribution(Group *parent, std::string name, std::string desc,
+                 int64_t lo, int64_t hi, int64_t bucket_size);
+
+    void sample(int64_t v);
+
+    uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / double(_count) : 0.0; }
+    int64_t min() const { return _min; }
+    int64_t max() const { return _max; }
+    uint64_t bucketCount(size_t i) const { return _buckets.at(i); }
+    size_t numBuckets() const { return _buckets.size(); }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    int64_t _lo;
+    int64_t _hi;
+    int64_t _bucketSize;
+    std::vector<uint64_t> _buckets;
+    uint64_t _underflow = 0;
+    uint64_t _overflow = 0;
+    uint64_t _count = 0;
+    double _sum = 0;
+    int64_t _min = 0;
+    int64_t _max = 0;
+};
+
+/** A statistic computed on demand from other statistics. */
+class Formula : public Info
+{
+  public:
+    Formula(Group *parent, std::string name, std::string desc,
+            std::function<double()> fn)
+        : Info(parent, std::move(name), std::move(desc)), _fn(std::move(fn))
+    {}
+
+    double value() const { return _fn ? _fn() : 0.0; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> _fn;
+};
+
+/** A named, nestable container of statistics. */
+class Group
+{
+  public:
+    explicit Group(std::string name, Group *parent = nullptr);
+    virtual ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &groupName() const { return _name; }
+
+    /** Recursively print all statistics under this group. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Recursively reset all statistics under this group. */
+    void resetStats();
+
+    /** Look up a direct child statistic by name (nullptr if absent). */
+    const Info *findStat(const std::string &name) const;
+
+  private:
+    friend class Info;
+
+    void addStat(Info *info) { _stats.push_back(info); }
+    void addChild(Group *g) { _children.push_back(g); }
+    void removeChild(Group *g);
+
+    std::string _name;
+    Group *_parent;
+    std::vector<Info *> _stats;
+    std::vector<Group *> _children;
+};
+
+} // namespace april::stats
+
+#endif // APRIL_COMMON_STATS_HH

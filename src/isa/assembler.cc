@@ -1,0 +1,269 @@
+#include "isa/assembler.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace april
+{
+
+uint32_t
+Program::entry(const std::string &sym) const
+{
+    auto it = _symbols.find(sym);
+    if (it == _symbols.end())
+        panic("undefined program symbol: ", sym);
+    return it->second;
+}
+
+bool
+Program::hasSymbol(const std::string &sym) const
+{
+    return _symbols.count(sym) != 0;
+}
+
+std::string
+Program::symbolAt(uint32_t pc) const
+{
+    std::string best;
+    uint32_t best_addr = 0;
+    for (const auto &[name, addr] : _symbols) {
+        if (addr <= pc && (best.empty() || addr >= best_addr)) {
+            best = name;
+            best_addr = addr;
+        }
+    }
+    if (best.empty())
+        return "?";
+    std::ostringstream os;
+    os << best << "+" << (pc - best_addr);
+    return os.str();
+}
+
+std::string
+Program::listing() const
+{
+    // Invert the symbol table for annotation.
+    std::map<uint32_t, std::vector<std::string>> at;
+    for (const auto &[name, addr] : _symbols)
+        at[addr].push_back(name);
+
+    std::ostringstream os;
+    for (uint32_t pc = 0; pc < _insts.size(); ++pc) {
+        auto it = at.find(pc);
+        if (it != at.end()) {
+            for (const auto &name : it->second)
+                os << name << ":\n";
+        }
+        os << "  " << pc << ":\t" << disassemble(_insts[pc]) << "\n";
+    }
+    return os.str();
+}
+
+void
+Assembler::bind(const Label &name)
+{
+    if (symbols.count(name))
+        panic("assembler label bound twice: ", name);
+    symbols[name] = here();
+}
+
+Assembler::Label
+Assembler::fresh(const std::string &prefix)
+{
+    return prefix + "$" + std::to_string(freshCounter++);
+}
+
+Program
+Assembler::finish()
+{
+    for (const Fixup &f : fixups) {
+        auto it = symbols.find(f.label);
+        if (it == symbols.end())
+            panic("undefined assembler label: ", f.label);
+        insts[f.index].imm = int32_t(it->second);
+    }
+    Program prog;
+    prog._insts = std::move(insts);
+    prog._symbols = std::move(symbols);
+    insts.clear();
+    symbols.clear();
+    fixups.clear();
+    return prog;
+}
+
+void
+Assembler::alu3(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2, bool strict)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.strict = strict;
+    push(i);
+}
+
+void
+Assembler::alui(Opcode op, uint8_t rd, uint8_t rs1, int32_t imm, bool strict)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    i.useImm = true;
+    i.strict = strict;
+    push(i);
+}
+
+void
+Assembler::movi(uint8_t rd, Word value)
+{
+    Instruction i;
+    i.op = Opcode::MOVI;
+    i.rd = rd;
+    i.imm = int32_t(value);
+    push(i);
+}
+
+void
+Assembler::moviLabel(uint8_t rd, const Label &target)
+{
+    fixups.push_back({here(), target});
+    movi(rd, 0);
+}
+
+void
+Assembler::load(uint8_t rd, uint8_t base, int32_t off, bool fe_trap,
+                bool fe_modify, MissPolicy miss, bool strict)
+{
+    Instruction i;
+    i.op = Opcode::LD;
+    i.rd = rd;
+    i.rs1 = base;
+    i.imm = off;
+    i.strict = strict;
+    i.feTrap = fe_trap;
+    i.feModify = fe_modify;
+    i.miss = miss;
+    push(i);
+}
+
+void
+Assembler::store(uint8_t rs, uint8_t base, int32_t off, bool fe_trap,
+                 bool fe_modify, MissPolicy miss, bool strict)
+{
+    Instruction i;
+    i.op = Opcode::ST;
+    i.rd = rs;             // source operand lives in rd for stores
+    i.rs1 = base;
+    i.imm = off;
+    i.strict = strict;
+    i.feTrap = fe_trap;
+    i.feModify = fe_modify;
+    i.miss = miss;
+    push(i);
+}
+
+void
+Assembler::tas(uint8_t rd, uint8_t base, int32_t off)
+{
+    Instruction i;
+    i.op = Opcode::TAS;
+    i.rd = rd;
+    i.rs1 = base;
+    i.imm = off;
+    i.miss = MissPolicy::Wait;
+    push(i);
+}
+
+void
+Assembler::jRaw(Cond cond, const Label &target)
+{
+    Instruction i;
+    i.op = Opcode::J;
+    i.cond = cond;
+    fixups.push_back({here(), target});
+    push(i);
+}
+
+void
+Assembler::j(Cond cond, const Label &target)
+{
+    jRaw(cond, target);
+    nop();
+}
+
+void
+Assembler::callRaw(const Label &target)
+{
+    Instruction i;
+    i.op = Opcode::JMPL;
+    i.rd = reg::ra;
+    i.useImm = true;
+    fixups.push_back({here(), target});
+    push(i);
+}
+
+void
+Assembler::call(const Label &target)
+{
+    callRaw(target);
+    nop();
+}
+
+void
+Assembler::callReg(uint8_t rs)
+{
+    Instruction i;
+    i.op = Opcode::JMPL;
+    i.rd = reg::ra;
+    i.rs1 = rs;
+    i.useImm = false;
+    push(i);
+    nop();
+}
+
+void
+Assembler::retRaw()
+{
+    Instruction i;
+    i.op = Opcode::JMPL;
+    i.rd = reg::r0;
+    i.rs1 = reg::ra;
+    i.useImm = false;
+    push(i);
+}
+
+void
+Assembler::ret()
+{
+    retRaw();
+    nop();
+}
+
+void
+Assembler::jmpReg(uint8_t rs, int32_t off)
+{
+    Instruction i;
+    i.op = Opcode::JMPL;
+    i.rd = reg::r0;
+    i.rs1 = rs;
+    i.imm = off;
+    i.useImm = false;
+    push(i);
+    nop();
+}
+
+void
+Assembler::flushLine(uint8_t base, int32_t off)
+{
+    Instruction i;
+    i.op = Opcode::FLUSH;
+    i.rs1 = base;
+    i.imm = off;
+    push(i);
+}
+
+} // namespace april

@@ -1,0 +1,195 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace april
+{
+
+namespace reg
+{
+
+std::string
+name(uint8_t r)
+{
+    if (r < numUser)
+        return "r" + std::to_string(r);
+    if (r < numUser + numGlobal)
+        return "g" + std::to_string(r - numUser);
+    if (r < numNames)
+        return "t" + std::to_string(r - numUser - numGlobal);
+    return "?" + std::to_string(r);
+}
+
+} // namespace reg
+
+namespace
+{
+
+const char *
+condName(Cond c)
+{
+    switch (c) {
+      case Cond::AL: return "";
+      case Cond::EQ: return "eq";
+      case Cond::NE: return "ne";
+      case Cond::LT: return "lt";
+      case Cond::GE: return "ge";
+      case Cond::LE: return "le";
+      case Cond::GT: return "gt";
+      case Cond::FULL: return "full";
+      case Cond::EMPTY: return "empty";
+    }
+    return "?";
+}
+
+const char *
+opName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::MUL: return "mul";
+      case Opcode::DIV: return "div";
+      case Opcode::REM: return "rem";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SLL: return "sll";
+      case Opcode::SRL: return "srl";
+      case Opcode::SRA: return "sra";
+      case Opcode::MOVI: return "movi";
+      case Opcode::LD: return "ld";
+      case Opcode::ST: return "st";
+      case Opcode::TAS: return "tas";
+      case Opcode::J: return "j";
+      case Opcode::JMPL: return "jmpl";
+      case Opcode::INCFP: return "incfp";
+      case Opcode::DECFP: return "decfp";
+      case Opcode::RDFP: return "rdfp";
+      case Opcode::STFP: return "stfp";
+      case Opcode::RDPSR: return "rdpsr";
+      case Opcode::WRPSR: return "wrpsr";
+      case Opcode::RDSPEC: return "rdspec";
+      case Opcode::WRSPEC: return "wrspec";
+      case Opcode::RDREGX: return "rdregx";
+      case Opcode::WRREGX: return "wrregx";
+      case Opcode::RETT: return "rett";
+      case Opcode::TRAP: return "trap";
+      case Opcode::FLUSH: return "flush";
+      case Opcode::RDFENCE: return "rdfence";
+      case Opcode::STIO: return "stio";
+      case Opcode::LDIO: return "ldio";
+      case Opcode::HALT: return "halt";
+      case Opcode::NOP: return "nop";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+memFlavorName(const Instruction &inst)
+{
+    // Table 2 naming: ld[e][t|n][t|w]. 'e' resets (sets full for ST)
+    // the f/e bit, then trap/no-trap on f/e mismatch, then
+    // trap/wait on cache miss.
+    std::string s = inst.op == Opcode::ST ? "st" : "ld";
+    if (inst.feModify)
+        s += inst.op == Opcode::ST ? "f" : "e";
+    s += inst.feTrap ? "t" : "n";
+    s += inst.miss == MissPolicy::Trap ? "t" : "w";
+    if (!inst.strict)
+        s += ".raw";
+    return s;
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    auto r = [](uint8_t x) { return reg::name(x); };
+
+    if (inst.isCompute()) {
+        os << opName(inst.op) << (inst.strict ? "" : ".raw") << " "
+           << r(inst.rd) << ", " << r(inst.rs1) << ", ";
+        if (inst.useImm)
+            os << inst.imm;
+        else
+            os << r(inst.rs2);
+        return os.str();
+    }
+
+    switch (inst.op) {
+      case Opcode::MOVI:
+        os << "movi " << r(inst.rd) << ", " << inst.imm;
+        break;
+      case Opcode::LD:
+        os << memFlavorName(inst) << " " << r(inst.rd) << ", ["
+           << r(inst.rs1) << (inst.imm >= 0 ? "+" : "") << inst.imm << "]";
+        break;
+      case Opcode::ST:
+        os << memFlavorName(inst) << " [" << r(inst.rs1)
+           << (inst.imm >= 0 ? "+" : "") << inst.imm << "], " << r(inst.rd);
+        break;
+      case Opcode::TAS:
+        os << "tas " << r(inst.rd) << ", [" << r(inst.rs1)
+           << (inst.imm >= 0 ? "+" : "") << inst.imm << "]";
+        break;
+      case Opcode::J:
+        os << "j" << condName(inst.cond) << " " << inst.imm;
+        break;
+      case Opcode::JMPL:
+        os << "jmpl " << r(inst.rd) << ", ";
+        if (inst.useImm)
+            os << inst.imm;
+        else
+            os << r(inst.rs1) << "+" << inst.imm;
+        break;
+      case Opcode::INCFP: case Opcode::DECFP: case Opcode::NOP:
+      case Opcode::HALT:
+        os << opName(inst.op);
+        break;
+      case Opcode::RDFP: case Opcode::RDPSR: case Opcode::RDFENCE:
+        os << opName(inst.op) << " " << r(inst.rd);
+        break;
+      case Opcode::STFP: case Opcode::WRPSR:
+        os << opName(inst.op) << " " << r(inst.rs1);
+        break;
+      case Opcode::RDSPEC:
+        os << "rdspec " << r(inst.rd) << ", #" << inst.imm;
+        break;
+      case Opcode::WRSPEC:
+        os << "wrspec #" << inst.imm << ", " << r(inst.rs1);
+        break;
+      case Opcode::RDREGX:
+        os << "rdregx " << r(inst.rd) << ", [" << r(inst.rs1) << "]";
+        break;
+      case Opcode::WRREGX:
+        os << "wrregx [" << r(inst.rs1) << "], " << r(inst.rs2);
+        break;
+      case Opcode::RETT:
+        os << "rett " << (inst.imm ? "skip" : "retry");
+        break;
+      case Opcode::TRAP:
+        os << "trap #" << inst.imm;
+        break;
+      case Opcode::FLUSH:
+        os << "flush [" << r(inst.rs1)
+           << (inst.imm >= 0 ? "+" : "") << inst.imm << "]";
+        break;
+      case Opcode::STIO:
+        os << "stio io[" << inst.imm << "], " << r(inst.rd);
+        break;
+      case Opcode::LDIO:
+        os << "ldio " << r(inst.rd) << ", io[" << inst.imm << "]";
+        break;
+      default:
+        os << opName(inst.op);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace april

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The APRIL instruction set (paper Section 4, Tables 1 and 2).
+ *
+ * Instructions are held decoded, in a Harvard-style instruction
+ * memory, as is conventional for instruction-level simulators; the
+ * 32-bit binary encoding of the real part is not modeled. All
+ * semantics the paper specifies — strict-operand future traps, the
+ * 8 x 2 memory-flavor matrix, full/empty condition branches, frame
+ * pointer manipulation, trap entry/return — are modeled exactly.
+ *
+ * Register operands address a 48-entry space per task frame view:
+ *
+ *      0..31   user registers of the active task frame (r0 == 0)
+ *      32..39  global registers g0..g7, frame-independent
+ *      40..47  trap-window registers t0..t7, one set per task frame
+ *              (models the second SPARC register window each task
+ *              frame reserves for its trap handler, Section 5)
+ */
+
+#ifndef APRIL_ISA_INSTRUCTION_HH
+#define APRIL_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/types.hh"
+
+namespace april
+{
+
+/** Register name constants. */
+namespace reg
+{
+
+constexpr uint8_t r0 = 0;           ///< hardwired zero
+
+/*
+ * Software conventions (compiler + run-time system):
+ *   r1..r6   arguments / return value (result in r1)
+ *   r11      stack pointer (frames grow upward)
+ *   r12      return address (link register)
+ *   r16..r31 expression temporaries
+ */
+constexpr uint8_t a(unsigned i) { return uint8_t(1 + i); }
+constexpr uint8_t sb = 10;          ///< stack segment base (stealing)
+constexpr uint8_t sp = 11;          ///< stack pointer
+constexpr uint8_t ra = 12;          ///< return address (link)
+constexpr unsigned numArgRegs = 6;
+
+/** First global register (g0). */
+constexpr uint8_t g(unsigned i) { return uint8_t(32 + i); }
+/** First trap-window register (t0). */
+constexpr uint8_t t(unsigned i) { return uint8_t(40 + i); }
+
+constexpr unsigned numUser = 32;
+constexpr unsigned numGlobal = 8;
+constexpr unsigned numTrap = 8;
+constexpr unsigned numNames = numUser + numGlobal + numTrap;
+
+/** @return assembly name of register index @p r. */
+std::string name(uint8_t r);
+
+} // namespace reg
+
+/** Primary opcodes. */
+enum class Opcode : uint8_t
+{
+    // 3-address compute (condition codes set as a side effect).
+    ADD, SUB, MUL, DIV, REM,
+    AND, OR, XOR, SLL, SRL, SRA,
+    MOVI,       ///< rd <- 32-bit immediate
+    // Memory (flavor fields select the Table 2 variant).
+    LD,         ///< rd <- mem[ea],  ea = (rs1 + imm) >> 3
+    ST,         ///< mem[ea] <- rd (rd is the *source*)
+    TAS,        ///< test&set: rd <- mem[ea]; mem[ea] <- 1 (atomic)
+    // Control flow (one branch delay slot, paper Section 3).
+    J,          ///< conditional branch to absolute target `imm`
+    JMPL,       ///< jump-and-link: PC <- rs1 + imm; rd <- link
+    // Multithreading and trap machinery.
+    INCFP,      ///< FP <- (FP + 1) mod nframes
+    DECFP,      ///< FP <- (FP - 1) mod nframes
+    RDFP,       ///< rd <- FP
+    STFP,       ///< FP <- rs1
+    RDPSR,      ///< rd <- PSR of active frame
+    WRPSR,      ///< PSR of active frame <- rs1
+    RDSPEC,     ///< rd <- special register `imm`
+    WRSPEC,     ///< special register `imm` <- rs1
+    RDREGX,     ///< rd <- regfile[value(rs1)]   (handler dispatch)
+    WRREGX,     ///< regfile[value(rs1)] <- value(rs2)
+    RETT,       ///< return from trap; imm: 0 = retry, 1 = skip
+    TRAP,       ///< software trap to vector `imm`
+    // Out-of-band mechanisms (Section 3.4), ASI-selected on SPARC.
+    FLUSH,      ///< write back + invalidate the line of ea
+    RDFENCE,    ///< rd <- fence counter (outstanding flush acks)
+    STIO,       ///< memory-mapped I/O store (IPI send, block xfer)
+    LDIO,       ///< memory-mapped I/O load
+    // Simulator control.
+    HALT,       ///< terminate the current thread (end of computation)
+    NOP,
+};
+
+/** Branch conditions; FULL/EMPTY test the f/e condition bit (Sec 4). */
+enum class Cond : uint8_t
+{
+    AL,         ///< always
+    EQ, NE, LT, GE, LE, GT,
+    FULL,       ///< last non-trapping memory op saw a full word
+    EMPTY,      ///< last non-trapping memory op saw an empty word
+};
+
+/** Special registers readable/writable from trap handlers. */
+enum class Spec : uint8_t
+{
+    TrapPC,     ///< PC of the trapping instruction
+    TrapNPC,    ///< nPC of the trapping instruction
+    TrapType,   ///< TrapKind of the most recent trap in this frame
+    TrapArg,    ///< trap argument (e.g. register holding a future)
+    TrapVA,     ///< faulting tagged address, for memory traps
+    NodeId,     ///< this processor's node number
+    FrameId,    ///< active task frame number (== FP)
+    NumFrames,  ///< number of hardware task frames
+    CycleLo,    ///< low 32 bits of the cycle counter
+};
+
+/** Trap kinds (vector indices). */
+enum class TrapKind : uint8_t
+{
+    None = 0,
+    FutureCompute,  ///< strict compute op saw a future operand
+    FutureMemory,   ///< memory op address operand was a future
+    FeEmpty,        ///< trapping load touched an empty word
+    FeFull,         ///< trapping store touched a full word
+    RemoteMiss,     ///< controller-forced switch: remote cache miss
+    SoftTrap0,      ///< TRAP 0 .. TRAP 7 software vectors
+    SoftTrap1, SoftTrap2, SoftTrap3,
+    SoftTrap4, SoftTrap5, SoftTrap6, SoftTrap7,
+    Ipi,            ///< asynchronous interprocessor interrupt
+    NumKinds,
+};
+
+/** How a memory instruction behaves on a cache miss (Table 2). */
+enum class MissPolicy : uint8_t
+{
+    Trap,       ///< trap the processor (context switch on remote miss)
+    Wait,       ///< hold the processor until data arrives
+};
+
+/** One decoded APRIL instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    Cond cond = Cond::AL;       ///< for J
+    uint8_t rd = 0;             ///< destination (source for ST)
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;            ///< immediate / resolved branch target
+    bool useImm = false;        ///< rs2 replaced by imm in compute ops
+
+    /// Strict ops trap when an operand is a future (compute + memory).
+    bool strict = false;
+
+    // Memory-instruction flavor (Table 2).
+    bool feTrap = false;        ///< trap on empty (LD) / full (ST)
+    bool feModify = false;      ///< LD: reset to empty; ST: set to full
+    MissPolicy miss = MissPolicy::Wait;
+
+    /** @return true for LD/ST/TAS/FLUSH (has an effective address). */
+    bool
+    isMemory() const
+    {
+        return op == Opcode::LD || op == Opcode::ST || op == Opcode::TAS ||
+               op == Opcode::FLUSH;
+    }
+
+    /** @return true for 3-address ALU operations. */
+    bool
+    isCompute() const
+    {
+        switch (op) {
+          case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+          case Opcode::DIV: case Opcode::REM: case Opcode::AND:
+          case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+          case Opcode::SRL: case Opcode::SRA:
+            return true;
+          default:
+            return false;
+        }
+    }
+};
+
+/** Disassemble one instruction (labels rendered as absolute targets). */
+std::string disassemble(const Instruction &inst);
+
+/** @return mnemonic for a load/store flavor per Table 2 naming. */
+std::string memFlavorName(const Instruction &inst);
+
+} // namespace april
+
+#endif // APRIL_ISA_INSTRUCTION_HH

@@ -1,0 +1,32 @@
+#include "isa/types.hh"
+
+#include <sstream>
+
+namespace april::tagged
+{
+
+std::string
+toString(Word w)
+{
+    std::ostringstream os;
+    if (w == NIL)
+        return "nil";
+    if (w == TRUE)
+        return "#t";
+    if (w == FALSE)
+        return "#f";
+    if (w == UNDEF)
+        return "#undef";
+    if (isFixnum(w)) {
+        os << toInt(w);
+    } else if (isFuture(w)) {
+        os << "future@" << ptrAddr(w);
+    } else if (isCons(w)) {
+        os << "cons@" << ptrAddr(w);
+    } else {
+        os << "obj@" << ptrAddr(w);
+    }
+    return os.str();
+}
+
+} // namespace april::tagged

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * APRIL tagged data-type encodings (paper Figure 3).
+ *
+ * A machine word is 32 bits. The low-order bits of a word encode its
+ * dynamic type, as in the Berkeley SPUR processor:
+ *
+ *      fixnum   xx...xx00   30-bit signed integer in bits [31:2]
+ *      other    xx...x010   pointer to a non-cons object / immediate
+ *      cons     xx...x110   pointer to a cons cell
+ *      future   xx...x101   pointer to a future object
+ *
+ * Future pointers are the only values with a set least-significant
+ * bit, so the hardware future-detection rule is simply "trap when an
+ * operand of a strict instruction has LSB = 1" (Section 5).
+ *
+ * Pointers address *words*: a pointer to word address A has raw value
+ * (A << 3) | tag. Memory instructions therefore strip the low three
+ * bits of an effective address before use; this is why objects cannot
+ * be allocated at byte boundaries (Section 4, Memory Instructions).
+ *
+ * Every memory word additionally carries a full/empty synchronization
+ * bit, held next to the data in MemWord.
+ */
+
+#ifndef APRIL_ISA_TYPES_HH
+#define APRIL_ISA_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace april
+{
+
+/** A raw 32-bit machine word (tagged). */
+using Word = uint32_t;
+
+/** A word address in the global shared-memory space. */
+using Addr = uint32_t;
+
+/** Dynamic type tags from Figure 3 (value of the low three bits). */
+enum class Tag : uint8_t
+{
+    Fixnum = 0b000,     ///< also 0b100: any word with low two bits 00
+    Other  = 0b010,     ///< non-cons heap object or boxed immediate
+    Future = 0b101,     ///< future pointer; the only LSB=1 tag
+    Cons   = 0b110,     ///< cons-cell pointer
+};
+
+namespace tagged
+{
+
+/** Number of low-order tag bits in a pointer. */
+constexpr unsigned tagShift = 3;
+
+/** @return the encoded fixnum for 30-bit signed @p v. */
+constexpr Word
+fixnum(int32_t v)
+{
+    return Word(v) << 2;
+}
+
+/** @return true when @p w is a fixnum (low two bits 00). */
+constexpr bool
+isFixnum(Word w)
+{
+    return (w & 0b11) == 0;
+}
+
+/** Decode a fixnum (arithmetic shift recovers the sign). */
+constexpr int32_t
+toInt(Word w)
+{
+    return int32_t(w) >> 2;
+}
+
+/** Build a tagged pointer to word address @p a. */
+constexpr Word
+ptr(Addr a, Tag t)
+{
+    return (Word(a) << tagShift) | Word(uint8_t(t));
+}
+
+/** @return the word address a tagged pointer refers to. */
+constexpr Addr
+ptrAddr(Word w)
+{
+    return Addr(w >> tagShift);
+}
+
+/** @return the low three tag bits of @p w. */
+constexpr uint8_t
+tagBits(Word w)
+{
+    return uint8_t(w & 0b111);
+}
+
+/** Hardware future-detection rule: non-zero least-significant bit. */
+constexpr bool
+isFuture(Word w)
+{
+    return (w & 1) != 0;
+}
+
+constexpr bool
+isCons(Word w)
+{
+    return tagBits(w) == uint8_t(Tag::Cons);
+}
+
+constexpr bool
+isOther(Word w)
+{
+    return tagBits(w) == uint8_t(Tag::Other);
+}
+
+/*
+ * Boxed immediates. Word addresses 0..15 of the shared memory are
+ * reserved so that small "other"-tagged values can act as unique
+ * immediates that no real object pointer can alias.
+ */
+
+/** Reserved low word-addresses (no allocation below this). */
+constexpr Addr reservedWords = 16;
+
+constexpr Word NIL   = ptr(0, Tag::Other); ///< empty list
+constexpr Word FALSE = ptr(1, Tag::Other); ///< boolean false
+constexpr Word TRUE  = ptr(2, Tag::Other); ///< boolean true
+constexpr Word UNDEF = ptr(3, Tag::Other); ///< unresolved-future slot mark
+
+/** @return the Mul-T boolean for @p b. */
+constexpr Word
+boolean(bool b)
+{
+    return b ? TRUE : FALSE;
+}
+
+/** Truthiness: everything except FALSE and NIL is true (T semantics). */
+constexpr bool
+isTruthy(Word w)
+{
+    return w != FALSE && w != NIL;
+}
+
+/** Human-readable rendering of a tagged word (for tracing/tests). */
+std::string toString(Word w);
+
+} // namespace tagged
+
+/** One word of simulated memory: 32 data bits plus a full/empty bit. */
+struct MemWord
+{
+    Word data = 0;
+    bool full = true;   ///< full/empty synchronization bit
+};
+
+} // namespace april
+
+#endif // APRIL_ISA_TYPES_HH

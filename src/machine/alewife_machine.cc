@@ -1,0 +1,175 @@
+#include "machine/alewife_machine.hh"
+
+#include "common/logging.hh"
+#include "runtime/layout.hh"
+
+namespace april
+{
+
+AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
+                               const Program *prog)
+    : stats::Group("alewife"),
+      params(p),
+      mem({.numNodes = [&] {
+               uint32_t n = 1;
+               for (int d = 0; d < p.network.dim; ++d)
+                   n *= uint32_t(p.network.radix);
+               return n;
+           }(),
+           .wordsPerNode = p.wordsPerNode}),
+      net_(p.network, this)
+{
+    uint32_t n = mem.numNodes();
+    for (uint32_t i = 0; i < n; ++i) {
+        rt::Runtime::initNode(mem, i);
+        ctrls.push_back(std::make_unique<coh::Controller>(
+            p.controller, i, p.proc.numFrames, &mem, this, this));
+        ios.push_back(std::make_unique<NodeIo>(this, i,
+                                               p.seed * 1000003 + i));
+        ProcParams pp = p.proc;
+        pp.nodeId = i;
+        procs.push_back(std::make_unique<Processor>(
+            pp, prog, ctrls.back().get(), ios.back().get(), this));
+        ctrls.back()->setProcessor(procs.back().get());
+        if (p.bootRuntime)
+            rt::Runtime::bootProcessor(*procs.back(), *prog, mem, i, n);
+    }
+}
+
+void
+AlewifeMachine::transmit(uint32_t to, const coh::Message &msg,
+                         uint32_t flits)
+{
+    uint64_t slot;
+    if (!msgFree.empty()) {
+        slot = msgFree.back();
+        msgFree.pop_back();
+        msgPool[slot] = msg;
+    } else {
+        slot = msgPool.size();
+        msgPool.push_back(msg);
+    }
+    net::Packet pkt;
+    pkt.src = msg.from;
+    pkt.dst = to;
+    pkt.flits = flits;
+    pkt.payload = slot;
+    net_.send(pkt);
+}
+
+void
+AlewifeMachine::tick()
+{
+    ++_cycle;
+    net_.tick();
+    for (uint32_t i = 0; i < procs.size(); ++i) {
+        for (const net::Packet &pkt : net_.deliver(i)) {
+            ctrls[i]->receive(msgPool[pkt.payload]);
+            msgFree.push_back(pkt.payload);
+        }
+        ctrls[i]->tick();
+        procs[i]->tick();
+    }
+}
+
+uint64_t
+AlewifeMachine::run(uint64_t max_cycles)
+{
+    uint64_t start = _cycle;
+    while (!haltFlag && _cycle - start < max_cycles)
+        tick();
+    return _cycle - start;
+}
+
+uint64_t
+AlewifeMachine::runtimeCounter(int slot) const
+{
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < mem.numNodes(); ++i)
+        total += mem.read(mem.nodeBase(i) + rt::nodeBlockOff +
+                          Addr(slot));
+    return total;
+}
+
+Word
+AlewifeMachine::NodeIo::ioRead(IoReg r)
+{
+    switch (r) {
+      case IoReg::CycleCount: return Word(m->_cycle);
+      case IoReg::NodeId: return node;
+      case IoReg::NumNodes: return m->numNodes();
+      case IoReg::Random: return Word(rng.next());
+      default: return 0;
+    }
+}
+
+uint32_t
+AlewifeMachine::NodeIo::ioWrite(IoReg r, Word value)
+{
+    switch (r) {
+      case IoReg::ConsoleOut:
+        m->consoleWords.push_back(value);
+        break;
+      case IoReg::MachineHalt:
+        m->haltFlag = true;
+        break;
+      case IoReg::IpiDest:
+        ipiDest = value;
+        break;
+      case IoReg::IpiSend:
+        // Preemptive interprocessor interrupts (Section 3.4) are
+        // delivered through the network in the real machine; the
+        // asynchronous trap line is modeled directly.
+        if (ipiDest < m->numNodes())
+            m->procs[ipiDest]->postIpi(value);
+        break;
+      case IoReg::BlockSrc:
+        blockSrc = value;
+        break;
+      case IoReg::BlockDst:
+        blockDst = value;
+        break;
+      case IoReg::BlockGo: {
+        // The block-transfer engine (Section 3.4) is coherent:
+        //  1) dirty source lines anywhere are swept back to memory so
+        //     the copy sees current data;
+        //  2) the words move in memory;
+        //  3) cached copies overlapping the destination are updated
+        //     in place (a destination line can legitimately be cached
+        //     dirty when a bump-allocated region shares a line with a
+        //     live earlier allocation — invalidating would lose that
+        //     neighbor's data, so the transfer write-updates instead).
+        for (uint32_t node_i = 0; node_i < m->numNodes(); ++node_i) {
+            auto &cache = m->ctrls[node_i]->cacheRef();
+            uint32_t lw = cache.lineWords();
+            for (Word w = blockSrc / lw; w <= (blockSrc + value) / lw;
+                 ++w) {
+                auto *line = cache.find(Addr(w));
+                if (line &&
+                    line->state == cache::LineState::Modified) {
+                    for (uint32_t k = 0; k < lw; ++k)
+                        m->mem.word(Addr(w * lw + k)) = line->words[k];
+                }
+            }
+        }
+        for (Word i = 0; i < value; ++i)
+            m->mem.word(blockDst + i) = m->mem.word(blockSrc + i);
+        for (uint32_t node_i = 0; node_i < m->numNodes(); ++node_i) {
+            auto &cache = m->ctrls[node_i]->cacheRef();
+            uint32_t lw = cache.lineWords();
+            for (Word i = 0; i < value; ++i) {
+                auto *line = cache.find(Addr((blockDst + i) / lw));
+                if (line)
+                    line->words[(blockDst + i) % lw] =
+                        m->mem.word(blockDst + i);
+            }
+        }
+        return value;
+      }
+      default:
+        break;
+    }
+    return 0;
+}
+
+} // namespace april

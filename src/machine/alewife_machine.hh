@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The full ALEWIFE machine (Figure 1): N nodes, each a processing
+ * element + cache + cache/directory controller + local memory, glued
+ * by the k-ary n-cube network. This is the configuration the paper's
+ * Figure 4 simulator models when the cache and network simulators are
+ * enabled.
+ */
+
+#ifndef APRIL_MACHINE_ALEWIFE_MACHINE_HH
+#define APRIL_MACHINE_ALEWIFE_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "coherence/controller.hh"
+#include "common/random.hh"
+#include "network/network.hh"
+#include "proc/processor.hh"
+#include "runtime/runtime.hh"
+
+namespace april
+{
+
+/** Configuration of the full machine. */
+struct AlewifeParams
+{
+    net::NetworkParams network;     ///< defines the node count
+    uint32_t wordsPerNode = 1u << 20;
+    ProcParams proc;
+    coh::ControllerParams controller;
+    uint64_t seed = 12345;
+    /// Boot the Mul-T run-time system on every node (requires the
+    /// runtime's symbols in the program). Turn off for raw programs.
+    bool bootRuntime = true;
+};
+
+/** N ALEWIFE nodes on a mesh. */
+class AlewifeMachine : public stats::Group, public coh::Fabric
+{
+  public:
+    AlewifeMachine(const AlewifeParams &params, const Program *prog);
+
+    void tick();
+    uint64_t run(uint64_t max_cycles);
+
+    bool halted() const { return haltFlag; }
+    uint64_t cycle() const { return _cycle; }
+    uint32_t numNodes() const { return net_.numNodes(); }
+
+    Processor &proc(uint32_t n) { return *procs.at(n); }
+    coh::Controller &controller(uint32_t n) { return *ctrls.at(n); }
+    net::Network &network() { return net_; }
+    SharedMemory &memory() { return mem; }
+
+    const std::vector<Word> &console() const { return consoleWords; }
+    uint64_t runtimeCounter(int slot) const;
+
+  private:
+    // coh::Fabric interface.
+    void transmit(uint32_t to, const coh::Message &msg,
+                  uint32_t flits) override;
+    uint64_t now() const override { return _cycle; }
+
+    class NodeIo : public IoPort
+    {
+      public:
+        NodeIo(AlewifeMachine *machine, uint32_t node, uint64_t seed)
+            : m(machine), node(node), rng(seed)
+        {}
+
+        Word ioRead(IoReg r) override;
+        uint32_t ioWrite(IoReg r, Word value) override;
+
+      private:
+        AlewifeMachine *m;
+        uint32_t node;
+        Rng rng;
+        Word ipiDest = 0;
+        Word blockSrc = 0;
+        Word blockDst = 0;
+    };
+
+    AlewifeParams params;
+    SharedMemory mem;
+    net::Network net_;
+    std::vector<std::unique_ptr<coh::Controller>> ctrls;
+    std::vector<std::unique_ptr<NodeIo>> ios;
+    std::vector<std::unique_ptr<Processor>> procs;
+    /** In-flight coherence messages, keyed by packet payload. */
+    std::vector<coh::Message> msgPool;
+    std::vector<uint64_t> msgFree;
+    std::vector<Word> consoleWords;
+    bool haltFlag = false;
+    uint64_t _cycle = 0;
+};
+
+} // namespace april
+
+#endif // APRIL_MACHINE_ALEWIFE_MACHINE_HH

@@ -1,0 +1,51 @@
+#include "machine/driver.hh"
+
+#include "common/logging.hh"
+#include "runtime/layout.hh"
+
+namespace april
+{
+
+DriverResult
+runMultProgram(const std::string &source, const DriverOptions &options)
+{
+    rt::RuntimeOptions ropts;
+    ropts.encore = options.compile.softwareChecks;
+
+    Assembler as;
+    rt::Runtime runtime(ropts);
+    runtime.emit(as);
+    mult::Compiler compiler(as, options.compile);
+    compiler.compileSource(source);
+    Program prog = as.finish();
+
+    PerfectMachineParams mp;
+    mp.numNodes = options.nodes;
+    mp.wordsPerNode = options.wordsPerNode;
+    mp.proc = options.proc;
+    mp.seed = options.seed;
+    PerfectMachine machine(mp, &prog, runtime);
+    machine.run(options.maxCycles);
+    if (!machine.halted()) {
+        fatal("driver: program did not halt within ", options.maxCycles,
+              " cycles (node0 at ", prog.symbolAt(machine.proc(0).pc()),
+              ")");
+    }
+
+    DriverResult r;
+    r.cycles = machine.cycle();
+    r.console = machine.console();
+    if (r.console.empty())
+        fatal("driver: no boot output");
+    r.result = r.console.back();
+    r.console.pop_back();
+    r.steals = machine.runtimeCounter(rt::nb::statSteals);
+    r.spawns = machine.runtimeCounter(rt::nb::statSpawns);
+    r.blocks = machine.runtimeCounter(rt::nb::statBlocks);
+    r.resumes = machine.runtimeCounter(rt::nb::statResumes);
+    for (uint32_t n = 0; n < options.nodes; ++n)
+        r.instructions += uint64_t(machine.proc(n).statInsts.value());
+    return r;
+}
+
+} // namespace april

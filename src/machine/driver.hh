@@ -1,0 +1,78 @@
+/**
+ * @file
+ * One-call driver: compile a Mul-T program with a chosen future
+ * strategy, boot an APRIL machine, run to completion, return metrics.
+ * Shared by the benchmark harnesses, the examples and the tests.
+ */
+
+#ifndef APRIL_MACHINE_DRIVER_HH
+#define APRIL_MACHINE_DRIVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/perfect_machine.hh"
+#include "mult/compiler.hh"
+#include "runtime/runtime.hh"
+
+namespace april
+{
+
+/** Configuration of a driver run. */
+struct DriverOptions
+{
+    mult::CompileOptions compile;
+    uint32_t nodes = 1;
+    uint32_t wordsPerNode = 1u << 21;
+    ProcParams proc;            ///< nodeId is overwritten per node
+    uint64_t maxCycles = 2'000'000'000;
+    uint64_t seed = 12345;
+
+    /** The Encore Multimax baseline configuration (Section 7). */
+    static DriverOptions
+    encore(mult::CompileOptions::FutureMode fm, uint32_t nodes)
+    {
+        DriverOptions o;
+        o.compile.futures = fm;
+        o.compile.softwareChecks = true;
+        o.nodes = nodes;
+        // Bus-based test&set is a locked read-modify-write.
+        o.proc.tasExtraCycles = 9;
+        return o;
+    }
+
+    /** An APRIL configuration with the given future strategy. */
+    static DriverOptions
+    april(mult::CompileOptions::FutureMode fm, uint32_t nodes)
+    {
+        DriverOptions o;
+        o.compile.futures = fm;
+        o.nodes = nodes;
+        return o;
+    }
+};
+
+/** Results and run-time counters of a completed run. */
+struct DriverResult
+{
+    Word result = 0;            ///< tagged value returned by main
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;  ///< completed instructions, all nodes
+    std::vector<Word> console;  ///< println output
+    uint64_t steals = 0;
+    uint64_t spawns = 0;
+    uint64_t blocks = 0;
+    uint64_t resumes = 0;
+};
+
+/**
+ * Compile and run @p source under @p options.
+ * Raises FatalError if the program does not halt within maxCycles.
+ */
+DriverResult runMultProgram(const std::string &source,
+                            const DriverOptions &options);
+
+} // namespace april
+
+#endif // APRIL_MACHINE_DRIVER_HH

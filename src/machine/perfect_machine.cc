@@ -1,0 +1,106 @@
+#include "machine/perfect_machine.hh"
+
+#include "runtime/layout.hh"
+
+namespace april
+{
+
+PerfectMachine::PerfectMachine(const PerfectMachineParams &p,
+                               const Program *prog,
+                               const rt::Runtime &runtime)
+    : stats::Group("machine"),
+      params(p),
+      mem({.numNodes = p.numNodes, .wordsPerNode = p.wordsPerNode})
+{
+    for (uint32_t n = 0; n < p.numNodes; ++n) {
+        rt::Runtime::initNode(mem, n);
+        ports.push_back(std::make_unique<PerfectMemPort>(&mem));
+        ios.push_back(std::make_unique<NodeIo>(this, n,
+                                               p.seed * 1000003 + n));
+        ProcParams pp = p.proc;
+        pp.nodeId = n;
+        procs.push_back(std::make_unique<Processor>(
+            pp, prog, ports.back().get(), ios.back().get(), this));
+        rt::Runtime::bootProcessor(*procs.back(), *prog, mem, n,
+                                   p.numNodes);
+    }
+    (void)runtime;
+}
+
+Word
+PerfectMachine::NodeIo::ioRead(IoReg r)
+{
+    switch (r) {
+      case IoReg::CycleCount: return Word(m->_cycle);
+      case IoReg::NodeId: return node;
+      case IoReg::NumNodes: return m->params.numNodes;
+      case IoReg::Random: return Word(rng.next());
+      default: return 0;
+    }
+}
+
+uint32_t
+PerfectMachine::NodeIo::ioWrite(IoReg r, Word value)
+{
+    switch (r) {
+      case IoReg::ConsoleOut:
+        m->consoleWords.push_back(value);
+        break;
+      case IoReg::MachineHalt:
+        m->haltFlag = true;
+        break;
+      case IoReg::IpiDest:
+        ipiDest = value;
+        break;
+      case IoReg::IpiSend:
+        if (ipiDest < m->params.numNodes)
+            m->procs[ipiDest]->postIpi(value);
+        break;
+      case IoReg::BlockSrc:
+        blockSrc = value;
+        break;
+      case IoReg::BlockDst:
+        blockDst = value;
+        break;
+      case IoReg::BlockGo: {
+        // Section 3.4 block transfer: data and f/e bits move together
+        // at one word per cycle (the processor is held meanwhile).
+        for (Word i = 0; i < value; ++i)
+            m->mem.word(blockDst + i) = m->mem.word(blockSrc + i);
+        return value;
+      }
+      default:
+        break;
+    }
+    return 0;
+}
+
+void
+PerfectMachine::tick()
+{
+    ++_cycle;
+    for (auto &p : procs)
+        p->tick();
+}
+
+uint64_t
+PerfectMachine::run(uint64_t max_cycles)
+{
+    uint64_t start = _cycle;
+    while (!haltFlag && _cycle - start < max_cycles)
+        tick();
+    return _cycle - start;
+}
+
+uint64_t
+PerfectMachine::runtimeCounter(int slot) const
+{
+    uint64_t total = 0;
+    for (uint32_t n = 0; n < params.numNodes; ++n) {
+        total += mem.read(mem.nodeBase(n) + rt::nodeBlockOff +
+                          Addr(slot));
+    }
+    return total;
+}
+
+} // namespace april

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A multiprocessor of APRIL cores over perfect (zero-latency) shared
+ * memory.
+ *
+ * "Measurements for multiple processor executions on APRIL used the
+ * processor simulator without the cache and network simulators, in
+ * effect simulating a shared-memory machine with no memory latency"
+ * (Section 7). This machine is that configuration: N processors
+ * stepped round-robin one cycle at a time against one SharedMemory
+ * image, with per-node I/O (console, RNG, IPIs) and a global halt.
+ *
+ * The full cache + directory + network ALEWIFE machine lives in
+ * machine/alewife_machine.hh.
+ */
+
+#ifndef APRIL_MACHINE_PERFECT_MACHINE_HH
+#define APRIL_MACHINE_PERFECT_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "isa/assembler.hh"
+#include "mem/memory.hh"
+#include "proc/perfect_port.hh"
+#include "proc/processor.hh"
+#include "runtime/runtime.hh"
+
+namespace april
+{
+
+/** Configuration of a perfect-memory machine. */
+struct PerfectMachineParams
+{
+    uint32_t numNodes = 1;
+    uint32_t wordsPerNode = 1u << 20;
+    ProcParams proc;            ///< per-processor parameters
+    uint64_t seed = 12345;      ///< work-stealing RNG seed
+};
+
+/** N APRIL cores on zero-latency shared memory. */
+class PerfectMachine : public stats::Group
+{
+  public:
+    PerfectMachine(const PerfectMachineParams &params,
+                   const Program *prog, const rt::Runtime &runtime);
+
+    /** Advance every processor by one cycle. */
+    void tick();
+
+    /**
+     * Run until the machine halts (boot thread finished) or
+     * @p max_cycles elapse. @return elapsed machine cycles.
+     */
+    uint64_t run(uint64_t max_cycles);
+
+    bool halted() const { return haltFlag; }
+    uint64_t cycle() const { return _cycle; }
+
+    Processor &proc(uint32_t n) { return *procs.at(n); }
+    SharedMemory &memory() { return mem; }
+    uint32_t numNodes() const { return params.numNodes; }
+
+    /** Console output (all nodes, in emission order). */
+    const std::vector<Word> &console() const { return consoleWords; }
+
+    /** Sum a node-block run-time counter across nodes. */
+    uint64_t runtimeCounter(int slot) const;
+
+  private:
+    /** Per-node memory-mapped I/O. */
+    class NodeIo : public IoPort
+    {
+      public:
+        NodeIo(PerfectMachine *machine, uint32_t node, uint64_t seed)
+            : m(machine), node(node), rng(seed)
+        {}
+
+        Word ioRead(IoReg r) override;
+        uint32_t ioWrite(IoReg r, Word value) override;
+
+      private:
+        PerfectMachine *m;
+        uint32_t node;
+        Rng rng;
+        Word ipiDest = 0;
+        Word blockSrc = 0;
+        Word blockDst = 0;
+    };
+
+    PerfectMachineParams params;
+    SharedMemory mem;
+    std::vector<std::unique_ptr<PerfectMemPort>> ports;
+    std::vector<std::unique_ptr<NodeIo>> ios;
+    std::vector<std::unique_ptr<Processor>> procs;
+    std::vector<Word> consoleWords;
+    bool haltFlag = false;
+    uint64_t _cycle = 0;
+};
+
+} // namespace april
+
+#endif // APRIL_MACHINE_PERFECT_MACHINE_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Distributed, globally shared memory with full/empty bits.
+ *
+ * ALEWIFE distributes main memory with the processing nodes (Figure 1)
+ * while presenting one global word-addressed space. Every word carries
+ * a full/empty synchronization bit (Section 3.3). The home node of a
+ * word is determined by its address (contiguous per-node segments).
+ *
+ * This class is purely functional state — timing (cache hits, network
+ * latency, directory protocol) is layered on top by the cache,
+ * coherence and machine modules.
+ */
+
+#ifndef APRIL_MEM_MEMORY_HH
+#define APRIL_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/types.hh"
+
+namespace april
+{
+
+/** Sizing parameters of the distributed shared memory. */
+struct MemoryParams
+{
+    uint32_t numNodes = 1;
+    uint32_t wordsPerNode = 1u << 22;   ///< 4M words (16 MB) per node
+};
+
+/** The global shared-memory image. */
+class SharedMemory
+{
+  public:
+    explicit SharedMemory(const MemoryParams &params)
+        : _params(params),
+          words(size_t(params.numNodes) * params.wordsPerNode)
+    {
+        if (params.numNodes == 0 || params.wordsPerNode == 0)
+            fatal("SharedMemory: zero-sized configuration");
+    }
+
+    uint32_t numNodes() const { return _params.numNodes; }
+    uint32_t wordsPerNode() const { return _params.wordsPerNode; }
+    Addr sizeWords() const { return Addr(words.size()); }
+
+    /** @return the node whose local memory holds word @p a. */
+    uint32_t
+    homeNode(Addr a) const
+    {
+        return checkAddr(a) / _params.wordsPerNode;
+    }
+
+    /** @return the first word address homed on node @p n. */
+    Addr
+    nodeBase(uint32_t n) const
+    {
+        if (n >= _params.numNodes)
+            panic("nodeBase: bad node ", n);
+        return Addr(n) * _params.wordsPerNode;
+    }
+
+    /** Mutable access to a word (data + f/e bit). */
+    MemWord &
+    word(Addr a)
+    {
+        return words[checkAddr(a)];
+    }
+
+    const MemWord &
+    word(Addr a) const
+    {
+        return words[checkAddr(a)];
+    }
+
+    // Convenience accessors used by the runtime and by tests.
+
+    Word read(Addr a) const { return word(a).data; }
+
+    void
+    write(Addr a, Word v)
+    {
+        MemWord &w = word(a);
+        w.data = v;
+    }
+
+    bool isFull(Addr a) const { return word(a).full; }
+    void setFull(Addr a, bool full) { word(a).full = full; }
+
+    /** Write data and f/e state together (producer-style store). */
+    void
+    writeFe(Addr a, Word v, bool full)
+    {
+        MemWord &w = word(a);
+        w.data = v;
+        w.full = full;
+    }
+
+  private:
+    Addr
+    checkAddr(Addr a) const
+    {
+        if (a >= words.size())
+            panic("shared-memory access out of range: addr=", a,
+                  " size=", words.size());
+        return a;
+    }
+
+    MemoryParams _params;
+    std::vector<MemWord> words;
+};
+
+} // namespace april
+
+#endif // APRIL_MEM_MEMORY_HH

@@ -1,0 +1,159 @@
+#include "model/scalability.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace april::model
+{
+
+ScalabilityModel::ScalabilityModel(const ModelParams &params)
+    : _params(params)
+{
+    if (params.fixedMissRate <= 0 || params.cacheBytes <= 0 ||
+        params.netDim <= 0 || params.netRadix <= 0) {
+        fatal("ScalabilityModel: non-positive parameter");
+    }
+}
+
+double
+ScalabilityModel::cacheBlocks() const
+{
+    return _params.cacheBytes / _params.blockBytes;
+}
+
+double
+ScalabilityModel::avgHops() const
+{
+    // "the average number of hops between a random pair of nodes is
+    // nk/3 = 20" (Section 8).
+    return double(_params.netDim) * double(_params.netRadix) / 3.0;
+}
+
+double
+ScalabilityModel::baseLatency() const
+{
+    // Round trip: request + response each traverse avgHops switches,
+    // the home memory takes memLatency, and a B-flit packet needs
+    // B-1 extra cycles to drain; the controller adds fixed occupancy.
+    return 2.0 * avgHops() * _params.hopCycles + _params.memLatency +
+           (_params.packetSize - 1.0) + _params.controllerCycles;
+}
+
+double
+ScalabilityModel::nodeCapacity() const
+{
+    // 2n unidirectional channels per node, one flit per cycle each.
+    return 2.0 * double(_params.netDim);
+}
+
+double
+ScalabilityModel::missRate(double p) const
+{
+    if (p < 1)
+        p = 1;
+    double s = cacheBlocks();
+    double w = _params.workingSetBlocks;
+    // Linear-in-p interference (the first-order component the paper
+    // describes). Past cache capacity (p W > S) the combined working
+    // sets thrash and interference blows up quadratically with the
+    // overcommit ratio.
+    double interference = _params.missBeta * (p - 1.0) * (w / s);
+    double occupancy = p * w / s;
+    if (occupancy > 1.0)
+        interference *= occupancy * occupancy;
+    return _params.fixedMissRate + interference;
+}
+
+double
+ScalabilityModel::loadedLatency(double rho) const
+{
+    rho = std::clamp(rho, 0.0, _params.rhoMax);
+    return baseLatency() *
+           (1.0 + _params.contentionChi * rho / (1.0 - rho));
+}
+
+ModelPoint
+ScalabilityModel::evalWith(double p, double m, bool contended,
+                           double c) const
+{
+    // Fixed point between utilization and network contention: a more
+    // utilized processor misses more often per cycle, loading the
+    // network, which raises T, which lowers utilization.
+    double u = 0.5;
+    double rho = 0.0;
+    double t = baseLatency();
+    for (int iter = 0; iter < 200; ++iter) {
+        // Channel load: misses/cycle x flit-hops per miss, divided by
+        // per-node capacity (2 packets of B flits over avgHops each).
+        double flit_hops = 2.0 * _params.packetSize * avgHops();
+        double want_rho = contended
+            ? std::min(_params.rhoMax, u * m * flit_hops / nodeCapacity())
+            : 0.0;
+        rho = 0.5 * rho + 0.5 * want_rho;   // damped
+        t = loadedLatency(rho);
+
+        double pstar = (1.0 + t * m) / (1.0 + c * m);
+        double want_u = p < pstar ? p / (1.0 + t * m)
+                                  : 1.0 / (1.0 + c * m);
+        // Bandwidth ceiling: the network cannot deliver more than
+        // rhoMax of its capacity, bounding the sustainable miss rate.
+        double flit_hops_pm = 2.0 * _params.packetSize * avgHops();
+        double u_bw = _params.rhoMax * nodeCapacity() / (m * flit_hops_pm);
+        want_u = std::min(want_u, u_bw);
+
+        if (std::abs(want_u - u) < 1e-9) {
+            u = want_u;
+            break;
+        }
+        u = 0.5 * u + 0.5 * want_u;
+    }
+
+    ModelPoint pt;
+    pt.utilization = std::min(1.0, u);
+    pt.missRate = m;
+    pt.latency = t;
+    pt.channelRho = rho;
+    pt.saturated = p >= (1.0 + t * m) / (1.0 + c * m);
+    double u_bw =
+        _params.rhoMax * nodeCapacity() / (m * 2.0 * _params.packetSize *
+                                           avgHops());
+    pt.bandwidthBound = pt.utilization >= u_bw - 1e-9;
+    return pt;
+}
+
+ModelPoint
+ScalabilityModel::evaluate(double p) const
+{
+    return evalWith(p, missRate(p), true, _params.switchOverhead);
+}
+
+double
+ScalabilityModel::utilizationNoSwitch(double p) const
+{
+    return evalWith(p, missRate(p), true, 0.0).utilization;
+}
+
+double
+ScalabilityModel::utilizationFixedCache(double p) const
+{
+    return evalWith(p, missRate(1), true, 0.0).utilization;
+}
+
+double
+ScalabilityModel::utilizationIdeal(double p) const
+{
+    // "both the cache miss rate and network contention correspond to
+    // that of a single process, and do not increase with the degree
+    // of multithreading" (Section 8, the Ideal curve).
+    return evalWith(p, missRate(1), false, 0.0).utilization;
+}
+
+double
+ScalabilityModel::systemPower(double p, double processors) const
+{
+    return processors * utilization(p);
+}
+
+} // namespace april::model

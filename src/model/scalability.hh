@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The Section 8 analytical model of multithreaded-processor
+ * utilization (Equation 1):
+ *
+ *              /  p / (1 + T(p) m(p))          p <  p*
+ *      U(p) = <
+ *              \  1 / (1 + C m(p))             p >= p*
+ *
+ *      with p* = (1 + T(p) m(p)) / (1 + C m(p)),
+ *
+ * where m(p) is the cache miss rate with p resident threads, T(p) the
+ * round-trip network latency under load, and C the context-switch
+ * overhead. Below p* the processor cannot fully overlap network
+ * latency; above it utilization is limited by the switch overhead
+ * paid per miss — and by the network's bandwidth, which caps the rate
+ * at which misses can be serviced at all.
+ *
+ * The paper summarizes (the details are in MIT VLSI Memo 89-566,
+ * which is not in the paper): both m and T are "the sum of two
+ * components: one component independent of the number of threads p
+ * and the other linearly related to p (to first order)". We
+ * reconstruct concrete forms with exactly those properties:
+ *
+ *   m(p) = m0 + beta (p-1) W/S        fixed + per-thread cache
+ *                                     interference (working set W
+ *                                     blocks in an S-block cache),
+ *                                     inflated as occupancy p W / S
+ *                                     approaches capacity;
+ *   T(p) = T(1) (1 + chi rho/(1-rho)) queueing contention on channel
+ *                                     utilization rho, which is
+ *                                     itself proportional to U m(p)
+ *                                     (a fixed point, solved
+ *                                     iteratively);
+ *   T(1) = 2 h hop + M + (B-1) + ctl  unloaded round trip over the
+ *                                     average h = n k / 3 hops of a
+ *                                     k-ary n-cube, with memory
+ *                                     latency M and packet size B.
+ *
+ * Calibration anchors from the paper: T(1) = 55 cycles for the
+ * Table 4 machine; U(1) = 1/(1 + m(1) T(1)) ~ 0.48; and ~80%
+ * utilization with 3 resident threads at C = 10.
+ */
+
+#ifndef APRIL_MODEL_SCALABILITY_HH
+#define APRIL_MODEL_SCALABILITY_HH
+
+namespace april::model
+{
+
+/** Machine parameters (defaults are the paper's Table 4). */
+struct ModelParams
+{
+    double memLatency = 10;         ///< cycles
+    int netDim = 3;                 ///< network dimension n
+    int netRadix = 20;              ///< network radix k
+    double fixedMissRate = 0.02;    ///< first-time + coherence misses
+    double packetSize = 4;          ///< average packet size (flits)
+    double blockBytes = 16;         ///< cache block size
+    double workingSetBlocks = 250;  ///< per-thread working set W
+    double cacheBytes = 64 * 1024;  ///< cache size (S blocks derived)
+    double switchOverhead = 10;     ///< C, cycles per context switch
+    double hopCycles = 1;           ///< per-hop switch delay
+    double controllerCycles = 2;    ///< controller occupancy per miss
+    double missBeta = 0.04;         ///< interference slope calibration
+    double contentionChi = 0.30;    ///< queueing-delay calibration
+    double rhoMax = 0.95;           ///< usable fraction of bandwidth
+};
+
+/** Breakdown of one evaluation of the model. */
+struct ModelPoint
+{
+    double utilization = 0;     ///< U(p), the full model
+    double missRate = 0;        ///< m(p)
+    double latency = 0;         ///< T(p) at the fixed point
+    double channelRho = 0;      ///< network channel utilization
+    bool saturated = false;     ///< in the switch-limited regime
+    bool bandwidthBound = false;///< clipped by network bandwidth
+};
+
+/** Evaluator for U(p) and the Figure 5 decomposition. */
+class ScalabilityModel
+{
+  public:
+    explicit ScalabilityModel(const ModelParams &params = {});
+
+    /** Cache blocks S. */
+    double cacheBlocks() const;
+    /** Average hop count n k / 3 (paper Section 8). */
+    double avgHops() const;
+    /** Unloaded round-trip latency T(1); 55 for Table 4 params. */
+    double baseLatency() const;
+    /** Per-node network capacity in flit-hops per cycle (2n links). */
+    double nodeCapacity() const;
+
+    /** Miss rate m(p). */
+    double missRate(double p) const;
+    /** Loaded latency T given channel utilization rho. */
+    double loadedLatency(double rho) const;
+
+    /** Full model evaluation at integer/real p >= 1. */
+    ModelPoint evaluate(double p) const;
+
+    /** U(p), the "Useful Work" curve. */
+    double utilization(double p) const { return evaluate(p).utilization; }
+
+    // --- Figure 5 decomposition ----------------------------------------
+
+    /** No switch overhead (C = 0): the "CS Overhead" boundary. */
+    double utilizationNoSwitch(double p) const;
+    /** C = 0 and m pinned at m(1): the "Cache Effects" boundary. */
+    double utilizationFixedCache(double p) const;
+    /** C = 0, m(1), T(1): the "Ideal" curve. */
+    double utilizationIdeal(double p) const;
+
+    /** System power = processors x utilization (Section 8). */
+    double systemPower(double p, double processors) const;
+
+    const ModelParams &params() const { return _params; }
+
+  private:
+    /** Equation 1 with explicit m, T, C plus the bandwidth cap. */
+    ModelPoint evalWith(double p, double m, bool contended,
+                        double c) const;
+
+    ModelParams _params;
+};
+
+} // namespace april::model
+
+#endif // APRIL_MODEL_SCALABILITY_HH

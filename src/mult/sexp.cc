@@ -1,0 +1,156 @@
+#include "mult/sexp.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace april::mult
+{
+
+std::string
+Sexp::str() const
+{
+    switch (kind) {
+      case Kind::Symbol:
+        return sym;
+      case Kind::Integer:
+        return std::to_string(num);
+      case Kind::List: {
+        std::ostringstream os;
+        os << "(";
+        for (size_t i = 0; i < items.size(); ++i)
+            os << (i ? " " : "") << items[i].str();
+        os << ")";
+        return os.str();
+      }
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Recursive-descent reader over a flat character buffer. */
+class Reader
+{
+  public:
+    explicit Reader(const std::string &src) : s(src) {}
+
+    void
+    skipSpace()
+    {
+        while (pos < s.size()) {
+            if (std::isspace(static_cast<unsigned char>(s[pos]))) {
+                ++pos;
+            } else if (s[pos] == ';') {
+                while (pos < s.size() && s[pos] != '\n')
+                    ++pos;
+            } else {
+                break;
+            }
+        }
+    }
+
+    bool atEnd()
+    {
+        skipSpace();
+        return pos >= s.size();
+    }
+
+    Sexp
+    read()
+    {
+        skipSpace();
+        if (pos >= s.size())
+            fatal("mult reader: unexpected end of input");
+
+        char c = s[pos];
+        if (c == '(') {
+            ++pos;
+            std::vector<Sexp> items;
+            for (;;) {
+                skipSpace();
+                if (pos >= s.size())
+                    fatal("mult reader: unterminated list");
+                if (s[pos] == ')') {
+                    ++pos;
+                    return Sexp::list(std::move(items));
+                }
+                items.push_back(read());
+            }
+        }
+        if (c == ')')
+            fatal("mult reader: stray ')' at offset ", pos);
+        if (c == '\'') {
+            // Only '() is supported as quoted data.
+            ++pos;
+            Sexp quoted = read();
+            if (quoted.isList() && quoted.size() == 0)
+                return Sexp::symbol("nil");
+            fatal("mult reader: only '() may be quoted, got ",
+                  quoted.str());
+        }
+        if (c == '#') {
+            // #t / #f booleans.
+            if (pos + 1 < s.size() && (s[pos + 1] == 't' ||
+                                       s[pos + 1] == 'f')) {
+                bool v = s[pos + 1] == 't';
+                pos += 2;
+                return Sexp::symbol(v ? "true" : "false");
+            }
+            fatal("mult reader: bad # syntax at offset ", pos);
+        }
+
+        // Number or symbol token.
+        size_t start = pos;
+        while (pos < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[pos])) &&
+               s[pos] != '(' && s[pos] != ')' && s[pos] != ';') {
+            ++pos;
+        }
+        std::string tok = s.substr(start, pos - start);
+        if (tok.empty())
+            fatal("mult reader: empty token at offset ", start);
+
+        bool numeric = std::isdigit(static_cast<unsigned char>(tok[0])) ||
+            (tok.size() > 1 && (tok[0] == '-' || tok[0] == '+') &&
+             std::isdigit(static_cast<unsigned char>(tok[1])));
+        if (numeric) {
+            try {
+                return Sexp::integer(std::stoll(tok));
+            } catch (const std::exception &) {
+                fatal("mult reader: bad number: ", tok);
+            }
+        }
+        return Sexp::symbol(tok);
+    }
+
+  private:
+    const std::string &s;
+    size_t pos = 0;
+};
+
+} // namespace
+
+std::vector<Sexp>
+readAll(const std::string &source)
+{
+    Reader r(source);
+    std::vector<Sexp> forms;
+    while (!r.atEnd())
+        forms.push_back(r.read());
+    return forms;
+}
+
+Sexp
+readOne(const std::string &source)
+{
+    Reader r(source);
+    Sexp e = r.read();
+    if (!r.atEnd())
+        fatal("mult reader: trailing input after form");
+    return e;
+}
+
+} // namespace april::mult

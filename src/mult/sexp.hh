@@ -1,0 +1,80 @@
+/**
+ * @file
+ * S-expression reader for Mul-T sources.
+ *
+ * Mul-T is "an extended version of Scheme" (Section 2.2); our compiler
+ * consumes a Scheme-style surface syntax read into a small Sexp tree.
+ * Supports symbols, decimal integers, lists, #t/#f, quoted empty
+ * lists, and ;-comments.
+ */
+
+#ifndef APRIL_MULT_SEXP_HH
+#define APRIL_MULT_SEXP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace april::mult
+{
+
+/** One node of the parsed source tree. */
+struct Sexp
+{
+    enum class Kind { Symbol, Integer, List };
+
+    Kind kind = Kind::List;
+    std::string sym;            ///< Kind::Symbol
+    int64_t num = 0;            ///< Kind::Integer
+    std::vector<Sexp> items;    ///< Kind::List
+
+    static Sexp
+    symbol(std::string s)
+    {
+        Sexp e;
+        e.kind = Kind::Symbol;
+        e.sym = std::move(s);
+        return e;
+    }
+
+    static Sexp
+    integer(int64_t v)
+    {
+        Sexp e;
+        e.kind = Kind::Integer;
+        e.num = v;
+        return e;
+    }
+
+    static Sexp
+    list(std::vector<Sexp> xs)
+    {
+        Sexp e;
+        e.items = std::move(xs);
+        return e;
+    }
+
+    bool isSymbol() const { return kind == Kind::Symbol; }
+    bool isSymbol(const std::string &s) const
+    {
+        return kind == Kind::Symbol && sym == s;
+    }
+    bool isInteger() const { return kind == Kind::Integer; }
+    bool isList() const { return kind == Kind::List; }
+    size_t size() const { return items.size(); }
+    const Sexp &operator[](size_t i) const { return items.at(i); }
+
+    /** Render back to source-like text (diagnostics). */
+    std::string str() const;
+};
+
+/** Parse a whole source file into its top-level forms. */
+std::vector<Sexp> readAll(const std::string &source);
+
+/** Parse exactly one form (fatal on trailing garbage). */
+Sexp readOne(const std::string &source);
+
+} // namespace april::mult
+
+#endif // APRIL_MULT_SEXP_HH

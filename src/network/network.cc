@@ -1,0 +1,167 @@
+#include "network/network.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace april::net
+{
+
+Network::Network(const NetworkParams &p, stats::Group *parent)
+    : stats::Group("network", parent),
+      statPackets(this, "packets", "packets delivered"),
+      statFlitHops(this, "flitHops", "flit-hops consumed"),
+      statLatency(this, "latency", "send-to-delivery latency"),
+      statHops(this, "hops", "hops per packet"),
+      params(p)
+{
+    if (p.dim <= 0 || p.radix <= 1)
+        fatal("Network: need dim >= 1 and radix >= 2");
+    _numNodes = 1;
+    for (int d = 0; d < p.dim; ++d) {
+        uint64_t next = uint64_t(_numNodes) * uint32_t(p.radix);
+        if (next > (1u << 24))
+            fatal("Network: too many nodes");
+        _numNodes = uint32_t(next);
+    }
+    // Two directed links per node per dimension (+ and -).
+    links.resize(size_t(_numNodes) * size_t(p.dim) * 2);
+    arrived.resize(_numNodes);
+}
+
+int
+Network::coord(uint32_t node, int d) const
+{
+    for (int i = 0; i < d; ++i)
+        node /= uint32_t(params.radix);
+    return int(node % uint32_t(params.radix));
+}
+
+uint32_t
+Network::neighbor(uint32_t node, int d, int dir) const
+{
+    uint32_t stride = 1;
+    for (int i = 0; i < d; ++i)
+        stride *= uint32_t(params.radix);
+    int c = coord(node, d);
+    int nc = c + dir;
+    if (nc < 0 || nc >= params.radix)
+        panic("Network: neighbor off the mesh edge");
+    return uint32_t(int64_t(node) + int64_t(dir) * stride);
+}
+
+size_t
+Network::linkIndex(uint32_t node, int d, int dir) const
+{
+    return (size_t(node) * size_t(params.dim) + size_t(d)) * 2 +
+           (dir > 0 ? 0 : 1);
+}
+
+int
+Network::route(uint32_t node, uint32_t dst, int *dir) const
+{
+    // Dimension-order: correct the lowest unequal dimension first.
+    for (int d = 0; d < params.dim; ++d) {
+        int c = coord(node, d);
+        int t = coord(dst, d);
+        if (c != t) {
+            *dir = t > c ? 1 : -1;
+            return d;
+        }
+    }
+    return -1;
+}
+
+uint32_t
+Network::distance(uint32_t a, uint32_t b) const
+{
+    uint32_t hops = 0;
+    for (int d = 0; d < params.dim; ++d)
+        hops += uint32_t(std::abs(coord(a, d) - coord(b, d)));
+    return hops;
+}
+
+uint32_t
+Network::unloadedRoundTrip(uint32_t a, uint32_t b, uint32_t flits) const
+{
+    // Each direction: hops switch traversals plus packet drain time.
+    uint32_t one_way = distance(a, b) * params.hopCycles + (flits - 1);
+    return 2 * one_way;
+}
+
+void
+Network::send(Packet pkt)
+{
+    if (pkt.src >= _numNodes || pkt.dst >= _numNodes)
+        panic("Network: bad endpoint ", pkt.src, "->", pkt.dst);
+    if (pkt.flits == 0)
+        panic("Network: empty packet");
+    pkt.sendCycle = _cycle;
+    pkt.hops = 0;
+    ++inFlight;
+    advance(pkt.src, {pkt, _cycle});
+}
+
+void
+Network::advance(uint32_t node, Hop hop)
+{
+    int dir = 0;
+    int d = route(node, hop.pkt.dst, &dir);
+    if (d < 0) {
+        // Arrived; deliverable once the tail drains at the ejection
+        // port (cut-through pays the serialization latency once).
+        hop.readyAt += hop.pkt.flits - 1;
+        arrived[node].push_back(hop);
+        return;
+    }
+    links[linkIndex(node, d, dir)].queue.push_back(hop);
+}
+
+void
+Network::tick()
+{
+    ++_cycle;
+    // Move the head packet of every ready link one hop. A link is
+    // occupied for `flits` cycles per packet (serialization).
+    for (uint32_t node = 0; node < _numNodes; ++node) {
+        for (int d = 0; d < params.dim; ++d) {
+            for (int dir : {1, -1}) {
+                Link &link = links[linkIndex(node, d, dir)];
+                if (link.queue.empty() || link.busyUntil > _cycle)
+                    continue;
+                Hop hop = link.queue.front();
+                if (hop.readyAt > _cycle)
+                    continue;
+                link.queue.pop_front();
+                // Cut-through: the head moves after the switch delay;
+                // the link stays occupied for the whole packet's
+                // serialization (bandwidth), but downstream hops
+                // overlap with the tail still draining.
+                link.busyUntil = _cycle + hop.pkt.flits;
+                statFlitHops += hop.pkt.flits;
+                ++hop.pkt.hops;
+                hop.readyAt = _cycle + params.hopCycles;
+                advance(neighbor(node, d, dir), hop);
+            }
+        }
+    }
+}
+
+std::vector<Packet>
+Network::deliver(uint32_t node)
+{
+    std::vector<Packet> out;
+    auto &q = arrived.at(node);
+    while (!q.empty() && q.front().readyAt <= _cycle) {
+        const Hop &hop = q.front();
+        ++statPackets;
+        statLatency.sample(double(_cycle - hop.pkt.sendCycle));
+        statHops.sample(hop.pkt.hops);
+        --inFlight;
+        out.push_back(hop.pkt);
+        q.pop_front();
+    }
+    return out;
+}
+
+} // namespace april::net

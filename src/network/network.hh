@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A low-dimension direct network: the k-ary n-cube (mesh) of
+ * Section 2.1, cycle-stepped with link contention.
+ *
+ * Topology: n dimensions of radix k, bidirectional mesh links,
+ * dimension-order routing (all X hops, then Y, then Z ...). Each
+ * directed link carries one flit per cycle; a packet of B flits
+ * occupies its link for B cycles, which is where queueing delay and
+ * the bandwidth ceiling of Section 8 come from.
+ *
+ * Routers use unbounded FIFO output queues (virtual-channel flow
+ * control is beyond the paper's level of detail); latency statistics
+ * therefore reflect contention but the network never deadlocks.
+ */
+
+#ifndef APRIL_NETWORK_NETWORK_HH
+#define APRIL_NETWORK_NETWORK_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace april::net
+{
+
+/** Network configuration. */
+struct NetworkParams
+{
+    int dim = 2;                ///< n
+    int radix = 4;              ///< k
+    uint32_t hopCycles = 1;     ///< switch traversal delay
+};
+
+/** An in-flight message; payload meaning belongs to the coherence layer. */
+struct Packet
+{
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    uint32_t flits = 1;         ///< serialization length
+    uint64_t payload = 0;       ///< opaque handle for the user
+    uint64_t sendCycle = 0;     ///< stamped by send()
+    uint32_t hops = 0;
+};
+
+/** The mesh. */
+class Network : public stats::Group
+{
+  public:
+    explicit Network(const NetworkParams &params,
+                     stats::Group *parent = nullptr);
+
+    uint32_t numNodes() const { return _numNodes; }
+
+    /** Inject a packet at its source router. */
+    void send(Packet pkt);
+
+    /** Advance every link by one cycle. */
+    void tick();
+
+    /** Drain packets that have arrived at @p node. */
+    std::vector<Packet> deliver(uint32_t node);
+
+    /** @return true when no packet is anywhere in the network. */
+    bool idle() const { return inFlight == 0; }
+
+    /** Zero-load round-trip latency between @p a and @p b. */
+    uint32_t unloadedRoundTrip(uint32_t a, uint32_t b,
+                               uint32_t flits) const;
+
+    /** Manhattan distance in hops. */
+    uint32_t distance(uint32_t a, uint32_t b) const;
+
+    uint64_t cycle() const { return _cycle; }
+
+    stats::Scalar statPackets;
+    stats::Scalar statFlitHops;
+    stats::Average statLatency;     ///< send-to-delivery cycles
+    stats::Average statHops;
+
+  private:
+    struct Hop
+    {
+        Packet pkt;
+        uint64_t readyAt = 0;   ///< when the head reaches this router
+    };
+
+    /** One directed link's queue and its serialization state. */
+    struct Link
+    {
+        std::deque<Hop> queue;
+        uint64_t busyUntil = 0;
+    };
+
+    int coord(uint32_t node, int d) const;
+    uint32_t neighbor(uint32_t node, int d, int dir) const;
+    /** Link index for (node, dimension, direction). */
+    size_t linkIndex(uint32_t node, int d, int dir) const;
+    /** Next hop for a packet at @p node headed to dst (or -1: local). */
+    int route(uint32_t node, uint32_t dst, int *dir) const;
+
+    void advance(uint32_t node, Hop hop);
+
+    NetworkParams params;
+    uint32_t _numNodes;
+    std::vector<Link> links;
+    std::vector<std::deque<Hop>> arrived;
+    uint64_t _cycle = 0;
+    uint64_t inFlight = 0;
+};
+
+} // namespace april::net
+
+#endif // APRIL_NETWORK_NETWORK_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared full/empty access semantics (Table 2), applied to a word
+ * that is already resident (cache hit or perfect memory).
+ *
+ * Factored out so the perfect-memory port and the cache/directory
+ * controller implement identical synchronization behavior.
+ */
+
+#ifndef APRIL_PROC_FE_SEMANTICS_HH
+#define APRIL_PROC_FE_SEMANTICS_HH
+
+#include "isa/types.hh"
+#include "proc/ports.hh"
+
+namespace april
+{
+
+/**
+ * Apply one load/store/test&set to a resident word.
+ *
+ * Trapping flavors leave the word untouched on a mismatch and report
+ * FeFault; otherwise data moves and the f/e bit is updated per the
+ * instruction's feModify option.
+ */
+inline MemResult
+applyFeAccess(MemWord &w, const MemAccess &req)
+{
+    bool was_full = w.full;
+
+    switch (req.op) {
+      case MemOp::Load:
+        if (req.feTrap && !w.full)
+            return MemResult::feFault();
+        if (req.feModify)
+            w.full = false;                 // reset: consuming load
+        return MemResult::ready(w.data, was_full);
+
+      case MemOp::Store:
+        if (req.feTrap && w.full)
+            return MemResult::feFault();
+        w.data = req.storeData;
+        if (req.feModify)
+            w.full = true;                  // set: producing store
+        return MemResult::ready(0, was_full);
+
+      case MemOp::Tas: {
+        Word old = w.data;
+        w.data = req.storeData;
+        return MemResult::ready(old, was_full);
+      }
+
+      case MemOp::Flush:
+        return MemResult::ready(0, was_full);
+    }
+    return MemResult::ready(0, was_full);
+}
+
+} // namespace april
+
+#endif // APRIL_PROC_FE_SEMANTICS_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Zero-latency memory port and a standalone I/O port.
+ *
+ * The paper's Table 3 multiprocessor measurements "used the processor
+ * simulator without the cache and network simulators, in effect
+ * simulating a shared-memory machine with no memory latency"
+ * (Section 7). PerfectMemPort is exactly that configuration: every
+ * access hits in one cycle; full/empty semantics still apply.
+ */
+
+#ifndef APRIL_PROC_PERFECT_PORT_HH
+#define APRIL_PROC_PERFECT_PORT_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "mem/memory.hh"
+#include "proc/fe_semantics.hh"
+#include "proc/ports.hh"
+
+namespace april
+{
+
+/** Single-cycle memory port over the shared-memory image. */
+class PerfectMemPort : public MemPort
+{
+  public:
+    explicit PerfectMemPort(SharedMemory *memory) : mem(memory) {}
+
+    MemResult
+    access(const MemAccess &req) override
+    {
+        return applyFeAccess(mem->word(req.addr), req);
+    }
+
+  private:
+    SharedMemory *mem;
+};
+
+/**
+ * Minimal node I/O for single-processor runs and unit tests. The
+ * console is captured in a vector so tests can assert on output.
+ */
+class SimpleIoPort : public IoPort
+{
+  public:
+    explicit SimpleIoPort(uint32_t node_id = 0, uint32_t num_nodes = 1,
+                          uint64_t seed = 1)
+        : nodeId(node_id), numNodes(num_nodes), rng(seed)
+    {}
+
+    Word
+    ioRead(IoReg r) override
+    {
+        switch (r) {
+          case IoReg::NodeId: return nodeId;
+          case IoReg::NumNodes: return numNodes;
+          case IoReg::Random: return Word(rng.next());
+          case IoReg::CycleCount: return cycleProxy;
+          default: return 0;
+        }
+    }
+
+    uint32_t
+    ioWrite(IoReg r, Word value) override
+    {
+        switch (r) {
+          case IoReg::ConsoleOut:
+            console.push_back(value);
+            break;
+          case IoReg::MachineHalt:
+            haltRequested = true;
+            break;
+          default:
+            break;
+        }
+        return 0;
+    }
+
+    std::vector<Word> console;      ///< captured ConsoleOut words
+    bool haltRequested = false;
+    Word cycleProxy = 0;            ///< settable for tests
+
+  private:
+    uint32_t nodeId;
+    uint32_t numNodes;
+    Rng rng;
+};
+
+} // namespace april
+
+#endif // APRIL_PROC_PERFECT_PORT_HH

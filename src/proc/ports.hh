@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Interfaces between the APRIL core and the memory system / node I/O.
+ *
+ * The processor issues one MemAccess per memory instruction and acts
+ * on the MemResult:
+ *
+ *   Ready    access completed this cycle (plus extraCycles of hold,
+ *            e.g. a local cache miss serviced while the processor
+ *            waits on MHOLD — Section 5).
+ *   FeFault  full/empty mismatch on a trapping flavor; no side effects
+ *            were applied; the processor raises FeEmpty/FeFull.
+ *   Switch   the access needs the network (remote cache miss) and the
+ *            instruction's miss policy is Trap: the controller forces
+ *            a context switch (MEXC), the transaction proceeds in the
+ *            background, and the access will be retried later.
+ *
+ *   Retry    the controller holds the processor (MHOLD) for a
+ *            duration it cannot bound up front (e.g. a local miss
+ *            with outstanding invalidations): the core stalls one
+ *            cycle and re-issues the access.
+ *
+ * The full/empty *semantics* (Table 2) are applied by the port because
+ * the bits live with the data; the trap *decision* flows back through
+ * FeFault so the processor can vector accordingly.
+ */
+
+#ifndef APRIL_PROC_PORTS_HH
+#define APRIL_PROC_PORTS_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "isa/types.hh"
+
+namespace april
+{
+
+/** Kind of memory operation presented to a port. */
+enum class MemOp : uint8_t
+{
+    Load,
+    Store,
+    Tas,        ///< atomic test&set (Encore-style synchronization)
+    Flush,      ///< write back + invalidate line (Section 3.4)
+};
+
+/** One memory request from the core. */
+struct MemAccess
+{
+    Addr addr = 0;              ///< word address (tag bits stripped)
+    MemOp op = MemOp::Load;
+    Word storeData = 0;
+    bool feTrap = false;        ///< Table 2: trap on empty/full
+    bool feModify = false;      ///< Table 2: reset (LD) / set (ST) bit
+    MissPolicy miss = MissPolicy::Wait;
+    uint8_t frame = 0;          ///< issuing task frame
+    bool trapsEnabled = true;   ///< in-handler accesses must not Switch
+};
+
+/** Outcome of a memory request. */
+struct MemResult
+{
+    enum class Kind : uint8_t { Ready, FeFault, Switch, Retry };
+
+    Kind kind = Kind::Ready;
+    Word data = 0;              ///< load/tas result
+    bool wasFull = true;        ///< f/e state observed (condition bit)
+    uint32_t extraCycles = 0;   ///< additional hold cycles (MHOLD)
+    uint32_t fenceDelta = 0;    ///< FLUSH: 1 if a dirty line went out
+
+    static MemResult
+    ready(Word data, bool was_full, uint32_t extra = 0)
+    {
+        return {Kind::Ready, data, was_full, extra, 0};
+    }
+
+    static MemResult feFault() { return {Kind::FeFault, 0, false, 0, 0}; }
+    static MemResult forceSwitch() { return {Kind::Switch, 0, false, 0, 0}; }
+    /// MHOLD with unknown completion: the core re-issues next cycle.
+    static MemResult retry() { return {Kind::Retry, 0, false, 0, 0}; }
+};
+
+/** Memory-side interface implemented by ports (perfect or cached). */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /** Perform (or begin) one access. */
+    virtual MemResult access(const MemAccess &req) = 0;
+
+    /**
+     * @return true when the outstanding remote transaction of @p frame
+     * has completed and a retry would hit (used by switch-spinning).
+     */
+    virtual bool fillReady(uint8_t frame) const { (void)frame; return true; }
+};
+
+/** Memory-mapped I/O register numbers (LDIO/STIO, Section 3.4). */
+enum class IoReg : int32_t
+{
+    ConsoleOut = 0,   ///< write: append tagged word to the console
+    CycleCount = 1,   ///< read: machine cycle counter
+    NodeId = 2,       ///< read: this node's number
+    NumNodes = 3,     ///< read: number of nodes in the machine
+    Random = 4,       ///< read: hardware RNG (work-stealing victims)
+    IpiDest = 5,      ///< write: target node for the next IPI
+    IpiSend = 6,      ///< write: fire the IPI (value = vector argument)
+    MachineHalt = 7,  ///< write: stop the whole machine
+    // Block-transfer mechanism (Section 3.4: "a block-transfer
+    // mechanism for efficient transfer of large blocks of data").
+    BlockSrc = 8,     ///< write: source word address (raw)
+    BlockDst = 9,     ///< write: destination word address (raw)
+    BlockGo = 10,     ///< write: length in words; performs the copy
+};
+
+/** Node I/O implemented by the enclosing machine. */
+class IoPort
+{
+  public:
+    virtual ~IoPort() = default;
+
+    virtual Word ioRead(IoReg r) = 0;
+
+    /**
+     * Perform a write to an I/O register.
+     * @return extra cycles the processor is held (e.g. a block
+     *         transfer proceeds at one word per cycle).
+     */
+    virtual uint32_t ioWrite(IoReg r, Word value) = 0;
+};
+
+} // namespace april
+
+#endif // APRIL_PROC_PORTS_HH

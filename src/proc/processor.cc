@@ -1,0 +1,550 @@
+#include "proc/processor.hh"
+
+#include <iostream>
+
+#include "common/logging.hh"
+
+namespace april
+{
+
+Processor::Processor(const ProcParams &p, const Program *program,
+                     MemPort *mem_port, IoPort *io_port,
+                     stats::Group *parent)
+    : stats::Group("proc" + std::to_string(p.nodeId), parent),
+      statCycles(this, "cycles", "total cycles"),
+      statInsts(this, "insts", "completed instructions"),
+      statStallCycles(this, "stallCycles", "hold cycles (MHOLD etc.)"),
+      statTrapCycles(this, "trapCycles", "trap-entry squash cycles"),
+      statSwitches(this, "contextSwitches", "context switches"),
+      statUtilization(this, "utilization",
+                      "completed instructions per cycle",
+                      [this] {
+                          return statCycles.value()
+                              ? statInsts.value() / statCycles.value()
+                              : 0.0;
+                      }),
+      params(p), prog(program), mem(mem_port), io(io_port),
+      frames(p.numFrames)
+{
+    if (p.numFrames == 0)
+        fatal("Processor: at least one task frame required");
+    statTraps.reserve(size_t(TrapKind::NumKinds));
+    for (size_t k = 0; k < size_t(TrapKind::NumKinds); ++k) {
+        statTraps.emplace_back(this, "traps" + std::to_string(k),
+                               "traps of kind " + std::to_string(k));
+    }
+    vectorSet.fill(false);
+    vectors.fill(0);
+}
+
+void
+Processor::reset(uint32_t entry_pc)
+{
+    for (Frame &f : frames)
+        f = Frame{};
+    globals.fill(0);
+    _fp = 0;
+    _pc = entry_pc;
+    _npc = entry_pc + 1;
+    _psr = psr::ET;
+    _fence = 0;
+    _halted = false;
+    stall = 0;
+    ipiPending = false;
+}
+
+Word
+Processor::readReg(uint8_t r) const
+{
+    if (r == reg::r0)
+        return 0;
+    if (r < reg::numUser)
+        return frames[_fp].regs[r];
+    if (r < reg::numUser + reg::numGlobal)
+        return globals[r - reg::numUser];
+    if (r < reg::numNames)
+        return frames[_fp].trapRegs[r - reg::numUser - reg::numGlobal];
+    panic("register read out of range: ", int(r));
+}
+
+void
+Processor::writeReg(uint8_t r, Word v)
+{
+    if (r == reg::r0)
+        return;                 // hardwired zero
+    if (r < reg::numUser) {
+        frames[_fp].regs[r] = v;
+    } else if (r < reg::numUser + reg::numGlobal) {
+        globals[r - reg::numUser] = v;
+    } else if (r < reg::numNames) {
+        frames[_fp].trapRegs[r - reg::numUser - reg::numGlobal] = v;
+    } else {
+        panic("register write out of range: ", int(r));
+    }
+}
+
+void
+Processor::setTrapVector(TrapKind kind, uint32_t entry_pc)
+{
+    vectors[size_t(kind)] = entry_pc;
+    vectorSet[size_t(kind)] = true;
+}
+
+uint32_t
+Processor::trapVector(TrapKind kind) const
+{
+    return vectors[size_t(kind)];
+}
+
+void
+Processor::postIpi(Word arg)
+{
+    ipiPending = true;
+    ipiArg = arg;
+}
+
+void
+Processor::setConditions(Word result)
+{
+    _psr &= ~(psr::Z | psr::N);
+    if (result == 0)
+        _psr |= psr::Z;
+    if (int32_t(result) < 0)
+        _psr |= psr::N;
+}
+
+bool
+Processor::condTrue(Cond c) const
+{
+    bool z = _psr & psr::Z;
+    bool n = _psr & psr::N;
+    bool f = _psr & psr::F;
+    switch (c) {
+      case Cond::AL: return true;
+      case Cond::EQ: return z;
+      case Cond::NE: return !z;
+      case Cond::LT: return n;
+      case Cond::GE: return !n;
+      case Cond::LE: return z || n;
+      case Cond::GT: return !z && !n;
+      case Cond::FULL: return f;
+      case Cond::EMPTY: return !f;
+    }
+    return false;
+}
+
+Word
+Processor::operand2(const Instruction &inst) const
+{
+    return inst.useImm ? Word(inst.imm) : readReg(inst.rs2);
+}
+
+void
+Processor::takeTrap(TrapKind kind, Word arg, Word va)
+{
+    ++statTraps[size_t(kind)];
+    redirected = true;
+
+    Frame &f = frames[_fp];
+    f.trapPC = _pc;
+    f.trapNPC = _npc;
+    f.trapType = kind;
+    f.trapArg = arg;
+    f.trapVA = va;
+
+    if (kind == TrapKind::RemoteMiss &&
+        params.switchMode == ProcParams::SwitchMode::Hardware) {
+        hardwareSwitch();
+        return;
+    }
+
+    if (!(_psr & psr::ET)) {
+        panic("nested trap (kind ", int(kind), ") at pc=", _pc, " [",
+              prog->symbolAt(_pc), "] on node ", params.nodeId,
+              ": handlers must use non-trapping access flavors");
+    }
+
+    if (!vectorSet[size_t(kind)]) {
+        panic("trap kind ", int(kind), " has no vector; pc=", _pc, " [",
+              prog->symbolAt(_pc), "] node ", params.nodeId);
+    }
+
+    _psr &= ~psr::ET;
+    _pc = vectors[size_t(kind)];
+    _npc = _pc + 1;
+    // The instruction consumed this cycle; the remaining squash
+    // cycles stall the front end (5-cycle total entry by default).
+    stall += params.trapEntryCycles - 1;
+    statTrapCycles += params.trapEntryCycles;
+}
+
+void
+Processor::hardwareSwitch()
+{
+    redirected = true;
+    Frame &f = frames[_fp];
+    f.savedPsr = _psr;
+    _fp = (_fp + 1) % params.numFrames;
+    Frame &g = frames[_fp];
+    _psr = g.savedPsr | psr::ET;
+    _pc = g.trapPC;
+    _npc = g.trapNPC;
+    stall += params.hwSwitchCycles - 1;
+    ++statSwitches;
+}
+
+void
+Processor::tick()
+{
+    if (_halted)
+        return;
+    ++_cycle;
+    ++statCycles;
+
+    if (stall > 0) {
+        --stall;
+        ++statStallCycles;
+        return;
+    }
+
+    if (ipiPending && (_psr & psr::ET)) {
+        ipiPending = false;
+        takeTrap(TrapKind::Ipi, ipiArg);
+        return;
+    }
+
+    const Instruction &inst = prog->at(_pc);
+    if (params.trace) {
+        std::cerr << "[n" << params.nodeId << " c" << _cycle
+                  << " f" << _fp << "] " << _pc << " ("
+                  << prog->symbolAt(_pc) << "): " << disassemble(inst)
+                  << "\n";
+    }
+    execute(inst);
+}
+
+uint64_t
+Processor::run(uint64_t max_cycles)
+{
+    uint64_t start = _cycle;
+    while (!_halted && _cycle - start < max_cycles)
+        tick();
+    return _cycle - start;
+}
+
+void
+Processor::executeCompute(const Instruction &inst)
+{
+    Word a = readReg(inst.rs1);
+    Word b = operand2(inst);
+
+    // Hardware future detection (Section 5): a strict operation traps
+    // when an operand has a non-zero least-significant bit.
+    if (inst.strict) {
+        if (tagged::isFuture(a)) {
+            takeTrap(TrapKind::FutureCompute, inst.rs1);
+            return;
+        }
+        if (!inst.useImm && tagged::isFuture(b)) {
+            takeTrap(TrapKind::FutureCompute, inst.rs2);
+            return;
+        }
+    }
+
+    Word r = 0;
+    switch (inst.op) {
+      case Opcode::ADD: r = a + b; break;
+      case Opcode::SUB: r = a - b; break;
+      case Opcode::MUL:
+        r = Word(int32_t(a) * int32_t(b));
+        stall += params.mulCycles - 1;
+        break;
+      case Opcode::DIV:
+        if (b == 0)
+            panic("DIV by zero at pc=", _pc, " [", prog->symbolAt(_pc), "]");
+        r = Word(int32_t(a) / int32_t(b));
+        stall += params.divCycles - 1;
+        break;
+      case Opcode::REM:
+        if (b == 0)
+            panic("REM by zero at pc=", _pc, " [", prog->symbolAt(_pc), "]");
+        r = Word(int32_t(a) % int32_t(b));
+        stall += params.divCycles - 1;
+        break;
+      case Opcode::AND: r = a & b; break;
+      case Opcode::OR: r = a | b; break;
+      case Opcode::XOR: r = a ^ b; break;
+      case Opcode::SLL: r = a << (b & 31); break;
+      case Opcode::SRL: r = a >> (b & 31); break;
+      case Opcode::SRA: r = Word(int32_t(a) >> (b & 31)); break;
+      default:
+        panic("executeCompute: bad opcode");
+    }
+
+    writeReg(inst.rd, r);
+    setConditions(r);
+    ++statInsts;
+}
+
+void
+Processor::executeMemory(const Instruction &inst)
+{
+    Word ea_raw = readReg(inst.rs1) + Word(inst.imm);
+
+    // Memory instructions share responsibility for detecting futures
+    // in their address operands (Section 4): supports implicit touch
+    // on dereference (e.g. car of a future in LISP).
+    if (inst.strict && tagged::isFuture(ea_raw)) {
+        takeTrap(TrapKind::FutureMemory, inst.rs1, ea_raw);
+        return;
+    }
+
+    MemAccess req;
+    req.addr = Addr(ea_raw >> tagged::tagShift);
+    req.feTrap = inst.feTrap;
+    req.feModify = inst.feModify;
+    req.miss = inst.miss;
+    req.frame = uint8_t(_fp);
+    req.trapsEnabled = (_psr & psr::ET) != 0;
+
+    switch (inst.op) {
+      case Opcode::LD: req.op = MemOp::Load; break;
+      case Opcode::ST:
+        req.op = MemOp::Store;
+        req.storeData = readReg(inst.rd);
+        break;
+      case Opcode::TAS:
+        req.op = MemOp::Tas;
+        req.storeData = 1;
+        break;
+      case Opcode::FLUSH: req.op = MemOp::Flush; break;
+      default:
+        panic("executeMemory: bad opcode");
+    }
+
+    MemResult res = mem->access(req);
+    switch (res.kind) {
+      case MemResult::Kind::Ready:
+        break;
+      case MemResult::Kind::FeFault:
+        takeTrap(inst.op == Opcode::ST ? TrapKind::FeFull
+                                       : TrapKind::FeEmpty,
+                 inst.rs1, ea_raw);
+        return;
+      case MemResult::Kind::Switch:
+        takeTrap(TrapKind::RemoteMiss, inst.rs1, ea_raw);
+        return;
+      case MemResult::Kind::Retry:
+        // MHOLD: stay on this instruction; the cycle is a stall.
+        redirected = true;          // keep the PC chain in place
+        ++statStallCycles;
+        return;
+    }
+
+    stall += res.extraCycles;
+
+    // Latch the observed f/e state into the condition bit so that
+    // Jfull/Jempty can dispatch on it (Section 4).
+    if (res.wasFull)
+        _psr |= psr::F;
+    else
+        _psr &= ~psr::F;
+
+    if (inst.op == Opcode::LD) {
+        writeReg(inst.rd, res.data);
+    } else if (inst.op == Opcode::TAS) {
+        writeReg(inst.rd, res.data);
+        setConditions(res.data);
+        stall += params.tasExtraCycles;
+    } else if (inst.op == Opcode::FLUSH) {
+        // "A fence counter is incremented for each dirty cache line
+        // that is flushed and decremented for each acknowledgement
+        // from memory" (Section 3.4). The controller acks later via
+        // decFence(); a clean or absent line contributes nothing.
+        _fence += res.fenceDelta;
+    }
+    ++statInsts;
+}
+
+void
+Processor::execute(const Instruction &inst)
+{
+    uint32_t next_pc = _npc;
+    uint32_t next_npc = _npc + 1;
+    redirected = false;
+
+    if (inst.isCompute()) {
+        executeCompute(inst);
+        if (!redirected) {
+            _pc = next_pc;
+            _npc = next_npc;
+        }
+        return;
+    }
+
+    if (inst.isMemory()) {
+        executeMemory(inst);
+        if (!redirected) {
+            _pc = next_pc;
+            _npc = next_npc;
+        }
+        return;
+    }
+
+    switch (inst.op) {
+      case Opcode::MOVI:
+        writeReg(inst.rd, Word(inst.imm));
+        break;
+
+      case Opcode::J:
+        if (condTrue(inst.cond))
+            next_npc = uint32_t(inst.imm);
+        break;
+
+      case Opcode::JMPL: {
+        uint32_t target = inst.useImm
+            ? uint32_t(inst.imm)
+            : uint32_t(int32_t(readReg(inst.rs1)) + inst.imm);
+        writeReg(inst.rd, Word(_npc + 1));     // link past the delay slot
+        next_npc = target;
+        break;
+      }
+
+      // In the SPARC-based design (TrapHandler mode) INCFP/DECFP only
+      // rotate the register frame, like SAVE/RESTORE rotate windows;
+      // the PC chain is global and the surrounding handler manages the
+      // saved chain. In the custom-APRIL design (Hardware mode) the FP
+      // change *is* the 4-cycle hardware context switch: the per-frame
+      // PC chain and PSR swap automatically (Section 6.1).
+      case Opcode::INCFP:
+      case Opcode::DECFP: {
+        if (params.switchMode == ProcParams::SwitchMode::Hardware) {
+            Frame &f = frames[_fp];
+            f.trapPC = next_pc;         // resume after the switch inst
+            f.trapNPC = next_npc;
+            f.savedPsr = _psr;
+            _fp = inst.op == Opcode::INCFP
+                ? (_fp + 1) % params.numFrames
+                : (_fp + params.numFrames - 1) % params.numFrames;
+            Frame &g = frames[_fp];
+            _psr = g.savedPsr | psr::ET;
+            _pc = g.trapPC;
+            _npc = g.trapNPC;
+            stall += params.hwSwitchCycles - 1;
+            ++statSwitches;
+            ++statInsts;
+            return;
+        }
+        _fp = inst.op == Opcode::INCFP
+            ? (_fp + 1) % params.numFrames
+            : (_fp + params.numFrames - 1) % params.numFrames;
+        ++statSwitches;
+        break;
+      }
+      case Opcode::RDFP:
+        writeReg(inst.rd, Word(_fp));
+        break;
+      case Opcode::STFP:
+        _fp = readReg(inst.rs1) % params.numFrames;
+        break;
+
+      case Opcode::RDPSR:
+        writeReg(inst.rd, _psr);
+        break;
+      case Opcode::WRPSR:
+        _psr = readReg(inst.rs1);
+        break;
+
+      case Opcode::RDSPEC: {
+        const Frame &f = frames[_fp];
+        Word v = 0;
+        switch (Spec(inst.imm)) {
+          case Spec::TrapPC: v = f.trapPC; break;
+          case Spec::TrapNPC: v = f.trapNPC; break;
+          case Spec::TrapType: v = Word(f.trapType); break;
+          case Spec::TrapArg: v = f.trapArg; break;
+          case Spec::TrapVA: v = f.trapVA; break;
+          case Spec::NodeId: v = params.nodeId; break;
+          case Spec::FrameId: v = _fp; break;
+          case Spec::NumFrames: v = params.numFrames; break;
+          case Spec::CycleLo: v = Word(_cycle); break;
+        }
+        writeReg(inst.rd, v);
+        break;
+      }
+
+      case Opcode::WRSPEC: {
+        Frame &f = frames[_fp];
+        Word v = readReg(inst.rs1);
+        switch (Spec(inst.imm)) {
+          case Spec::TrapPC: f.trapPC = v; break;
+          case Spec::TrapNPC: f.trapNPC = v; break;
+          case Spec::TrapType: f.trapType = TrapKind(v); break;
+          case Spec::TrapArg: f.trapArg = v; break;
+          case Spec::TrapVA: f.trapVA = v; break;
+          default:
+            panic("WRSPEC: read-only special register ", inst.imm);
+        }
+        break;
+      }
+
+      case Opcode::RDREGX:
+        writeReg(inst.rd,
+                 readReg(uint8_t(readReg(inst.rs1) % reg::numNames)));
+        break;
+      case Opcode::WRREGX:
+        writeReg(uint8_t(readReg(inst.rs1) % reg::numNames),
+                 readReg(inst.rs2));
+        break;
+
+      case Opcode::RETT: {
+        const Frame &f = frames[_fp];
+        if (inst.imm == 0) {            // retry the trapped instruction
+            _pc = f.trapPC;
+            _npc = f.trapNPC;
+        } else {                        // skip it
+            _pc = f.trapNPC;
+            _npc = f.trapNPC + 1;
+        }
+        _psr |= psr::ET;
+        ++statInsts;
+        return;
+      }
+
+      case Opcode::TRAP: {
+        int v = inst.imm;
+        if (v < 0 || v > 7)
+            panic("TRAP: bad software vector ", v);
+        takeTrap(TrapKind(int(TrapKind::SoftTrap0) + v));
+        return;
+      }
+
+      case Opcode::RDFENCE:
+        writeReg(inst.rd, _fence);
+        break;
+
+      case Opcode::STIO:
+        stall += io->ioWrite(IoReg(inst.imm), readReg(inst.rd));
+        break;
+      case Opcode::LDIO:
+        writeReg(inst.rd, io->ioRead(IoReg(inst.imm)));
+        break;
+
+      case Opcode::HALT:
+        _halted = true;
+        ++statInsts;
+        return;
+
+      case Opcode::NOP:
+        break;
+
+      default:
+        panic("unimplemented opcode at pc=", _pc);
+    }
+
+    ++statInsts;
+    _pc = next_pc;
+    _npc = next_npc;
+}
+
+} // namespace april

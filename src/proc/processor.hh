@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The APRIL processor core (paper Sections 3-5).
+ *
+ * A pipelined RISC core extended for multiprocessing:
+ *
+ *  - N hardware task frames (default 4), each with 32 user registers,
+ *    8 trap-window registers and per-frame trap state; selected by the
+ *    frame pointer FP. Eight global registers are frame-independent
+ *    (Figure 2).
+ *  - Coarse-grain multithreading: a thread runs until a remote memory
+ *    request or failed synchronization forces a context switch.
+ *  - Full/empty-bit memory flavors (Table 2), Jfull/Jempty branches.
+ *  - Hardware future detection: strict compute instructions and memory
+ *    address operands trap when a value has a set LSB (Section 5).
+ *  - A 5-cycle trap entry (pipeline squash + vector computation, the
+ *    SPARC minimum the paper cites), with trap handlers running in the
+ *    same task frame as the trapped thread.
+ *
+ * Two context-switch implementations are modeled, matching the paper:
+ *
+ *  - SwitchMode::TrapHandler — the SPARC-based design: the controller
+ *    raises a synchronous trap and a 6-cycle software handler rotates
+ *    the frame pointer (11 cycles total, Section 6.1). PC and PSR are
+ *    processor-global; per-frame trap state holds the saved chain.
+ *  - SwitchMode::Hardware — the custom-APRIL design: the switch is a
+ *    4-cycle hardware operation (Section 6.1's "four-cycle context
+ *    switch" estimate); no handler instructions run.
+ *
+ * Timing model: single-issue, one instruction per cycle; MUL/DIV/REM
+ * are multi-cycle; a taken trap costs trapEntryCycles; memory holds
+ * (MHOLD) stall the core for the port-reported extra cycles.
+ */
+
+#ifndef APRIL_PROC_PROCESSOR_HH
+#define APRIL_PROC_PROCESSOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+#include "proc/ports.hh"
+
+namespace april
+{
+
+/** Processor configuration. */
+struct ProcParams
+{
+    enum class SwitchMode { TrapHandler, Hardware };
+
+    uint32_t numFrames = 4;
+    uint32_t trapEntryCycles = 5;   ///< pipeline squash + vector fetch
+    SwitchMode switchMode = SwitchMode::TrapHandler;
+    uint32_t hwSwitchCycles = 4;    ///< custom-APRIL hardware switch
+    uint32_t mulCycles = 5;
+    uint32_t divCycles = 20;
+    /// Extra hold cycles per TAS. APRIL's f/e operations are ordinary
+    /// single-cycle memory accesses; a bus-based machine's test&set is
+    /// a locked read-modify-write (bus arbitration + memory round
+    /// trip). Encore-baseline runs set this to ~9 (Section 3.3:
+    /// "test&set based synchronization requires extra memory
+    /// operations").
+    uint32_t tasExtraCycles = 0;
+    uint32_t nodeId = 0;
+    bool trace = false;             ///< print each executed instruction
+};
+
+/** PSR bit assignments. */
+namespace psr
+{
+constexpr Word Z = 1u << 0;    ///< zero condition code
+constexpr Word N = 1u << 1;    ///< negative condition code
+constexpr Word F = 1u << 2;    ///< full/empty condition (Jfull/Jempty)
+constexpr Word ET = 1u << 3;   ///< traps enabled
+} // namespace psr
+
+/** The APRIL core. */
+class Processor : public stats::Group
+{
+  public:
+    /** One hardware task frame (Figure 2). */
+    struct Frame
+    {
+        std::array<Word, reg::numUser> regs{};
+        std::array<Word, reg::numTrap> trapRegs{};
+        uint32_t trapPC = 0;    ///< saved PC chain (SPARC r17)
+        uint32_t trapNPC = 0;   ///< saved PC chain (SPARC r18)
+        TrapKind trapType = TrapKind::None;
+        Word trapArg = 0;       ///< e.g. register index holding a future
+        Word trapVA = 0;        ///< faulting tagged address
+        Word savedPsr = 0;      ///< hardware-mode PSR save slot
+    };
+
+    Processor(const ProcParams &params, const Program *program,
+              MemPort *mem, IoPort *io, stats::Group *parent = nullptr);
+
+    /** Reset all state; frame 0 starts at @p entry_pc. */
+    void reset(uint32_t entry_pc);
+
+    /** Advance one cycle (execute, stall, or sit halted). */
+    void tick();
+
+    /** Run until halt or until @p max_cycles elapse; @return cycles. */
+    uint64_t run(uint64_t max_cycles);
+
+    bool halted() const { return _halted; }
+    void forceHalt() { _halted = true; }
+    uint64_t cycle() const { return _cycle; }
+
+    // --- architectural state access (runtime setup, tests) ------------
+
+    uint32_t fp() const { return _fp; }
+    void setFp(uint32_t f) { _fp = f % params.numFrames; }
+    uint32_t numFrames() const { return params.numFrames; }
+    Frame &frame(uint32_t i) { return frames.at(i); }
+    const Frame &frame(uint32_t i) const { return frames.at(i); }
+
+    uint32_t pc() const { return _pc; }
+    void setPcChain(uint32_t pc_, uint32_t npc_) { _pc = pc_; _npc = npc_; }
+    Word psrWord() const { return _psr; }
+    void setPsr(Word v) { _psr = v; }
+
+    /** Read a register in the *active* frame view (0..47). */
+    Word readReg(uint8_t r) const;
+    /** Write a register in the active frame view (r0 ignored). */
+    void writeReg(uint8_t r, Word v);
+    Word readGlobal(unsigned g) const { return globals.at(g); }
+    void writeGlobal(unsigned g, Word v) { globals.at(g) = v; }
+
+    /** Install the handler entry for a trap kind. */
+    void setTrapVector(TrapKind kind, uint32_t entry_pc);
+    /** Install the same handler for every software/sync trap kind. */
+    uint32_t trapVector(TrapKind kind) const;
+
+    /** Post an asynchronous interprocessor interrupt (Section 3.4). */
+    void postIpi(Word arg);
+
+    /** Fence counter (FLUSH acknowledgments outstanding). */
+    Word fenceCounter() const { return _fence; }
+    void incFence() { ++_fence; }
+    void decFence() { if (_fence) --_fence; }
+
+    const Program *program() const { return prog; }
+
+    // --- statistics ----------------------------------------------------
+
+    stats::Scalar statCycles;
+    stats::Scalar statInsts;
+    stats::Scalar statStallCycles;   ///< MHOLD + multi-cycle ops
+    stats::Scalar statTrapCycles;    ///< trap-entry squash cycles
+    stats::Scalar statSwitches;      ///< context switches (both modes)
+    stats::Formula statUtilization;  ///< completed insts per cycle
+    std::vector<stats::Scalar> statTraps;   ///< per TrapKind
+
+  private:
+    void execute(const Instruction &inst);
+    void executeCompute(const Instruction &inst);
+    void executeMemory(const Instruction &inst);
+    void setConditions(Word result);
+    bool condTrue(Cond c) const;
+
+    /** Raise a synchronous trap on the active frame. */
+    void takeTrap(TrapKind kind, Word arg = 0, Word va = 0);
+    /** Custom-APRIL hardware context switch. */
+    void hardwareSwitch();
+
+    Word operand2(const Instruction &inst) const;
+
+    ProcParams params;
+    const Program *prog;
+    MemPort *mem;
+    IoPort *io;
+
+    std::vector<Frame> frames;
+    std::array<Word, reg::numGlobal> globals{};
+    uint32_t _fp = 0;
+    uint32_t _pc = 0;
+    uint32_t _npc = 1;
+    Word _psr = psr::ET;
+    Word _fence = 0;
+
+    std::array<uint32_t, size_t(TrapKind::NumKinds)> vectors{};
+    std::array<bool, size_t(TrapKind::NumKinds)> vectorSet{};
+
+    bool _halted = false;
+    uint64_t _cycle = 0;
+    uint32_t stall = 0;         ///< remaining hold cycles
+    bool redirected = false;    ///< PC chain replaced by a trap/switch
+    bool ipiPending = false;
+    Word ipiArg = 0;
+};
+
+} // namespace april
+
+#endif // APRIL_PROC_PROCESSOR_HH

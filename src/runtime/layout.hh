@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Memory layout contracts shared by the run-time system's assembly
+ * routines, the Mul-T compiler, and the C++ boot code.
+ *
+ * Per-node layout (node n owns words [n*W, (n+1)*W)):
+ *
+ *      +0   .. +15      reserved (tagged immediates alias here)
+ *      +16  .. +47      node block (scheduler state, see NodeBlock)
+ *      +48  .. +dq      steal deque entries
+ *      +dq  .. +tq      eager task-queue entries
+ *      +tq  ..          heap (bump allocated; stacks carved from it)
+ *
+ * Global registers at boot:
+ *      g0 = other-tagged pointer to this node's node block
+ *      g1 = scheduler entry PC (raw code address)
+ *      g2 = this node's id (raw)
+ *      g3 = log2(wordsPerNode) (raw, for victim address computation)
+ *      g4 = number of nodes (raw)
+ *      g5..g7 scratch for the run-time system
+ */
+
+#ifndef APRIL_RUNTIME_LAYOUT_HH
+#define APRIL_RUNTIME_LAYOUT_HH
+
+#include <cstdint>
+
+#include "isa/types.hh"
+
+namespace april::rt
+{
+
+/** Word offsets inside the per-node block. */
+namespace nb
+{
+constexpr int heapPtr = 0;       ///< next free word (raw address)
+constexpr int heapLimit = 1;     ///< end of this node's heap
+constexpr int stackFree = 2;     ///< free list of stack segments (raw, 0=none)
+constexpr int taskLock = 3;      ///< f/e or TAS lock for the task queue
+constexpr int taskTop = 4;       ///< task queue pop index (steal side)
+constexpr int taskBottom = 5;    ///< task queue push index (owner side)
+constexpr int dequeLock = 6;     ///< lock for the lazy steal deque
+constexpr int dequeTop = 7;      ///< steal side (oldest marker)
+constexpr int dequeBottom = 8;   ///< owner side (newest marker)
+constexpr int readyLock = 9;     ///< lock for the ready queue
+constexpr int readyHead = 10;    ///< blocked-then-woken threads (raw, 0=none)
+constexpr int mainStack = 11;    ///< raw base of the boot thread's stack
+constexpr int statSteals = 12;   ///< run-time counter: successful steals
+constexpr int statSpawns = 13;   ///< run-time counter: tasks created
+constexpr int statBlocks = 14;   ///< run-time counter: threads blocked
+constexpr int statResumes = 15;  ///< run-time counter: threads resumed
+constexpr int taskBase = 16;     ///< boxed pointer to the task array
+constexpr int dequeBase = 17;    ///< boxed pointer to the deque array
+constexpr int size = 32;
+} // namespace nb
+
+constexpr Addr nodeBlockOff = 16;           ///< node block at base+16
+constexpr uint32_t dequeCapacity = 4096;    ///< lazy markers per node
+constexpr uint32_t taskQueueCapacity = 8192;///< eager tasks per node
+constexpr Addr dequeOff = nodeBlockOff + nb::size;
+constexpr Addr taskQueueOff = dequeOff + dequeCapacity;
+constexpr Addr heapOff = taskQueueOff + taskQueueCapacity;
+
+constexpr uint32_t stackWords = 1024;       ///< per-task stack segment
+constexpr uint32_t mainStackWords = 1u << 16;
+
+/** Future object layout (heap, word offsets). */
+namespace fut
+{
+constexpr int value = 0;    ///< f/e: empty until resolved (APRIL mode)
+constexpr int lock = 1;     ///< guards waiters (+ state in Encore mode)
+constexpr int state = 2;    ///< Encore mode: 0 unresolved / 1 resolved
+constexpr int waiters = 3;  ///< raw descriptor list head (0 = none)
+constexpr int size = 4;
+} // namespace fut
+
+/** Eager task descriptor (heap). */
+namespace task
+{
+constexpr int fn = 0;       ///< raw code address
+constexpr int future = 1;   ///< tagged future pointer to resolve
+constexpr int argc = 2;
+constexpr int arg0 = 3;     ///< up to 4 tagged arguments
+constexpr int size = 8;
+} // namespace task
+
+/**
+ * Lazy-future marker (lives in the parent's stack frame).
+ *
+ * The pop/steal race is resolved with the state word's full/empty bit
+ * itself — "the race conditions are resolved using the fine-grain
+ * locking provided by the full/empty bits" (Section 3.2):
+ *
+ *   full,  value 0   present: the owner's pop and a thief's claim
+ *                    race with one atomic consuming load (ldenw);
+ *                    whoever sees "was full" owns the marker
+ *   empty            transient: consumed by the owner (inline path,
+ *                    no future ever exists) or by a thief that is
+ *                    still copying the continuation's stack
+ *   full,  value F   stolen: the thief finished the stack copy,
+ *                    created future F and refilled the word; the
+ *                    owner's pop spins from empty to here
+ *
+ * A thief that consumes a *non-zero* value has hit a stale deque
+ * entry for an already-stolen marker: it refills the word and moves
+ * on. The remaining marker words are written by the owner before the
+ * state word is published and are stable until the protocol finishes.
+ */
+namespace marker
+{
+constexpr int resumePC = 0; ///< continuation entry (raw code address)
+constexpr int frameBase = 1;///< parent sp at the future point (boxed)
+constexpr int frameTop = 2; ///< end of the parent frame (boxed)
+constexpr int stackBase = 3;///< base of the thread's stack segment
+constexpr int state = 4;    ///< f/e claim word (see protocol above)
+constexpr int size = 5;
+} // namespace marker
+
+/** Blocked-thread descriptor (heap). */
+namespace thread
+{
+constexpr int regsBase = 0; ///< r1..r31 stored at [0..30]
+constexpr int pc = 31;      ///< saved trap PC (retry point)
+constexpr int npc = 32;
+constexpr int psr = 33;
+constexpr int link = 34;    ///< intrusive list link (raw, 0 = none)
+constexpr int size = 36;
+} // namespace thread
+
+/** Lock state conventions. */
+constexpr Word lockFreeValue = 0;    ///< TAS lock: 0 free, 1 held
+
+} // namespace april::rt
+
+#endif // APRIL_RUNTIME_LAYOUT_HH

@@ -1,0 +1,251 @@
+#include "workloads/workloads.hh"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace april::workloads
+{
+
+// --------------------------------------------------------------------
+// fib
+// --------------------------------------------------------------------
+
+std::string
+fibSource(int n)
+{
+    return
+        "(define (fib n)"
+        "  (if (< n 2) n"
+        "      (+ (future (fib (- n 1)))"
+        "         (future (fib (- n 2))))))"
+        "(define (main) (fib " + std::to_string(n) + "))";
+}
+
+int64_t
+fibExpected(int n)
+{
+    int64_t a = 0, b = 1;
+    for (int i = 0; i < n; ++i) {
+        int64_t t = a + b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+// --------------------------------------------------------------------
+// factor
+// --------------------------------------------------------------------
+
+std::string
+factorSource(int lo, int hi)
+{
+    return
+        // Trial division; when the remaining cofactor exceeds the
+        // square of the divisor bound it is itself the largest prime.
+        "(define (lpf n d best)"
+        "  (if (> (* d d) n)"
+        "      (if (> n 1) n best)"
+        "      (if (= (remainder n d) 0)"
+        "          (lpf (quotient n d) d d)"
+        "          (lpf n (+ d 1) best))))"
+        // Balanced range split: futures fork both halves, so stacks
+        // stay logarithmic and lazy steals take big work chunks.
+        "(define (factor-range lo hi)"
+        "  (if (> lo hi) 0"
+        "      (if (= lo hi) (lpf lo 2 1)"
+        "          (let ((mid (quotient (+ lo hi) 2)))"
+        "            (+ (future (factor-range lo mid))"
+        "               (future (factor-range (+ mid 1) hi)))))))"
+        "(define (main) (factor-range " + std::to_string(lo) + " " +
+        std::to_string(hi) + "))";
+}
+
+int64_t
+factorExpected(int lo, int hi)
+{
+    auto lpf = [](int64_t n) {
+        int64_t best = 1;
+        for (int64_t d = 2; d * d <= n; ++d) {
+            while (n % d == 0) {
+                best = d;
+                n /= d;
+            }
+        }
+        return n > 1 ? n : best;
+    };
+    int64_t sum = 0;
+    for (int v = lo; v <= hi; ++v)
+        sum += lpf(v);
+    return sum;
+}
+
+// --------------------------------------------------------------------
+// queens
+// --------------------------------------------------------------------
+
+std::string
+queensSource(int n)
+{
+    return
+        // `placed` is the list of column choices of earlier rows,
+        // most recent first; `dist` is the row distance while
+        // scanning it for column/diagonal conflicts.
+        "(define (ok? col dist placed)"
+        "  (if (null? placed) true"
+        "      (if (= (car placed) col) false"
+        "          (if (= (car placed) (+ col dist)) false"
+        "              (if (= (car placed) (- col dist)) false"
+        "                  (ok? col (+ dist 1) (cdr placed)))))))"
+        "(define (count-q placed row n)"
+        "  (if (= row n) 1 (try-col placed row n 0)))"
+        "(define (try-col placed row n col)"
+        "  (if (= col n) 0"
+        "      (+ (if (ok? col 1 placed)"
+        "             (future (count-q (cons col placed) (+ row 1) n))"
+        "             0)"
+        "         (try-col placed row n (+ col 1)))))"
+        "(define (main) (count-q nil 0 " + std::to_string(n) + "))";
+}
+
+int64_t
+queensExpected(int n)
+{
+    std::vector<int> placed;
+    auto ok = [&](int col) {
+        for (size_t i = 0; i < placed.size(); ++i) {
+            int dist = int(i) + 1;
+            int p = placed[placed.size() - 1 - i];
+            if (p == col || p == col + dist || p == col - dist)
+                return false;
+        }
+        return true;
+    };
+    int64_t count = 0;
+    std::vector<int> stack;
+    // Simple backtracking enumeration.
+    std::function<void(int)> go = [&](int row) {
+        if (row == n) {
+            ++count;
+            return;
+        }
+        for (int col = 0; col < n; ++col) {
+            if (ok(col)) {
+                placed.push_back(col);
+                go(row + 1);
+                placed.pop_back();
+            }
+        }
+    };
+    go(0);
+    return count;
+}
+
+// --------------------------------------------------------------------
+// speech
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Deterministic synthetic edge weight (kept in fixnum range). */
+int64_t
+edgeWeight(int64_t l, int64_t i, int64_t j)
+{
+    return ((i * 31) + (j * 17) + (l * 7)) % 100;
+}
+
+} // namespace
+
+std::string
+speechSource(int layers, int width)
+{
+    return
+        "(define (edge-w l i j)"
+        "  (remainder (+ (* i 31) (* j 17) (* l 7)) 100))"
+        // Best score of lattice node (l, j) over all predecessors.
+        "(define (best-in prev l j i n best)"
+        "  (if (= i n) best"
+        "      (let ((s (+ (touch (vector-ref prev i)) (edge-w l i j))))"
+        "        (best-in prev l j (+ i 1) n (if (> s best) s best)))))"
+        "(define (node-score prev l j n)"
+        "  (best-in prev l j 0 n -999999))"
+        // One future per lattice node: the fine-grain parallelism the
+        // paper's data-level discussion motivates.
+        "(define (fill-layer prev cur l j n)"
+        "  (if (= j n) 0"
+        "      (begin"
+        "        (vector-set! cur j (future (node-score prev l j n)))"
+        "        (fill-layer prev cur l (+ j 1) n))))"
+        "(define (max-in v i n best)"
+        "  (if (= i n) best"
+        "      (let ((s (touch (vector-ref v i))))"
+        "        (max-in v (+ i 1) n (if (> s best) s best)))))"
+        "(define (run-layers prev l nl n)"
+        "  (if (= l nl) (max-in prev 0 n -999999)"
+        "      (let ((cur (make-vector n 0)))"
+        "        (begin (fill-layer prev cur l 0 n)"
+        "               (run-layers cur (+ l 1) nl n)))))"
+        "(define (init-layer v j n)"
+        "  (if (= j n) 0"
+        "      (begin (vector-set! v j (* j 3))"
+        "             (init-layer v (+ j 1) n))))"
+        "(define (main)"
+        "  (let ((v0 (make-vector " + std::to_string(width) + " 0)))"
+        "    (begin (init-layer v0 0 " + std::to_string(width) + ")"
+        "           (run-layers v0 0 " + std::to_string(layers) + " " +
+        std::to_string(width) + "))))";
+}
+
+int64_t
+speechExpected(int layers, int width)
+{
+    std::vector<int64_t> prev(width);
+    for (int j = 0; j < width; ++j)
+        prev[j] = j * 3;
+    for (int l = 0; l < layers; ++l) {
+        std::vector<int64_t> cur(width);
+        for (int j = 0; j < width; ++j) {
+            int64_t best = -999999;
+            for (int i = 0; i < width; ++i)
+                best = std::max(best, prev[i] + edgeWeight(l, i, j));
+            cur[j] = best;
+        }
+        prev = std::move(cur);
+    }
+    return *std::max_element(prev.begin(), prev.end());
+}
+
+// --------------------------------------------------------------------
+
+Benchmark
+makeFib(const SuiteSizes &s)
+{
+    return {"fib", fibSource(s.fibN), fibExpected(s.fibN)};
+}
+
+Benchmark
+makeFactor(const SuiteSizes &s)
+{
+    return {"factor", factorSource(s.factorLo, s.factorHi),
+            factorExpected(s.factorLo, s.factorHi)};
+}
+
+Benchmark
+makeQueens(const SuiteSizes &s)
+{
+    return {"queens", queensSource(s.queensN),
+            queensExpected(s.queensN)};
+}
+
+Benchmark
+makeSpeech(const SuiteSizes &s)
+{
+    return {"speech", speechSource(s.speechLayers, s.speechWidth),
+            speechExpected(s.speechLayers, s.speechWidth)};
+}
+
+} // namespace april::workloads

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The paper's four Mul-T benchmarks (Section 7, Table 3):
+ *
+ *   fib     "the ubiquitous doubly recursive Fibonacci program with
+ *           `future`s around each of its recursive calls"
+ *   factor  "finds the largest prime factor of each number in a range
+ *           of numbers and sums them up"
+ *   queens  "finds all solutions to the n-queens chess problem"
+ *   speech  "a modified Viterbi graph search algorithm used in a
+ *           connected speech recognition system called SUMMIT"
+ *
+ * Each generator returns Mul-T source parameterized by problem size;
+ * a matching C++ oracle computes the expected answer so simulator
+ * runs are validated, not just timed. The speech lattice is synthetic
+ * (the SUMMIT corpus is not available): a layered trellis whose edge
+ * weights come from a deterministic hash, searched with the same
+ * layer-by-layer max-propagation structure and per-node futures.
+ */
+
+#ifndef APRIL_WORKLOADS_WORKLOADS_HH
+#define APRIL_WORKLOADS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace april::workloads
+{
+
+/** Mul-T source for parallel fib(n) with futured recursive calls. */
+std::string fibSource(int n);
+/** Expected value of fib(n). */
+int64_t fibExpected(int n);
+
+/** Mul-T source: sum of largest prime factors over [lo, hi]. */
+std::string factorSource(int lo, int hi);
+int64_t factorExpected(int lo, int hi);
+
+/** Mul-T source: number of n-queens solutions, futures per branch. */
+std::string queensSource(int n);
+int64_t queensExpected(int n);
+
+/**
+ * Mul-T source: Viterbi-style best-path score through a synthetic
+ * layered lattice (@p layers x @p width), one future per node score.
+ */
+std::string speechSource(int layers, int width);
+int64_t speechExpected(int layers, int width);
+
+/** One named benchmark instance (source + oracle). */
+struct Benchmark
+{
+    std::string name;
+    std::string source;
+    int64_t expected;
+};
+
+/** The Table 3 benchmark suite at the given problem sizes. */
+struct SuiteSizes
+{
+    int fibN = 14;
+    int factorLo = 1000;
+    int factorHi = 1120;
+    int queensN = 7;
+    int speechLayers = 10;
+    int speechWidth = 24;
+};
+
+/** Build all four benchmarks. */
+Benchmark makeFib(const SuiteSizes &s);
+Benchmark makeFactor(const SuiteSizes &s);
+Benchmark makeQueens(const SuiteSizes &s);
+Benchmark makeSpeech(const SuiteSizes &s);
+
+} // namespace april::workloads
+
+#endif // APRIL_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,130 @@
+/** @file Unit tests for the set-associative write-back cache. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "common/logging.hh"
+
+namespace april::cache
+{
+namespace
+{
+
+CacheParams
+tiny()
+{
+    return {.lineWords = 4, .numLines = 8, .assoc = 2};
+}
+
+TEST(Cache, AddressDecomposition)
+{
+    Cache c(tiny());
+    EXPECT_EQ(c.lineOf(0), 0u);
+    EXPECT_EQ(c.lineOf(7), 1u);
+    EXPECT_EQ(c.offsetOf(7), 3u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(tiny());
+    EXPECT_EQ(c.lookup(5), nullptr);
+    Victim v;
+    CacheLine *line = c.allocate(5, &v);
+    EXPECT_FALSE(v.valid);
+    line->state = LineState::Shared;
+    EXPECT_EQ(c.lookup(5), line);
+    EXPECT_DOUBLE_EQ(c.statHits.value(), 1.0);
+    EXPECT_DOUBLE_EQ(c.statMisses.value(), 1.0);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    Cache c(tiny());       // 4 sets x 2 ways
+    Victim v;
+    // Three lines mapping to set 1 (line addrs 1, 5, 9).
+    auto fill = [&](Addr a) {
+        CacheLine *l = c.allocate(a, &v);
+        l->state = LineState::Shared;
+        c.use(l);
+        return l;
+    };
+    fill(1);
+    fill(5);
+    c.lookup(1);           // make 1 most recently used
+    c.use(c.lookup(1));
+    fill(9);               // must evict 5 (LRU)
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, 5u);
+    EXPECT_NE(c.lookup(1), nullptr);
+    EXPECT_NE(c.lookup(9), nullptr);
+    EXPECT_EQ(c.lookup(5), nullptr);
+}
+
+TEST(Cache, VictimCarriesDataAndState)
+{
+    Cache c(tiny());
+    Victim v;
+    CacheLine *l = c.allocate(2, &v);
+    l->state = LineState::Modified;
+    l->words[3].data = 0xABCD;
+    l->words[3].full = false;
+    c.use(l);
+    CacheLine *l6 = c.allocate(6, &v);  // same set, second way
+    l6->state = LineState::Shared;
+    c.allocate(10, &v);    // now one of them goes
+    ASSERT_TRUE(v.valid);
+    if (v.lineAddr == 2) {
+        EXPECT_EQ(v.state, LineState::Modified);
+        EXPECT_EQ(v.words[3].data, 0xABCDu);
+        EXPECT_FALSE(v.words[3].full);
+    }
+}
+
+TEST(Cache, InvalidateDropsLine)
+{
+    Cache c(tiny());
+    Victim v;
+    CacheLine *l = c.allocate(3, &v);
+    l->state = LineState::Shared;
+    c.invalidate(3);
+    EXPECT_EQ(c.lookup(3), nullptr);
+    EXPECT_DOUBLE_EQ(c.statInvalidations.value(), 1.0);
+    // Invalidating an absent line is harmless.
+    c.invalidate(3);
+    EXPECT_DOUBLE_EQ(c.statInvalidations.value(), 1.0);
+}
+
+TEST(Cache, FullEmptyBitsCachedWithData)
+{
+    Cache c(tiny());
+    Victim v;
+    CacheLine *l = c.allocate(0, &v);
+    l->state = LineState::Modified;
+    l->words[1].full = false;
+    CacheLine *again = c.lookup(0);
+    ASSERT_NE(again, nullptr);
+    EXPECT_FALSE(again->words[1].full);
+}
+
+TEST(Cache, BadGeometryIsFatal)
+{
+    EXPECT_THROW(Cache({.lineWords = 4, .numLines = 10, .assoc = 4}),
+                 FatalError);
+    EXPECT_THROW(Cache({.lineWords = 4, .numLines = 24, .assoc = 4}),
+                 FatalError);
+}
+
+TEST(Cache, Table4Geometry)
+{
+    // 64 KB of 16-byte lines: the paper's default.
+    Cache c({.lineWords = 4, .numLines = 4096, .assoc = 4});
+    Victim v;
+    for (Addr a = 0; a < 4096; ++a) {
+        CacheLine *l = c.allocate(a, &v);
+        l->state = LineState::Shared;
+        EXPECT_FALSE(v.valid) << "no eviction while under capacity";
+    }
+}
+
+} // namespace
+} // namespace april::cache

@@ -1,0 +1,64 @@
+/** @file Unit tests for bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace april
+{
+namespace
+{
+
+TEST(Bits, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xFFu);
+    EXPECT_EQ(mask(64), ~uint64_t(0));
+}
+
+TEST(Bits, ExtractBits)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 7, 0), 0xEFu);
+    EXPECT_EQ(bits(0xDEADBEEF, 31, 24), 0xDEu);
+    EXPECT_EQ(bits(0b1010, 3, 3), 1u);
+}
+
+TEST(Bits, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 7, 4, 0xA), 0xA0u);
+    EXPECT_EQ(insertBits(0xFF, 3, 0, 0), 0xF0u);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0x7F, 8), 127);
+    EXPECT_EQ(signExtend(0xFFF, 12), -1);
+}
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(12));
+}
+
+TEST(Bits, Log2)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(4096), 12u);
+}
+
+TEST(Bits, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundUp(9, 8), 16u);
+}
+
+} // namespace
+} // namespace april

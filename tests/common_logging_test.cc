@@ -1,0 +1,63 @@
+/** @file Unit tests for the logging / error-reporting layer. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace april
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config: ", "x"), FatalError);
+}
+
+TEST(Logging, PanicMessageIsComposed)
+{
+    try {
+        panic("value=", 7, " name=", "abc");
+        FAIL() << "panic must throw";
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "value=7 name=abc");
+    }
+}
+
+TEST(Logging, ErrorsShareBaseClass)
+{
+    EXPECT_THROW(panic("x"), SimError);
+    EXPECT_THROW(fatal("y"), SimError);
+}
+
+TEST(Logging, PanicIfNotPassesOnTrue)
+{
+    EXPECT_NO_THROW(panicIfNot(true, "unused"));
+    EXPECT_THROW(panicIfNot(false, "fired"), PanicError);
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    EXPECT_NO_THROW(inform("suppressed"));
+    EXPECT_NO_THROW(warn("suppressed"));
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+}
+
+TEST(Logging, WarnOnceDoesNotThrow)
+{
+    setQuiet(true);
+    warnOnce("same message");
+    warnOnce("same message");
+    setQuiet(false);
+}
+
+} // namespace
+} // namespace april

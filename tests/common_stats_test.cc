@@ -1,0 +1,126 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace april::stats
+{
+namespace
+{
+
+TEST(Stats, ScalarAccumulates)
+{
+    Group g("top");
+    Scalar s(&g, "count", "a counter");
+    ++s;
+    s += 4;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s = 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 2.5);
+}
+
+TEST(Stats, ScalarReset)
+{
+    Group g("top");
+    Scalar s(&g, "count", "a counter");
+    s += 10;
+    g.resetStats();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageComputesMean)
+{
+    Group g("top");
+    Average a(&g, "lat", "latency");
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 60.0);
+}
+
+TEST(Stats, AverageEmptyIsZero)
+{
+    Group g("top");
+    Average a(&g, "lat", "latency");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Stats, DistributionBucketsAndExtremes)
+{
+    Group g("top");
+    Distribution d(&g, "dist", "d", 0, 100, 10);
+    d.sample(5);
+    d.sample(15);
+    d.sample(15);
+    d.sample(-3);     // underflow
+    d.sample(150);    // overflow
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(1), 2u);
+    EXPECT_EQ(d.min(), -3);
+    EXPECT_EQ(d.max(), 150);
+}
+
+TEST(Stats, DistributionBadSpecPanics)
+{
+    Group g("top");
+    EXPECT_THROW((Distribution(&g, "bad", "d", 10, 5, 1)), PanicError);
+    EXPECT_THROW((Distribution(&g, "bad2", "d", 0, 10, 0)), PanicError);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    Group g("top");
+    Scalar num(&g, "hits", "");
+    Scalar den(&g, "accesses", "");
+    Formula ratio(&g, "hitRate", "hit ratio", [&] {
+        return den.value() ? num.value() / den.value() : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.0);
+    num += 3;
+    den += 4;
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.75);
+}
+
+TEST(Stats, GroupDumpContainsNestedNames)
+{
+    Group top("machine");
+    Group child("proc0", &top);
+    Scalar s(&child, "cycles", "total cycles");
+    s += 7;
+    std::ostringstream os;
+    top.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("machine.proc0.cycles"), std::string::npos);
+    EXPECT_NE(out.find("total cycles"), std::string::npos);
+}
+
+TEST(Stats, FindStatLocatesDirectChildren)
+{
+    Group g("top");
+    Scalar s(&g, "x", "");
+    EXPECT_EQ(g.findStat("x"), &s);
+    EXPECT_EQ(g.findStat("y"), nullptr);
+}
+
+TEST(Stats, NestedResetClearsEverything)
+{
+    Group top("t");
+    Group mid("m", &top);
+    Scalar a(&top, "a", "");
+    Scalar b(&mid, "b", "");
+    a += 1;
+    b += 2;
+    top.resetStats();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+} // namespace
+} // namespace april::stats

@@ -1,0 +1,183 @@
+/** @file Unit tests for the macro-assembler and Program container. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+namespace april
+{
+namespace
+{
+
+TEST(Assembler, LabelsResolveToAbsoluteAddresses)
+{
+    Assembler as;
+    as.bind("start");
+    as.nop();                   // 0
+    as.j(Cond::AL, "target");   // 1 + delay-slot nop at 2
+    as.nop();                   // 3
+    as.bind("target");
+    as.halt();                  // 4
+
+    Program p = as.finish();
+    EXPECT_EQ(p.entry("start"), 0u);
+    EXPECT_EQ(p.entry("target"), 4u);
+    EXPECT_EQ(p.at(1).imm, 4);
+}
+
+TEST(Assembler, ForwardAndBackwardReferences)
+{
+    Assembler as;
+    as.bind("loop");
+    as.nop();
+    as.j(Cond::NE, "loop");     // backward
+    as.j(Cond::AL, "end");      // forward
+    as.bind("end");
+    as.halt();
+    Program p = as.finish();
+    EXPECT_EQ(p.at(1).imm, 0);
+    EXPECT_EQ(p.at(3).imm, int32_t(p.entry("end")));
+}
+
+TEST(Assembler, UndefinedLabelPanics)
+{
+    Assembler as;
+    as.j(Cond::AL, "nowhere");
+    EXPECT_THROW(as.finish(), PanicError);
+}
+
+TEST(Assembler, DuplicateLabelPanics)
+{
+    Assembler as;
+    as.bind("x");
+    EXPECT_THROW(as.bind("x"), PanicError);
+}
+
+TEST(Assembler, FreshLabelsAreUnique)
+{
+    Assembler as;
+    auto a = as.fresh("L");
+    auto b = as.fresh("L");
+    EXPECT_NE(a, b);
+}
+
+TEST(Assembler, BranchEmittersFillDelaySlot)
+{
+    Assembler as;
+    as.bind("t");
+    as.j(Cond::AL, "t");
+    Program p = as.finish();
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.at(0).op, Opcode::J);
+    EXPECT_EQ(p.at(1).op, Opcode::NOP);
+}
+
+TEST(Assembler, RawBranchLeavesSlotToCaller)
+{
+    Assembler as;
+    as.bind("t");
+    as.jRaw(Cond::AL, "t");
+    as.addiR(1, 1, 1);          // caller-scheduled delay slot
+    Program p = as.finish();
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.at(1).op, Opcode::ADD);
+}
+
+TEST(Assembler, Table2LoadFlavorsEncodeCorrectly)
+{
+    Assembler as;
+    as.ldtt(1, 2, 0);    // trap on empty, no reset, trap on miss
+    as.ldett(1, 2, 0);   // trap on empty, reset, trap on miss
+    as.ldnw(1, 2, 0);    // no f/e trap, no reset, wait on miss
+    as.ldenw(1, 2, 0);   // reset, wait
+    Program p = as.finish();
+
+    EXPECT_TRUE(p.at(0).feTrap);
+    EXPECT_FALSE(p.at(0).feModify);
+    EXPECT_EQ(p.at(0).miss, MissPolicy::Trap);
+
+    EXPECT_TRUE(p.at(1).feTrap);
+    EXPECT_TRUE(p.at(1).feModify);
+
+    EXPECT_FALSE(p.at(2).feTrap);
+    EXPECT_EQ(p.at(2).miss, MissPolicy::Wait);
+
+    EXPECT_TRUE(p.at(3).feModify);
+    EXPECT_EQ(p.at(3).miss, MissPolicy::Wait);
+}
+
+TEST(Assembler, StoreFlavorsAreDuals)
+{
+    Assembler as;
+    as.sttt(1, 2, 0);
+    as.stfnw(1, 2, 0);
+    Program p = as.finish();
+    EXPECT_EQ(p.at(0).op, Opcode::ST);
+    EXPECT_TRUE(p.at(0).feTrap);
+    EXPECT_TRUE(p.at(1).feModify);
+    EXPECT_EQ(p.at(1).miss, MissPolicy::Wait);
+}
+
+TEST(Assembler, StrictAndRawComputeFlavors)
+{
+    Assembler as;
+    as.add(1, 2, 3);
+    as.addR(1, 2, 3);
+    Program p = as.finish();
+    EXPECT_TRUE(p.at(0).strict);
+    EXPECT_FALSE(p.at(1).strict);
+}
+
+TEST(Assembler, MoviLabelFixesUpCodeAddress)
+{
+    Assembler as;
+    as.moviLabel(5, "fn");
+    as.halt();
+    as.bind("fn");
+    as.nop();
+    Program p = as.finish();
+    EXPECT_EQ(Word(p.at(0).imm), p.entry("fn"));
+}
+
+TEST(Assembler, SymbolAtFindsNearestPrecedingLabel)
+{
+    Assembler as;
+    as.bind("alpha");
+    as.nop();
+    as.nop();
+    as.bind("beta");
+    as.nop();
+    Program p = as.finish();
+    EXPECT_EQ(p.symbolAt(1), "alpha+1");
+    EXPECT_EQ(p.symbolAt(2), "beta+0");
+}
+
+TEST(Assembler, ListingMentionsLabelsAndOpcodes)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, 42);
+    as.halt();
+    Program p = as.finish();
+    std::string text = p.listing();
+    EXPECT_NE(text.find("main:"), std::string::npos);
+    EXPECT_NE(text.find("movi"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(Assembler, FetchPastEndPanics)
+{
+    Assembler as;
+    as.nop();
+    Program p = as.finish();
+    EXPECT_THROW(p.at(5), PanicError);
+}
+
+TEST(Assembler, WordOffsetsMatchTagShift)
+{
+    EXPECT_EQ(kWordOff, 8);
+    EXPECT_EQ(wordOff(3), 24);
+}
+
+} // namespace
+} // namespace april

@@ -1,0 +1,168 @@
+/** @file Unit tests for the disassembler and Table 2 mnemonics. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+#include "proc/ports.hh"
+
+namespace april
+{
+namespace
+{
+
+Instruction
+firstOf(void (*emit)(Assembler &))
+{
+    Assembler as;
+    emit(as);
+    return as.finish().at(0);
+}
+
+TEST(Disasm, RegisterNames)
+{
+    EXPECT_EQ(reg::name(0), "r0");
+    EXPECT_EQ(reg::name(31), "r31");
+    EXPECT_EQ(reg::name(reg::g(0)), "g0");
+    EXPECT_EQ(reg::name(reg::g(7)), "g7");
+    EXPECT_EQ(reg::name(reg::t(0)), "t0");
+    EXPECT_EQ(reg::name(reg::t(7)), "t7");
+}
+
+TEST(Disasm, ComputeFormats)
+{
+    Instruction i = firstOf(+[](Assembler &a) { a.add(1, 2, 3); });
+    EXPECT_EQ(disassemble(i), "add r1, r2, r3");
+    i = firstOf(+[](Assembler &a) { a.addiR(1, 2, 5); });
+    EXPECT_EQ(disassemble(i), "add.raw r1, r2, 5");
+}
+
+TEST(Disasm, Table2LoadMnemonics)
+{
+    // The exact names from Table 2 must come back out.
+    Assembler as;
+    as.ldtt(1, 2, 0);
+    as.ldett(1, 2, 0);
+    as.ldnt(1, 2, 0);
+    as.ldent(1, 2, 0);
+    as.ldnw(1, 2, 0);
+    as.ldenw(1, 2, 0);
+    as.ldtw(1, 2, 0);
+    as.ldetw(1, 2, 0);
+    Program p = as.finish();
+    const char *expect[] = {"ldtt", "ldett", "ldnt", "ldent",
+                            "ldnw", "ldenw", "ldtw", "ldetw"};
+    for (uint32_t k = 0; k < 8; ++k)
+        EXPECT_EQ(memFlavorName(p.at(k)), expect[k]) << k;
+}
+
+TEST(Disasm, StoreMnemonicsAreDuals)
+{
+    Assembler as;
+    as.sttt(1, 2, 0);
+    as.stfnw(1, 2, 0);
+    Program p = as.finish();
+    EXPECT_EQ(memFlavorName(p.at(0)), "sttt");
+    EXPECT_EQ(memFlavorName(p.at(1)), "stfnw");
+}
+
+TEST(Disasm, MemoryOperandsRendered)
+{
+    Instruction i = firstOf(+[](Assembler &a) { a.ldnw(3, 4, 16); });
+    EXPECT_EQ(disassemble(i), "ldnw r3, [r4+16]");
+    i = firstOf(+[](Assembler &a) { a.stfnw(3, 4, -8); });
+    EXPECT_EQ(disassemble(i), "stfnw [r4-8], r3");
+}
+
+TEST(Disasm, BranchesShowCondition)
+{
+    Assembler as;
+    as.bind("x");
+    as.jRaw(Cond::EMPTY, "x");
+    Program p = as.finish();
+    EXPECT_EQ(disassemble(p.at(0)), "jempty 0");
+}
+
+TEST(Disasm, FrameAndTrapInstructions)
+{
+    Instruction i;
+    i.op = Opcode::INCFP;
+    EXPECT_EQ(disassemble(i), "incfp");
+    i.op = Opcode::RETT;
+    i.imm = 0;
+    EXPECT_EQ(disassemble(i), "rett retry");
+    i.imm = 1;
+    EXPECT_EQ(disassemble(i), "rett skip");
+    i = firstOf(+[](Assembler &a) { a.rdspec(5, Spec::TrapArg); });
+    EXPECT_EQ(disassemble(i), "rdspec r5, #3");
+}
+
+TEST(Disasm, OutOfBandInstructions)
+{
+    Instruction i = firstOf(+[](Assembler &a) { a.flushLine(2, 0); });
+    EXPECT_EQ(disassemble(i), "flush [r2+0]");
+    i = firstOf(+[](Assembler &a) {
+        a.stio(int(IoReg::ConsoleOut), 1);
+    });
+    EXPECT_EQ(disassemble(i), "stio io[0], r1");
+}
+
+TEST(Disasm, EveryOpcodeRendersMeaningfully)
+{
+    // Build one instance of every opcode and check the disassembler
+    // never falls back to an unknown rendering.
+    Assembler as;
+    as.bind("all");
+    as.add(1, 2, 3);
+    as.sub(1, 2, 3);
+    as.mul(1, 2, 3);
+    as.div(1, 2, 3);
+    as.rem(1, 2, 3);
+    as.andR(1, 2, 3);
+    as.orR(1, 2, 3);
+    as.xorR(1, 2, 3);
+    as.slliR(1, 2, 3);
+    as.srliR(1, 2, 3);
+    as.sraiR(1, 2, 3);
+    as.movi(1, 42);
+    as.ldnw(1, 2, 0);
+    as.stnw(1, 2, 0);
+    as.tas(1, 2, 0);
+    as.jRaw(Cond::AL, "all");
+    as.callRaw("all");
+    as.incfp();
+    as.decfp();
+    as.rdfp(1);
+    as.stfp(1);
+    as.rdpsr(1);
+    as.wrpsr(1);
+    as.rdspec(1, Spec::TrapPC);
+    as.wrspec(Spec::TrapPC, 1);
+    as.rdregx(1, 2);
+    as.wrregx(1, 2);
+    as.rettRetry();
+    as.trap(0);
+    as.flushLine(1, 0);
+    as.rdfence(1);
+    as.stio(0, 1);
+    as.ldio(1, 0);
+    as.halt();
+    as.nop();
+    Program p = as.finish();
+    for (uint32_t pc = 0; pc < p.size(); ++pc) {
+        std::string text = disassemble(p.at(pc));
+        EXPECT_FALSE(text.empty()) << pc;
+        EXPECT_EQ(text.find('?'), std::string::npos)
+            << pc << ": " << text;
+    }
+}
+
+TEST(Disasm, RegisterIndexBoundaries)
+{
+    EXPECT_EQ(reg::name(47), "t7");
+    EXPECT_NE(reg::name(48).find('?'), std::string::npos)
+        << "out-of-range names are marked";
+}
+
+} // namespace
+} // namespace april

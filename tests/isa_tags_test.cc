@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Executable specification of Figure 3: data type encodings.
+ *
+ * Fixnums end in 00, "other" pointers in 010, cons pointers in 110 and
+ * future pointers in 101 — making the LSB a future detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/types.hh"
+
+namespace april
+{
+namespace
+{
+
+using namespace tagged;
+
+TEST(Tags, FixnumLowBitsAreZero)
+{
+    for (int32_t v : {0, 1, -1, 5, -5, 123456, -123456}) {
+        Word w = fixnum(v);
+        EXPECT_EQ(w & 0b11, 0u) << "fixnum " << v;
+        EXPECT_TRUE(isFixnum(w));
+        EXPECT_FALSE(isFuture(w));
+    }
+}
+
+TEST(Tags, FixnumRoundTripsThroughEncoding)
+{
+    for (int32_t v : {0, 1, -1, 42, -42, (1 << 29) - 1, -(1 << 29)})
+        EXPECT_EQ(toInt(fixnum(v)), v);
+}
+
+TEST(Tags, FixnumArithmeticIsTagPreserving)
+{
+    // ADD/SUB work directly on tagged fixnums: the 00 tags cancel.
+    EXPECT_EQ(fixnum(3) + fixnum(4), fixnum(7));
+    EXPECT_EQ(fixnum(3) - fixnum(10), fixnum(-7));
+}
+
+TEST(Tags, FigureThreeEncodings)
+{
+    EXPECT_EQ(tagBits(ptr(100, Tag::Other)), 0b010);
+    EXPECT_EQ(tagBits(ptr(100, Tag::Cons)), 0b110);
+    EXPECT_EQ(tagBits(ptr(100, Tag::Future)), 0b101);
+}
+
+TEST(Tags, FutureDetectionIsTheLsb)
+{
+    // "Future pointers are easily detected by their non-zero least
+    // significant bit" (Section 4).
+    EXPECT_TRUE(isFuture(ptr(77, Tag::Future)));
+    EXPECT_FALSE(isFuture(ptr(77, Tag::Cons)));
+    EXPECT_FALSE(isFuture(ptr(77, Tag::Other)));
+    EXPECT_FALSE(isFuture(fixnum(-9)));
+}
+
+TEST(Tags, PointerAddressRoundTrips)
+{
+    for (Addr a : {Addr(16), Addr(12345), Addr(1u << 28)}) {
+        EXPECT_EQ(ptrAddr(ptr(a, Tag::Cons)), a);
+        EXPECT_EQ(ptrAddr(ptr(a, Tag::Future)), a);
+        EXPECT_EQ(ptrAddr(ptr(a, Tag::Other)), a);
+    }
+}
+
+TEST(Tags, ImmediatesAreDistinct)
+{
+    EXPECT_NE(NIL, FALSE);
+    EXPECT_NE(NIL, TRUE);
+    EXPECT_NE(FALSE, TRUE);
+    EXPECT_NE(UNDEF, NIL);
+    // All live below the reserved allocation floor.
+    EXPECT_LT(ptrAddr(NIL), reservedWords);
+    EXPECT_LT(ptrAddr(UNDEF), reservedWords);
+}
+
+TEST(Tags, Truthiness)
+{
+    EXPECT_FALSE(isTruthy(FALSE));
+    EXPECT_FALSE(isTruthy(NIL));
+    EXPECT_TRUE(isTruthy(TRUE));
+    EXPECT_TRUE(isTruthy(fixnum(0)));   // 0 is true in Lisp
+    EXPECT_TRUE(isTruthy(ptr(99, Tag::Cons)));
+}
+
+TEST(Tags, ToStringRendersTypes)
+{
+    EXPECT_EQ(toString(fixnum(42)), "42");
+    EXPECT_EQ(toString(NIL), "nil");
+    EXPECT_EQ(toString(TRUE), "#t");
+    EXPECT_EQ(toString(FALSE), "#f");
+    EXPECT_EQ(toString(ptr(20, Tag::Future)), "future@20");
+    EXPECT_EQ(toString(ptr(20, Tag::Cons)), "cons@20");
+}
+
+TEST(Tags, BooleanHelper)
+{
+    EXPECT_EQ(boolean(true), TRUE);
+    EXPECT_EQ(boolean(false), FALSE);
+}
+
+} // namespace
+} // namespace april

@@ -1,0 +1,68 @@
+/** @file Unit tests for the distributed shared memory image. */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+namespace april
+{
+namespace
+{
+
+TEST(Memory, ReadWriteRoundTrip)
+{
+    SharedMemory m({.numNodes = 1, .wordsPerNode = 1024});
+    m.write(10, 0xDEADBEEF);
+    EXPECT_EQ(m.read(10), 0xDEADBEEFu);
+}
+
+TEST(Memory, WordsStartFull)
+{
+    // Normal data is "full"; empty is the synchronization state.
+    SharedMemory m({.numNodes = 1, .wordsPerNode = 64});
+    EXPECT_TRUE(m.isFull(0));
+    EXPECT_TRUE(m.isFull(63));
+}
+
+TEST(Memory, FullEmptyBitPerWord)
+{
+    SharedMemory m({.numNodes = 1, .wordsPerNode = 64});
+    m.setFull(5, false);
+    EXPECT_FALSE(m.isFull(5));
+    EXPECT_TRUE(m.isFull(6));
+    m.writeFe(5, 7, true);
+    EXPECT_TRUE(m.isFull(5));
+    EXPECT_EQ(m.read(5), 7u);
+}
+
+TEST(Memory, HomeNodeIsAddressSegment)
+{
+    SharedMemory m({.numNodes = 4, .wordsPerNode = 100});
+    EXPECT_EQ(m.homeNode(0), 0u);
+    EXPECT_EQ(m.homeNode(99), 0u);
+    EXPECT_EQ(m.homeNode(100), 1u);
+    EXPECT_EQ(m.homeNode(399), 3u);
+    EXPECT_EQ(m.nodeBase(2), 200u);
+}
+
+TEST(Memory, OutOfRangePanics)
+{
+    SharedMemory m({.numNodes = 2, .wordsPerNode = 16});
+    EXPECT_THROW(m.read(32), PanicError);
+    EXPECT_THROW(m.nodeBase(2), PanicError);
+}
+
+TEST(Memory, ZeroConfigIsFatal)
+{
+    EXPECT_THROW(SharedMemory({.numNodes = 0, .wordsPerNode = 16}),
+                 FatalError);
+}
+
+TEST(Memory, SizeWords)
+{
+    SharedMemory m({.numNodes = 3, .wordsPerNode = 50});
+    EXPECT_EQ(m.sizeWords(), 150u);
+}
+
+} // namespace
+} // namespace april

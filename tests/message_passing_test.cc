@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Section 3.4's multi-model support: "interprocessor-interrupts ...
+ * in conjunction with block-transfers, form a primitive for the
+ * message-passing computational model."
+ *
+ * Node 0 composes a message in its local memory, block-transfers it
+ * into node 1's region, and raises an IPI; node 1's asynchronous trap
+ * handler consumes the message and replies through a full/empty
+ * mailbox word. No shared-memory polling is involved on the sender's
+ * critical path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/alewife_machine.hh"
+
+namespace april
+{
+namespace
+{
+
+using namespace tagged;
+
+constexpr int kLen = 8;
+
+TEST(MessagePassing, IpiPlusBlockTransferDelivery)
+{
+    AlewifeParams p;
+    p.network = {.dim = 1, .radix = 2};
+    p.wordsPerNode = 1u << 16;
+    p.bootRuntime = false;
+    Addr src = 1024;                    // node 0's compose buffer
+    Addr dst = p.wordsPerNode + 2048;   // inside node 1's region
+    Addr ack = 512;                     // mailbox homed on node 0
+
+    Assembler as;
+    as.bind("node0");
+    // Compose the message: words i*i.
+    as.movi(1, ptr(src, Tag::Other));
+    as.movi(2, 0);
+    as.bind("compose");
+    as.mulR(3, 2, 2);
+    as.slliR(3, 3, 2);
+    as.stnw(3, 1, 0);
+    as.addiR(1, 1, kWordOff);
+    as.addiR(2, 2, 1);
+    as.cmpiR(2, kLen);
+    as.jRaw(Cond::LT, "compose");
+    as.nop();
+    // Ship it: block transfer, then interrupt the receiver.
+    as.movi(4, src);
+    as.stio(int(IoReg::BlockSrc), 4);
+    as.movi(4, dst);
+    as.stio(int(IoReg::BlockDst), 4);
+    as.movi(4, kLen);
+    as.stio(int(IoReg::BlockGo), 4);
+    as.movi(4, 1);
+    as.stio(int(IoReg::IpiDest), 4);
+    as.movi(4, fixnum(kLen));           // IPI argument: message length
+    as.stio(int(IoReg::IpiSend), 4);
+    // Await the reply through the f/e mailbox.
+    as.movi(5, ptr(ack, Tag::Other));
+    as.bind("await");
+    as.ldnw(6, 5, 0);
+    as.jRaw(Cond::EMPTY, "await");
+    as.nop();
+    as.halt();
+
+    as.bind("node1");                   // idles until interrupted
+    as.movi(1, 0);
+    as.bind("idle");
+    as.addiR(1, 1, 1);
+    as.j(Cond::AL, "idle");
+
+    as.bind("ipi_handler");             // sum the message, reply
+    as.rdspec(reg::t(1), Spec::TrapArg);
+    as.sraiR(reg::t(1), reg::t(1), 2);  // message length
+    as.movi(reg::t(2), ptr(dst, Tag::Other));
+    as.movi(reg::t(3), 0);
+    as.movi(reg::t(4), 0);
+    as.bind("sum");
+    as.load(reg::t(5), reg::t(2), 0, false, false, MissPolicy::Wait,
+            false);
+    as.addR(reg::t(4), reg::t(4), reg::t(5));
+    as.addiR(reg::t(2), reg::t(2), kWordOff);
+    as.addiR(reg::t(3), reg::t(3), 1);
+    as.cmpR(reg::t(3), reg::t(1));
+    as.jRaw(Cond::LT, "sum");
+    as.nop();
+    as.movi(reg::t(6), ptr(ack, Tag::Other));
+    as.stfnw(reg::t(4), reg::t(6), 0);  // reply: store + set full
+    as.rettRetry();
+    Program prog = as.finish();
+
+    AlewifeMachine m(p, &prog);
+    m.memory().setFull(ack, false);
+    for (int n = 0; n < 2; ++n) {
+        m.proc(uint32_t(n)).reset(
+            prog.entry(n == 0 ? "node0" : "node1"));
+        m.proc(uint32_t(n)).setTrapVector(TrapKind::Ipi,
+                                          prog.entry("ipi_handler"));
+    }
+
+    for (uint64_t c = 0; c < 200000 && !m.proc(0).halted(); ++c)
+        m.tick();
+    ASSERT_TRUE(m.proc(0).halted());
+
+    int64_t expect = 0;
+    for (int i = 0; i < kLen; ++i)
+        expect += fixnum(int32_t(i * i));
+    EXPECT_EQ(int64_t(m.proc(0).readReg(6)), expect)
+        << "receiver summed the transferred message";
+    // The receiver really was preempted (not polling).
+    EXPECT_EQ(m.proc(1).statTraps[size_t(TrapKind::Ipi)].value(), 1.0);
+}
+
+} // namespace
+} // namespace april

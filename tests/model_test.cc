@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests of the Section 8 analytical model against the paper's stated
+ * anchors and Equation 1's structural properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "model/scalability.hh"
+
+namespace april::model
+{
+namespace
+{
+
+TEST(Model, Table4BaseLatencyIs55)
+{
+    // "an average round trip network latency of 55 cycles for an
+    // unloaded network" with the Table 4 default parameters.
+    ScalabilityModel m;
+    EXPECT_DOUBLE_EQ(m.baseLatency(), 55.0);
+}
+
+TEST(Model, AvgHopsIs20)
+{
+    // "the average number of hops between a random pair of nodes is
+    // nk/3 = 20" for n = 3, k = 20.
+    ScalabilityModel m;
+    EXPECT_DOUBLE_EQ(m.avgHops(), 20.0);
+}
+
+TEST(Model, SingleThreadUtilization)
+{
+    // U(1) = 1 / (1 + m(1) T(1)) = 1 / (1 + 0.02 * 55) ~ 0.476.
+    // The fixed point loads the network slightly even at p = 1, so
+    // allow a small deviation from the unloaded-T anchor.
+    ScalabilityModel m;
+    EXPECT_NEAR(m.utilization(1), 1.0 / (1.0 + 0.02 * 55.0), 0.035);
+}
+
+TEST(Model, EightyPercentWithThreeThreads)
+{
+    // The headline claim: "close to 80% processor utilization with as
+    // few as three resident threads per processor" at C = 10.
+    ScalabilityModel m;
+    EXPECT_NEAR(m.utilization(3), 0.80, 0.03);
+}
+
+TEST(Model, UtilizationCapNearEighty)
+{
+    // "utilization limited to a maximum of about 0.80 despite an
+    // ample supply of threads".
+    ScalabilityModel m;
+    for (double p = 3; p <= 8; p += 1)
+        EXPECT_LT(m.utilization(p), 0.84) << "p=" << p;
+}
+
+TEST(Model, MarginalBenefitDecreases)
+{
+    // "The marginal benefits of additional processes is seen to
+    // decrease due to network and cache interference."
+    ScalabilityModel m;
+    double g12 = m.utilization(2) - m.utilization(1);
+    double g23 = m.utilization(3) - m.utilization(2);
+    double g45 = m.utilization(5) - m.utilization(4);
+    EXPECT_GT(g12, g23);
+    EXPECT_GT(g23, g45);
+}
+
+TEST(Model, MissRateIsFixedPlusLinear)
+{
+    // m(p) = fixed + (to first order) linear component.
+    ScalabilityModel m;
+    EXPECT_DOUBLE_EQ(m.missRate(1), 0.02);
+    double d1 = m.missRate(2) - m.missRate(1);
+    double d2 = m.missRate(3) - m.missRate(2);
+    EXPECT_GT(d1, 0);
+    EXPECT_NEAR(d2 / d1, 1.0, 0.2) << "approximately linear";
+}
+
+TEST(Model, DecompositionOrdering)
+{
+    // Figure 5's curves must nest: useful work <= no-switch <=
+    // fixed-cache <= ideal, for every p.
+    ScalabilityModel m;
+    for (double p = 1; p <= 8; p += 1) {
+        double full = m.utilization(p);
+        double nosw = m.utilizationNoSwitch(p);
+        double fixc = m.utilizationFixedCache(p);
+        double ideal = m.utilizationIdeal(p);
+        EXPECT_LE(full, nosw + 1e-9) << p;
+        EXPECT_LE(nosw, fixc + 1e-9) << p;
+        EXPECT_LE(fixc, ideal + 1e-9) << p;
+    }
+}
+
+TEST(Model, IdealReachesFullUtilization)
+{
+    // With per-thread costs pinned at p = 1, enough threads fully
+    // hide the latency (the Ideal curve approaches 1.0).
+    ScalabilityModel m;
+    EXPECT_NEAR(m.utilizationIdeal(8), 1.0, 0.05);
+}
+
+TEST(Model, UtilizationMonotoneBeforeSaturation)
+{
+    ScalabilityModel m;
+    EXPECT_LT(m.utilization(1), m.utilization(2));
+    EXPECT_LT(m.utilization(2), m.utilization(3));
+}
+
+TEST(Model, SwitchOverheadInsensitivity)
+{
+    // "The relatively large ten-cycle context switch overhead does
+    // not significantly impact performance ... because utilization
+    // depends on the product of context switching frequency and
+    // switching overhead, and the switching frequency is expected to
+    // be small in a cache-based system."
+    ModelParams p4;
+    p4.switchOverhead = 4;
+    ModelParams p10;
+    p10.switchOverhead = 10;
+    double u4 = ScalabilityModel(p4).utilization(3);
+    double u10 = ScalabilityModel(p10).utilization(3);
+    EXPECT_LT(u4 - u10, 0.13);
+    EXPECT_GT(u4, u10);
+}
+
+TEST(Model, LargeSwitchOverheadDoesMatter)
+{
+    // Conversely a very expensive switch (fine-grain rate with a
+    // heavyweight mechanism) depresses the plateau: utilization
+    // depends on the product C * m.
+    ModelParams heavy;
+    heavy.switchOverhead = 100;
+    double u10 = ScalabilityModel{}.utilization(4);
+    double u100 = ScalabilityModel(heavy).utilization(4);
+    EXPECT_GT(u10 - u100, 0.25);
+}
+
+TEST(Model, SmallCachesSufferInterference)
+{
+    // "caches greater than 64 Kbytes comfortably sustain the working
+    // sets of four processes. Smaller caches suffer more
+    // interference and reduce the benefits of multithreading."
+    ModelParams small;
+    small.cacheBytes = 8 * 1024;
+    ModelParams big;
+    big.cacheBytes = 64 * 1024;
+    double u_small = ScalabilityModel(small).utilization(4);
+    double u_big = ScalabilityModel(big).utilization(4);
+    EXPECT_GT(u_big - u_small, 0.10);
+
+    ModelParams huge;
+    huge.cacheBytes = 256 * 1024;
+    double u_huge = ScalabilityModel(huge).utilization(4);
+    EXPECT_LT(u_huge - u_big, 0.05) << "64 KB is already comfortable";
+}
+
+TEST(Model, BandwidthBoundsUtilization)
+{
+    // When each thread demands more bandwidth (bigger packets), the
+    // network caps utilization: "available network bandwidth limits
+    // the maximum rate at which computation can proceed".
+    ModelParams fat;
+    fat.packetSize = 24;
+    fat.fixedMissRate = 0.08;
+    ScalabilityModel m(fat);
+    auto pt = m.evaluate(8);
+    EXPECT_TRUE(pt.bandwidthBound);
+    EXPECT_LT(pt.utilization, 0.5);
+}
+
+TEST(Model, SystemPower)
+{
+    ScalabilityModel m;
+    EXPECT_NEAR(m.systemPower(3, 8000), 8000 * m.utilization(3), 1e-9);
+}
+
+TEST(Model, BadParamsAreFatal)
+{
+    ModelParams p;
+    p.fixedMissRate = 0;
+    EXPECT_THROW(ScalabilityModel{p}, FatalError);
+}
+
+TEST(Model, LatencyGrowsWithLoad)
+{
+    ScalabilityModel m;
+    EXPECT_GT(m.loadedLatency(0.5), m.baseLatency());
+    EXPECT_GT(m.loadedLatency(0.9), m.loadedLatency(0.5));
+    EXPECT_DOUBLE_EQ(m.loadedLatency(0.0), m.baseLatency());
+}
+
+class ModelSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ModelSweep, PointIsConsistent)
+{
+    ScalabilityModel m;
+    double p = GetParam();
+    auto pt = m.evaluate(p);
+    EXPECT_GT(pt.utilization, 0.0);
+    EXPECT_LE(pt.utilization, 1.0);
+    EXPECT_GE(pt.latency, m.baseLatency());
+    EXPECT_GE(pt.missRate, m.params().fixedMissRate);
+    EXPECT_GE(pt.channelRho, 0.0);
+    EXPECT_LE(pt.channelRho, m.params().rhoMax + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToTwelve, ModelSweep,
+                         ::testing::Range(1, 13));
+
+} // namespace
+} // namespace april::model

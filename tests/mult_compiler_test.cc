@@ -1,0 +1,286 @@
+/**
+ * @file
+ * End-to-end Mul-T compiler tests: programs compiled in sequential
+ * ("T seq") mode and executed on one APRIL processor with the full
+ * run-time system resident.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mult_test_util.hh"
+
+namespace april
+{
+namespace
+{
+
+using testutil::runMult;
+using tagged::fixnum;
+
+TEST(MultCompiler, ConstantMain)
+{
+    auto r = runMult("(define (main) 42)");
+    EXPECT_EQ(r.result, fixnum(42));
+}
+
+TEST(MultCompiler, Arithmetic)
+{
+    auto r = runMult("(define (main) (+ 1 (* 6 7) (- 10 3) (- 5)))");
+    EXPECT_EQ(r.result, fixnum(1 + 42 + 7 - 5));
+}
+
+TEST(MultCompiler, QuotientRemainder)
+{
+    auto r = runMult(
+        "(define (main) (+ (* (quotient 17 5) 100) (remainder 17 5)))");
+    EXPECT_EQ(r.result, fixnum(302));
+}
+
+TEST(MultCompiler, NegativeArithmetic)
+{
+    auto r = runMult("(define (main) (* -6 7))");
+    EXPECT_EQ(r.result, fixnum(-42));
+    r = runMult("(define (main) (quotient -17 5))");
+    EXPECT_EQ(r.result, fixnum(-3));
+}
+
+TEST(MultCompiler, Comparisons)
+{
+    auto r = runMult("(define (main) (if (< 3 5) 1 0))");
+    EXPECT_EQ(r.result, fixnum(1));
+    r = runMult("(define (main) (if (>= 3 5) 1 0))");
+    EXPECT_EQ(r.result, fixnum(0));
+    r = runMult("(define (main) (if (= 4 4) 1 0))");
+    EXPECT_EQ(r.result, fixnum(1));
+}
+
+TEST(MultCompiler, BooleansAndLogic)
+{
+    auto r = runMult("(define (main) (if (and (< 1 2) (< 2 3)) 7 8))");
+    EXPECT_EQ(r.result, fixnum(7));
+    r = runMult("(define (main) (if (or (< 2 1) (< 2 3)) 7 8))");
+    EXPECT_EQ(r.result, fixnum(7));
+    r = runMult("(define (main) (if (not false) 7 8))");
+    EXPECT_EQ(r.result, fixnum(7));
+    r = runMult("(define (main) (if nil 1 0))");
+    EXPECT_EQ(r.result, fixnum(0)) << "() is false, as in T";
+}
+
+TEST(MultCompiler, LetBindsInParallel)
+{
+    auto r = runMult(
+        "(define (main)"
+        "  (let ((x 3))"
+        "    (let ((x 10) (y x))"       // y sees the outer x
+        "      (+ x y))))");
+    EXPECT_EQ(r.result, fixnum(13));
+}
+
+TEST(MultCompiler, FunctionCallsAndRecursion)
+{
+    auto r = runMult(
+        "(define (square x) (* x x))"
+        "(define (main) (square (square 3)))");
+    EXPECT_EQ(r.result, fixnum(81));
+
+    r = runMult(
+        "(define (fact n) (if (< n 2) 1 (* n (fact (- n 1)))))"
+        "(define (main) (fact 10))");
+    EXPECT_EQ(r.result, fixnum(3628800));
+}
+
+TEST(MultCompiler, SixArguments)
+{
+    auto r = runMult(
+        "(define (f a b c d e g) (+ a (- b c) (* d e) g))"
+        "(define (main) (f 1 10 4 2 3 100))");
+    EXPECT_EQ(r.result, fixnum(1 + 6 + 6 + 100));
+}
+
+TEST(MultCompiler, DeepRecursionUsesStack)
+{
+    auto r = runMult(
+        "(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1)))))"
+        "(define (main) (sum 500))");
+    EXPECT_EQ(r.result, fixnum(500 * 501 / 2));
+}
+
+TEST(MultCompiler, ConsCarCdr)
+{
+    auto r = runMult(
+        "(define (main)"
+        "  (let ((p (cons 1 (cons 2 nil))))"
+        "    (+ (car p) (car (cdr p)))))");
+    EXPECT_EQ(r.result, fixnum(3));
+}
+
+TEST(MultCompiler, ListPredicates)
+{
+    auto r = runMult(
+        "(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))"
+        "(define (main) (len (cons 1 (cons 2 (cons 3 nil)))))");
+    EXPECT_EQ(r.result, fixnum(3));
+
+    r = runMult("(define (main) (if (pair? (cons 1 2)) 1 0))");
+    EXPECT_EQ(r.result, fixnum(1));
+    r = runMult("(define (main) (if (pair? 5) 1 0))");
+    EXPECT_EQ(r.result, fixnum(0));
+}
+
+TEST(MultCompiler, Vectors)
+{
+    auto r = runMult(
+        "(define (main)"
+        "  (let ((v (make-vector 10 0)))"
+        "    (vector-set! v 3 77)"
+        "    (vector-set! v 4 (+ (vector-ref v 3) 1))"
+        "    (+ (vector-ref v 4) (vector-length v))))");
+    EXPECT_EQ(r.result, fixnum(88));
+}
+
+TEST(MultCompiler, VectorFillDefaults)
+{
+    auto r = runMult(
+        "(define (main)"
+        "  (let ((v (make-vector 4 9)))"
+        "    (+ (vector-ref v 0) (vector-ref v 3))))");
+    EXPECT_EQ(r.result, fixnum(18));
+}
+
+TEST(MultCompiler, PrintlnGoesToConsole)
+{
+    auto r = runMult(
+        "(define (main) (begin (println 11) (println 22) 33))");
+    EXPECT_EQ(r.result, fixnum(33));
+    ASSERT_EQ(r.console.size(), 2u);
+    EXPECT_EQ(r.console[0], fixnum(11));
+    EXPECT_EQ(r.console[1], fixnum(22));
+}
+
+TEST(MultCompiler, FutureErasedInSeqMode)
+{
+    // "T seq": futures compile away entirely.
+    auto r = runMult(
+        "(define (fib n)"
+        "  (if (< n 2) n (+ (future (fib (- n 1)))"
+        "                   (future (fib (- n 2))))))"
+        "(define (main) (fib 12))");
+    EXPECT_EQ(r.result, fixnum(144));
+    EXPECT_EQ(r.spawns, 0u);
+    EXPECT_EQ(r.steals, 0u);
+}
+
+TEST(MultCompiler, TouchIsIdentityOnValues)
+{
+    auto r = runMult("(define (main) (touch (+ 1 2)))");
+    EXPECT_EQ(r.result, fixnum(3));
+}
+
+TEST(MultCompiler, MutablePairs)
+{
+    auto r = runMult(
+        "(define (main)"
+        "  (let ((p (cons 1 2)))"
+        "    (begin (set-car! p 40)"
+        "           (set-cdr! p (+ (car p) 2))"
+        "           (cdr p))))");
+    EXPECT_EQ(r.result, fixnum(42));
+}
+
+TEST(MultCompiler, MinMaxAbs)
+{
+    auto r = runMult("(define (main) (min 3 7))");
+    EXPECT_EQ(r.result, fixnum(3));
+    r = runMult("(define (main) (max 3 7))");
+    EXPECT_EQ(r.result, fixnum(7));
+    r = runMult("(define (main) (min -3 -7))");
+    EXPECT_EQ(r.result, fixnum(-7));
+    r = runMult("(define (main) (abs -42))");
+    EXPECT_EQ(r.result, fixnum(42));
+    r = runMult("(define (main) (abs 42))");
+    EXPECT_EQ(r.result, fixnum(42));
+}
+
+TEST(MultCompiler, MinMaxWithSoftwareChecks)
+{
+    mult::CompileOptions sw;
+    sw.softwareChecks = true;
+    auto r = runMult("(define (main) (+ (min 3 7) (max 1 5) (abs -2)))",
+                     sw);
+    EXPECT_EQ(r.result, fixnum(10));
+}
+
+TEST(MultCompiler, ShadowingAndNestedScopes)
+{
+    auto r = runMult(
+        "(define (f x)"
+        "  (let ((y (+ x 1)))"
+        "    (let ((x (* y 2)))"
+        "      (let ((y (- x 3)))"
+        "        (+ x y)))))"
+        "(define (main) (f 10))");
+    // y=11, x'=22, y'=19 -> 41.
+    EXPECT_EQ(r.result, fixnum(41));
+}
+
+TEST(MultCompiler, AndOrReturnValues)
+{
+    // `and` returns its last value; `or` the first truthy one.
+    auto r = runMult("(define (main) (and 1 2 3))");
+    EXPECT_EQ(r.result, fixnum(3));
+    r = runMult("(define (main) (if (and true false) 1 0))");
+    EXPECT_EQ(r.result, fixnum(0));
+    r = runMult("(define (main) (or false 7 9))");
+    EXPECT_EQ(r.result, fixnum(7));
+}
+
+TEST(MultCompiler, CompileErrors)
+{
+    using mult::Compiler;
+    using mult::CompileOptions;
+    auto expect_fatal = [](const std::string &src) {
+        Assembler as;
+        Compiler c(as, CompileOptions{});
+        EXPECT_THROW(c.compileSource(src), FatalError) << src;
+    };
+    expect_fatal("(define (main) (undefined-fn 1))");
+    expect_fatal("(define (main) unbound)");
+    expect_fatal("(define (f x) x)");            // no main
+    expect_fatal("(define (main x) x)");         // main must be thunk
+    expect_fatal("(define (main) (if))");
+    expect_fatal("(define (f) 1)(define (f) 2)(define (main) 0)");
+    expect_fatal("(define (main) (f 1))(define (f a b) a)");
+}
+
+TEST(MultCompiler, SoftwareCheckModeRunsSequentialCode)
+{
+    // Encore "Mul-T seq": same program, software operand checks.
+    mult::CompileOptions copts;
+    copts.softwareChecks = true;
+    auto r = runMult(
+        "(define (fact n) (if (< n 2) 1 (* n (fact (- n 1)))))"
+        "(define (main) (fact 10))",
+        copts);
+    EXPECT_EQ(r.result, fixnum(3628800));
+}
+
+TEST(MultCompiler, SoftwareChecksCostCycles)
+{
+    const std::string src =
+        "(define (sum n) (if (= n 0) 0 (+ n (sum (- n 1)))))"
+        "(define (main) (sum 300))";
+    auto hard = runMult(src);
+    mult::CompileOptions sw;
+    sw.softwareChecks = true;
+    auto soft = runMult(src, sw);
+    EXPECT_EQ(hard.result, soft.result);
+    // The paper reports ~2x for software future detection (Table 3,
+    // "T seq" vs "Mul-T seq" on the Encore); we only require the
+    // overhead to be tangible and bounded here.
+    double ratio = double(soft.cycles) / double(hard.cycles);
+    EXPECT_GT(ratio, 1.2);
+    EXPECT_LT(ratio, 3.0);
+}
+
+} // namespace
+} // namespace april

@@ -1,0 +1,69 @@
+/** @file Unit tests for the Mul-T s-expression reader. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mult/sexp.hh"
+
+namespace april::mult
+{
+namespace
+{
+
+TEST(Reader, Atoms)
+{
+    EXPECT_TRUE(readOne("foo").isSymbol("foo"));
+    EXPECT_EQ(readOne("42").num, 42);
+    EXPECT_EQ(readOne("-17").num, -17);
+    EXPECT_EQ(readOne("+3").num, 3);
+    EXPECT_TRUE(readOne("#t").isSymbol("true"));
+    EXPECT_TRUE(readOne("#f").isSymbol("false"));
+    EXPECT_TRUE(readOne("'()").isSymbol("nil"));
+}
+
+TEST(Reader, SymbolsWithPunctuation)
+{
+    EXPECT_TRUE(readOne("vector-set!").isSymbol("vector-set!"));
+    EXPECT_TRUE(readOne("null?").isSymbol("null?"));
+    EXPECT_TRUE(readOne("<=").isSymbol("<="));
+    EXPECT_TRUE(readOne("-").isSymbol("-"));
+}
+
+TEST(Reader, NestedLists)
+{
+    Sexp e = readOne("(define (fib n) (if (< n 2) n 9))");
+    ASSERT_TRUE(e.isList());
+    ASSERT_EQ(e.size(), 3u);
+    EXPECT_TRUE(e[0].isSymbol("define"));
+    EXPECT_TRUE(e[1].isList());
+    EXPECT_TRUE(e[1][0].isSymbol("fib"));
+    EXPECT_TRUE(e[2][0].isSymbol("if"));
+    EXPECT_EQ(e[2][1][2].num, 2);
+}
+
+TEST(Reader, CommentsAndWhitespace)
+{
+    auto forms = readAll("; header\n(a 1) ; trailing\n\n(b 2)\n");
+    ASSERT_EQ(forms.size(), 2u);
+    EXPECT_TRUE(forms[0][0].isSymbol("a"));
+    EXPECT_TRUE(forms[1][0].isSymbol("b"));
+}
+
+TEST(Reader, RoundTripStr)
+{
+    Sexp e = readOne("(f (g 1 2) x)");
+    EXPECT_EQ(e.str(), "(f (g 1 2) x)");
+}
+
+TEST(Reader, Errors)
+{
+    EXPECT_THROW(readOne("(unterminated"), FatalError);
+    EXPECT_THROW(readOne(")"), FatalError);
+    EXPECT_THROW(readOne(""), FatalError);
+    EXPECT_THROW(readOne("(a) extra"), FatalError);
+    EXPECT_THROW(readOne("'(1 2)"), FatalError);
+    EXPECT_THROW(readOne("#x"), FatalError);
+}
+
+} // namespace
+} // namespace april::mult

@@ -1,0 +1,346 @@
+/** @file Core execution tests: ALU, branches, delay slots, calls. */
+
+#include <gtest/gtest.h>
+
+#include "proc_test_util.hh"
+
+namespace april
+{
+namespace
+{
+
+using testutil::Rig;
+using namespace tagged;
+
+TEST(ProcBasic, MoviAndHalt)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, fixnum(42));
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(1), fixnum(42));
+}
+
+TEST(ProcBasic, RegisterZeroIsHardwired)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(0, 99);             // write to r0 must be ignored
+    as.addiR(1, 0, 7);          // r1 = r0 + 7
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(0), 0u);
+    EXPECT_EQ(rig.proc.readReg(1), 7u);
+}
+
+TEST(ProcBasic, TaggedFixnumAddSub)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, fixnum(30));
+    as.movi(2, fixnum(12));
+    as.add(3, 1, 2);
+    as.sub(4, 1, 2);
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(toInt(rig.proc.readReg(3)), 42);
+    EXPECT_EQ(toInt(rig.proc.readReg(4)), 18);
+}
+
+TEST(ProcBasic, LogicalAndShiftOps)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, 0b1100);
+    as.movi(2, 0b1010);
+    as.andR(3, 1, 2);
+    as.orR(4, 1, 2);
+    as.xorR(5, 1, 2);
+    as.slliR(6, 1, 2);
+    as.srliR(7, 1, 2);
+    as.movi(8, Word(-64));
+    as.sraiR(9, 8, 3);
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(3), 0b1000u);
+    EXPECT_EQ(rig.proc.readReg(4), 0b1110u);
+    EXPECT_EQ(rig.proc.readReg(5), 0b0110u);
+    EXPECT_EQ(rig.proc.readReg(6), 0b110000u);
+    EXPECT_EQ(rig.proc.readReg(7), 0b11u);
+    EXPECT_EQ(int32_t(rig.proc.readReg(9)), -8);
+}
+
+TEST(ProcBasic, MulDivRemSemantics)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, Word(7));
+    as.movi(2, Word(-3));
+    as.mulR(3, 1, 2);
+    as.push({.op = Opcode::DIV, .rd = 4, .rs1 = 1, .rs2 = 2});
+    as.push({.op = Opcode::REM, .rd = 5, .rs1 = 1, .rs2 = 2});
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(int32_t(rig.proc.readReg(3)), -21);
+    EXPECT_EQ(int32_t(rig.proc.readReg(4)), -2);    // truncating
+    EXPECT_EQ(int32_t(rig.proc.readReg(5)), 1);
+}
+
+TEST(ProcBasic, MulIsMultiCycle)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, 3);
+    as.movi(2, 4);
+    as.mulR(3, 1, 2);
+    as.halt();
+    ProcParams p;
+    p.mulCycles = 5;
+    Rig rig(as.finish(), p);
+    uint64_t cycles = rig.run();
+    // movi + movi + mul(5) + halt = 8 cycles.
+    EXPECT_EQ(cycles, 8u);
+}
+
+TEST(ProcBasic, ConditionCodesAndBranches)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, fixnum(5));
+    as.movi(2, fixnum(5));
+    as.cmp(1, 2);
+    as.j(Cond::EQ, "was_eq");
+    as.movi(3, fixnum(0));
+    as.halt();
+    as.bind("was_eq");
+    as.movi(3, fixnum(1));
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(toInt(rig.proc.readReg(3)), 1);
+}
+
+TEST(ProcBasic, SignedComparisons)
+{
+    // (-3 < 4) via tagged compare: N set by SUB.
+    Assembler as;
+    as.bind("main");
+    as.movi(1, fixnum(-3));
+    as.movi(2, fixnum(4));
+    as.cmp(1, 2);
+    as.j(Cond::LT, "lt");
+    as.movi(3, 0);
+    as.halt();
+    as.bind("lt");
+    as.movi(3, 1);
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(3), 1u);
+}
+
+TEST(ProcBasic, DelaySlotExecutesOnTakenBranch)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, 0);
+    as.jRaw(Cond::AL, "out");
+    as.movi(1, 7);              // delay slot: must execute
+    as.movi(1, 99);             // skipped
+    as.bind("out");
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(1), 7u);
+}
+
+TEST(ProcBasic, DelaySlotExecutesOnUntakenBranch)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, 1);
+    as.cmpiR(1, 1);             // Z set
+    as.jRaw(Cond::NE, "never");
+    as.movi(2, 5);              // delay slot
+    as.movi(3, 6);              // fall-through continues
+    as.halt();
+    as.bind("never");
+    as.movi(3, 99);
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(2), 5u);
+    EXPECT_EQ(rig.proc.readReg(3), 6u);
+}
+
+TEST(ProcBasic, CallAndReturnLinkage)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, fixnum(10));
+    as.call("double_it");
+    as.mov(5, 1);
+    as.halt();
+    as.bind("double_it");
+    as.add(1, 1, 1);
+    as.ret();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(toInt(rig.proc.readReg(5)), 20);
+}
+
+TEST(ProcBasic, LoopCountsDown)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, fixnum(10));     // counter
+    as.movi(2, fixnum(0));      // sum
+    as.bind("loop");
+    as.add(2, 2, 1);
+    as.subi(1, 1, int32_t(fixnum(1)));
+    as.jRaw(Cond::GT, "loop");
+    as.nop();
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(toInt(rig.proc.readReg(2)), 55);
+}
+
+TEST(ProcBasic, LoadStoreRoundTrip)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, tagged::ptr(100, Tag::Other));   // boxed address
+    as.movi(2, fixnum(77));
+    as.stnw(2, 1, 0);
+    as.ldnw(3, 1, 0);
+    as.stnw(2, 1, wordOff(2));                  // word 102
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(3), fixnum(77));
+    EXPECT_EQ(rig.mem.read(100), fixnum(77));
+    EXPECT_EQ(rig.mem.read(102), fixnum(77));
+}
+
+TEST(ProcBasic, ConsoleOutputViaStio)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, fixnum(123));
+    as.stio(int(IoReg::ConsoleOut), 1);
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    ASSERT_EQ(rig.io.console.size(), 1u);
+    EXPECT_EQ(toInt(rig.io.console[0]), 123);
+}
+
+TEST(ProcBasic, CyclesMatchInstructionCount)
+{
+    Assembler as;
+    as.bind("main");
+    for (int i = 0; i < 10; ++i)
+        as.nop();
+    as.halt();
+    Rig rig(as.finish());
+    EXPECT_EQ(rig.run(), 11u);
+    EXPECT_EQ(rig.proc.statInsts.value(), 11.0);
+}
+
+TEST(ProcBasic, RunStopsAtMaxCycles)
+{
+    Assembler as;
+    as.bind("main");
+    as.bind("spin");
+    as.j(Cond::AL, "spin");
+    Rig rig(as.finish());
+    uint64_t used = rig.proc.run(100);
+    EXPECT_EQ(used, 100u);
+    EXPECT_FALSE(rig.proc.halted());
+}
+
+TEST(ProcBasic, TasReturnsOldValueAndSets)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, tagged::ptr(50, Tag::Other));
+    as.tas(2, 1, 0);            // first acquire: old = 0
+    as.tas(3, 1, 0);            // second: old = 1
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(2), 0u);
+    EXPECT_EQ(rig.proc.readReg(3), 1u);
+    EXPECT_EQ(rig.mem.read(50), 1u);
+}
+
+TEST(ProcBasic, GlobalRegistersSurviveFrameSwitch)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(reg::g(0), 1234);
+    as.incfp();
+    as.mov(1, reg::g(0));
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(rig.proc.fp(), 1u);
+    // r1 was written in frame 1; read it from there.
+    EXPECT_EQ(rig.proc.frame(1).regs[1], 1234u);
+}
+
+TEST(ProcBasic, FramePointerInstructions)
+{
+    Assembler as;
+    as.bind("main");
+    as.incfp();
+    as.incfp();
+    as.rdfp(reg::g(1));
+    as.movi(reg::g(2), 1);
+    as.stfp(reg::g(2));
+    as.rdfp(reg::g(3));
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(rig.proc.readGlobal(1), 2u);
+    EXPECT_EQ(rig.proc.readGlobal(3), 1u);
+}
+
+TEST(ProcBasic, IncfpWrapsModuloFrames)
+{
+    Assembler as;
+    as.bind("main");
+    for (int i = 0; i < 4; ++i)
+        as.incfp();
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(rig.proc.fp(), 0u);
+}
+
+TEST(ProcBasic, SpecialRegistersReadable)
+{
+    Assembler as;
+    as.bind("main");
+    as.rdspec(1, Spec::NodeId);
+    as.rdspec(2, Spec::NumFrames);
+    as.rdspec(3, Spec::FrameId);
+    as.halt();
+    ProcParams p;
+    p.nodeId = 9;
+    Rig rig(as.finish(), p);
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(1), 9u);
+    EXPECT_EQ(rig.proc.readReg(2), 4u);
+    EXPECT_EQ(rig.proc.readReg(3), 0u);
+}
+
+} // namespace
+} // namespace april

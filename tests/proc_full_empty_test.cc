@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Executable specification of Table 2: full/empty bit behavior of the
+ * load/store flavors, the f/e condition bit, and Jfull/Jempty.
+ */
+
+#include <gtest/gtest.h>
+
+#include "proc_test_util.hh"
+
+namespace april
+{
+namespace
+{
+
+using testutil::Rig;
+using namespace tagged;
+
+constexpr Addr kSlot = 200;
+
+Word
+slotPtr()
+{
+    return ptr(kSlot, Tag::Other);
+}
+
+TEST(FullEmpty, NonTrappingLoadReadsEmptyWord)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, slotPtr());
+    as.ldnw(2, 1, 0);
+    as.halt();
+    Rig rig(as.finish());
+    rig.mem.writeFe(kSlot, fixnum(5), false);   // empty
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(2), fixnum(5));  // data still moves
+}
+
+TEST(FullEmpty, JemptyDispatchesOnConditionBit)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, slotPtr());
+    as.ldnw(2, 1, 0);           // latches f/e state into PSR.F
+    as.j(Cond::EMPTY, "was_empty");
+    as.movi(3, 1);              // full path
+    as.halt();
+    as.bind("was_empty");
+    as.movi(3, 2);
+    as.halt();
+
+    {
+        Rig rig(as.finish());
+        rig.mem.writeFe(kSlot, 0, false);
+        rig.run();
+        EXPECT_EQ(rig.proc.readReg(3), 2u) << "empty word -> Jempty";
+    }
+}
+
+TEST(FullEmpty, JfullDispatchesOnConditionBit)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, slotPtr());
+    as.ldnw(2, 1, 0);
+    as.j(Cond::FULL, "was_full");
+    as.movi(3, 1);
+    as.halt();
+    as.bind("was_full");
+    as.movi(3, 2);
+    as.halt();
+    Rig rig(as.finish());
+    rig.mem.writeFe(kSlot, 0, true);
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(3), 2u);
+}
+
+TEST(FullEmpty, ConsumingLoadResetsTheBit)
+{
+    // ldenw: reset f/e bit, no trap, wait on miss (Table 2 type 6).
+    Assembler as;
+    as.bind("main");
+    as.movi(1, slotPtr());
+    as.ldenw(2, 1, 0);
+    as.halt();
+    Rig rig(as.finish());
+    rig.mem.writeFe(kSlot, fixnum(9), true);
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(2), fixnum(9));
+    EXPECT_FALSE(rig.mem.isFull(kSlot)) << "ldenw must consume";
+}
+
+TEST(FullEmpty, ProducingStoreSetsTheBit)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, slotPtr());
+    as.movi(2, fixnum(11));
+    as.stfnw(2, 1, 0);          // set-to-full store
+    as.halt();
+    Rig rig(as.finish());
+    rig.mem.setFull(kSlot, false);
+    rig.run();
+    EXPECT_TRUE(rig.mem.isFull(kSlot));
+    EXPECT_EQ(rig.mem.read(kSlot), fixnum(11));
+}
+
+TEST(FullEmpty, PlainStoreLeavesBitAlone)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, slotPtr());
+    as.movi(2, fixnum(3));
+    as.stnw(2, 1, 0);
+    as.halt();
+    Rig rig(as.finish());
+    rig.mem.setFull(kSlot, false);
+    rig.run();
+    EXPECT_FALSE(rig.mem.isFull(kSlot));
+    EXPECT_EQ(rig.mem.read(kSlot), fixnum(3));
+}
+
+/** Build a program with an f/e trap handler that counts and skips. */
+Program
+trapCountProgram(bool store_variant)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, slotPtr());
+    as.movi(2, fixnum(1));
+    if (store_variant)
+        as.sttw(2, 1, 0);       // trap on full
+    else
+        as.ldtw(2, 1, 0);       // trap on empty
+    as.movi(5, 1);              // reached only after skip
+    as.halt();
+
+    // Handler: g0++ and skip the faulting instruction.
+    as.bind("fe_handler");
+    as.addiR(reg::g(0), reg::g(0), 1);
+    as.rettSkip();
+    return as.finish();
+}
+
+TEST(FullEmpty, TrappingLoadOnEmptyRaisesFeEmpty)
+{
+    Program p = trapCountProgram(false);
+    Rig rig(std::move(p));
+    rig.proc.setTrapVector(TrapKind::FeEmpty,
+                           rig.prog.entry("fe_handler"));
+    rig.mem.writeFe(kSlot, fixnum(8), false);
+    rig.run();
+    EXPECT_EQ(rig.proc.readGlobal(0), 1u);
+    EXPECT_EQ(rig.proc.readReg(5), 1u) << "rett skip must continue";
+    EXPECT_EQ(rig.proc.statTraps[size_t(TrapKind::FeEmpty)].value(), 1.0);
+}
+
+TEST(FullEmpty, TrappingLoadOnFullSucceeds)
+{
+    Program p = trapCountProgram(false);
+    Rig rig(std::move(p));
+    rig.proc.setTrapVector(TrapKind::FeEmpty,
+                           rig.prog.entry("fe_handler"));
+    rig.mem.writeFe(kSlot, fixnum(8), true);
+    rig.run();
+    EXPECT_EQ(rig.proc.readGlobal(0), 0u);
+    EXPECT_EQ(rig.proc.readReg(2), fixnum(8));
+}
+
+TEST(FullEmpty, TrappingStoreOnFullRaisesFeFull)
+{
+    Program p = trapCountProgram(true);
+    Rig rig(std::move(p));
+    rig.proc.setTrapVector(TrapKind::FeFull,
+                           rig.prog.entry("fe_handler"));
+    rig.mem.writeFe(kSlot, fixnum(8), true);
+    rig.run();
+    EXPECT_EQ(rig.proc.readGlobal(0), 1u);
+    // The store must NOT have gone through.
+    EXPECT_EQ(rig.mem.read(kSlot), fixnum(8));
+}
+
+TEST(FullEmpty, TrappingStoreOnEmptySucceeds)
+{
+    Program p = trapCountProgram(true);
+    Rig rig(std::move(p));
+    rig.proc.setTrapVector(TrapKind::FeFull,
+                           rig.prog.entry("fe_handler"));
+    rig.mem.writeFe(kSlot, fixnum(8), false);
+    rig.run();
+    EXPECT_EQ(rig.proc.readGlobal(0), 0u);
+    EXPECT_EQ(rig.mem.read(kSlot), fixnum(1));
+}
+
+TEST(FullEmpty, TrapEntryCostsFiveCycles)
+{
+    // Compare a run that traps once (handler = rett skip) against the
+    // same program with a full word: the delta must be the 5-cycle
+    // entry plus the 2 handler instructions (add, rett).
+    Program p1 = trapCountProgram(false);
+    Rig trapping(std::move(p1));
+    trapping.proc.setTrapVector(TrapKind::FeEmpty,
+                                trapping.prog.entry("fe_handler"));
+    trapping.mem.writeFe(kSlot, 0, false);
+    uint64_t cycles_trap = trapping.run();
+
+    Program p2 = trapCountProgram(false);
+    Rig clean(std::move(p2));
+    clean.proc.setTrapVector(TrapKind::FeEmpty,
+                             clean.prog.entry("fe_handler"));
+    clean.mem.writeFe(kSlot, 0, true);
+    uint64_t cycles_clean = clean.run();
+
+    // Trap path: 5 (entry) + add(1) + rett(1), and the faulting load
+    // is skipped (not re-executed), saving its 1 cycle: net +6.
+    EXPECT_EQ(cycles_trap - cycles_clean, 6u);
+}
+
+/**
+ * Producer/consumer through a single word: the classic f/e use.
+ * The producer stores-with-set; the consumer uses a consuming load
+ * that would trap while empty, with a switch-spin style retry handler
+ * that simply retries (single thread: producer runs first here).
+ */
+TEST(FullEmpty, ProducerConsumerHandshake)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, slotPtr());
+    // Producer phase.
+    as.movi(2, fixnum(321));
+    as.stfnw(2, 1, 0);
+    // Consumer phase: trapping consuming load.
+    as.ldetw(3, 1, 0);
+    as.halt();
+    Rig rig(as.finish());
+    rig.mem.setFull(kSlot, false);      // slot starts empty
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(3), fixnum(321));
+    EXPECT_FALSE(rig.mem.isFull(kSlot)) << "ldetw consumed the value";
+}
+
+using FlavorParam = std::tuple<int, bool, bool>;
+
+/** Property sweep: all 8 load flavors against full and empty words. */
+class LoadFlavorTest : public ::testing::TestWithParam<FlavorParam>
+{
+};
+
+TEST_P(LoadFlavorTest, Table2Semantics)
+{
+    auto [flavor, word_full, expect_trap_on_empty] = GetParam();
+    bool fe_trap = flavor & 1;
+    bool fe_modify = flavor & 2;
+    (void)expect_trap_on_empty;
+
+    Assembler as;
+    as.bind("main");
+    as.movi(1, slotPtr());
+    as.load(2, 1, 0, fe_trap, fe_modify,
+            (flavor & 4) ? MissPolicy::Trap : MissPolicy::Wait);
+    as.halt();
+    as.bind("handler");
+    as.addiR(reg::g(0), reg::g(0), 1);
+    as.rettSkip();
+
+    Rig rig(as.finish());
+    rig.proc.setTrapVector(TrapKind::FeEmpty, rig.prog.entry("handler"));
+    rig.mem.writeFe(kSlot, fixnum(55), word_full);
+    rig.run();
+
+    bool trapped = rig.proc.readGlobal(0) == 1;
+    EXPECT_EQ(trapped, fe_trap && !word_full);
+    if (!trapped) {
+        EXPECT_EQ(rig.proc.readReg(2), fixnum(55));
+        EXPECT_EQ(rig.mem.isFull(kSlot), fe_modify ? false : word_full);
+    } else {
+        // No side effects on a trapping access.
+        EXPECT_EQ(rig.mem.isFull(kSlot), word_full);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFlavorsBothStates, LoadFlavorTest,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Bool(),
+                       ::testing::Values(false)));
+
+/** Property sweep for the store duals: trap on *full*, may set full. */
+class StoreFlavorTest : public ::testing::TestWithParam<FlavorParam>
+{
+};
+
+TEST_P(StoreFlavorTest, Table2DualSemantics)
+{
+    auto [flavor, word_full, unused] = GetParam();
+    bool fe_trap = flavor & 1;
+    bool fe_modify = flavor & 2;
+    (void)unused;
+
+    Assembler as;
+    as.bind("main");
+    as.movi(1, slotPtr());
+    as.movi(2, fixnum(9));
+    as.store(2, 1, 0, fe_trap, fe_modify,
+             (flavor & 4) ? MissPolicy::Trap : MissPolicy::Wait);
+    as.halt();
+    as.bind("handler");
+    as.addiR(reg::g(0), reg::g(0), 1);
+    as.rettSkip();
+
+    Rig rig(as.finish());
+    rig.proc.setTrapVector(TrapKind::FeFull, rig.prog.entry("handler"));
+    rig.mem.writeFe(kSlot, fixnum(55), word_full);
+    rig.run();
+
+    bool trapped = rig.proc.readGlobal(0) == 1;
+    EXPECT_EQ(trapped, fe_trap && word_full)
+        << "stores trap on full locations";
+    if (!trapped) {
+        EXPECT_EQ(rig.mem.read(kSlot), fixnum(9));
+        // 'f' flavors set the bit to full; others leave it alone.
+        EXPECT_EQ(rig.mem.isFull(kSlot), fe_modify ? true : word_full);
+    } else {
+        EXPECT_EQ(rig.mem.read(kSlot), fixnum(55))
+            << "no side effects on a trapping store";
+        EXPECT_TRUE(rig.mem.isFull(kSlot));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFlavorsBothStates, StoreFlavorTest,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Bool(),
+                       ::testing::Values(false)));
+
+} // namespace
+} // namespace april

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Hardware future detection (Sections 3.2, 4, 5): strict compute
+ * instructions and memory address operands trap on a set LSB; the
+ * trap handler can resolve the register and retry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "proc_test_util.hh"
+
+namespace april
+{
+namespace
+{
+
+using testutil::Rig;
+using namespace tagged;
+
+constexpr Addr kFut = 300;      ///< future object's value slot
+
+/** Handler: resolve reg[TrapArg] from the future's value slot, retry. */
+void
+emitResolvingHandler(Assembler &as)
+{
+    as.bind("future_handler");
+    as.rdpsr(reg::t(0));                    // preserve condition codes
+    as.rdspec(reg::t(1), Spec::TrapArg);    // register index
+    as.rdregx(reg::t(2), reg::t(1));        // the future pointer
+    // Strip the tag bits to address the value slot (raw ops).
+    as.sraiR(reg::t(3), reg::t(2), 3);
+    as.slliR(reg::t(3), reg::t(3), 3);
+    as.oriR(reg::t(3), reg::t(3), uint8_t(Tag::Other));
+    as.load(reg::t(4), reg::t(3), 0, false, false, MissPolicy::Wait,
+            /*strict=*/false);
+    as.wrregx(reg::t(1), reg::t(4));        // patch the register
+    as.addiR(reg::g(0), reg::g(0), 1);      // count resolutions
+    as.wrpsr(reg::t(0));
+    as.rettRetry();
+}
+
+TEST(FutureTrap, StrictAddTrapsAndResolves)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, ptr(kFut, Tag::Future));
+    as.movi(2, fixnum(10));
+    as.add(3, 1, 2);            // strict: traps, resolves, retries
+    as.halt();
+    emitResolvingHandler(as);
+
+    Rig rig(as.finish());
+    rig.proc.setTrapVector(TrapKind::FutureCompute,
+                           rig.prog.entry("future_handler"));
+    rig.mem.writeFe(kFut, fixnum(32), true);    // resolved future
+    rig.run();
+    EXPECT_EQ(toInt(rig.proc.readReg(3)), 42);
+    EXPECT_EQ(rig.proc.readGlobal(0), 1u);
+}
+
+TEST(FutureTrap, SecondOperandAlsoChecked)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, fixnum(10));
+    as.movi(2, ptr(kFut, Tag::Future));
+    as.add(3, 1, 2);
+    as.halt();
+    emitResolvingHandler(as);
+
+    Rig rig(as.finish());
+    rig.proc.setTrapVector(TrapKind::FutureCompute,
+                           rig.prog.entry("future_handler"));
+    rig.mem.writeFe(kFut, fixnum(5), true);
+    rig.run();
+    EXPECT_EQ(toInt(rig.proc.readReg(3)), 15);
+}
+
+TEST(FutureTrap, BothOperandsFutureTrapTwice)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, ptr(kFut, Tag::Future));
+    as.movi(2, ptr(kFut, Tag::Future));
+    as.add(3, 1, 2);
+    as.halt();
+    emitResolvingHandler(as);
+
+    Rig rig(as.finish());
+    rig.proc.setTrapVector(TrapKind::FutureCompute,
+                           rig.prog.entry("future_handler"));
+    rig.mem.writeFe(kFut, fixnum(21), true);
+    rig.run();
+    EXPECT_EQ(toInt(rig.proc.readReg(3)), 42);
+    EXPECT_EQ(rig.proc.readGlobal(0), 2u) << "one trap per operand";
+}
+
+TEST(FutureTrap, RawOpsNeverTrap)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, ptr(kFut, Tag::Future));
+    as.addiR(2, 1, 0);          // raw move of a future is fine
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(rig.proc.readReg(2), ptr(kFut, Tag::Future));
+    EXPECT_EQ(rig.proc.statTraps[size_t(TrapKind::FutureCompute)].value(),
+              0.0);
+}
+
+TEST(FutureTrap, FixnumsNeverTrap)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, fixnum(-1));
+    as.movi(2, fixnum(1));
+    as.add(3, 1, 2);
+    as.halt();
+    Rig rig(as.finish());
+    rig.run();
+    EXPECT_EQ(toInt(rig.proc.readReg(3)), 0);
+}
+
+TEST(FutureTrap, MemoryAddressOperandTraps)
+{
+    // Implicit touch on dereference (car of a future), Section 4.
+    Assembler as;
+    as.bind("main");
+    as.movi(1, ptr(kFut, Tag::Future));
+    as.ldnw(2, 1, 0);           // strict by default: address is future
+    as.halt();
+    emitResolvingHandler(as);
+
+    Rig rig(as.finish());
+    rig.proc.setTrapVector(TrapKind::FutureMemory,
+                           rig.prog.entry("future_handler"));
+    // The future resolved to a cons whose car holds 7.
+    rig.mem.writeFe(kFut, ptr(400, Tag::Cons), true);
+    rig.mem.write(400, fixnum(7));
+    rig.run();
+    EXPECT_EQ(toInt(rig.proc.readReg(2)), 7);
+    EXPECT_EQ(rig.proc.statTraps[size_t(TrapKind::FutureMemory)].value(),
+              1.0);
+}
+
+TEST(FutureTrap, ConsTaggedAddressDoesNotTrap)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, ptr(400, Tag::Cons));
+    as.ldnw(2, 1, 0);           // cons tag has LSB 0: no trap
+    as.halt();
+    Rig rig(as.finish());
+    rig.mem.write(400, fixnum(9));
+    rig.run();
+    EXPECT_EQ(toInt(rig.proc.readReg(2)), 9);
+}
+
+TEST(FutureTrap, UnvectoredTrapPanics)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, ptr(kFut, Tag::Future));
+    as.add(2, 1, 1);
+    as.halt();
+    Rig rig(as.finish());
+    EXPECT_THROW(rig.run(), PanicError);
+}
+
+TEST(FutureTrap, TrapArgIdentifiesTheRegister)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(7, ptr(kFut, Tag::Future));
+    as.movi(2, fixnum(1));
+    as.add(3, 7, 2);
+    as.halt();
+    as.bind("h");
+    as.rdspec(reg::g(1), Spec::TrapArg);
+    as.rdspec(reg::g(2), Spec::TrapType);
+    // Patch via WRREGX so the retry completes.
+    as.movi(reg::t(0), fixnum(0));
+    as.wrregx(reg::g(1), reg::t(0));
+    as.rettRetry();
+
+    Rig rig(as.finish());
+    rig.proc.setTrapVector(TrapKind::FutureCompute, rig.prog.entry("h"));
+    rig.run();
+    EXPECT_EQ(rig.proc.readGlobal(1), 7u);
+    EXPECT_EQ(rig.proc.readGlobal(2), Word(TrapKind::FutureCompute));
+}
+
+} // namespace
+} // namespace april

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Coarse-grain multithreading tests: the controller-forced context
+ * switch on remote misses, the paper's 6-cycle switch trap handler
+ * (11 cycles total, Section 6.1), switch-spinning rotation across
+ * task frames, and the custom-APRIL 4-cycle hardware switch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "proc_test_util.hh"
+
+namespace april
+{
+namespace
+{
+
+using namespace tagged;
+
+/**
+ * A port where addresses >= remoteBase behave like remote cache
+ * misses: the first `missCount` accesses force a context switch, then
+ * the fill has "arrived" and accesses hit.
+ */
+class FakeRemotePort : public MemPort
+{
+  public:
+    FakeRemotePort(SharedMemory *memory, Addr remote_base, int miss_count)
+        : mem(memory), remoteBase(remote_base), missLeft(miss_count)
+    {}
+
+    MemResult
+    access(const MemAccess &req) override
+    {
+        ++accesses;
+        if (req.addr >= remoteBase && req.miss == MissPolicy::Trap &&
+            req.trapsEnabled && missLeft > 0) {
+            --missLeft;
+            ++switchesForced;
+            return MemResult::forceSwitch();
+        }
+        return applyFeAccess(mem->word(req.addr), req);
+    }
+
+    SharedMemory *mem;
+    Addr remoteBase;
+    int missLeft;
+    int accesses = 0;
+    int switchesForced = 0;
+};
+
+/** Emit the paper's context-switch trap handler (Section 6.1). */
+void
+emitSwitchHandler(Assembler &as)
+{
+    as.bind("cswitch");
+    as.rdpsr(reg::t(0));    // 1: save PSR into a reserved reg
+    as.incfp();             // 2: advance one task frame ("save; save"
+    as.nop();               // 3:  costs two cycles on SPARC)
+    as.wrpsr(reg::t(0));    // 4: restore the new context's PSR
+    as.nop();               // 5: (the jmpl of SPARC's jmpl/rett pair)
+    as.rettRetry();         // 6: resume via the new frame's PC chain
+}
+
+/** Voluntary switch-spin yield used by a running thread. */
+void
+emitYield(Assembler &as, const std::string &resume)
+{
+    as.moviLabel(reg::t(1), resume);
+    as.wrspec(Spec::TrapPC, reg::t(1));
+    as.addiR(reg::t(1), reg::t(1), 1);
+    as.wrspec(Spec::TrapNPC, reg::t(1));
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.wrpsr(reg::t(0));
+    as.rettRetry();
+    as.bind(resume);
+}
+
+constexpr Addr kRemote = 40000;
+
+struct TwoFrameRig
+{
+    explicit TwoFrameRig(Program prog_, int miss_count = 1,
+                         ProcParams::SwitchMode mode =
+                             ProcParams::SwitchMode::TrapHandler)
+        : prog(std::move(prog_)),
+          mem({.numNodes = 1, .wordsPerNode = 1u << 16}),
+          port(&mem, kRemote / 2, miss_count), io(),
+          proc(makeParams(mode), &prog, &port, &io)
+    {
+        proc.reset(prog.entry("main"));
+        if (prog.hasSymbol("cswitch")) {
+            proc.setTrapVector(TrapKind::RemoteMiss,
+                               prog.entry("cswitch"));
+        }
+        // Frame 1 hosts the worker thread.
+        proc.frame(1).trapPC = prog.entry("worker");
+        proc.frame(1).trapNPC = prog.entry("worker") + 1;
+    }
+
+    static ProcParams
+    makeParams(ProcParams::SwitchMode mode)
+    {
+        ProcParams p;
+        p.numFrames = 2;
+        p.switchMode = mode;
+        return p;
+    }
+
+    uint64_t
+    run(uint64_t max_cycles = 100000)
+    {
+        uint64_t used = proc.run(max_cycles);
+        if (!proc.halted())
+            panic("did not halt; pc=", proc.pc());
+        return used;
+    }
+
+    Program prog;
+    SharedMemory mem;
+    FakeRemotePort port;
+    SimpleIoPort io;
+    Processor proc;
+};
+
+Program
+remoteLoadProgram()
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, ptr(kRemote, Tag::Other));
+    as.ldnt(2, 1, 0);           // remote: trap-on-miss flavor
+    as.halt();
+
+    as.bind("worker");
+    as.addiR(reg::g(1), reg::g(1), 1);
+    emitYield(as, "wret");
+    as.j(Cond::AL, "worker");   // if resumed again, loop
+
+    emitSwitchHandler(as);
+    return as.finish();
+}
+
+TEST(Multithread, RemoteMissSwitchesToWorkerAndBack)
+{
+    TwoFrameRig rig(remoteLoadProgram(), 1);
+    rig.mem.write(kRemote, fixnum(64));
+    rig.run();
+    // Worker ran exactly once, then yielded back; the retried load
+    // completed with the filled data.
+    EXPECT_EQ(rig.proc.readGlobal(1), 1u);
+    EXPECT_EQ(rig.proc.frame(0).regs[2], fixnum(64));
+    EXPECT_EQ(rig.port.switchesForced, 1);
+}
+
+TEST(Multithread, SwitchSpinRotatesUntilFillArrives)
+{
+    // Three consecutive forced misses: the processor bounces between
+    // the blocked thread and the worker (switch spinning) until the
+    // fill "arrives" on the fourth attempt.
+    TwoFrameRig rig(remoteLoadProgram(), 3);
+    rig.mem.write(kRemote, fixnum(64));
+    rig.run();
+    EXPECT_EQ(rig.proc.frame(0).regs[2], fixnum(64));
+    EXPECT_EQ(rig.port.switchesForced, 3);
+    EXPECT_EQ(rig.proc.readGlobal(1), 3u) << "worker ran between spins";
+}
+
+TEST(Multithread, ContextSwitchTrapTakesElevenCycles)
+{
+    // Section 6.1: 5 cycles of trap entry + 6 handler cycles = 11
+    // cycles from the trapping instruction to the new thread's first
+    // instruction.
+    TwoFrameRig rig(remoteLoadProgram(), 1);
+    rig.mem.write(kRemote, fixnum(1));
+    rig.run();
+
+    // movi(1) + ld attempt(1 cycle, becomes trap entry of 5 total)
+    // + 6 handler cycles = first worker instruction at cycle 13;
+    // verify via the trap-cycle and switch statistics instead of
+    // eyeballing: entry squash was 5 cycles, handler is 6 insts.
+    EXPECT_EQ(rig.proc.statTrapCycles.value(), 5.0);
+    // Handler executed: rdpsr, incfp, nop, wrpsr, nop, rett = 6.
+    // Worker yield also rotates once; total INCFPs = 2.
+    EXPECT_EQ(rig.proc.statSwitches.value(), 2.0);
+}
+
+TEST(Multithread, ElevenCycleLatencyMeasuredDirectly)
+{
+    // Measure: run the identical program once with zero misses and
+    // once with one miss; the extra cost of one switch-out/switch-in
+    // round trip is 2 * 11 cycles minus overlap with the worker's
+    // useful work. Here the worker does 1 add + an 8-cycle yield, so
+    //   delta = 11 (out) + [1 + 8] (worker) + 11-5-6 overlap... —
+    // instead of re-deriving, assert the documented identity:
+    //   delta = 2 * 11 + worker_cycles - 1 (the retried load's first
+    //           attempt is counted once).
+    TwoFrameRig clean(remoteLoadProgram(), 0);
+    clean.mem.write(kRemote, fixnum(1));
+    uint64_t base = clean.run();
+
+    TwoFrameRig missy(remoteLoadProgram(), 1);
+    missy.mem.write(kRemote, fixnum(1));
+    uint64_t with_miss = missy.run();
+
+    // Worker body: add(1) + yield(movi,wrspec,add,wrspec,rdpsr,incfp,
+    // wrpsr,rett = 8) = 9 cycles.
+    const uint64_t worker_cycles = 9;
+    // The 11-cycle switch (trap entry 5 + handler 6) includes the
+    // faulting attempt's own cycle, which the clean run also pays, so
+    // it contributes 10 extra cycles; the retried load adds 1 more.
+    const uint64_t switch_out_extra = 10;
+    EXPECT_EQ(with_miss - base, switch_out_extra + worker_cycles + 1);
+}
+
+TEST(Multithread, HardwareModeSwitchesInFourCycles)
+{
+    // Custom-APRIL estimate: a four-cycle context switch with no
+    // handler instructions (Section 6.1).
+    Assembler as;
+    as.bind("main");
+    as.movi(1, ptr(kRemote, Tag::Other));
+    as.ldnt(2, 1, 0);
+    as.halt();
+    as.bind("worker");
+    as.addiR(reg::g(1), reg::g(1), 1);
+    as.incfp();                 // hardware switch back
+    as.j(Cond::AL, "worker");
+
+    TwoFrameRig rig(as.finish(), 1, ProcParams::SwitchMode::Hardware);
+    rig.mem.write(kRemote, fixnum(8));
+    rig.run();
+    EXPECT_EQ(rig.proc.frame(0).regs[2], fixnum(8));
+    EXPECT_EQ(rig.proc.readGlobal(1), 1u);
+    // Two switches (out and back), each 4 cycles:
+    // total = movi(1) + attempt(4: switch out) + add(1) + incfp(4)
+    //         + retry(1) + halt(1) = 12.
+    EXPECT_EQ(rig.proc.cycle(), 12u);
+}
+
+TEST(Multithread, HandlerAccessesAreHeldNotSwitched)
+{
+    // With traps disabled (inside a handler) the controller must not
+    // force a switch: the request waits instead (MHOLD).
+    Assembler as;
+    as.bind("main");
+    as.movi(1, ptr(kRemote, Tag::Other));
+    as.trap(0);                 // enter a software handler
+    as.halt();
+    as.bind("soft");
+    as.ldnt(2, 1, 0);           // would force a switch in user mode
+    as.rettSkip();
+
+    Program prog = as.finish();
+    SharedMemory mem({.numNodes = 1, .wordsPerNode = 1u << 16});
+    FakeRemotePort port(&mem, kRemote / 2, 100);
+    SimpleIoPort io;
+    ProcParams params;
+    Processor proc(params, &prog, &port, &io);
+    proc.reset(prog.entry("main"));
+    proc.setTrapVector(TrapKind::SoftTrap0, prog.entry("soft"));
+    mem.write(kRemote, fixnum(5));
+    proc.run(10000);
+    ASSERT_TRUE(proc.halted());
+    EXPECT_EQ(proc.readReg(2), fixnum(5));
+    EXPECT_EQ(port.switchesForced, 0);
+}
+
+TEST(Multithread, IpiDeliversAsynchronousTrap)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, 0);
+    as.bind("spin");
+    as.cmpiR(reg::g(2), 1);
+    as.jRaw(Cond::NE, "spin");
+    as.nop();
+    as.halt();
+    as.bind("ipi_handler");
+    as.rdspec(reg::g(3), Spec::TrapArg);
+    as.movi(reg::g(2), 1);
+    as.rettRetry();
+
+    Program prog = as.finish();
+    SharedMemory mem({.numNodes = 1, .wordsPerNode = 1u << 12});
+    PerfectMemPort port(&mem);
+    SimpleIoPort io;
+    Processor proc({}, &prog, &port, &io);
+    proc.reset(prog.entry("main"));
+    proc.setTrapVector(TrapKind::Ipi, prog.entry("ipi_handler"));
+
+    for (int i = 0; i < 5; ++i)
+        proc.tick();
+    proc.postIpi(fixnum(99));
+    proc.run(1000);
+    ASSERT_TRUE(proc.halted());
+    EXPECT_EQ(proc.readGlobal(3), fixnum(99));
+}
+
+} // namespace
+} // namespace april

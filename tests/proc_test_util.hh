@@ -1,0 +1,50 @@
+/** @file Shared fixture utilities for processor-level tests. */
+
+#ifndef APRIL_TESTS_PROC_TEST_UTIL_HH
+#define APRIL_TESTS_PROC_TEST_UTIL_HH
+
+#include <memory>
+
+#include "isa/assembler.hh"
+#include "mem/memory.hh"
+#include "proc/perfect_port.hh"
+#include "proc/processor.hh"
+
+namespace april::testutil
+{
+
+/** A single APRIL core on perfect memory, ready to run a Program. */
+struct Rig
+{
+    explicit Rig(Program prog_, ProcParams params = {},
+                 uint32_t mem_words = 1u << 16)
+        : prog(std::move(prog_)),
+          mem({.numNodes = 1, .wordsPerNode = mem_words}),
+          port(&mem), io(),
+          proc(params, &prog, &port, &io)
+    {
+        proc.reset(prog.hasSymbol("main") ? prog.entry("main") : 0);
+    }
+
+    /** Run to completion; panic if the program does not halt. */
+    uint64_t
+    run(uint64_t max_cycles = 1'000'000)
+    {
+        uint64_t used = proc.run(max_cycles);
+        if (!proc.halted())
+            panic("test program did not halt within ", max_cycles,
+                  " cycles (pc=", proc.pc(), " ",
+                  prog.symbolAt(proc.pc()), ")");
+        return used;
+    }
+
+    Program prog;
+    SharedMemory mem;
+    PerfectMemPort port;
+    SimpleIoPort io;
+    Processor proc;
+};
+
+} // namespace april::testutil
+
+#endif // APRIL_TESTS_PROC_TEST_UTIL_HH

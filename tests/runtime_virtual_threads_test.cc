@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 2's virtual-thread organization: "Threads in ALEWIFE are
+ * virtual. Only a small subset of all threads can be physically
+ * resident on the processors ... the set of task frames acts like a
+ * cache on the virtual threads."
+ *
+ * These tests create far more threads than hardware task frames and
+ * check that unloaded threads live on memory queues, are re-loaded on
+ * demand, and that the frame count does not affect results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mult_test_util.hh"
+
+namespace april
+{
+namespace
+{
+
+using testutil::runMult;
+using tagged::fixnum;
+using FM = mult::CompileOptions::FutureMode;
+
+const std::string kFib =
+    "(define (fib n)"
+    "  (if (< n 2) n (+ (future (fib (- n 1)))"
+    "                   (future (fib (- n 2))))))"
+    "(define (main) (fib 11))";
+
+mult::CompileOptions
+eager()
+{
+    mult::CompileOptions c;
+    c.futures = FM::Eager;
+    return c;
+}
+
+TEST(VirtualThreads, HundredsOfThreadsOnFourFrames)
+{
+    auto r = runMult(kFib, eager(), 1, 200'000'000, 1u << 20, 4);
+    EXPECT_EQ(r.result, fixnum(89));
+    // fib(11) creates ~460 tasks; far more than 4 frames can hold.
+    EXPECT_GT(r.spawns, 200u);
+    EXPECT_GT(r.blocks, 10u) << "threads must unload to memory queues";
+    EXPECT_EQ(r.resumes, r.blocks)
+        << "every unloaded thread must eventually be re-loaded";
+}
+
+TEST(VirtualThreads, SingleFrameStillCorrect)
+{
+    // Even one task frame works: the scheduler time-multiplexes all
+    // virtual threads through it (loading/unloading via descriptors).
+    auto r = runMult(kFib, eager(), 1, 200'000'000, 1u << 20, 1);
+    EXPECT_EQ(r.result, fixnum(89));
+}
+
+TEST(VirtualThreads, FrameCountInvariantResults)
+{
+    for (uint32_t frames : {1u, 2u, 4u, 8u}) {
+        auto r = runMult(kFib, eager(), 2, 200'000'000, 1u << 20,
+                         frames);
+        EXPECT_EQ(r.result, fixnum(89)) << frames << " frames";
+    }
+}
+
+TEST(VirtualThreads, BlockedThreadsWaitOnFutures)
+{
+    // A chain of dependent futures: each touch blocks until the next
+    // level resolves; the ready queue drains them in dependency order.
+    const std::string chain =
+        "(define (step x) (+ x 1))"
+        "(define (chain n acc)"
+        "  (if (= n 0) acc"
+        "      (chain (- n 1) (touch (future (step acc))))))"
+        "(define (main) (chain 50 0))";
+    auto r = runMult(chain, eager(), 1);
+    EXPECT_EQ(r.result, fixnum(50));
+    EXPECT_EQ(r.spawns, 50u);
+}
+
+TEST(VirtualThreads, SchedulerPrefersLoadedWork)
+{
+    // With ample frames and one processor, lazy mode never unloads:
+    // the loaded thread runs to completion (scheduling overhead 0).
+    mult::CompileOptions lazy;
+    lazy.futures = FM::Lazy;
+    auto r = runMult(kFib, lazy, 1);
+    EXPECT_EQ(r.blocks, 0u);
+    EXPECT_EQ(r.resumes, 0u);
+}
+
+} // namespace
+} // namespace april

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cache.dir/bench_ablation_cache.cc.o"
+  "CMakeFiles/bench_ablation_cache.dir/bench_ablation_cache.cc.o.d"
+  "bench_ablation_cache"
+  "bench_ablation_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

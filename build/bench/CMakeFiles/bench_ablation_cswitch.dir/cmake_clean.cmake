@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cswitch.dir/bench_ablation_cswitch.cc.o"
+  "CMakeFiles/bench_ablation_cswitch.dir/bench_ablation_cswitch.cc.o.d"
+  "bench_ablation_cswitch"
+  "bench_ablation_cswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alewife_scaling.dir/bench_alewife_scaling.cc.o"
+  "CMakeFiles/bench_alewife_scaling.dir/bench_alewife_scaling.cc.o.d"
+  "bench_alewife_scaling"
+  "bench_alewife_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alewife_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

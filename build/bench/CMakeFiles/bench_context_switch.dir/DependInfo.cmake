@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_context_switch.cc" "bench/CMakeFiles/bench_context_switch.dir/bench_context_switch.cc.o" "gcc" "bench/CMakeFiles/bench_context_switch.dir/bench_context_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proc/CMakeFiles/april_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/april_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/april_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_context_switch.dir/bench_context_switch.cc.o"
+  "CMakeFiles/bench_context_switch.dir/bench_context_switch.cc.o.d"
+  "bench_context_switch"
+  "bench_context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

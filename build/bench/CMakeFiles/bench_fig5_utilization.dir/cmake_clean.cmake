@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_utilization.dir/bench_fig5_utilization.cc.o"
+  "CMakeFiles/bench_fig5_utilization.dir/bench_fig5_utilization.cc.o.d"
+  "bench_fig5_utilization"
+  "bench_fig5_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

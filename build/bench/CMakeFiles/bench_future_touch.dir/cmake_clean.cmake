@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_touch.dir/bench_future_touch.cc.o"
+  "CMakeFiles/bench_future_touch.dir/bench_future_touch.cc.o.d"
+  "bench_future_touch"
+  "bench_future_touch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_touch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

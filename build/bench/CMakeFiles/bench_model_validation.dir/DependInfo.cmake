@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_model_validation.cc" "bench/CMakeFiles/bench_model_validation.dir/bench_model_validation.cc.o" "gcc" "bench/CMakeFiles/bench_model_validation.dir/bench_model_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/april_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/april_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mult/CMakeFiles/april_mult.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/april_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/april_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/april_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/april_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/april_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/april_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/april_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_latency.dir/bench_network_latency.cc.o"
+  "CMakeFiles/bench_network_latency.dir/bench_network_latency.cc.o.d"
+  "bench_network_latency"
+  "bench_network_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_loads.dir/bench_table2_loads.cc.o"
+  "CMakeFiles/bench_table2_loads.dir/bench_table2_loads.cc.o.d"
+  "bench_table2_loads"
+  "bench_table2_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_mult.dir/bench_table3_mult.cc.o"
+  "CMakeFiles/bench_table3_mult.dir/bench_table3_mult.cc.o.d"
+  "bench_table3_mult"
+  "bench_table3_mult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alewife_machine_demo.dir/alewife_machine_demo.cpp.o"
+  "CMakeFiles/alewife_machine_demo.dir/alewife_machine_demo.cpp.o.d"
+  "alewife_machine_demo"
+  "alewife_machine_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alewife_machine_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

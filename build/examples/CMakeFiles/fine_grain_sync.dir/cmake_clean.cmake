@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fine_grain_sync.dir/fine_grain_sync.cpp.o"
+  "CMakeFiles/fine_grain_sync.dir/fine_grain_sync.cpp.o.d"
+  "fine_grain_sync"
+  "fine_grain_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fine_grain_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fine_grain_sync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futures_fib.dir/futures_fib.cpp.o"
+  "CMakeFiles/futures_fib.dir/futures_fib.cpp.o.d"
+  "futures_fib"
+  "futures_fib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futures_fib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for futures_fib.
+# This may be replaced when dependencies are built.

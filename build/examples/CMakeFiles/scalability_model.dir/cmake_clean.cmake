@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_model.dir/scalability_model.cpp.o"
+  "CMakeFiles/scalability_model.dir/scalability_model.cpp.o.d"
+  "scalability_model"
+  "scalability_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("mem")
+subdirs("cache")
+subdirs("network")
+subdirs("coherence")
+subdirs("proc")
+subdirs("runtime")
+subdirs("mult")
+subdirs("machine")
+subdirs("model")
+subdirs("workloads")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/april_cache.dir/cache.cc.o"
+  "CMakeFiles/april_cache.dir/cache.cc.o.d"
+  "libapril_cache.a"
+  "libapril_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/april_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/april_coherence.dir/controller.cc.o"
+  "CMakeFiles/april_coherence.dir/controller.cc.o.d"
+  "libapril_coherence.a"
+  "libapril_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/april_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/april_common.dir/logging.cc.o"
+  "CMakeFiles/april_common.dir/logging.cc.o.d"
+  "CMakeFiles/april_common.dir/stats.cc.o"
+  "CMakeFiles/april_common.dir/stats.cc.o.d"
+  "libapril_common.a"
+  "libapril_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/april_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/april_isa.dir/assembler.cc.o"
+  "CMakeFiles/april_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/april_isa.dir/instruction.cc.o"
+  "CMakeFiles/april_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/april_isa.dir/types.cc.o"
+  "CMakeFiles/april_isa.dir/types.cc.o.d"
+  "libapril_isa.a"
+  "libapril_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/april_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/april_machine.dir/alewife_machine.cc.o"
+  "CMakeFiles/april_machine.dir/alewife_machine.cc.o.d"
+  "CMakeFiles/april_machine.dir/driver.cc.o"
+  "CMakeFiles/april_machine.dir/driver.cc.o.d"
+  "CMakeFiles/april_machine.dir/perfect_machine.cc.o"
+  "CMakeFiles/april_machine.dir/perfect_machine.cc.o.d"
+  "libapril_machine.a"
+  "libapril_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/april_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

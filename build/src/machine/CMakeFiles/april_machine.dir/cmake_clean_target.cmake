@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapril_machine.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/april_model.dir/scalability.cc.o"
+  "CMakeFiles/april_model.dir/scalability.cc.o.d"
+  "libapril_model.a"
+  "libapril_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/april_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

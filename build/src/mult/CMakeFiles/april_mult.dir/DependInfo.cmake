@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mult/compiler.cc" "src/mult/CMakeFiles/april_mult.dir/compiler.cc.o" "gcc" "src/mult/CMakeFiles/april_mult.dir/compiler.cc.o.d"
+  "/root/repo/src/mult/sexp.cc" "src/mult/CMakeFiles/april_mult.dir/sexp.cc.o" "gcc" "src/mult/CMakeFiles/april_mult.dir/sexp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/april_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/april_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/april_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/april_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

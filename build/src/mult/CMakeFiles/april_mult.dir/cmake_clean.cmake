@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/april_mult.dir/compiler.cc.o"
+  "CMakeFiles/april_mult.dir/compiler.cc.o.d"
+  "CMakeFiles/april_mult.dir/sexp.cc.o"
+  "CMakeFiles/april_mult.dir/sexp.cc.o.d"
+  "libapril_mult.a"
+  "libapril_mult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/april_mult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/april_network.dir/network.cc.o"
+  "CMakeFiles/april_network.dir/network.cc.o.d"
+  "libapril_network.a"
+  "libapril_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/april_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

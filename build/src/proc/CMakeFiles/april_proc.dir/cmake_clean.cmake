@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/april_proc.dir/processor.cc.o"
+  "CMakeFiles/april_proc.dir/processor.cc.o.d"
+  "libapril_proc.a"
+  "libapril_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/april_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

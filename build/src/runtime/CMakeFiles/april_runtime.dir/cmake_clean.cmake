@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/april_runtime.dir/runtime.cc.o"
+  "CMakeFiles/april_runtime.dir/runtime.cc.o.d"
+  "libapril_runtime.a"
+  "libapril_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/april_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/april_workloads.dir/workloads.cc.o"
+  "CMakeFiles/april_workloads.dir/workloads.cc.o.d"
+  "libapril_workloads.a"
+  "libapril_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/april_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

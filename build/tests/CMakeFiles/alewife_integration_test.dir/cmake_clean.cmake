@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alewife_integration_test.dir/alewife_integration_test.cc.o"
+  "CMakeFiles/alewife_integration_test.dir/alewife_integration_test.cc.o.d"
+  "alewife_integration_test"
+  "alewife_integration_test.pdb"
+  "alewife_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alewife_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_stress_test.dir/coherence_stress_test.cc.o"
+  "CMakeFiles/coherence_stress_test.dir/coherence_stress_test.cc.o.d"
+  "coherence_stress_test"
+  "coherence_stress_test.pdb"
+  "coherence_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

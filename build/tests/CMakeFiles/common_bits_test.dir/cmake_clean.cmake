@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_bits_test.dir/common_bits_test.cc.o"
+  "CMakeFiles/common_bits_test.dir/common_bits_test.cc.o.d"
+  "common_bits_test"
+  "common_bits_test.pdb"
+  "common_bits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_bits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

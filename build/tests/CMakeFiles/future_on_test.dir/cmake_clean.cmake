@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_on_test.dir/future_on_test.cc.o"
+  "CMakeFiles/future_on_test.dir/future_on_test.cc.o.d"
+  "future_on_test"
+  "future_on_test.pdb"
+  "future_on_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_on_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

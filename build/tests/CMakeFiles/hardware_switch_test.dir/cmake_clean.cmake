@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_switch_test.dir/hardware_switch_test.cc.o"
+  "CMakeFiles/hardware_switch_test.dir/hardware_switch_test.cc.o.d"
+  "hardware_switch_test"
+  "hardware_switch_test.pdb"
+  "hardware_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_disasm_test.dir/isa_disasm_test.cc.o"
+  "CMakeFiles/isa_disasm_test.dir/isa_disasm_test.cc.o.d"
+  "isa_disasm_test"
+  "isa_disasm_test.pdb"
+  "isa_disasm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_disasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

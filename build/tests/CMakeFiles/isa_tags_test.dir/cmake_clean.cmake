@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_tags_test.dir/isa_tags_test.cc.o"
+  "CMakeFiles/isa_tags_test.dir/isa_tags_test.cc.o.d"
+  "isa_tags_test"
+  "isa_tags_test.pdb"
+  "isa_tags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_tags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

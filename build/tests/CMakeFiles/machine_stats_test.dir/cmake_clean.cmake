@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_stats_test.dir/machine_stats_test.cc.o"
+  "CMakeFiles/machine_stats_test.dir/machine_stats_test.cc.o.d"
+  "machine_stats_test"
+  "machine_stats_test.pdb"
+  "machine_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_memory_test.dir/mem_memory_test.cc.o"
+  "CMakeFiles/mem_memory_test.dir/mem_memory_test.cc.o.d"
+  "mem_memory_test"
+  "mem_memory_test.pdb"
+  "mem_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mult_compiler_test.dir/mult_compiler_test.cc.o"
+  "CMakeFiles/mult_compiler_test.dir/mult_compiler_test.cc.o.d"
+  "mult_compiler_test"
+  "mult_compiler_test.pdb"
+  "mult_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mult_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mult_differential_test.dir/mult_differential_test.cc.o"
+  "CMakeFiles/mult_differential_test.dir/mult_differential_test.cc.o.d"
+  "mult_differential_test"
+  "mult_differential_test.pdb"
+  "mult_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mult_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mult_reader_test.dir/mult_reader_test.cc.o"
+  "CMakeFiles/mult_reader_test.dir/mult_reader_test.cc.o.d"
+  "mult_reader_test"
+  "mult_reader_test.pdb"
+  "mult_reader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mult_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proc_basic_test.dir/proc_basic_test.cc.o"
+  "CMakeFiles/proc_basic_test.dir/proc_basic_test.cc.o.d"
+  "proc_basic_test"
+  "proc_basic_test.pdb"
+  "proc_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proc_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proc_full_empty_test.dir/proc_full_empty_test.cc.o"
+  "CMakeFiles/proc_full_empty_test.dir/proc_full_empty_test.cc.o.d"
+  "proc_full_empty_test"
+  "proc_full_empty_test.pdb"
+  "proc_full_empty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proc_full_empty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

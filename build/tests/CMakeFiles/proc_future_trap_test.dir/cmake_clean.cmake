@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proc_future_trap_test.dir/proc_future_trap_test.cc.o"
+  "CMakeFiles/proc_future_trap_test.dir/proc_future_trap_test.cc.o.d"
+  "proc_future_trap_test"
+  "proc_future_trap_test.pdb"
+  "proc_future_trap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proc_future_trap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proc_multithread_test.dir/proc_multithread_test.cc.o"
+  "CMakeFiles/proc_multithread_test.dir/proc_multithread_test.cc.o.d"
+  "proc_multithread_test"
+  "proc_multithread_test.pdb"
+  "proc_multithread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proc_multithread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_futures_test.dir/runtime_futures_test.cc.o"
+  "CMakeFiles/runtime_futures_test.dir/runtime_futures_test.cc.o.d"
+  "runtime_futures_test"
+  "runtime_futures_test.pdb"
+  "runtime_futures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_futures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_trap_cost_test.dir/runtime_trap_cost_test.cc.o"
+  "CMakeFiles/runtime_trap_cost_test.dir/runtime_trap_cost_test.cc.o.d"
+  "runtime_trap_cost_test"
+  "runtime_trap_cost_test.pdb"
+  "runtime_trap_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_trap_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

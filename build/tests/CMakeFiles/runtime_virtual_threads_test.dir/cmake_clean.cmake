@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_virtual_threads_test.dir/runtime_virtual_threads_test.cc.o"
+  "CMakeFiles/runtime_virtual_threads_test.dir/runtime_virtual_threads_test.cc.o.d"
+  "runtime_virtual_threads_test"
+  "runtime_virtual_threads_test.pdb"
+  "runtime_virtual_threads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_virtual_threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[MessagePassing.IpiPlusBlockTransferDelivery]=]  /root/repo/build/tests/message_passing_test [==[--gtest_filter=MessagePassing.IpiPlusBlockTransferDelivery]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[MessagePassing.IpiPlusBlockTransferDelivery]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  message_passing_test_TESTS MessagePassing.IpiPlusBlockTransferDelivery)

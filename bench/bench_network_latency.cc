@@ -41,6 +41,7 @@ loadedLatency(double inject_per_node, uint64_t seed)
 {
     Network n({.dim = 2, .radix = 8});
     Rng rng(seed);
+    std::vector<Packet> drained;
     for (int cycle = 0; cycle < 4000; ++cycle) {
         for (uint32_t node = 0; node < n.numNodes(); ++node) {
             if (rng.chance(inject_per_node)) {
@@ -53,13 +54,13 @@ loadedLatency(double inject_per_node, uint64_t seed)
         }
         n.tick();
         for (uint32_t node = 0; node < n.numNodes(); ++node)
-            n.deliver(node);
+            n.deliver(node, drained);
     }
     // Drain.
     for (int cycle = 0; cycle < 4000 && !n.idle(); ++cycle) {
         n.tick();
         for (uint32_t node = 0; node < n.numNodes(); ++node)
-            n.deliver(node);
+            n.deliver(node, drained);
     }
     return n.statLatency.mean();
 }

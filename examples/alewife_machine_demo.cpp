@@ -50,7 +50,7 @@ main(int argc, char **argv)
     std::printf("machine statistics:\n");
     machine.dump(std::cout);
 
-    std::printf("\nnote the contextSwitches and traps5 (remote-miss) "
+    std::printf("\nnote the contextSwitches and trapsRemoteMiss "
                 "counters: every use of the\nnetwork switched the "
                 "processor to another task frame (Section 2.1).\n");
     return 0;

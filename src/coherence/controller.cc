@@ -1,5 +1,8 @@
 #include "coherence/controller.hh"
 
+#include <algorithm>
+
+#include "common/bits.hh"
 #include "common/logging.hh"
 #include "proc/fe_semantics.hh"
 #include "proc/processor.hh"
@@ -97,6 +100,21 @@ void
 Controller::receive(const Message &msg)
 {
     inbox.push_back(msg);
+}
+
+uint64_t
+Controller::nextEventCycle() const
+{
+    // Queued messages are handled on the very next tick.
+    uint64_t now = fabric->now();
+    if (!inbox.empty())
+        return now + 1;
+    // Delayed work dispatches at its due time; entries already due
+    // (scheduled this cycle, after our tick ran) go out next tick.
+    uint64_t next = kNeverCycle;
+    for (const Delayed &d : delayed)
+        next = std::min(next, std::max(d.due, now + 1));
+    return next;
 }
 
 bool

@@ -84,6 +84,16 @@ class Controller : public MemPort, public stats::Group
     /** Advance one cycle: dispatch due work. */
     void tick();
 
+    /**
+     * Earliest cycle at which this controller can do observable work:
+     * the next tick when the inbox holds messages, the earliest due
+     * time of the occupancy/memory-latency queue otherwise, or
+     * kNeverCycle when fully idle (outstanding MSHRs wait on messages
+     * and generate no events themselves). Used by the machine's
+     * cycle-skipping run loop.
+     */
+    uint64_t nextEventCycle() const;
+
     cache::Cache &cacheRef() { return _cache; }
 
     stats::Scalar statLocalMisses;

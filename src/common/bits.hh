@@ -11,6 +11,14 @@
 namespace april
 {
 
+/**
+ * "No event, ever" sentinel for nextEventCycle() reports. Components
+ * that can do no further observable work without external input
+ * (halted processors, idle controllers, empty networks) return this so
+ * the machines' cycle-skipping run loops can fast-forward past them.
+ */
+constexpr uint64_t kNeverCycle = ~uint64_t(0);
+
 /** @return a mask with the low @p n bits set (n may be 0..64). */
 constexpr uint64_t
 mask(unsigned n)

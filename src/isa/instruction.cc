@@ -24,6 +24,25 @@ name(uint8_t r)
 
 } // namespace reg
 
+const char *
+trapKindName(TrapKind kind)
+{
+    static const char *const names[size_t(TrapKind::NumKinds)] = {
+        "None",
+        "FutureCompute",
+        "FutureMemory",
+        "FeEmpty",
+        "FeFull",
+        "RemoteMiss",
+        "SoftTrap0", "SoftTrap1", "SoftTrap2", "SoftTrap3",
+        "SoftTrap4", "SoftTrap5", "SoftTrap6", "SoftTrap7",
+        "Ipi",
+    };
+    if (size_t(kind) >= size_t(TrapKind::NumKinds))
+        return "Invalid";
+    return names[size_t(kind)];
+}
+
 namespace
 {
 

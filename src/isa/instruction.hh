@@ -139,6 +139,12 @@ enum class TrapKind : uint8_t
     NumKinds,
 };
 
+/**
+ * Canonical name of a trap kind ("RemoteMiss", "FutureCompute", ...),
+ * shared by per-kind statistics naming and log/panic messages.
+ */
+const char *trapKindName(TrapKind kind);
+
 /** How a memory instruction behaves on a cache miss (Table 2). */
 enum class MissPolicy : uint8_t
 {

@@ -1,5 +1,8 @@
 #include "machine/alewife_machine.hh"
 
+#include <algorithm>
+
+#include "common/bits.hh"
 #include "common/logging.hh"
 #include "runtime/layout.hh"
 
@@ -63,7 +66,8 @@ AlewifeMachine::tick()
     ++_cycle;
     net_.tick();
     for (uint32_t i = 0; i < procs.size(); ++i) {
-        for (const net::Packet &pkt : net_.deliver(i)) {
+        net_.deliver(i, deliverBuf);
+        for (const net::Packet &pkt : deliverBuf) {
             ctrls[i]->receive(msgPool[pkt.payload]);
             msgFree.push_back(pkt.payload);
         }
@@ -73,11 +77,59 @@ AlewifeMachine::tick()
 }
 
 uint64_t
+AlewifeMachine::nextEventCycle() const
+{
+    uint64_t soon = _cycle + 1;
+    uint64_t next = kNeverCycle;
+    // Components in cheapest-first order, bailing out as soon as one
+    // wants the very next tick: the common busy case must not pay for
+    // the O(links) network scan.
+    for (const auto &p : procs) {
+        next = std::min(next, p->nextEventCycle());
+        if (next <= soon)
+            return next;
+    }
+    for (const auto &c : ctrls) {
+        next = std::min(next, c->nextEventCycle());
+        if (next <= soon)
+            return next;
+    }
+    return std::min(next, net_.nextEventCycle());
+}
+
+void
+AlewifeMachine::fastForward(uint64_t cycles)
+{
+    _cycle += cycles;
+    net_.skip(cycles);
+    for (auto &p : procs)
+        p->skipCycles(cycles);
+    // Controllers keep no per-cycle state: their delayed queues hold
+    // absolute due times checked against the machine clock.
+}
+
+uint64_t
 AlewifeMachine::run(uint64_t max_cycles)
 {
     uint64_t start = _cycle;
-    while (!haltFlag && _cycle - start < max_cycles)
+    while (!haltFlag && _cycle - start < max_cycles) {
+        if (params.cycleSkip) {
+            uint64_t next = nextEventCycle();
+            if (next > _cycle + 1) {
+                // Everything is idle until `next` (or forever): credit
+                // the skipped cycles in one arithmetic step, clamped
+                // to the caller's budget, and resume ticking one cycle
+                // before the event.
+                uint64_t idle = next == kNeverCycle
+                    ? kNeverCycle
+                    : next - _cycle - 1;
+                fastForward(
+                    std::min(idle, max_cycles - (_cycle - start)));
+                continue;
+            }
+        }
         tick();
+    }
     return _cycle - start;
 }
 

@@ -33,6 +33,10 @@ struct AlewifeParams
     /// Boot the Mul-T run-time system on every node (requires the
     /// runtime's symbols in the program). Turn off for raw programs.
     bool bootRuntime = true;
+    /// Fast-forward cycles in run() when every processor, controller
+    /// and the network is provably idle (cycle-exact; see
+    /// nextEventCycle()). Off forces the plain per-cycle loop.
+    bool cycleSkip = true;
 };
 
 /** N ALEWIFE nodes on a mesh. */
@@ -43,6 +47,17 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
 
     void tick();
     uint64_t run(uint64_t max_cycles);
+
+    /**
+     * Earliest cycle at which any component (processor, controller,
+     * network) can do observable work; kNeverCycle when the machine
+     * is permanently idle. Values <= cycle() + 1 mean "tick normally".
+     */
+    uint64_t nextEventCycle() const;
+
+    /** Toggle cycle-skipping in run() (construction-time default
+     *  comes from AlewifeParams::cycleSkip). */
+    void setCycleSkipping(bool on) { params.cycleSkip = on; }
 
     bool halted() const { return haltFlag; }
     uint64_t cycle() const { return _cycle; }
@@ -87,9 +102,14 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
     std::vector<std::unique_ptr<coh::Controller>> ctrls;
     std::vector<std::unique_ptr<NodeIo>> ios;
     std::vector<std::unique_ptr<Processor>> procs;
+    /** Bulk-advance @p cycles fully idle cycles (run() fast path). */
+    void fastForward(uint64_t cycles);
+
     /** In-flight coherence messages, keyed by packet payload. */
     std::vector<coh::Message> msgPool;
     std::vector<uint64_t> msgFree;
+    /** Reusable per-tick delivery buffer (see net::Network::deliver). */
+    std::vector<net::Packet> deliverBuf;
     std::vector<Word> consoleWords;
     bool haltFlag = false;
     uint64_t _cycle = 0;

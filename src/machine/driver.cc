@@ -24,6 +24,7 @@ runMultProgram(const std::string &source, const DriverOptions &options)
     mp.wordsPerNode = options.wordsPerNode;
     mp.proc = options.proc;
     mp.seed = options.seed;
+    mp.cycleSkip = options.cycleSkip;
     PerfectMachine machine(mp, &prog, runtime);
     machine.run(options.maxCycles);
     if (!machine.halted()) {

@@ -28,6 +28,7 @@ struct DriverOptions
     ProcParams proc;            ///< nodeId is overwritten per node
     uint64_t maxCycles = 2'000'000'000;
     uint64_t seed = 12345;
+    bool cycleSkip = true;      ///< fast-forward fully idle cycles
 
     /** The Encore Multimax baseline configuration (Section 7). */
     static DriverOptions

@@ -1,5 +1,8 @@
 #include "machine/perfect_machine.hh"
 
+#include <algorithm>
+
+#include "common/bits.hh"
 #include "runtime/layout.hh"
 
 namespace april
@@ -84,11 +87,42 @@ PerfectMachine::tick()
 }
 
 uint64_t
+PerfectMachine::nextEventCycle() const
+{
+    uint64_t soon = _cycle + 1;
+    uint64_t next = kNeverCycle;
+    for (const auto &p : procs) {
+        next = std::min(next, p->nextEventCycle());
+        if (next <= soon)
+            return next;
+    }
+    return next;
+}
+
+uint64_t
 PerfectMachine::run(uint64_t max_cycles)
 {
     uint64_t start = _cycle;
-    while (!haltFlag && _cycle - start < max_cycles)
+    while (!haltFlag && _cycle - start < max_cycles) {
+        if (params.cycleSkip) {
+            uint64_t next = nextEventCycle();
+            if (next > _cycle + 1) {
+                // Every core is stalled (or halted) until `next`:
+                // credit the idle window in one arithmetic step,
+                // clamped to the caller's budget.
+                uint64_t idle = next == kNeverCycle
+                    ? kNeverCycle
+                    : next - _cycle - 1;
+                uint64_t n =
+                    std::min(idle, max_cycles - (_cycle - start));
+                _cycle += n;
+                for (auto &p : procs)
+                    p->skipCycles(n);
+                continue;
+            }
+        }
         tick();
+    }
     return _cycle - start;
 }
 

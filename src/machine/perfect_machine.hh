@@ -38,6 +38,9 @@ struct PerfectMachineParams
     uint32_t wordsPerNode = 1u << 20;
     ProcParams proc;            ///< per-processor parameters
     uint64_t seed = 12345;      ///< work-stealing RNG seed
+    /// Fast-forward cycles in run() when every processor is stalled or
+    /// halted (cycle-exact; see Processor::nextEventCycle()).
+    bool cycleSkip = true;
 };
 
 /** N APRIL cores on zero-latency shared memory. */
@@ -55,6 +58,16 @@ class PerfectMachine : public stats::Group
      * @p max_cycles elapse. @return elapsed machine cycles.
      */
     uint64_t run(uint64_t max_cycles);
+
+    /**
+     * Earliest cycle at which any processor can do observable work;
+     * kNeverCycle when all cores are halted (perfect memory has no
+     * other time-dependent component).
+     */
+    uint64_t nextEventCycle() const;
+
+    /** Toggle cycle-skipping in run(). */
+    void setCycleSkipping(bool on) { params.cycleSkip = on; }
 
     bool halted() const { return haltFlag; }
     uint64_t cycle() const { return _cycle; }

@@ -1,5 +1,6 @@
 #include "network/network.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -147,10 +148,10 @@ Network::tick()
     }
 }
 
-std::vector<Packet>
-Network::deliver(uint32_t node)
+void
+Network::deliver(uint32_t node, std::vector<Packet> &out)
 {
-    std::vector<Packet> out;
+    out.clear();
     auto &q = arrived.at(node);
     while (!q.empty() && q.front().readyAt <= _cycle) {
         const Hop &hop = q.front();
@@ -161,7 +162,32 @@ Network::deliver(uint32_t node)
         out.push_back(hop.pkt);
         q.pop_front();
     }
-    return out;
+}
+
+uint64_t
+Network::nextEventCycle() const
+{
+    if (inFlight == 0)
+        return kNeverCycle;
+    uint64_t next = kNeverCycle;
+    // A queued hop moves at the first tick() where both the hop's head
+    // has reached the router and the link has drained the previous
+    // packet's tail (tick's `readyAt > _cycle` / `busyUntil > _cycle`
+    // guards).
+    for (const Link &link : links) {
+        if (link.queue.empty())
+            continue;
+        uint64_t e = std::max(link.queue.front().readyAt, link.busyUntil);
+        next = std::min(next, e);
+    }
+    // An arrived packet becomes deliverable (front of the ejection
+    // FIFO only, matching deliver()) once its tail drains.
+    for (const auto &q : arrived) {
+        if (!q.empty())
+            next = std::min(next, q.front().readyAt);
+    }
+    // Nothing can happen before the next tick.
+    return std::max(next, _cycle + 1);
 }
 
 } // namespace april::net

@@ -21,6 +21,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/bits.hh"
 #include "common/stats.hh"
 
 namespace april::net
@@ -60,11 +61,31 @@ class Network : public stats::Group
     /** Advance every link by one cycle. */
     void tick();
 
-    /** Drain packets that have arrived at @p node. */
-    std::vector<Packet> deliver(uint32_t node);
+    /**
+     * Drain packets that have arrived at @p node into @p out. The
+     * buffer is cleared first and is caller-owned so a machine ticking
+     * every node every cycle reuses one allocation instead of
+     * constructing a fresh vector per node per cycle.
+     */
+    void deliver(uint32_t node, std::vector<Packet> &out);
 
     /** @return true when no packet is anywhere in the network. */
     bool idle() const { return inFlight == 0; }
+
+    /**
+     * Earliest cycle at which the network can do observable work: a
+     * link moving a head flit or an arrived packet finishing ejection.
+     * kNeverCycle when nothing is in flight. Used by the machines'
+     * cycle-skipping run loops.
+     */
+    uint64_t nextEventCycle() const;
+
+    /**
+     * Fast-forward @p cycles cycles during which the caller has
+     * established (via nextEventCycle()) that no link or ejection port
+     * has work. Equivalent to @p cycles tick() calls.
+     */
+    void skip(uint64_t cycles) { _cycle += cycles; }
 
     /** Zero-load round-trip latency between @p a and @p b. */
     uint32_t unloadedRoundTrip(uint32_t a, uint32_t b,

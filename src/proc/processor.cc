@@ -2,6 +2,7 @@
 
 #include <iostream>
 
+#include "common/bits.hh"
 #include "common/logging.hh"
 
 namespace april
@@ -30,11 +31,26 @@ Processor::Processor(const ProcParams &p, const Program *program,
         fatal("Processor: at least one task frame required");
     statTraps.reserve(size_t(TrapKind::NumKinds));
     for (size_t k = 0; k < size_t(TrapKind::NumKinds); ++k) {
-        statTraps.emplace_back(this, "traps" + std::to_string(k),
-                               "traps of kind " + std::to_string(k));
+        const char *kind = trapKindName(TrapKind(k));
+        statTraps.emplace_back(this, std::string("traps") + kind,
+                               std::string(kind) + " traps");
     }
     vectorSet.fill(false);
     vectors.fill(0);
+    setFrame(0);
+}
+
+void
+Processor::setFrame(uint32_t f)
+{
+    _fp = f;
+    Frame &fr = frames[f];
+    for (unsigned i = 0; i < reg::numUser; ++i)
+        regTable[i] = &fr.regs[i];
+    for (unsigned i = 0; i < reg::numGlobal; ++i)
+        regTable[reg::numUser + i] = &globals[i];
+    for (unsigned i = 0; i < reg::numTrap; ++i)
+        regTable[reg::numUser + reg::numGlobal + i] = &fr.trapRegs[i];
 }
 
 void
@@ -43,7 +59,7 @@ Processor::reset(uint32_t entry_pc)
     for (Frame &f : frames)
         f = Frame{};
     globals.fill(0);
-    _fp = 0;
+    setFrame(0);
     _pc = entry_pc;
     _npc = entry_pc + 1;
     _psr = psr::ET;
@@ -56,31 +72,18 @@ Processor::reset(uint32_t entry_pc)
 Word
 Processor::readReg(uint8_t r) const
 {
-    if (r == reg::r0)
-        return 0;
-    if (r < reg::numUser)
-        return frames[_fp].regs[r];
-    if (r < reg::numUser + reg::numGlobal)
-        return globals[r - reg::numUser];
-    if (r < reg::numNames)
-        return frames[_fp].trapRegs[r - reg::numUser - reg::numGlobal];
-    panic("register read out of range: ", int(r));
+    if (r >= reg::numNames)
+        panic("register read out of range: ", int(r));
+    return r == reg::r0 ? 0 : *regTable[r];
 }
 
 void
 Processor::writeReg(uint8_t r, Word v)
 {
-    if (r == reg::r0)
-        return;                 // hardwired zero
-    if (r < reg::numUser) {
-        frames[_fp].regs[r] = v;
-    } else if (r < reg::numUser + reg::numGlobal) {
-        globals[r - reg::numUser] = v;
-    } else if (r < reg::numNames) {
-        frames[_fp].trapRegs[r - reg::numUser - reg::numGlobal] = v;
-    } else {
+    if (r >= reg::numNames)
         panic("register write out of range: ", int(r));
-    }
+    if (r != reg::r0)           // r0 is hardwired zero
+        *regTable[r] = v;
 }
 
 void
@@ -159,14 +162,14 @@ Processor::takeTrap(TrapKind kind, Word arg, Word va)
     }
 
     if (!(_psr & psr::ET)) {
-        panic("nested trap (kind ", int(kind), ") at pc=", _pc, " [",
+        panic("nested ", trapKindName(kind), " trap at pc=", _pc, " [",
               prog->symbolAt(_pc), "] on node ", params.nodeId,
               ": handlers must use non-trapping access flavors");
     }
 
     if (!vectorSet[size_t(kind)]) {
-        panic("trap kind ", int(kind), " has no vector; pc=", _pc, " [",
-              prog->symbolAt(_pc), "] node ", params.nodeId);
+        panic("trap kind ", trapKindName(kind), " has no vector; pc=",
+              _pc, " [", prog->symbolAt(_pc), "] node ", params.nodeId);
     }
 
     _psr &= ~psr::ET;
@@ -184,7 +187,7 @@ Processor::hardwareSwitch()
     redirected = true;
     Frame &f = frames[_fp];
     f.savedPsr = _psr;
-    _fp = (_fp + 1) % params.numFrames;
+    setFrame((_fp + 1) % params.numFrames);
     Frame &g = frames[_fp];
     _psr = g.savedPsr | psr::ET;
     _pc = g.trapPC;
@@ -230,6 +233,33 @@ Processor::run(uint64_t max_cycles)
     while (!_halted && _cycle - start < max_cycles)
         tick();
     return _cycle - start;
+}
+
+uint64_t
+Processor::nextEventCycle() const
+{
+    if (_halted)
+        return kNeverCycle;
+    // Ticks _cycle+1 .. _cycle+stall only decrement the stall counter;
+    // the first tick that executes again is the one after.
+    if (stall > 0)
+        return _cycle + stall + 1;
+    return _cycle + 1;
+}
+
+void
+Processor::skipCycles(uint64_t cycles)
+{
+    if (_halted || cycles == 0)
+        return;
+    if (cycles > stall) {
+        panic("Processor::skipCycles(", cycles, ") overruns the next "
+              "event (stall=", stall, ") on node ", params.nodeId);
+    }
+    _cycle += cycles;
+    statCycles += double(cycles);
+    statStallCycles += double(cycles);
+    stall -= uint32_t(cycles);
 }
 
 void
@@ -423,9 +453,10 @@ Processor::execute(const Instruction &inst)
             f.trapPC = next_pc;         // resume after the switch inst
             f.trapNPC = next_npc;
             f.savedPsr = _psr;
-            _fp = inst.op == Opcode::INCFP
-                ? (_fp + 1) % params.numFrames
-                : (_fp + params.numFrames - 1) % params.numFrames;
+            setFrame(inst.op == Opcode::INCFP
+                         ? (_fp + 1) % params.numFrames
+                         : (_fp + params.numFrames - 1) %
+                               params.numFrames);
             Frame &g = frames[_fp];
             _psr = g.savedPsr | psr::ET;
             _pc = g.trapPC;
@@ -435,9 +466,9 @@ Processor::execute(const Instruction &inst)
             ++statInsts;
             return;
         }
-        _fp = inst.op == Opcode::INCFP
-            ? (_fp + 1) % params.numFrames
-            : (_fp + params.numFrames - 1) % params.numFrames;
+        setFrame(inst.op == Opcode::INCFP
+                     ? (_fp + 1) % params.numFrames
+                     : (_fp + params.numFrames - 1) % params.numFrames);
         ++statSwitches;
         break;
       }
@@ -445,7 +476,7 @@ Processor::execute(const Instruction &inst)
         writeReg(inst.rd, Word(_fp));
         break;
       case Opcode::STFP:
-        _fp = readReg(inst.rs1) % params.numFrames;
+        setFrame(readReg(inst.rs1) % params.numFrames);
         break;
 
       case Opcode::RDPSR:

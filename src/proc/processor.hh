@@ -108,6 +108,24 @@ class Processor : public stats::Group
     /** Run until halt or until @p max_cycles elapse; @return cycles. */
     uint64_t run(uint64_t max_cycles);
 
+    /**
+     * Earliest cycle at which this core can do observable work (i.e.
+     * the first tick() that does more than decrement the stall
+     * counter): kNeverCycle when halted, cycle() + stall + 1 while
+     * stalled, cycle() + 1 when runnable. Machines use this to
+     * fast-forward fully idle windows.
+     */
+    uint64_t nextEventCycle() const;
+
+    /**
+     * Fast-forward @p cycles stall cycles in one arithmetic step:
+     * advances the cycle counter, credits statCycles/statStallCycles
+     * and decrements the stall counter exactly as @p cycles tick()
+     * calls would. The caller must not skip to or past
+     * nextEventCycle(); a halted core ignores the call (as tick()
+     * would). */
+    void skipCycles(uint64_t cycles);
+
     bool halted() const { return _halted; }
     void forceHalt() { _halted = true; }
     uint64_t cycle() const { return _cycle; }
@@ -115,7 +133,7 @@ class Processor : public stats::Group
     // --- architectural state access (runtime setup, tests) ------------
 
     uint32_t fp() const { return _fp; }
-    void setFp(uint32_t f) { _fp = f % params.numFrames; }
+    void setFp(uint32_t f) { setFrame(f % params.numFrames); }
     uint32_t numFrames() const { return params.numFrames; }
     Frame &frame(uint32_t i) { return frames.at(i); }
     const Frame &frame(uint32_t i) const { return frames.at(i); }
@@ -169,6 +187,9 @@ class Processor : public stats::Group
     /** Custom-APRIL hardware context switch. */
     void hardwareSwitch();
 
+    /** Switch the active frame and refresh the register-view table. */
+    void setFrame(uint32_t f);
+
     Word operand2(const Instruction &inst) const;
 
     ProcParams params;
@@ -178,6 +199,15 @@ class Processor : public stats::Group
 
     std::vector<Frame> frames;
     std::array<Word, reg::numGlobal> globals{};
+    /**
+     * Flat view of the active frame's 48-register name space: entries
+     * 0..31 point into frames[_fp].regs, 32..39 into globals, 40..47
+     * into frames[_fp].trapRegs. Rebuilt on frame switch so operand
+     * access is a single table lookup instead of chained range
+     * compares. Stable because `frames` is never resized after
+     * construction.
+     */
+    std::array<Word *, reg::numNames> regTable{};
     uint32_t _fp = 0;
     uint32_t _pc = 0;
     uint32_t _npc = 1;

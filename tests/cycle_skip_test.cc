@@ -1,0 +1,401 @@
+/**
+ * @file
+ * The cycle-skipping engine: unit tests for every nextEventCycle()
+ * implementation (processor stalled/halted, controller pending work,
+ * network in-flight packet) and differential tests asserting that
+ * fast-forwarding is cycle-exact — identical final cycle counts,
+ * statistics and console output with skipping on and off, on both the
+ * perfect-memory machine and the full ALEWIFE machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "machine/alewife_machine.hh"
+#include "machine/driver.hh"
+#include "workloads/workloads.hh"
+
+#include "proc_test_util.hh"
+
+namespace april
+{
+namespace
+{
+
+using namespace tagged;
+
+// ---------------------------------------------------------------------
+// Processor::nextEventCycle / skipCycles
+// ---------------------------------------------------------------------
+
+Program
+buildMulThenHalt()
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, fixnum(6));
+    as.movi(2, fixnum(7));
+    as.mul(3, 1, 2);            // multi-cycle: stalls the core
+    as.halt();
+    return as.finish();
+}
+
+TEST(ProcNextEvent, RunnableStalledHalted)
+{
+    testutil::Rig rig(buildMulThenHalt());
+    Processor &p = rig.proc;
+
+    // Runnable: the next event is simply the next tick.
+    EXPECT_EQ(p.nextEventCycle(), p.cycle() + 1);
+
+    p.tick();                   // movi
+    p.tick();                   // movi
+    p.tick();                   // mul issues and stalls
+    uint64_t next = p.nextEventCycle();
+    EXPECT_GT(next, p.cycle() + 1) << "MUL must leave the core stalled";
+
+    // Nothing observable happens strictly before `next`...
+    while (p.cycle() < next - 1)
+        p.tick();
+    EXPECT_EQ(p.statInsts.value(), 3.0);
+    EXPECT_FALSE(p.halted());
+    // ... and at `next` the core executes again (HALT here).
+    p.tick();
+    EXPECT_TRUE(p.halted());
+
+    // Halted: never again.
+    EXPECT_EQ(p.nextEventCycle(), kNeverCycle);
+    uint64_t before = p.cycle();
+    p.skipCycles(12345);        // ignored, exactly as tick() would be
+    EXPECT_EQ(p.cycle(), before);
+}
+
+TEST(ProcNextEvent, SkipCyclesMatchesTicking)
+{
+    testutil::Rig ticked(buildMulThenHalt());
+    testutil::Rig skipped(buildMulThenHalt());
+
+    for (int i = 0; i < 3; ++i) {
+        ticked.proc.tick();
+        skipped.proc.tick();
+    }
+    uint64_t next = ticked.proc.nextEventCycle();
+    ASSERT_EQ(next, skipped.proc.nextEventCycle());
+
+    // One core ticks through the stall window, the other jumps to one
+    // cycle before the event, then both run to completion.
+    while (ticked.proc.cycle() < next - 1)
+        ticked.proc.tick();
+    skipped.proc.skipCycles(next - skipped.proc.cycle() - 1);
+
+    ticked.run();
+    skipped.run();
+    EXPECT_EQ(ticked.proc.cycle(), skipped.proc.cycle());
+    EXPECT_EQ(ticked.proc.statCycles.value(),
+              skipped.proc.statCycles.value());
+    EXPECT_EQ(ticked.proc.statStallCycles.value(),
+              skipped.proc.statStallCycles.value());
+    EXPECT_EQ(ticked.proc.statInsts.value(),
+              skipped.proc.statInsts.value());
+    EXPECT_EQ(ticked.proc.readReg(3), skipped.proc.readReg(3));
+}
+
+TEST(ProcNextEvent, SkipPastEventPanics)
+{
+    testutil::Rig rig(buildMulThenHalt());
+    for (int i = 0; i < 3; ++i)
+        rig.proc.tick();
+    uint64_t window = rig.proc.nextEventCycle() - rig.proc.cycle();
+    // Skipping to (or past) the event would swallow an execution.
+    EXPECT_THROW(rig.proc.skipCycles(window), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// coh::Controller::nextEventCycle
+// ---------------------------------------------------------------------
+
+/** A fabric stub with a settable clock. */
+struct FakeFabric : coh::Fabric
+{
+    uint64_t cur = 100;
+    int transmitted = 0;
+
+    void
+    transmit(uint32_t, const coh::Message &, uint32_t) override
+    {
+        ++transmitted;
+    }
+
+    uint64_t now() const override { return cur; }
+};
+
+TEST(CtrlNextEvent, IdlePendingAndInbox)
+{
+    SharedMemory mem({.numNodes = 1, .wordsPerNode = 1u << 16});
+    FakeFabric fabric;
+    coh::ControllerParams cp;
+    cp.cache = {.lineWords = 4, .numLines = 16, .assoc = 2};
+    coh::Controller ctrl(cp, 0, 4, &mem, &fabric);
+
+    // Fully idle: no self-generated events, ever.
+    EXPECT_EQ(ctrl.nextEventCycle(), kNeverCycle);
+
+    // A cache miss queues a request behind controller occupancy: the
+    // next event is that entry's due time.
+    MemAccess req;
+    req.addr = 64;
+    req.op = MemOp::Load;
+    MemResult r = ctrl.access(req);
+    EXPECT_EQ(r.kind, MemResult::Kind::Retry);
+    EXPECT_EQ(ctrl.nextEventCycle(), fabric.cur + cp.occupancy);
+
+    // An entry already due (the clock moved past it) dispatches on the
+    // very next tick, never in the past.
+    fabric.cur += 50;
+    EXPECT_EQ(ctrl.nextEventCycle(), fabric.cur + 1);
+
+    // A queued message is handled on the next tick.
+    fabric.cur += 100;
+    coh::Message msg;
+    msg.type = coh::MsgType::FenceAck;
+    ctrl.receive(msg);
+    EXPECT_EQ(ctrl.nextEventCycle(), fabric.cur + 1);
+}
+
+// ---------------------------------------------------------------------
+// net::Network::nextEventCycle
+// ---------------------------------------------------------------------
+
+TEST(NetNextEvent, InFlightPacketEventsMatchTicking)
+{
+    net::Network n({.dim = 1, .radix = 4});
+
+    // Empty network: no events.
+    EXPECT_EQ(n.nextEventCycle(), kNeverCycle);
+
+    net::Packet pkt;
+    pkt.src = 0;
+    pkt.dst = 2;
+    pkt.flits = 2;
+    n.send(pkt);
+
+    // Step tick-by-tick; whenever nextEventCycle() says the network is
+    // quiet until cycle E, verify no delivery happens before E.
+    std::vector<net::Packet> buf;
+    uint64_t guard = 0;
+    while (n.idle() == false) {
+        uint64_t next = n.nextEventCycle();
+        ASSERT_NE(next, kNeverCycle);
+        ASSERT_GT(next, n.cycle());
+        n.tick();
+        n.deliver(2, buf);
+        if (!buf.empty()) {
+            EXPECT_GE(n.cycle(), next)
+                << "a packet was delivered before the advertised event";
+            EXPECT_EQ(buf.size(), 1u);
+            EXPECT_EQ(buf[0].dst, 2u);
+        }
+        ASSERT_LT(++guard, 100u) << "packet never arrived";
+    }
+    EXPECT_EQ(n.statPackets.value(), 1.0);
+    EXPECT_EQ(n.nextEventCycle(), kNeverCycle);
+}
+
+// ---------------------------------------------------------------------
+// Differential: coherence-stress workload on the full machine
+// ---------------------------------------------------------------------
+
+constexpr Addr kLock = 400;
+constexpr Addr kCount = 404;
+constexpr int kIters = 30;
+
+/**
+ * All nodes hammer a shared f/e-locked counter; a DIV per iteration
+ * adds long stall windows so the skip path genuinely engages between
+ * bursts of coherence traffic. Node 0 spins until every increment has
+ * landed, prints the total and halts the machine.
+ */
+Program
+buildStallStress(uint32_t nodes)
+{
+    Assembler as;
+    as.bind("worker");
+    as.movi(1, ptr(kLock, Tag::Other));
+    as.movi(2, ptr(kCount, Tag::Other));
+    as.movi(3, 0);                      // iteration count
+    as.movi(7, fixnum(84));             // DIV operands (future-free)
+    as.movi(8, fixnum(4));
+    as.bind("loop");
+    as.div(9, 7, 8);                    // long stall: skippable window
+    as.bind("acq");
+    as.ldenw(4, 1, 0);
+    as.jRaw(Cond::EMPTY, "acq");
+    as.nop();
+    as.ldnw(5, 2, 0);
+    as.addi(5, 5, int32_t(fixnum(1)));
+    as.stnw(5, 2, 0);
+    as.stfnw(reg::r0, 1, 0);            // release: set full
+    as.addiR(3, 3, 1);
+    as.cmpiR(3, kIters);
+    as.jRaw(Cond::LT, "loop");
+    as.nop();
+    // Node 0 waits for the full count, reports it, stops the machine;
+    // the other nodes simply halt their cores.
+    as.ldio(6, int(IoReg::NodeId));
+    as.cmpiR(6, 0);
+    as.jRaw(Cond::NE, "done");
+    as.nop();
+    as.bind("wait");
+    as.ldnw(5, 2, 0);
+    as.cmpiR(5, int32_t(fixnum(int32_t(nodes) * kIters)));
+    as.jRaw(Cond::NE, "wait");
+    as.nop();
+    as.stio(int(IoReg::ConsoleOut), 5);
+    as.stio(int(IoReg::MachineHalt), reg::r0);
+    as.bind("done");
+    as.halt();
+
+    as.bind("cswitch");
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.nop();
+    as.wrpsr(reg::t(0));
+    as.nop();
+    as.rettRetry();
+    as.bind("fyield");
+    as.moviLabel(reg::t(1), "fyield");
+    as.wrspec(Spec::TrapPC, reg::t(1));
+    as.addiR(reg::t(1), reg::t(1), 1);
+    as.wrspec(Spec::TrapNPC, reg::t(1));
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.wrpsr(reg::t(0));
+    as.rettRetry();
+    return as.finish();
+}
+
+/** Everything observable about a finished machine run. */
+struct MachineOut
+{
+    bool halted = false;
+    uint64_t cycles = 0;
+    std::vector<Word> console;
+    std::string stats;          ///< full dump: every stat of every node
+};
+
+MachineOut
+finish(AlewifeMachine &m)
+{
+    MachineOut out;
+    out.halted = m.halted();
+    out.cycles = m.cycle();
+    out.console = m.console();
+    std::ostringstream os;
+    m.dump(os);
+    out.stats = os.str();
+    return out;
+}
+
+MachineOut
+runStallStress(bool skip)
+{
+    Program prog = buildStallStress(4);
+    AlewifeParams p;
+    p.network = {.dim = 2, .radix = 2};
+    p.wordsPerNode = 1u << 16;
+    p.bootRuntime = false;
+    p.cycleSkip = skip;
+    p.controller.cache = {.lineWords = 4, .numLines = 64, .assoc = 2};
+    AlewifeMachine m(p, &prog);
+    for (uint32_t n = 0; n < m.numNodes(); ++n) {
+        Processor &proc = m.proc(n);
+        proc.reset(prog.entry("worker"));
+        proc.setTrapVector(TrapKind::RemoteMiss, prog.entry("cswitch"));
+        proc.setTrapVector(TrapKind::FeEmpty, prog.entry("cswitch"));
+        for (uint32_t f = 1; f < proc.numFrames(); ++f) {
+            proc.frame(f).trapPC = prog.entry("fyield");
+            proc.frame(f).trapNPC = prog.entry("fyield") + 1;
+            proc.frame(f).trapRegs[0] = psr::ET;
+        }
+    }
+    m.memory().write(kCount, fixnum(0));
+    m.run(20'000'000);
+    return finish(m);
+}
+
+TEST(CycleSkipDifferential, CoherenceStressOnAlewife)
+{
+    MachineOut on = runStallStress(true);
+    MachineOut off = runStallStress(false);
+    ASSERT_TRUE(on.halted);
+    ASSERT_TRUE(off.halted);
+    ASSERT_EQ(on.console.size(), 1u);
+    EXPECT_EQ(on.console.at(0), Word(fixnum(4 * kIters)));
+    EXPECT_EQ(on.cycles, off.cycles);
+    EXPECT_EQ(on.console, off.console);
+    EXPECT_EQ(on.stats, off.stats) << "per-stat values must be "
+                                      "identical with skipping on/off";
+}
+
+// ---------------------------------------------------------------------
+// Differential: future-heavy Mul-T workload, both machines
+// ---------------------------------------------------------------------
+
+MachineOut
+runEagerFibAlewife(bool skip)
+{
+    mult::CompileOptions copts;
+    copts.futures = mult::CompileOptions::FutureMode::Eager;
+    Assembler as;
+    rt::Runtime runtime;
+    runtime.emit(as);
+    mult::Compiler compiler(as, copts);
+    compiler.compileSource(workloads::fibSource(9));
+    Program prog = as.finish();
+
+    AlewifeParams p;
+    p.network = {.dim = 2, .radix = 2};
+    p.wordsPerNode = 1u << 20;
+    p.cycleSkip = skip;
+    p.controller.cache = {.lineWords = 4, .numLines = 512, .assoc = 4};
+    AlewifeMachine m(p, &prog);
+    m.run(80'000'000);
+    return finish(m);
+}
+
+TEST(CycleSkipDifferential, EagerFutureFibOnAlewife)
+{
+    MachineOut on = runEagerFibAlewife(true);
+    MachineOut off = runEagerFibAlewife(false);
+    ASSERT_TRUE(on.halted);
+    ASSERT_TRUE(off.halted);
+    ASSERT_FALSE(on.console.empty());
+    EXPECT_EQ(on.console.back(), Word(fixnum(34)));
+    EXPECT_EQ(on.cycles, off.cycles);
+    EXPECT_EQ(on.console, off.console);
+    EXPECT_EQ(on.stats, off.stats);
+}
+
+TEST(CycleSkipDifferential, EagerFutureFibOnPerfectMachine)
+{
+    DriverOptions opts =
+        DriverOptions::april(mult::CompileOptions::FutureMode::Eager, 4);
+    opts.cycleSkip = true;
+    DriverResult on = runMultProgram(workloads::fibSource(10), opts);
+    opts.cycleSkip = false;
+    DriverResult off = runMultProgram(workloads::fibSource(10), opts);
+
+    EXPECT_EQ(on.result, Word(fixnum(55)));
+    EXPECT_EQ(on.result, off.result);
+    EXPECT_EQ(on.cycles, off.cycles);
+    EXPECT_EQ(on.instructions, off.instructions);
+    EXPECT_EQ(on.console, off.console);
+    EXPECT_EQ(on.steals, off.steals);
+    EXPECT_EQ(on.spawns, off.spawns);
+    EXPECT_EQ(on.blocks, off.blocks);
+    EXPECT_EQ(on.resumes, off.resumes);
+}
+
+} // namespace
+} // namespace april

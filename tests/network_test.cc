@@ -36,11 +36,16 @@ TEST(Network, DeliversSinglePacket)
     p.flits = 1;
     p.payload = 77;
     n.send(p);
-    for (int i = 0; i < 50 && n.deliver(15).empty(); ++i)
+    std::vector<Packet> got;
+    for (int i = 0; i < 50; ++i) {
+        n.deliver(15, got);
+        if (!got.empty())
+            break;
         n.tick();
+    }
     // Re-check with one more delivered batch.
     n.tick();
-    auto got = n.deliver(15);
+    n.deliver(15, got);
     bool found = false;
     for (auto &pkt : got)
         found |= pkt.payload == 77;
@@ -64,7 +69,7 @@ TEST(Network, LatencyMatchesUnloadedFormula)
     while (got.empty() && cycles < 200) {
         n.tick();
         ++cycles;
-        got = n.deliver(7);
+        n.deliver(7, got);
     }
     ASSERT_EQ(got.size(), 1u);
     // One way (cut-through): hops * hopCycles + (flits - 1), plus the
@@ -102,10 +107,12 @@ TEST(Network, ContentionSerializesSharedLink)
     uint64_t cycles = 0;
     int seen = 0;
     uint64_t last = 0;
+    std::vector<Packet> batch;
     while (seen < 2 && cycles < 100) {
         n.tick();
         ++cycles;
-        for (auto &pkt : n.deliver(3)) {
+        n.deliver(3, batch);
+        for (auto &pkt : batch) {
             (void)pkt;
             ++seen;
             last = cycles;
@@ -131,10 +138,13 @@ TEST(Network, ManyRandomPacketsAllArrive)
         ++sent;
     }
     int got = 0;
+    std::vector<Packet> batch;
     for (int c = 0; c < 5000 && got < sent; ++c) {
         n.tick();
-        for (uint32_t node = 0; node < n.numNodes(); ++node)
-            got += int(n.deliver(node).size());
+        for (uint32_t node = 0; node < n.numNodes(); ++node) {
+            n.deliver(node, batch);
+            got += int(batch.size());
+        }
     }
     EXPECT_EQ(got, sent);
     EXPECT_TRUE(n.idle());
@@ -149,9 +159,10 @@ TEST(Network, StatsTrackHopsAndLatency)
     p.dst = 2;
     p.flits = 1;
     n.send(p);
+    std::vector<Packet> batch;
     for (int i = 0; i < 10; ++i) {
         n.tick();
-        n.deliver(2);
+        n.deliver(2, batch);
     }
     EXPECT_DOUBLE_EQ(n.statHops.mean(), 2.0);
     EXPECT_GE(n.statLatency.mean(), 2.0);

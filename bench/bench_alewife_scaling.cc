@@ -70,7 +70,7 @@ int
 main(int argc, char **argv)
 {
     int n = argc > 1 ? std::atoi(argv[1]) : 16;
-    setQuiet(true);
+    QuietScope quiet_scope;
     std::string src = workloads::fibSource(n);
 
     struct Geo { const char *name; int dim, radix; };

@@ -111,7 +111,7 @@ BENCHMARK(BM_Detection_EncoreSoftware);
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
+    QuietScope quiet_scope;
     uint64_t trap = cyclesForAdd(ptr(kFut, Tag::Future), true);
     uint64_t clean = cyclesForAdd(fixnum(32), true);
     std::printf("Section 6.2: future-touch trap microbenchmark\n");

@@ -305,7 +305,7 @@ int
 main(int argc, char **argv)
 {
     bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-    setQuiet(true);
+    QuietScope quiet_scope;
 
     std::vector<WorkloadResult> results;
     results.push_back(runStall16(quick ? 2'000 : 50'000));

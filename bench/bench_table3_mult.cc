@@ -109,7 +109,7 @@ int
 main(int argc, char **argv)
 {
     bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-    setQuiet(true);
+    QuietScope quiet_scope;
 
     workloads::SuiteSizes sizes;
     if (quick) {

@@ -4,11 +4,22 @@
  * futures on a 2x2 mesh of complete nodes — APRIL processors, caches,
  * directory-coherence controllers, network — followed by a dump of
  * the machine-wide statistics tree.
+ *
+ * Observability options:
+ *   --trace=FILE   record machine events, write Chrome trace-event
+ *                  JSON to FILE (open it at https://ui.perfetto.dev)
+ *   --stats=FILE   write the statistics tree as JSON to FILE
+ *   --debug=FLAGS  enable live debug printing, e.g. --debug=Ctx,Net
+ *                  or --debug=All (also: APRIL_DEBUG env var)
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
+#include "common/debug.hh"
 #include "machine/alewife_machine.hh"
 #include "mult/compiler.hh"
 #include "workloads/workloads.hh"
@@ -18,7 +29,20 @@ main(int argc, char **argv)
 {
     using namespace april;
 
-    int n = argc > 1 ? std::atoi(argv[1]) : 13;
+    int n = 13;
+    std::string trace_file;
+    std::string stats_file;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--trace=", 8) == 0)
+            trace_file = arg + 8;
+        else if (std::strncmp(arg, "--stats=", 8) == 0)
+            stats_file = arg + 8;
+        else if (std::strncmp(arg, "--debug=", 8) == 0)
+            debug::setFlags(arg + 8);
+        else
+            n = std::atoi(arg);
+    }
 
     mult::CompileOptions copts;
     copts.futures = mult::CompileOptions::FutureMode::Lazy;
@@ -33,6 +57,7 @@ main(int argc, char **argv)
     params.network = {.dim = 2, .radix = 2};
     params.controller.cache = {.lineWords = 4, .numLines = 4096,
                                .assoc = 4};      // Table 4: 64 KB
+    params.traceEvents = !trace_file.empty();
     AlewifeMachine machine(params, &prog);
 
     machine.run(100'000'000);
@@ -49,6 +74,23 @@ main(int argc, char **argv)
 
     std::printf("machine statistics:\n");
     machine.dump(std::cout);
+
+    if (!trace_file.empty()) {
+        std::ofstream os(trace_file);
+        machine.writeTrace(os);
+        std::printf("\nwrote %llu trace events to %s "
+                    "(load at https://ui.perfetto.dev)\n",
+                    (unsigned long long)
+                        machine.traceRecorder()->events().size(),
+                    trace_file.c_str());
+    }
+    if (!stats_file.empty()) {
+        std::ofstream os(stats_file);
+        machine.dumpJson(os);
+        os << "\n";
+        std::printf("wrote statistics JSON to %s\n",
+                    stats_file.c_str());
+    }
 
     std::printf("\nnote the contextSwitches and trapsRemoteMiss "
                 "counters: every use of the\nnetwork switched the "

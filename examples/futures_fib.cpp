@@ -18,7 +18,7 @@ main(int argc, char **argv)
     using FM = mult::CompileOptions::FutureMode;
 
     int n = argc > 1 ? std::atoi(argv[1]) : 13;
-    setQuiet(true);
+    QuietScope quiet_scope;
     std::string src = workloads::fibSource(n);
 
     std::printf("fib(%d) with futures around both recursive calls\n\n",

@@ -1,6 +1,7 @@
 #include "cache/cache.hh"
 
 #include "common/bits.hh"
+#include "common/debug.hh"
 #include "common/logging.hh"
 
 namespace april::cache
@@ -73,6 +74,11 @@ Cache::allocate(Addr line_addr, Victim *victim)
         victim->lineAddr = pick->lineAddr;
         victim->state = pick->state;
         victim->words = pick->words;
+        TRACE(Cache, "allocate line=", line_addr, " evicts line=",
+              victim->lineAddr,
+              victim->state == LineState::Modified ? " (dirty)" : "");
+    } else {
+        TRACE(Cache, "allocate line=", line_addr);
     }
 
     pick->lineAddr = line_addr;
@@ -90,6 +96,7 @@ Cache::invalidate(Addr line_addr)
         if (l.state != LineState::Invalid && l.lineAddr == line_addr) {
             l.state = LineState::Invalid;
             ++statInvalidations;
+            TRACE(Cache, "invalidate line=", line_addr);
             return;
         }
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bits.hh"
+#include "common/debug.hh"
 #include "common/logging.hh"
 #include "proc/fe_semantics.hh"
 #include "proc/processor.hh"
@@ -121,6 +122,20 @@ bool
 Controller::fillReady(uint8_t frame) const
 {
     return !mshrs.at(frame).valid;
+}
+
+void
+Controller::recordTransition(const DirEntry &e, DirState old_state,
+                             Addr line_addr, uint32_t requester)
+{
+    if (trec) {
+        trec->record({fabric->now(), nodeId,
+                      trace::EventKind::Coherence, uint8_t(old_state),
+                      uint8_t(e.state), line_addr, requester});
+    }
+    TRACE(Coh, "c", fabric->now(), " n", nodeId, " line=", line_addr,
+          " ", dirStateName(old_state), "->", dirStateName(e.state),
+          " requester=", requester);
 }
 
 // ---------------------------------------------------------------------
@@ -245,12 +260,9 @@ Controller::fill(const Message &msg)
 void
 Controller::handleMessage(const Message &msg)
 {
-    static const bool trace_msgs = getenv("APRIL_COH_TRACE") != nullptr;
-    if (trace_msgs) {
-        fprintf(stderr, "[c%llu n%u] msg type=%d line=%u from=%u req=%u\n",
-                (unsigned long long)fabric->now(), nodeId, int(msg.type),
-                msg.lineAddr, msg.from, msg.requester);
-    }
+    TRACE(Coh, "c", fabric->now(), " n", nodeId, " handle ",
+          msgTypeName(msg.type), " line=", msg.lineAddr, " from=",
+          msg.from, " req=", msg.requester);
     switch (msg.type) {
       case MsgType::ReadReq:
       case MsgType::WriteReq: {
@@ -283,13 +295,15 @@ Controller::handleMessage(const Message &msg)
             ack.lineAddr = msg.lineAddr;
             send(msg.requester, ack);
         }
-        if (e.state == DirEntry::S::Exclusive && e.owner == msg.from) {
+        if (e.state == DirState::Exclusive && e.owner == msg.from) {
             if (e.busy && e.wait == DirEntry::Wait::Data) {
                 completePending(msg.lineAddr, e);
             } else if (!e.busy) {
                 // Unsolicited eviction: the owner gave up its copy.
-                e.state = DirEntry::S::Uncached;
+                e.state = DirState::Uncached;
                 e.sharers.clear();
+                recordTransition(e, DirState::Exclusive, msg.lineAddr,
+                                 msg.from);
             }
         }
         return;
@@ -300,7 +314,7 @@ Controller::handleMessage(const Message &msg)
         // (FIFO-ordered on the same route) has already updated memory.
         DirEntry &e = directory[msg.lineAddr];
         if (e.busy && e.wait == DirEntry::Wait::Data &&
-            e.state == DirEntry::S::Exclusive && e.owner == msg.from) {
+            e.state == DirState::Exclusive && e.owner == msg.from) {
             completePending(msg.lineAddr, e);
         }
         return;
@@ -366,30 +380,36 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
     // An Exclusive entry whose owner re-requests has lost its copy to
     // an eviction (whose WbData arrived first, FIFO): fold to
     // Uncached.
-    if (e.state == DirEntry::S::Exclusive && e.owner == msg.requester) {
-        e.state = DirEntry::S::Uncached;
+    if (e.state == DirState::Exclusive && e.owner == msg.requester) {
+        e.state = DirState::Uncached;
         e.sharers.clear();
+        recordTransition(e, DirState::Exclusive, line_addr,
+                         msg.requester);
     }
 
+    DirState old_state = e.state;
+
     switch (e.state) {
-      case DirEntry::S::Uncached: {
+      case DirState::Uncached: {
         e.busy = true;
         if (write) {
-            e.state = DirEntry::S::Exclusive;
+            e.state = DirState::Exclusive;
             e.owner = msg.requester;
             e.sharers.clear();
         } else {
-            e.state = DirEntry::S::Shared;
+            e.state = DirState::Shared;
             e.sharers = {msg.requester};
         }
+        recordTransition(e, old_state, line_addr, msg.requester);
         replyAndUnpend(line_addr, msg.requester, write);
         return;
       }
 
-      case DirEntry::S::Shared: {
+      case DirState::Shared: {
         if (!write) {
             e.busy = true;
             e.sharers.insert(msg.requester);
+            recordTransition(e, old_state, line_addr, msg.requester);
             replyAndUnpend(line_addr, msg.requester, false);
             return;
         }
@@ -399,9 +419,10 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
         to_inv.erase(msg.requester);
         if (to_inv.empty()) {
             e.busy = true;
-            e.state = DirEntry::S::Exclusive;
+            e.state = DirState::Exclusive;
             e.owner = msg.requester;
             e.sharers.clear();
+            recordTransition(e, old_state, line_addr, msg.requester);
             replyAndUnpend(line_addr, msg.requester, true);
             return;
         }
@@ -419,7 +440,7 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
         return;
       }
 
-      case DirEntry::S::Exclusive: {
+      case DirState::Exclusive: {
         e.busy = true;
         e.wait = DirEntry::Wait::Data;
         e.pendingReq = msg;
@@ -457,13 +478,13 @@ Controller::completePending(Addr line_addr, DirEntry &e)
     bool write = req.type == MsgType::WriteReq;
 
     uint32_t prev_owner = e.owner;
-    bool was_exclusive = e.state == DirEntry::S::Exclusive;
+    bool was_exclusive = e.state == DirState::Exclusive;
     if (write) {
-        e.state = DirEntry::S::Exclusive;
+        e.state = DirState::Exclusive;
         e.owner = req.requester;
         e.sharers.clear();
     } else {
-        e.state = DirEntry::S::Shared;
+        e.state = DirState::Shared;
         e.sharers.clear();
         if (was_exclusive)
             e.sharers.insert(prev_owner);   // downgraded, kept a copy
@@ -471,6 +492,10 @@ Controller::completePending(Addr line_addr, DirEntry &e)
     }
     e.wait = DirEntry::Wait::None;
     e.pendingAcks = 0;
+    recordTransition(e,
+                     was_exclusive ? DirState::Exclusive
+                                   : DirState::Shared,
+                     line_addr, req.requester);
     replyAndUnpend(line_addr, req.requester, write);
 }
 

@@ -29,6 +29,7 @@
 
 #include "cache/cache.hh"
 #include "coherence/protocol.hh"
+#include "common/trace.hh"
 #include "mem/memory.hh"
 #include "proc/ports.hh"
 
@@ -74,6 +75,9 @@ class Controller : public MemPort, public stats::Group
     /** Wire up the processor (for fence acknowledgments). */
     void setProcessor(Processor *p) { proc = p; }
 
+    /** Attach the machine's event recorder (nullptr: tracing off). */
+    void setTraceRecorder(trace::Recorder *r) { trec = r; }
+
     // MemPort interface (processor side).
     MemResult access(const MemAccess &req) override;
     bool fillReady(uint8_t frame) const override;
@@ -105,11 +109,10 @@ class Controller : public MemPort, public stats::Group
     /** Directory entry for one home line. */
     struct DirEntry
     {
-        enum class S : uint8_t { Uncached, Shared, Exclusive };
         /// What the in-progress transaction is waiting on.
         enum class Wait : uint8_t { None, Acks, Data };
 
-        S state = S::Uncached;
+        DirState state = DirState::Uncached;
         std::set<uint32_t> sharers;
         uint32_t owner = 0;
         bool busy = false;          ///< transaction in progress
@@ -134,6 +137,10 @@ class Controller : public MemPort, public stats::Group
     void sendAfterMemory(uint32_t to, Message msg);
     void dispatch(uint32_t to, const Message &msg);
 
+    /** Record a directory transition event (old state -> current). */
+    void recordTransition(const DirEntry &e, DirState old_state,
+                          Addr line_addr, uint32_t requester);
+
     void handleMessage(const Message &msg);
     void handleHomeRequest(const Message &msg, DirEntry &e);
     void completePending(Addr line_addr, DirEntry &e);
@@ -149,6 +156,7 @@ class Controller : public MemPort, public stats::Group
 
     ControllerParams params;
     uint32_t nodeId;
+    trace::Recorder *trec = nullptr;
     SharedMemory *mem;
     Fabric *fabric;
     Processor *proc = nullptr;

@@ -39,6 +39,50 @@ enum class MsgType : uint8_t
                 ///< recalls FIFO on the network.
 };
 
+/** Canonical message-type name ("ReadReq", "Inv", ...). */
+inline const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq: return "ReadReq";
+      case MsgType::WriteReq: return "WriteReq";
+      case MsgType::ReadReply: return "ReadReply";
+      case MsgType::WriteReply: return "WriteReply";
+      case MsgType::Inv: return "Inv";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::WbReq: return "WbReq";
+      case MsgType::WbData: return "WbData";
+      case MsgType::WbEmpty: return "WbEmpty";
+      case MsgType::FenceAck: return "FenceAck";
+      case MsgType::Unpend: return "Unpend";
+    }
+    return "?";
+}
+
+/**
+ * Directory sharing state of one home line. Public (rather than a
+ * Controller detail) so the event-trace exporter can name protocol
+ * transitions.
+ */
+enum class DirState : uint8_t
+{
+    Uncached,
+    Shared,
+    Exclusive,
+};
+
+/** Canonical directory-state name ("Uncached", ...). */
+inline const char *
+dirStateName(DirState s)
+{
+    switch (s) {
+      case DirState::Uncached: return "Uncached";
+      case DirState::Shared: return "Shared";
+      case DirState::Exclusive: return "Exclusive";
+    }
+    return "?";
+}
+
 /** One protocol message. */
 struct Message
 {

@@ -1,0 +1,92 @@
+#include "common/debug.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+namespace april::debug
+{
+
+namespace detail
+{
+
+std::array<bool, size_t(Flag::NumFlags)> flagState{};
+
+namespace
+{
+std::mutex traceMutex;
+} // namespace
+
+void
+emit(Flag f, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(traceMutex);
+    std::cerr << flagName(f) << ": " << msg << "\n";
+}
+
+} // namespace detail
+
+const char *
+flagName(Flag f)
+{
+    static const char *const names[size_t(Flag::NumFlags)] = {
+        "Cache", "Coh", "Net", "Ctx", "Trap", "FE", "Runtime",
+    };
+    if (size_t(f) >= size_t(Flag::NumFlags))
+        panic("flagName: bad debug flag ", int(f));
+    return names[size_t(f)];
+}
+
+void
+setFlag(Flag f, bool on)
+{
+    if (size_t(f) >= size_t(Flag::NumFlags))
+        panic("setFlag: bad debug flag ", int(f));
+    detail::flagState[size_t(f)] = on;
+}
+
+void
+setAllFlags(bool on)
+{
+    detail::flagState.fill(on);
+}
+
+void
+setFlags(const std::string &list)
+{
+    std::istringstream is(list);
+    std::string name;
+    while (std::getline(is, name, ',')) {
+        if (name.empty())
+            continue;
+        if (name == "All") {
+            setAllFlags(true);
+            continue;
+        }
+        bool found = false;
+        for (size_t f = 0; f < size_t(Flag::NumFlags); ++f) {
+            if (name == flagName(Flag(f))) {
+                detail::flagState[f] = true;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fatal("unknown debug flag \"", name,
+                  "\" (try Cache,Coh,Net,Ctx,Trap,FE,Runtime or All)");
+    }
+}
+
+void
+initFromEnv()
+{
+    static bool applied = [] {
+        if (const char *env = std::getenv("APRIL_DEBUG"))
+            setFlags(env);
+        return true;
+    }();
+    (void)applied;
+}
+
+} // namespace april::debug

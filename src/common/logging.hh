@@ -128,6 +128,24 @@ void setQuiet(bool quiet);
 /** @return true when inform()/warn() output is suppressed. */
 bool quiet();
 
+/**
+ * RAII form of setQuiet(): silences inform()/warn() for the scope's
+ * lifetime and restores the previous state on exit, so benches and
+ * tests cannot leak the global toggle past their own scope.
+ */
+class QuietScope
+{
+  public:
+    explicit QuietScope(bool q = true) : prev(quiet()) { setQuiet(q); }
+    ~QuietScope() { setQuiet(prev); }
+
+    QuietScope(const QuietScope &) = delete;
+    QuietScope &operator=(const QuietScope &) = delete;
+
+  private:
+    bool prev;
+};
+
 } // namespace april
 
 #endif // APRIL_COMMON_LOGGING_HH

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <limits>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace april::stats
@@ -30,6 +31,28 @@ Average::print(std::ostream &os, const std::string &prefix) const
     os << std::left << std::setw(44) << (prefix + name())
        << std::right << std::setw(14) << mean()
        << "  # " << desc() << " (samples=" << _count << ")\n";
+}
+
+void
+Scalar::printJson(std::ostream &os) const
+{
+    os << "{\"type\":\"scalar\",\"desc\":";
+    json::writeString(os, desc());
+    os << ",\"value\":";
+    json::writeNumber(os, _value);
+    os << "}";
+}
+
+void
+Average::printJson(std::ostream &os) const
+{
+    os << "{\"type\":\"average\",\"desc\":";
+    json::writeString(os, desc());
+    os << ",\"mean\":";
+    json::writeNumber(os, mean());
+    os << ",\"sum\":";
+    json::writeNumber(os, _sum);
+    os << ",\"count\":" << _count << "}";
 }
 
 Distribution::Distribution(Group *parent, std::string name, std::string desc,
@@ -91,6 +114,23 @@ Distribution::print(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Distribution::printJson(std::ostream &os) const
+{
+    os << "{\"type\":\"distribution\",\"desc\":";
+    json::writeString(os, desc());
+    os << ",\"count\":" << _count << ",\"mean\":";
+    json::writeNumber(os, mean());
+    os << ",\"min\":" << (_count ? _min : 0)
+       << ",\"max\":" << (_count ? _max : 0)
+       << ",\"lo\":" << _lo << ",\"bucketSize\":" << _bucketSize
+       << ",\"underflow\":" << _underflow
+       << ",\"overflow\":" << _overflow << ",\"buckets\":[";
+    for (size_t i = 0; i < _buckets.size(); ++i)
+        os << (i ? "," : "") << _buckets[i];
+    os << "]}";
+}
+
+void
 Distribution::reset()
 {
     std::fill(_buckets.begin(), _buckets.end(), 0);
@@ -107,6 +147,16 @@ Formula::print(std::ostream &os, const std::string &prefix) const
     os << std::left << std::setw(44) << (prefix + name())
        << std::right << std::setw(14) << value()
        << "  # " << desc() << "\n";
+}
+
+void
+Formula::printJson(std::ostream &os) const
+{
+    os << "{\"type\":\"formula\",\"desc\":";
+    json::writeString(os, desc());
+    os << ",\"value\":";
+    json::writeNumber(os, value());
+    os << "}";
 }
 
 Group::Group(std::string name, Group *parent)
@@ -148,6 +198,28 @@ Group::resetStats()
         child->resetStats();
 }
 
+void
+Group::dumpJson(std::ostream &os) const
+{
+    os << "{\"name\":";
+    json::writeString(os, _name);
+    os << ",\"stats\":{";
+    for (size_t i = 0; i < _stats.size(); ++i) {
+        os << (i ? "," : "");
+        json::writeString(os, _stats[i]->name());
+        os << ":";
+        _stats[i]->printJson(os);
+    }
+    os << "},\"groups\":{";
+    for (size_t i = 0; i < _children.size(); ++i) {
+        os << (i ? "," : "");
+        json::writeString(os, _children[i]->groupName());
+        os << ":";
+        _children[i]->dumpJson(os);
+    }
+    os << "}}";
+}
+
 const Info *
 Group::findStat(const std::string &name) const
 {
@@ -156,6 +228,31 @@ Group::findStat(const std::string &name) const
             return info;
     }
     return nullptr;
+}
+
+const Group *
+Group::findGroup(const std::string &name) const
+{
+    for (const Group *child : _children) {
+        if (child->groupName() == name)
+            return child;
+    }
+    return nullptr;
+}
+
+const Info *
+Group::resolve(const std::string &path) const
+{
+    const Group *g = this;
+    size_t pos = 0;
+    size_t dot;
+    while ((dot = path.find('.', pos)) != std::string::npos) {
+        g = g->findGroup(path.substr(pos, dot - pos));
+        if (!g)
+            return nullptr;
+        pos = dot + 1;
+    }
+    return g->findStat(path.substr(pos));
 }
 
 } // namespace april::stats

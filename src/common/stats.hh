@@ -35,6 +35,13 @@ class Info
     /** Print "name value # desc" style line(s). */
     virtual void print(std::ostream &os, const std::string &prefix) const = 0;
 
+    /**
+     * Emit this statistic's value as one JSON object
+     * ({"type":...,"desc":...,...}); the enclosing Group::dumpJson
+     * supplies the name key.
+     */
+    virtual void printJson(std::ostream &os) const = 0;
+
     /** Reset the statistic to its initial state. */
     virtual void reset() = 0;
 
@@ -58,6 +65,7 @@ class Scalar : public Info
     double value() const { return _value; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { _value = 0; }
 
   private:
@@ -85,6 +93,7 @@ class Average : public Info
     double sum() const { return _sum; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { _sum = 0; _count = 0; }
 
   private:
@@ -114,6 +123,7 @@ class Distribution : public Info
     size_t numBuckets() const { return _buckets.size(); }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -141,6 +151,7 @@ class Formula : public Info
     double value() const { return _fn ? _fn() : 0.0; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override {}
 
   private:
@@ -162,11 +173,30 @@ class Group
     /** Recursively print all statistics under this group. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
+    /**
+     * Emit the full hierarchical statistics tree as one JSON object:
+     * {"name":...,"stats":{<stat>:{...}},"groups":{<child>:{...}}}.
+     * Machine-readable counterpart of dump(); always valid JSON.
+     */
+    void dumpJson(std::ostream &os) const;
+
     /** Recursively reset all statistics under this group. */
     void resetStats();
 
     /** Look up a direct child statistic by name (nullptr if absent). */
     const Info *findStat(const std::string &name) const;
+
+    /** Look up a direct child group by name (nullptr if absent). */
+    const Group *findGroup(const std::string &name) const;
+
+    /**
+     * Resolve a dotted path of child groups ending in a statistic,
+     * relative to this group: resolve("proc3.trapsRemoteMiss") finds
+     * child group "proc3", then its stat "trapsRemoteMiss". A path
+     * without dots is equivalent to findStat(). @return nullptr when
+     * any component is missing.
+     */
+    const Info *resolve(const std::string &path) const;
 
   private:
     friend class Info;

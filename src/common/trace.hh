@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A cycle-stamped machine event recorder with Chrome-trace-event
+ * export (loadable at ui.perfetto.dev).
+ *
+ * The recorder is a flat append-only log of small fixed-size events:
+ * context switches (from/to hardware frame), traps (by TrapKind),
+ * directory protocol transitions, network packet send/hop/deliver,
+ * and failed full/empty synchronization attempts. Components hold a
+ * nullable Recorder pointer wired up by the enclosing machine; the
+ * disabled path is therefore a single pointer test.
+ *
+ * Cycle-exactness: events carry the absolute machine cycle at the
+ * moment the component acted. The cycle-skipping run loop only
+ * fast-forwards windows proven event-free by nextEventCycle(), so the
+ * recorded stream is byte-identical with skipping on or off (asserted
+ * by tests/trace_test.cc).
+ *
+ * Export layout: one Perfetto process per node (pid = node) with one
+ * instant-event track (tid 0), plus one async track per hardware task
+ * frame (cat "frame") showing which frame occupies the core over
+ * time.
+ */
+
+#ifndef APRIL_COMMON_TRACE_HH
+#define APRIL_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace april::trace
+{
+
+/** Event families (the ISSUE's four observable machine activities,
+ *  with the network split into its three phases). */
+enum class EventKind : uint8_t
+{
+    CtxSwitch,      ///< a: from frame, b: to frame
+    Trap,           ///< a: TrapKind, arg: trapping PC
+    Coherence,      ///< a: old dir state, b: new, arg: line, arg2: req
+    NetSend,        ///< arg: dst node, arg2: flits
+    NetHop,         ///< arg: dst node, arg2: hops taken so far
+    NetDeliver,     ///< arg: src node, arg2: send-to-delivery cycles
+    FeRetry,        ///< a: 1 store/0 load, arg: faulting word address
+};
+
+/** One recorded machine event (kept small: the log gets long). */
+struct Event
+{
+    uint64_t cycle = 0;
+    uint32_t node = 0;
+    EventKind kind = EventKind::CtxSwitch;
+    uint8_t a = 0;
+    uint8_t b = 0;
+    uint32_t arg = 0;
+    uint32_t arg2 = 0;
+
+    bool operator==(const Event &) const = default;
+};
+
+/** Static machine shape + name tables the exporter needs. */
+struct RecorderConfig
+{
+    uint32_t numNodes = 1;
+    uint32_t framesPerNode = 1;
+    /// Hard cap on recorded events; the log stops growing past it
+    /// (deterministically — the same events drop with skipping on or
+    /// off) and dropped() reports the overflow.
+    uint64_t capacity = 1u << 22;
+    /// Event::a -> trap name for Trap events (machine-supplied so the
+    /// base library needs no ISA dependency). Missing entries render
+    /// as "trap<N>".
+    std::vector<std::string> trapNames;
+    /// Event::a/b -> directory state name for Coherence events.
+    std::vector<std::string> cohStateNames;
+};
+
+/** The per-machine event log. */
+class Recorder
+{
+  public:
+    explicit Recorder(RecorderConfig config);
+
+    /** Append one event (drops silently once capacity is reached). */
+    void
+    record(const Event &e)
+    {
+        if (events_.size() < config_.capacity)
+            events_.push_back(e);
+        else
+            ++dropped_;
+    }
+
+    const std::vector<Event> &events() const { return events_; }
+    uint64_t dropped() const { return dropped_; }
+    const RecorderConfig &config() const { return config_; }
+
+    /**
+     * Serialize as Chrome trace-event JSON ({"traceEvents":[...]}).
+     * Deterministic for a given event log, so differential tests can
+     * compare serializations byte for byte.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    std::string trapName(uint8_t kind) const;
+    std::string cohStateName(uint8_t state) const;
+
+    RecorderConfig config_;
+    std::vector<Event> events_;
+    uint64_t dropped_ = 0;
+};
+
+} // namespace april::trace
+
+#endif // APRIL_COMMON_TRACE_HH

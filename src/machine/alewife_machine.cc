@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/bits.hh"
+#include "common/debug.hh"
 #include "common/logging.hh"
+#include "machine/trace_config.hh"
 #include "runtime/layout.hh"
 
 namespace april
@@ -22,7 +24,13 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
            .wordsPerNode = p.wordsPerNode}),
       net_(p.network, this)
 {
+    debug::initFromEnv();
     uint32_t n = mem.numNodes();
+    if (p.traceEvents) {
+        trec = std::make_unique<trace::Recorder>(makeRecorderConfig(
+            n, p.proc.numFrames, p.traceCapacity));
+        net_.setTraceRecorder(trec.get());
+    }
     for (uint32_t i = 0; i < n; ++i) {
         rt::Runtime::initNode(mem, i);
         ctrls.push_back(std::make_unique<coh::Controller>(
@@ -34,6 +42,8 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
         procs.push_back(std::make_unique<Processor>(
             pp, prog, ctrls.back().get(), ios.back().get(), this));
         ctrls.back()->setProcessor(procs.back().get());
+        ctrls.back()->setTraceRecorder(trec.get());
+        procs.back()->setTraceRecorder(trec.get());
         if (p.bootRuntime)
             rt::Runtime::bootProcessor(*procs.back(), *prog, mem, i, n);
     }

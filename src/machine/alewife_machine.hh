@@ -15,6 +15,7 @@
 
 #include "coherence/controller.hh"
 #include "common/random.hh"
+#include "common/trace.hh"
 #include "network/network.hh"
 #include "proc/processor.hh"
 #include "runtime/runtime.hh"
@@ -37,6 +38,11 @@ struct AlewifeParams
     /// and the network is provably idle (cycle-exact; see
     /// nextEventCycle()). Off forces the plain per-cycle loop.
     bool cycleSkip = true;
+    /// Record machine events (context switches, traps, coherence
+    /// transitions, network traffic) for Chrome-trace export.
+    bool traceEvents = false;
+    /// Recorded-event cap when traceEvents is on.
+    uint64_t traceCapacity = 1u << 22;
 };
 
 /** N ALEWIFE nodes on a mesh. */
@@ -71,6 +77,18 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
     const std::vector<Word> &console() const { return consoleWords; }
     uint64_t runtimeCounter(int slot) const;
 
+    /** Event recorder (nullptr unless params.traceEvents). */
+    trace::Recorder *traceRecorder() { return trec.get(); }
+
+    /** Serialize the event log as Chrome trace-event JSON.
+     *  No-op when tracing is off. */
+    void
+    writeTrace(std::ostream &os) const
+    {
+        if (trec)
+            trec->writeChromeTrace(os);
+    }
+
   private:
     // coh::Fabric interface.
     void transmit(uint32_t to, const coh::Message &msg,
@@ -98,6 +116,7 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
 
     AlewifeParams params;
     SharedMemory mem;
+    std::unique_ptr<trace::Recorder> trec;
     net::Network net_;
     std::vector<std::unique_ptr<coh::Controller>> ctrls;
     std::vector<std::unique_ptr<NodeIo>> ios;

@@ -1,5 +1,8 @@
 #include "machine/driver.hh"
 
+#include <sstream>
+
+#include "common/debug.hh"
 #include "common/logging.hh"
 #include "runtime/layout.hh"
 
@@ -9,6 +12,9 @@ namespace april
 DriverResult
 runMultProgram(const std::string &source, const DriverOptions &options)
 {
+    if (!options.debugFlags.empty())
+        debug::setFlags(options.debugFlags);
+
     rt::RuntimeOptions ropts;
     ropts.encore = options.compile.softwareChecks;
 
@@ -25,6 +31,7 @@ runMultProgram(const std::string &source, const DriverOptions &options)
     mp.proc = options.proc;
     mp.seed = options.seed;
     mp.cycleSkip = options.cycleSkip;
+    mp.traceEvents = options.traceEvents;
     PerfectMachine machine(mp, &prog, runtime);
     machine.run(options.maxCycles);
     if (!machine.halted()) {
@@ -46,6 +53,16 @@ runMultProgram(const std::string &source, const DriverOptions &options)
     r.resumes = machine.runtimeCounter(rt::nb::statResumes);
     for (uint32_t n = 0; n < options.nodes; ++n)
         r.instructions += uint64_t(machine.proc(n).statInsts.value());
+    {
+        std::ostringstream os;
+        machine.dumpJson(os);
+        r.statsJson = os.str();
+    }
+    if (options.traceEvents) {
+        std::ostringstream os;
+        machine.writeTrace(os);
+        r.traceJson = os.str();
+    }
     return r;
 }
 

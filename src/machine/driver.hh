@@ -29,6 +29,11 @@ struct DriverOptions
     uint64_t maxCycles = 2'000'000'000;
     uint64_t seed = 12345;
     bool cycleSkip = true;      ///< fast-forward fully idle cycles
+    /// Comma-separated debug-flag names ("Ctx,Trap", "All") turned on
+    /// for the run; empty leaves the current flags untouched.
+    std::string debugFlags;
+    /// Record machine events and return them in DriverResult::traceJson.
+    bool traceEvents = false;
 
     /** The Encore Multimax baseline configuration (Section 7). */
     static DriverOptions
@@ -65,6 +70,10 @@ struct DriverResult
     uint64_t spawns = 0;
     uint64_t blocks = 0;
     uint64_t resumes = 0;
+    /// Hierarchical machine statistics (stats::Group::dumpJson).
+    std::string statsJson;
+    /// Chrome trace-event JSON; empty unless options.traceEvents.
+    std::string traceJson;
 };
 
 /**

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/bits.hh"
+#include "common/debug.hh"
+#include "machine/trace_config.hh"
 #include "runtime/layout.hh"
 
 namespace april
@@ -15,6 +17,11 @@ PerfectMachine::PerfectMachine(const PerfectMachineParams &p,
       params(p),
       mem({.numNodes = p.numNodes, .wordsPerNode = p.wordsPerNode})
 {
+    debug::initFromEnv();
+    if (p.traceEvents) {
+        trec = std::make_unique<trace::Recorder>(makeRecorderConfig(
+            p.numNodes, p.proc.numFrames, p.traceCapacity));
+    }
     for (uint32_t n = 0; n < p.numNodes; ++n) {
         rt::Runtime::initNode(mem, n);
         ports.push_back(std::make_unique<PerfectMemPort>(&mem));
@@ -24,6 +31,7 @@ PerfectMachine::PerfectMachine(const PerfectMachineParams &p,
         pp.nodeId = n;
         procs.push_back(std::make_unique<Processor>(
             pp, prog, ports.back().get(), ios.back().get(), this));
+        procs.back()->setTraceRecorder(trec.get());
         rt::Runtime::bootProcessor(*procs.back(), *prog, mem, n,
                                    p.numNodes);
     }

@@ -22,6 +22,7 @@
 
 #include "common/random.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "isa/assembler.hh"
 #include "mem/memory.hh"
 #include "proc/perfect_port.hh"
@@ -41,6 +42,11 @@ struct PerfectMachineParams
     /// Fast-forward cycles in run() when every processor is stalled or
     /// halted (cycle-exact; see Processor::nextEventCycle()).
     bool cycleSkip = true;
+    /// Record machine events (context switches, traps, full/empty
+    /// retries) for Chrome-trace export.
+    bool traceEvents = false;
+    /// Recorded-event cap when traceEvents is on.
+    uint64_t traceCapacity = 1u << 22;
 };
 
 /** N APRIL cores on zero-latency shared memory. */
@@ -82,6 +88,18 @@ class PerfectMachine : public stats::Group
     /** Sum a node-block run-time counter across nodes. */
     uint64_t runtimeCounter(int slot) const;
 
+    /** Event recorder (nullptr unless params.traceEvents). */
+    trace::Recorder *traceRecorder() { return trec.get(); }
+
+    /** Serialize the event log as Chrome trace-event JSON.
+     *  No-op when tracing is off. */
+    void
+    writeTrace(std::ostream &os) const
+    {
+        if (trec)
+            trec->writeChromeTrace(os);
+    }
+
   private:
     /** Per-node memory-mapped I/O. */
     class NodeIo : public IoPort
@@ -105,6 +123,7 @@ class PerfectMachine : public stats::Group
 
     PerfectMachineParams params;
     SharedMemory mem;
+    std::unique_ptr<trace::Recorder> trec;
     std::vector<std::unique_ptr<PerfectMemPort>> ports;
     std::vector<std::unique_ptr<NodeIo>> ios;
     std::vector<std::unique_ptr<Processor>> procs;

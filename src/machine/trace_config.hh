@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Builds the trace::RecorderConfig name tables from the ISA and
+ * coherence enums. common/trace.hh deliberately knows nothing about
+ * either layer, so the machines inject the names here.
+ */
+
+#ifndef APRIL_MACHINE_TRACE_CONFIG_HH
+#define APRIL_MACHINE_TRACE_CONFIG_HH
+
+#include "coherence/protocol.hh"
+#include "common/trace.hh"
+#include "isa/instruction.hh"
+
+namespace april
+{
+
+/** RecorderConfig for a machine of @p num_nodes x @p frames cores. */
+inline trace::RecorderConfig
+makeRecorderConfig(uint32_t num_nodes, uint32_t frames, uint64_t capacity)
+{
+    trace::RecorderConfig rc;
+    rc.numNodes = num_nodes;
+    rc.framesPerNode = frames;
+    rc.capacity = capacity;
+    for (uint8_t k = 0; k < uint8_t(TrapKind::NumKinds); ++k)
+        rc.trapNames.push_back(trapKindName(TrapKind(k)));
+    for (auto s : {coh::DirState::Uncached, coh::DirState::Shared,
+                   coh::DirState::Exclusive})
+        rc.cohStateNames.push_back(coh::dirStateName(s));
+    return rc;
+}
+
+} // namespace april
+
+#endif // APRIL_MACHINE_TRACE_CONFIG_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/debug.hh"
 #include "common/logging.hh"
 
 namespace april::net
@@ -100,6 +101,12 @@ Network::send(Packet pkt)
     pkt.sendCycle = _cycle;
     pkt.hops = 0;
     ++inFlight;
+    if (trec) {
+        trec->record({_cycle, pkt.src, trace::EventKind::NetSend, 0, 0,
+                      pkt.dst, pkt.flits});
+    }
+    TRACE(Net, "c", _cycle, " send ", pkt.src, "->", pkt.dst,
+          " flits=", pkt.flits);
     advance(pkt.src, {pkt, _cycle});
 }
 
@@ -142,7 +149,13 @@ Network::tick()
                 statFlitHops += hop.pkt.flits;
                 ++hop.pkt.hops;
                 hop.readyAt = _cycle + params.hopCycles;
-                advance(neighbor(node, d, dir), hop);
+                uint32_t next_node = neighbor(node, d, dir);
+                if (trec) {
+                    trec->record({_cycle, next_node,
+                                  trace::EventKind::NetHop, 0, 0,
+                                  hop.pkt.dst, hop.pkt.hops});
+                }
+                advance(next_node, hop);
             }
         }
     }
@@ -159,6 +172,13 @@ Network::deliver(uint32_t node, std::vector<Packet> &out)
         statLatency.sample(double(_cycle - hop.pkt.sendCycle));
         statHops.sample(hop.pkt.hops);
         --inFlight;
+        if (trec) {
+            trec->record({_cycle, node, trace::EventKind::NetDeliver,
+                          0, 0, hop.pkt.src,
+                          uint32_t(_cycle - hop.pkt.sendCycle)});
+        }
+        TRACE(Net, "c", _cycle, " deliver ", hop.pkt.src, "->", node,
+              " latency=", _cycle - hop.pkt.sendCycle);
         out.push_back(hop.pkt);
         q.pop_front();
     }

@@ -23,6 +23,7 @@
 
 #include "common/bits.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 
 namespace april::net
 {
@@ -54,6 +55,9 @@ class Network : public stats::Group
                      stats::Group *parent = nullptr);
 
     uint32_t numNodes() const { return _numNodes; }
+
+    /** Attach the machine's event recorder (nullptr: tracing off). */
+    void setTraceRecorder(trace::Recorder *r) { trec = r; }
 
     /** Inject a packet at its source router. */
     void send(Packet pkt);
@@ -126,6 +130,7 @@ class Network : public stats::Group
 
     NetworkParams params;
     uint32_t _numNodes;
+    trace::Recorder *trec = nullptr;
     std::vector<Link> links;
     std::vector<std::deque<Hop>> arrived;
     uint64_t _cycle = 0;

@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "common/bits.hh"
+#include "common/debug.hh"
 #include "common/logging.hh"
 
 namespace april
@@ -143,9 +144,27 @@ Processor::operand2(const Instruction &inst) const
 }
 
 void
+Processor::noteSwitch(uint32_t from, uint32_t to)
+{
+    ++statSwitches;
+    if (trec) {
+        trec->record({_cycle, params.nodeId, trace::EventKind::CtxSwitch,
+                      uint8_t(from), uint8_t(to), _pc, 0});
+    }
+    TRACE(Ctx, "c", _cycle, " n", params.nodeId, " switch f", from,
+          "->f", to, " pc=", _pc);
+}
+
+void
 Processor::takeTrap(TrapKind kind, Word arg, Word va)
 {
     ++statTraps[size_t(kind)];
+    if (trec) {
+        trec->record({_cycle, params.nodeId, trace::EventKind::Trap,
+                      uint8_t(kind), 0, _pc, 0});
+    }
+    TRACE(Trap, "c", _cycle, " n", params.nodeId, " ",
+          trapKindName(kind), " trap at pc=", _pc, " arg=", arg);
     redirected = true;
 
     Frame &f = frames[_fp];
@@ -185,6 +204,7 @@ void
 Processor::hardwareSwitch()
 {
     redirected = true;
+    uint32_t prev = _fp;
     Frame &f = frames[_fp];
     f.savedPsr = _psr;
     setFrame((_fp + 1) % params.numFrames);
@@ -193,7 +213,7 @@ Processor::hardwareSwitch()
     _pc = g.trapPC;
     _npc = g.trapNPC;
     stall += params.hwSwitchCycles - 1;
-    ++statSwitches;
+    noteSwitch(prev, _fp);
 }
 
 void
@@ -357,6 +377,17 @@ Processor::executeMemory(const Instruction &inst)
       case MemResult::Kind::Ready:
         break;
       case MemResult::Kind::FeFault:
+        // A failed synchronization attempt: the handler will retry
+        // (or queue the thread), so this word is a contention point.
+        if (trec) {
+            trec->record({_cycle, params.nodeId,
+                          trace::EventKind::FeRetry,
+                          uint8_t(inst.op == Opcode::ST), 0,
+                          uint32_t(req.addr), 0});
+        }
+        TRACE(FE, "c", _cycle, " n", params.nodeId, " f/e ",
+              inst.op == Opcode::ST ? "full" : "empty",
+              " fault addr=", req.addr, " pc=", _pc);
         takeTrap(inst.op == Opcode::ST ? TrapKind::FeFull
                                        : TrapKind::FeEmpty,
                  inst.rs1, ea_raw);
@@ -448,6 +479,7 @@ Processor::execute(const Instruction &inst)
       // PC chain and PSR swap automatically (Section 6.1).
       case Opcode::INCFP:
       case Opcode::DECFP: {
+        uint32_t prev = _fp;
         if (params.switchMode == ProcParams::SwitchMode::Hardware) {
             Frame &f = frames[_fp];
             f.trapPC = next_pc;         // resume after the switch inst
@@ -462,14 +494,14 @@ Processor::execute(const Instruction &inst)
             _pc = g.trapPC;
             _npc = g.trapNPC;
             stall += params.hwSwitchCycles - 1;
-            ++statSwitches;
+            noteSwitch(prev, _fp);
             ++statInsts;
             return;
         }
         setFrame(inst.op == Opcode::INCFP
                      ? (_fp + 1) % params.numFrames
                      : (_fp + params.numFrames - 1) % params.numFrames);
-        ++statSwitches;
+        noteSwitch(prev, _fp);
         break;
       }
       case Opcode::RDFP:

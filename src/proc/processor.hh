@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "isa/assembler.hh"
 #include "isa/instruction.hh"
 #include "proc/ports.hh"
@@ -158,6 +159,9 @@ class Processor : public stats::Group
     /** Post an asynchronous interprocessor interrupt (Section 3.4). */
     void postIpi(Word arg);
 
+    /** Attach the machine's event recorder (nullptr: tracing off). */
+    void setTraceRecorder(trace::Recorder *r) { trec = r; }
+
     /** Fence counter (FLUSH acknowledgments outstanding). */
     Word fenceCounter() const { return _fence; }
     void incFence() { ++_fence; }
@@ -190,12 +194,16 @@ class Processor : public stats::Group
     /** Switch the active frame and refresh the register-view table. */
     void setFrame(uint32_t f);
 
+    /** Record a context switch (event log + Ctx debug flag). */
+    void noteSwitch(uint32_t from, uint32_t to);
+
     Word operand2(const Instruction &inst) const;
 
     ProcParams params;
     const Program *prog;
     MemPort *mem;
     IoPort *io;
+    trace::Recorder *trec = nullptr;
 
     std::vector<Frame> frames;
     std::array<Word, reg::numGlobal> globals{};

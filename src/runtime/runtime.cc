@@ -1,6 +1,7 @@
 #include "runtime/runtime.hh"
 
 #include "common/bits.hh"
+#include "common/debug.hh"
 #include "common/logging.hh"
 
 namespace april::rt
@@ -711,6 +712,8 @@ Runtime::initNode(SharedMemory &mem, uint32_t node)
     put(nb::dequeBase, box(base + dequeOff));
     // Queue indices, free lists and counters start at zero; lock words
     // are "full" (unlocked) because fresh memory is full.
+    TRACE(Runtime, "initNode n", node, " heap=[", heap_start, ",",
+          base + mem.wordsPerNode(), ")");
 }
 
 void
@@ -735,6 +738,10 @@ Runtime::bootProcessor(Processor &proc, const Program &prog,
     proc.setTrapVector(TrapKind::FutureMemory,
                        prog.entry(sym::futureTouch));
     proc.setTrapVector(TrapKind::Ipi, prog.entry(sym::ipi));
+
+    TRACE(Runtime, "bootProcessor n", node, "/", num_nodes, " entry=",
+          node == 0 ? prog.entry(sym::boot) : prog.entry(sym::idle),
+          " frames=", proc.numFrames());
 
     // Park the remaining task frames in the scheduler so that
     // switch-spinning rotation always lands on runnable code.

@@ -51,6 +51,21 @@ TEST(Logging, QuietFlagRoundTrips)
     EXPECT_FALSE(quiet());
 }
 
+TEST(Logging, QuietScopeRestoresOnExit)
+{
+    setQuiet(false);
+    {
+        QuietScope q;
+        EXPECT_TRUE(quiet());
+        {
+            QuietScope loud(false);
+            EXPECT_FALSE(quiet());
+        }
+        EXPECT_TRUE(quiet()) << "inner scope must restore, not clear";
+    }
+    EXPECT_FALSE(quiet());
+}
+
 TEST(Logging, WarnOnceDoesNotThrow)
 {
     setQuiet(true);

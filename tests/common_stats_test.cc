@@ -109,6 +109,49 @@ TEST(Stats, FindStatLocatesDirectChildren)
     EXPECT_EQ(g.findStat("y"), nullptr);
 }
 
+TEST(Stats, ResolveWalksDottedPaths)
+{
+    Group top("machine");
+    Group proc("proc3", &top);
+    Group tlb("tlb", &proc);
+    Scalar traps(&proc, "trapsRemoteMiss", "remote-miss traps");
+    Scalar hits(&tlb, "hits", "");
+    traps += 9;
+
+    EXPECT_EQ(top.resolve("proc3.trapsRemoteMiss"), &traps);
+    EXPECT_EQ(top.resolve("proc3.tlb.hits"), &hits);
+    // A dotless path degenerates to findStat on this group.
+    EXPECT_EQ(proc.resolve("trapsRemoteMiss"), &traps);
+    // Any missing component resolves to nothing.
+    EXPECT_EQ(top.resolve("proc4.trapsRemoteMiss"), nullptr);
+    EXPECT_EQ(top.resolve("proc3.nope"), nullptr);
+    EXPECT_EQ(top.resolve("proc3.tlb"), nullptr)
+        << "a path naming a group, not a stat, must not resolve";
+}
+
+TEST(Stats, DumpJsonNestsGroupsAndEscapes)
+{
+    Group top("machine");
+    Group child("proc0", &top);
+    Scalar s(&child, "cycles", "total \"core\" cycles");
+    s += 7;
+    Average a(&top, "lat", "latency");
+    a.sample(4);
+    a.sample(6);
+
+    std::ostringstream os;
+    top.dumpJson(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"name\":\"machine\""), std::string::npos);
+    EXPECT_NE(out.find("\"proc0\":{"), std::string::npos);
+    EXPECT_NE(out.find("\"cycles\":{\"type\":\"scalar\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"value\":7"), std::string::npos);
+    EXPECT_NE(out.find("\"mean\":5,\"sum\":10,\"count\":2"),
+              std::string::npos);
+    EXPECT_NE(out.find("total \\\"core\\\" cycles"), std::string::npos);
+}
+
 TEST(Stats, NestedResetClearsEverything)
 {
     Group top("t");

@@ -16,6 +16,7 @@
 #include "machine/driver.hh"
 #include "workloads/workloads.hh"
 
+#include "machine_test_util.hh"
 #include "proc_test_util.hh"
 
 namespace april
@@ -206,101 +207,13 @@ TEST(NetNextEvent, InFlightPacketEventsMatchTicking)
 // Differential: coherence-stress workload on the full machine
 // ---------------------------------------------------------------------
 
-constexpr Addr kLock = 400;
-constexpr Addr kCount = 404;
-constexpr int kIters = 30;
-
-/**
- * All nodes hammer a shared f/e-locked counter; a DIV per iteration
- * adds long stall windows so the skip path genuinely engages between
- * bursts of coherence traffic. Node 0 spins until every increment has
- * landed, prints the total and halts the machine.
- */
-Program
-buildStallStress(uint32_t nodes)
-{
-    Assembler as;
-    as.bind("worker");
-    as.movi(1, ptr(kLock, Tag::Other));
-    as.movi(2, ptr(kCount, Tag::Other));
-    as.movi(3, 0);                      // iteration count
-    as.movi(7, fixnum(84));             // DIV operands (future-free)
-    as.movi(8, fixnum(4));
-    as.bind("loop");
-    as.div(9, 7, 8);                    // long stall: skippable window
-    as.bind("acq");
-    as.ldenw(4, 1, 0);
-    as.jRaw(Cond::EMPTY, "acq");
-    as.nop();
-    as.ldnw(5, 2, 0);
-    as.addi(5, 5, int32_t(fixnum(1)));
-    as.stnw(5, 2, 0);
-    as.stfnw(reg::r0, 1, 0);            // release: set full
-    as.addiR(3, 3, 1);
-    as.cmpiR(3, kIters);
-    as.jRaw(Cond::LT, "loop");
-    as.nop();
-    // Node 0 waits for the full count, reports it, stops the machine;
-    // the other nodes simply halt their cores.
-    as.ldio(6, int(IoReg::NodeId));
-    as.cmpiR(6, 0);
-    as.jRaw(Cond::NE, "done");
-    as.nop();
-    as.bind("wait");
-    as.ldnw(5, 2, 0);
-    as.cmpiR(5, int32_t(fixnum(int32_t(nodes) * kIters)));
-    as.jRaw(Cond::NE, "wait");
-    as.nop();
-    as.stio(int(IoReg::ConsoleOut), 5);
-    as.stio(int(IoReg::MachineHalt), reg::r0);
-    as.bind("done");
-    as.halt();
-
-    as.bind("cswitch");
-    as.rdpsr(reg::t(0));
-    as.incfp();
-    as.nop();
-    as.wrpsr(reg::t(0));
-    as.nop();
-    as.rettRetry();
-    as.bind("fyield");
-    as.moviLabel(reg::t(1), "fyield");
-    as.wrspec(Spec::TrapPC, reg::t(1));
-    as.addiR(reg::t(1), reg::t(1), 1);
-    as.wrspec(Spec::TrapNPC, reg::t(1));
-    as.rdpsr(reg::t(0));
-    as.incfp();
-    as.wrpsr(reg::t(0));
-    as.rettRetry();
-    return as.finish();
-}
-
-/** Everything observable about a finished machine run. */
-struct MachineOut
-{
-    bool halted = false;
-    uint64_t cycles = 0;
-    std::vector<Word> console;
-    std::string stats;          ///< full dump: every stat of every node
-};
-
-MachineOut
-finish(AlewifeMachine &m)
-{
-    MachineOut out;
-    out.halted = m.halted();
-    out.cycles = m.cycle();
-    out.console = m.console();
-    std::ostringstream os;
-    m.dump(os);
-    out.stats = os.str();
-    return out;
-}
+using testutil::MachineOut;
+using testutil::finishMachine;
 
 MachineOut
 runStallStress(bool skip)
 {
-    Program prog = buildStallStress(4);
+    Program prog = testutil::buildStallStress(4);
     AlewifeParams p;
     p.network = {.dim = 2, .radix = 2};
     p.wordsPerNode = 1u << 16;
@@ -308,20 +221,9 @@ runStallStress(bool skip)
     p.cycleSkip = skip;
     p.controller.cache = {.lineWords = 4, .numLines = 64, .assoc = 2};
     AlewifeMachine m(p, &prog);
-    for (uint32_t n = 0; n < m.numNodes(); ++n) {
-        Processor &proc = m.proc(n);
-        proc.reset(prog.entry("worker"));
-        proc.setTrapVector(TrapKind::RemoteMiss, prog.entry("cswitch"));
-        proc.setTrapVector(TrapKind::FeEmpty, prog.entry("cswitch"));
-        for (uint32_t f = 1; f < proc.numFrames(); ++f) {
-            proc.frame(f).trapPC = prog.entry("fyield");
-            proc.frame(f).trapNPC = prog.entry("fyield") + 1;
-            proc.frame(f).trapRegs[0] = psr::ET;
-        }
-    }
-    m.memory().write(kCount, fixnum(0));
+    testutil::bootStallStress(m, prog);
     m.run(20'000'000);
-    return finish(m);
+    return finishMachine(m);
 }
 
 TEST(CycleSkipDifferential, CoherenceStressOnAlewife)
@@ -331,7 +233,7 @@ TEST(CycleSkipDifferential, CoherenceStressOnAlewife)
     ASSERT_TRUE(on.halted);
     ASSERT_TRUE(off.halted);
     ASSERT_EQ(on.console.size(), 1u);
-    EXPECT_EQ(on.console.at(0), Word(fixnum(4 * kIters)));
+    EXPECT_EQ(on.console.at(0), Word(fixnum(4 * testutil::kStressIters)));
     EXPECT_EQ(on.cycles, off.cycles);
     EXPECT_EQ(on.console, off.console);
     EXPECT_EQ(on.stats, off.stats) << "per-stat values must be "
@@ -361,7 +263,7 @@ runEagerFibAlewife(bool skip)
     p.controller.cache = {.lineWords = 4, .numLines = 512, .assoc = 4};
     AlewifeMachine m(p, &prog);
     m.run(80'000'000);
-    return finish(m);
+    return finishMachine(m);
 }
 
 TEST(CycleSkipDifferential, EagerFutureFibOnAlewife)

@@ -89,6 +89,12 @@ class Cache : public stats::Group
     /** Touch for LRU. */
     void use(CacheLine *line) { line->lastUse = ++useClock; }
 
+    /**
+     * Every line frame (including Invalid ones), for whole-machine
+     * snapshots that must fold dirty lines over the memory image.
+     */
+    const std::vector<CacheLine> &allLines() const { return lines; }
+
     stats::Scalar statHits;
     stats::Scalar statMisses;
     stats::Scalar statEvictions;

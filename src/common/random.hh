@@ -64,6 +64,24 @@ class Rng
     uint64_t state;
 };
 
+/**
+ * Derive an independent stream seed from a base seed.
+ *
+ * Consumers that need several uncorrelated generators from one
+ * user-visible seed (the fuzzer seeds program structure, operand
+ * values and memory images separately so a generator change in one
+ * dimension does not reshuffle the others) index streams explicitly
+ * instead of sharing a single Rng.
+ */
+constexpr uint64_t
+deriveSeed(uint64_t base, uint64_t stream)
+{
+    uint64_t z = base + 0x9E3779B97F4A7C15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace april
 
 #endif // APRIL_COMMON_RANDOM_HH

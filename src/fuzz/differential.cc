@@ -1,0 +1,259 @@
+#include "fuzz/differential.hh"
+
+#include <memory>
+#include <sstream>
+
+#include "machine/alewife_machine.hh"
+#include "machine/perfect_machine.hh"
+#include "machine/snapshot.hh"
+
+namespace april::fuzz
+{
+
+namespace
+{
+
+struct AlewifeRun
+{
+    std::unique_ptr<AlewifeMachine> machine;
+    MachineSnapshot snap;
+    std::string stats;
+    std::string trace;
+    std::string error;          ///< hang / failed quiesce
+};
+
+AlewifeRun
+runAlewife(const FuzzCase &c, const Program &prog, bool cycle_skip,
+           const DiffOptions &opts)
+{
+    AlewifeRun run;
+    AlewifeParams p;
+    p.network.dim = c.dim;
+    p.network.radix = c.radix;
+    p.wordsPerNode = c.wordsPerNode;
+    p.proc.numFrames = c.numFrames;
+    p.seed = c.seed;
+    p.bootRuntime = false;
+    p.cycleSkip = cycle_skip;
+    p.traceEvents = opts.compareTraces;
+
+    run.machine = std::make_unique<AlewifeMachine>(p, &prog);
+    AlewifeMachine &m = *run.machine;
+    applyMemInit(c, m.memory());
+    for (uint32_t n = 0; n < m.numNodes(); ++n)
+        bootFuzzProcessor(m.proc(n), prog);
+
+    m.run(opts.maxCycles);
+    if (!m.halted()) {
+        std::ostringstream os;
+        os << "alewife(skip=" << cycle_skip
+           << ") did not halt within " << opts.maxCycles
+           << " cycles; node0 pc=" << m.proc(0).pc() << " ["
+           << prog.symbolAt(m.proc(0).pc()) << "]";
+        run.error = os.str();
+        return run;
+    }
+    if (!m.quiesce(opts.quiesceCycles)) {
+        run.error = "alewife machine failed to quiesce after halt";
+        return run;
+    }
+
+    run.snap = snapshotMachine(m);
+    std::ostringstream stats;
+    m.dump(stats);
+    run.stats = stats.str();
+    if (opts.compareTraces) {
+        std::ostringstream trace;
+        m.writeTrace(trace);
+        run.trace = trace.str();
+    }
+    return run;
+}
+
+} // namespace
+
+DiffResult
+runDifferential(const FuzzCase &c, const DiffOptions &opts)
+{
+    DiffResult r;
+    Program prog = buildProgram(c);
+
+    AlewifeRun on = runAlewife(c, prog, true, opts);
+    if (!on.error.empty()) {
+        r.divergence = on.error;
+        return r;
+    }
+    AlewifeRun off = runAlewife(c, prog, false, opts);
+    if (!off.error.empty()) {
+        r.divergence = off.error;
+        return r;
+    }
+    r.alewifeCycles = on.snap.cycle;
+
+    std::ostringstream div;
+    if (!on.snap.coherenceErrors.empty()) {
+        div << "coherence violations in the skip-on run:\n";
+        for (const std::string &e : on.snap.coherenceErrors)
+            div << "  " << e << "\n";
+    }
+
+    std::string exact = compareExact(on.snap, off.snap);
+    if (!exact.empty())
+        div << "cycle-skip ON vs OFF:\n" << exact;
+    if (on.stats != off.stats) {
+        div << "cycle-skip ON vs OFF: stats dumps differ ("
+            << on.stats.size() << " vs " << off.stats.size()
+            << " bytes)\n";
+    }
+    if (opts.compareTraces && on.trace != off.trace) {
+        div << "cycle-skip ON vs OFF: trace JSON differs ("
+            << on.trace.size() << " vs " << off.trace.size()
+            << " bytes)\n";
+    }
+
+    // The oracle: perfect memory, same cores, same program.
+    PerfectMachineParams pp;
+    pp.numNodes = c.numNodes();
+    pp.wordsPerNode = c.wordsPerNode;
+    pp.proc.numFrames = c.numFrames;
+    pp.seed = c.seed;
+    pp.bootRuntime = false;
+    PerfectMachine oracle(pp, &prog);
+    applyMemInit(c, oracle.memory());
+    for (uint32_t n = 0; n < oracle.numNodes(); ++n)
+        bootFuzzProcessor(oracle.proc(n), prog);
+    oracle.run(opts.maxCycles);
+    if (!oracle.halted()) {
+        std::ostringstream os;
+        os << "oracle did not halt within " << opts.maxCycles
+           << " cycles; node0 pc=" << oracle.proc(0).pc() << " ["
+           << prog.symbolAt(oracle.proc(0).pc()) << "]";
+        r.divergence = os.str();
+        return r;
+    }
+    if (!oracle.quiesce(opts.quiesceCycles)) {
+        r.divergence = "oracle failed to quiesce after halt";
+        return r;
+    }
+    MachineSnapshot osnap = snapshotMachine(oracle);
+    r.perfectCycles = osnap.cycle;
+
+    std::string arch = compareArchitectural(on.snap, osnap);
+    if (!arch.empty())
+        div << "alewife vs ISA oracle:\n" << arch;
+
+    r.divergence = div.str();
+    r.ok = r.divergence.empty();
+    return r;
+}
+
+namespace
+{
+
+/**
+ * Can deleting @p item possibly change behavior beyond its own
+ * destination register? Uses the ISA dataflow summary: side-effecting
+ * or condition-consuming/producing instructions are "live" and only
+ * tried in the second, unguided pass.
+ */
+bool
+itemLooksDead(const std::vector<BodyItem> &body, size_t index)
+{
+    for (const Instruction &inst : instructionsFor(body[index])) {
+        OperandInfo oi = operandInfo(inst);
+        if (oi.sideEffects || oi.indirectRegs || oi.setsCond)
+            return false;
+        if (oi.dst < 0)
+            continue;
+        // Is the destination read again before being overwritten?
+        for (size_t j = index + 1; j < body.size(); ++j) {
+            bool overwritten = false;
+            for (const Instruction &later : instructionsFor(body[j])) {
+                OperandInfo lo = operandInfo(later);
+                if (lo.indirectRegs)
+                    return false;
+                for (uint8_t s = 0; s < lo.numSrcs; ++s) {
+                    if (lo.srcs[s] == uint8_t(oi.dst))
+                        return false;
+                }
+                if (lo.dst == oi.dst)
+                    overwritten = true;
+            }
+            if (overwritten)
+                break;
+        }
+    }
+    return true;
+}
+
+/** Delete body item @p index of node @p node (records the drop). */
+FuzzCase
+withoutItem(const FuzzCase &c, uint32_t node, size_t index)
+{
+    FuzzCase mutated = c;
+    uint32_t orig = mutated.bodies[node][index].origIndex;
+    mutated.bodies[node].erase(mutated.bodies[node].begin() +
+                               long(index));
+    mutated.dropped.emplace_back(node, orig);
+    return mutated;
+}
+
+} // namespace
+
+FuzzCase
+shrinkCase(const FuzzCase &c, const FailPredicate &fails,
+           int maxProbes)
+{
+    FuzzCase best = c;
+    int probes = 0;
+
+    // Pass 1: dead-value items (cheap wins, usually most of the body).
+    // Pass 2: everything, last-to-first so branch skips over earlier
+    // items keep their meaning as long as possible. Repeat both to a
+    // fixpoint: deleting one item routinely kills others.
+    bool changed = true;
+    while (changed && probes < maxProbes) {
+        changed = false;
+        for (int guided = 1; guided >= 0; --guided) {
+            for (uint32_t node = 0; node < best.bodies.size(); ++node) {
+                for (size_t i = best.bodies[node].size(); i-- > 0;) {
+                    if (probes >= maxProbes)
+                        return best;
+                    if (guided &&
+                        !itemLooksDead(best.bodies[node], i)) {
+                        continue;
+                    }
+                    FuzzCase candidate = withoutItem(best, node, i);
+                    ++probes;
+                    if (fails(candidate)) {
+                        best = std::move(candidate);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    return best;
+}
+
+std::string
+reproText(const FuzzCase &c, const DiffResult &r)
+{
+    std::ostringstream os;
+    os << "=== APRIL differential fuzzer: divergence ===\n";
+    os << r.divergence;
+    if (!r.divergence.empty() && r.divergence.back() != '\n')
+        os << "\n";
+    os << std::hex << "Reproduce with seed 0x" << c.seed << std::dec
+       << " (" << c.numNodes() << " nodes, " << c.numFrames
+       << " frames";
+    if (!c.dropped.empty())
+        os << ", " << c.dropped.size() << " items shrunk away";
+    os << ").\n";
+    os << "Corpus entry (save under tests/corpus/ to pin the "
+          "regression):\n\n";
+    os << serializeCase(c);
+    return os.str();
+}
+
+} // namespace april::fuzz

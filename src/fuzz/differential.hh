@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Differential execution of generated APRIL programs.
+ *
+ * Each case runs three ways:
+ *
+ *   1. AlewifeMachine, cycle-skipping ON  (the production fast path)
+ *   2. AlewifeMachine, cycle-skipping OFF (the plain per-cycle loop)
+ *   3. PerfectMachine                     (the architectural oracle)
+ *
+ * Runs 1 and 2 must be bit-for-bit twins: identical snapshots,
+ * identical cycle counts, identical stats dumps, byte-identical trace
+ * JSON. Run 1 must additionally be architecturally equivalent to the
+ * oracle (registers, memory + f/e bits, console, deterministic trap
+ * counters) — the generator's single-writer discipline makes the
+ * final state machine-independent even though the interleavings are
+ * wildly different.
+ *
+ * On divergence the driver produces a self-contained repro (seed,
+ * machine shape, shrunk program listing) and a greedy
+ * instruction-deletion shrinker minimizes the case first.
+ */
+
+#ifndef APRIL_FUZZ_DIFFERENTIAL_HH
+#define APRIL_FUZZ_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fuzz/generator.hh"
+
+namespace april::fuzz
+{
+
+/** Knobs of one differential run. */
+struct DiffOptions
+{
+    uint64_t maxCycles = 4'000'000; ///< per machine; hang => failure
+    uint64_t quiesceCycles = 250'000;
+    bool compareTraces = true;      ///< trace JSON of runs 1 vs 2
+};
+
+/** Outcome of one differential run. */
+struct DiffResult
+{
+    bool ok = false;
+    std::string divergence;         ///< empty when ok
+    uint64_t alewifeCycles = 0;     ///< machine cycles, run 1
+    uint64_t perfectCycles = 0;     ///< machine cycles, run 3
+};
+
+/** Run one case all three ways and cross-check. */
+DiffResult runDifferential(const FuzzCase &c,
+                           const DiffOptions &opts = {});
+
+/** Does this (mutated) case still fail? Used by the shrinker. */
+using FailPredicate = std::function<bool(const FuzzCase &)>;
+
+/**
+ * Greedy instruction-deletion shrinker: repeatedly delete body items
+ * while @p fails stays true, to a fixpoint or until @p maxProbes
+ * re-executions. Deletion order is guided by isa operandInfo():
+ * items computing dead values (destination never read later, no side
+ * effects) go first, so typical cases collapse in a few probes.
+ */
+FuzzCase shrinkCase(const FuzzCase &c, const FailPredicate &fails,
+                    int maxProbes = 400);
+
+/**
+ * Self-contained failure report: divergence, reproduce-from-seed
+ * instructions and the (shrunk) corpus entry ready to check in under
+ * tests/corpus/.
+ */
+std::string reproText(const FuzzCase &c, const DiffResult &r);
+
+} // namespace april::fuzz
+
+#endif // APRIL_FUZZ_DIFFERENTIAL_HH

@@ -1,0 +1,534 @@
+#include "fuzz/generator.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/digest.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "runtime/layout.hh"
+
+namespace april::fuzz
+{
+
+namespace
+{
+
+// The fuzz arena sits above the run-time heap base so generated
+// traffic can never collide with the node blocks initNode writes.
+constexpr Addr kArenaOff = rt::heapOff + 64;
+constexpr Addr kSharedOff = kArenaOff + 256;
+constexpr Addr kFlagsOff = kArenaOff + 512;
+
+Addr
+ownRegionAddr(const FuzzCase &c, uint32_t node)
+{
+    return Addr(c.ownHome.at(node)) * c.wordsPerNode + kArenaOff +
+           node * kOwnWords;
+}
+
+Addr
+sharedRegionAddr(const FuzzCase &c)
+{
+    return Addr(c.sharedHome) * c.wordsPerNode + kSharedOff;
+}
+
+Addr
+flagAddr(const FuzzCase &c, uint32_t node)
+{
+    // All done flags are homed on node 0, adjacent on purpose: the
+    // line is written by every node, which stresses ownership
+    // migration without breaking the one-writer-per-word discipline.
+    (void)c;
+    return kFlagsOff + node;
+}
+
+/** A random tagged word (Figure 3 mix, futures included). */
+Word
+randomTagged(Rng &rng)
+{
+    uint64_t p = rng.below(100);
+    if (p < 55)
+        return tagged::fixnum(int32_t(rng.next()) >> 2);
+    Addr a = Addr(rng.below(4096));
+    if (p < 70)
+        return tagged::ptr(a, Tag::Other);
+    if (p < 85)
+        return tagged::ptr(a, Tag::Cons);
+    return tagged::ptr(a, Tag::Future);
+}
+
+BodyItem
+sampleItem(Rng &rng, Rng &vals, uint32_t index)
+{
+    BodyItem it;
+    it.origIndex = index;
+    it.reg = uint8_t(genreg::dataFirst + rng.below(genreg::numData));
+
+    uint64_t p = rng.below(100);
+    if (p < 30) {
+        it.kind = ItemKind::Load;
+        uint64_t r = rng.below(100);
+        it.region = r < 45 ? Region::Own
+                  : r < 80 ? Region::Shared
+                           : Region::FutureAlias;
+        it.feTrap = rng.chance(0.5);
+        it.feModify = rng.chance(0.4);
+        it.missTrap = rng.chance(0.5);
+        it.strict = rng.chance(0.7);
+        if (it.region == Region::Shared) {
+            // Consuming loads would make shared words single-consumer
+            // races; the read-only region stays truly read-only.
+            it.feModify = false;
+            it.slot = uint32_t(rng.below(kSharedWords));
+        } else {
+            it.slot = uint32_t(rng.below(kOwnWords));
+        }
+    } else if (p < 50) {
+        it.kind = ItemKind::Store;
+        it.region = rng.chance(0.75) ? Region::Own
+                                     : Region::FutureAlias;
+        it.feTrap = rng.chance(0.5);
+        it.feModify = rng.chance(0.5);
+        it.missTrap = rng.chance(0.5);
+        it.strict = rng.chance(0.7);
+        it.slot = uint32_t(rng.below(kOwnWords));
+    } else if (p < 55) {
+        it.kind = ItemKind::Tas;
+        it.region = Region::Own;
+        it.slot = uint32_t(rng.below(kOwnWords));
+    } else if (p < 75) {
+        it.kind = ItemKind::Alu;
+        static const Opcode ops[] = {
+            Opcode::ADD, Opcode::SUB, Opcode::MUL, Opcode::DIV,
+            Opcode::REM, Opcode::AND, Opcode::OR, Opcode::XOR,
+            Opcode::SLL, Opcode::SRL, Opcode::SRA,
+        };
+        it.aluOp = ops[rng.below(std::size(ops))];
+        it.strict = rng.chance(0.6);
+        it.rs1 = rng.chance(0.15)
+            ? genreg::futureAlias
+            : uint8_t(genreg::dataFirst + rng.below(genreg::numData));
+        if (it.aluOp == Opcode::DIV || it.aluOp == Opcode::REM) {
+            // Immediate positive divisor: zero divisors panic the
+            // core by design, and generated operands must never
+            // depend on avoiding them dynamically.
+            it.useImm = true;
+            it.imm = int32_t(1 + vals.below(4094));
+        } else if (rng.chance(0.4)) {
+            it.useImm = true;
+            it.imm = int32_t(vals.next());
+        } else {
+            it.rs2 = uint8_t(genreg::dataFirst +
+                             rng.below(genreg::numData));
+        }
+    } else if (p < 83) {
+        it.kind = ItemKind::Movi;
+        it.value = randomTagged(vals);
+    } else if (p < 93) {
+        it.kind = ItemKind::Branch;
+        static const Cond conds[] = {
+            Cond::EQ, Cond::NE, Cond::LT, Cond::GE, Cond::LE,
+            Cond::GT, Cond::FULL, Cond::EMPTY, Cond::AL,
+        };
+        it.cond = conds[rng.below(std::size(conds))];
+        it.skip = uint32_t(1 + rng.below(3));
+    } else if (p < 96) {
+        it.kind = ItemKind::SoftTrap;
+        it.vec = uint32_t(rng.below(8));
+    } else {
+        it.kind = ItemKind::Nop;
+    }
+    return it;
+}
+
+std::string
+nodeLabel(uint32_t node)
+{
+    return "fz$node" + std::to_string(node);
+}
+
+std::string
+itemLabel(uint32_t node, uint32_t index)
+{
+    return "fz$n" + std::to_string(node) + "$i" + std::to_string(index);
+}
+
+/** Emit one body item; branches go to @p target. */
+void
+emitItem(Assembler &as, const BodyItem &it, const std::string &target)
+{
+    switch (it.kind) {
+      case ItemKind::Load:
+      case ItemKind::Store: {
+        uint8_t base = it.region == Region::Own ? genreg::ownBase
+                     : it.region == Region::Shared ? genreg::sharedBase
+                                                   : genreg::futureAlias;
+        MissPolicy miss =
+            it.missTrap ? MissPolicy::Trap : MissPolicy::Wait;
+        if (it.kind == ItemKind::Load) {
+            as.load(it.reg, base, wordOff(int(it.slot)), it.feTrap,
+                    it.feModify, miss, it.strict);
+        } else {
+            as.store(it.reg, base, wordOff(int(it.slot)), it.feTrap,
+                     it.feModify, miss, it.strict);
+        }
+        break;
+      }
+      case ItemKind::Tas:
+        as.tas(it.reg, genreg::ownBase, wordOff(int(it.slot)));
+        break;
+      case ItemKind::Alu:
+        as.push({.op = it.aluOp, .rd = it.reg, .rs1 = it.rs1,
+                 .rs2 = it.rs2, .imm = it.imm, .useImm = it.useImm,
+                 .strict = it.strict});
+        break;
+      case ItemKind::Movi:
+        as.movi(it.reg, it.value);
+        break;
+      case ItemKind::Branch:
+        as.j(it.cond, target);
+        break;
+      case ItemKind::SoftTrap:
+        as.trap(int(it.vec));
+        break;
+      case ItemKind::Nop:
+        as.nop();
+        break;
+    }
+}
+
+void
+emitHandlers(Assembler &as)
+{
+    // Count-and-skip handlers for the deterministic trap kinds. They
+    // run with ET clear, touch only globals, and never access memory,
+    // so they behave identically on every machine model.
+    as.bind("fz$fe");
+    as.addiR(reg::g(6), reg::g(6), 1);
+    as.rettSkip();
+    as.bind("fz$future");
+    as.addiR(reg::g(7), reg::g(7), 1);
+    as.rettSkip();
+    as.bind("fz$soft");
+    as.addiR(reg::g(5), reg::g(5), 1);
+    as.rettSkip();
+
+    // The 6-cycle SPARC-style context-switch handler and the parked
+    // frames' yield loop (Section 6.1), the same rotation the
+    // run-time system and the stall-stress workload use. PSR travels
+    // through the per-frame t0 so condition codes survive rotation.
+    as.bind("fz$cswitch");
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.nop();
+    as.wrpsr(reg::t(0));
+    as.nop();
+    as.rettRetry();
+    as.bind("fz$yield");
+    as.moviLabel(reg::t(1), "fz$yield");
+    as.wrspec(Spec::TrapPC, reg::t(1));
+    as.addiR(reg::t(1), reg::t(1), 1);
+    as.wrspec(Spec::TrapNPC, reg::t(1));
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.wrpsr(reg::t(0));
+    as.rettRetry();
+}
+
+} // namespace
+
+uint32_t
+FuzzCase::numNodes() const
+{
+    uint32_t n = 1;
+    for (int d = 0; d < dim; ++d)
+        n *= uint32_t(radix);
+    return n;
+}
+
+FuzzCase
+sampleCase(uint64_t seed)
+{
+    // Independent streams so that, e.g., a weight change in the
+    // structure sampler does not reshuffle every operand value.
+    Rng structure(deriveSeed(seed, 0));
+    Rng vals(deriveSeed(seed, 1));
+    Rng memRng(deriveSeed(seed, 2));
+
+    FuzzCase c;
+    c.seed = seed;
+    c.dim = structure.chance(0.5) ? 1 : 2;      // 2 or 4 nodes
+    c.radix = 2;
+    c.numFrames = uint32_t(1 + structure.below(4));
+    c.wordsPerNode = 1u << 14;
+
+    uint32_t nodes = c.numNodes();
+    for (uint32_t n = 0; n < nodes; ++n)
+        c.ownHome.push_back(uint32_t(structure.below(nodes)));
+    c.sharedHome = uint32_t(structure.below(nodes));
+
+    for (uint32_t n = 0; n < nodes; ++n) {
+        std::vector<Word> init;
+        for (unsigned d = 0; d < genreg::numData; ++d)
+            init.push_back(randomTagged(vals));
+        c.dataInit.push_back(std::move(init));
+
+        std::vector<BodyItem> body;
+        uint32_t len = uint32_t(16 + structure.below(33));
+        for (uint32_t i = 0; i < len; ++i)
+            body.push_back(sampleItem(structure, vals, i));
+        c.bodies.push_back(std::move(body));
+    }
+
+    for (uint32_t n = 0; n < nodes; ++n) {
+        for (uint32_t i = 0; i < kOwnWords; ++i) {
+            c.inits.push_back({ownRegionAddr(c, n) + i,
+                               randomTagged(memRng),
+                               memRng.chance(0.75)});
+        }
+        // Done flags start empty; stfnw publishes them.
+        c.inits.push_back({flagAddr(c, n), 0, false});
+    }
+    for (uint32_t i = 0; i < kSharedWords; ++i) {
+        c.inits.push_back({sharedRegionAddr(c) + i, randomTagged(memRng),
+                           memRng.chance(0.75)});
+    }
+    return c;
+}
+
+Program
+buildProgram(const FuzzCase &c)
+{
+    uint32_t nodes = c.numNodes();
+    Assembler as;
+
+    // Node dispatch: every core enters at fz$main and branches to its
+    // own body on the NodeId I/O register.
+    as.bind("fz$main");
+    as.ldio(genreg::scratch0, int(IoReg::NodeId));
+    for (uint32_t n = 0; n + 1 < nodes; ++n) {
+        as.cmpiR(genreg::scratch0, int32_t(n));
+        as.jRaw(Cond::EQ, nodeLabel(n));
+        as.nop();
+    }
+    as.jRaw(Cond::AL, nodeLabel(nodes - 1));
+    as.nop();
+
+    for (uint32_t n = 0; n < nodes; ++n) {
+        const std::vector<BodyItem> &body = c.bodies.at(n);
+        as.bind(nodeLabel(n));
+
+        as.movi(genreg::ownBase,
+                tagged::ptr(ownRegionAddr(c, n), Tag::Other));
+        as.movi(genreg::sharedBase,
+                tagged::ptr(sharedRegionAddr(c), Tag::Other));
+        as.movi(genreg::futureAlias,
+                tagged::ptr(ownRegionAddr(c, n), Tag::Future));
+        for (unsigned d = 0; d < genreg::numData; ++d) {
+            as.movi(uint8_t(genreg::dataFirst + d),
+                    c.dataInit.at(n).at(d));
+        }
+
+        std::string endLabel = itemLabel(n, uint32_t(body.size()));
+        for (uint32_t i = 0; i < body.size(); ++i) {
+            as.bind(itemLabel(n, i));
+            uint32_t target = std::min(uint32_t(body.size()),
+                                       i + 1 + body[i].skip);
+            emitItem(as, body[i], itemLabel(n, target));
+        }
+        as.bind(endLabel);
+
+        // Publish this node's done flag with a set-full store, then
+        // node 0 alone barriers on every flag, reports one word and
+        // stops the machine. Single console writer keeps output
+        // ordering machine-independent.
+        as.movi(genreg::scratch1,
+                tagged::ptr(flagAddr(c, n), Tag::Other));
+        as.movi(genreg::scratch2, tagged::fixnum(1));
+        as.stfnw(genreg::scratch2, genreg::scratch1, 0);
+        if (n == 0) {
+            for (uint32_t k = 0; k < nodes; ++k) {
+                std::string spin = "fz$wait" + std::to_string(k);
+                as.movi(genreg::scratch3,
+                        tagged::ptr(flagAddr(c, k), Tag::Other));
+                as.bind(spin);
+                as.ldnw(genreg::scratch2, genreg::scratch3, 0);
+                as.jRaw(Cond::EMPTY, spin);
+                as.nop();
+            }
+            as.stio(int(IoReg::ConsoleOut), genreg::dataFirst);
+            as.stio(int(IoReg::MachineHalt), reg::r0);
+        }
+        as.halt();
+    }
+
+    emitHandlers(as);
+    return as.finish();
+}
+
+void
+applyMemInit(const FuzzCase &c, SharedMemory &mem)
+{
+    for (const MemInit &w : c.inits)
+        mem.writeFe(w.addr, w.data, w.full);
+}
+
+void
+bootFuzzProcessor(Processor &proc, const Program &prog)
+{
+    proc.reset(prog.entry("fz$main"));
+    proc.setTrapVector(TrapKind::RemoteMiss, prog.entry("fz$cswitch"));
+    proc.setTrapVector(TrapKind::FeEmpty, prog.entry("fz$fe"));
+    proc.setTrapVector(TrapKind::FeFull, prog.entry("fz$fe"));
+    proc.setTrapVector(TrapKind::FutureCompute,
+                       prog.entry("fz$future"));
+    proc.setTrapVector(TrapKind::FutureMemory,
+                       prog.entry("fz$future"));
+    for (int v = 0; v < 8; ++v) {
+        proc.setTrapVector(TrapKind(int(TrapKind::SoftTrap0) + v),
+                           prog.entry("fz$soft"));
+    }
+    proc.setTrapVector(TrapKind::Ipi, prog.entry("fz$soft"));
+    for (uint32_t f = 1; f < proc.numFrames(); ++f) {
+        proc.frame(f).trapPC = prog.entry("fz$yield");
+        proc.frame(f).trapNPC = prog.entry("fz$yield") + 1;
+        proc.frame(f).trapRegs[0] = psr::ET;
+    }
+}
+
+std::vector<Instruction>
+instructionsFor(const BodyItem &item)
+{
+    Assembler as;
+    // Branch targets resolve to the label itself; only the dataflow
+    // shape matters to introspection clients.
+    as.bind("fz$self");
+    emitItem(as, item, "fz$self");
+    Program p = as.finish();
+    std::vector<Instruction> insts;
+    for (uint32_t i = 0; i < p.size(); ++i)
+        insts.push_back(p.at(i));
+    return insts;
+}
+
+std::string
+serializeCase(const FuzzCase &c)
+{
+    Program prog = buildProgram(c);
+    std::ostringstream os;
+    os << "# APRIL differential-fuzzer corpus entry\n";
+    os << "# Replay: regenerate from `seed`, delete `drop` items, "
+          "check `listing_digest`, run the differential.\n";
+    os << std::hex;
+    os << "seed = 0x" << c.seed << "\n";
+    os << std::dec;
+    os << "nodes = " << c.numNodes() << "\n";
+    os << "frames = " << c.numFrames << "\n";
+    if (!c.dropped.empty()) {
+        os << "drop =";
+        for (auto [node, idx] : c.dropped)
+            os << " " << node << ":" << idx;
+        os << "\n";
+    }
+    os << std::hex;
+    os << "listing_digest = 0x" << digestString(prog.listing())
+       << "\n";
+    os << std::dec;
+    os << "---\n";
+    std::istringstream listing(prog.listing());
+    std::string line;
+    while (std::getline(listing, line))
+        os << "# " << line << "\n";
+    return os.str();
+}
+
+std::string
+parseCase(const std::string &text, FuzzCase &out)
+{
+    uint64_t seed = 0, digest = 0;
+    bool haveSeed = false, haveDigest = false;
+    uint32_t nodes = 0, frames = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> drops;
+
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line == "---")
+            break;
+        if (line.empty() || line[0] == '#')
+            continue;
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            return "malformed line: " + line;
+        auto trim = [](std::string s) {
+            size_t a = s.find_first_not_of(" \t");
+            size_t b = s.find_last_not_of(" \t\r");
+            return a == std::string::npos ? std::string()
+                                          : s.substr(a, b - a + 1);
+        };
+        std::string key = trim(line.substr(0, eq));
+        std::string val = trim(line.substr(eq + 1));
+        if (key == "seed") {
+            seed = std::stoull(val, nullptr, 0);
+            haveSeed = true;
+        } else if (key == "listing_digest") {
+            digest = std::stoull(val, nullptr, 0);
+            haveDigest = true;
+        } else if (key == "nodes") {
+            nodes = uint32_t(std::stoul(val));
+        } else if (key == "frames") {
+            frames = uint32_t(std::stoul(val));
+        } else if (key == "drop") {
+            std::istringstream ds(val);
+            std::string tok;
+            while (ds >> tok) {
+                auto colon = tok.find(':');
+                if (colon == std::string::npos)
+                    return "malformed drop token: " + tok;
+                drops.emplace_back(
+                    uint32_t(std::stoul(tok.substr(0, colon))),
+                    uint32_t(std::stoul(tok.substr(colon + 1))));
+            }
+        } else {
+            return "unknown key: " + key;
+        }
+    }
+    if (!haveSeed)
+        return "missing seed";
+
+    out = sampleCase(seed);
+    if (nodes && nodes != out.numNodes())
+        return "node count drifted: expected " + std::to_string(nodes) +
+               ", regenerated " + std::to_string(out.numNodes());
+    if (frames && frames != out.numFrames)
+        return "frame count drifted: expected " +
+               std::to_string(frames) + ", regenerated " +
+               std::to_string(out.numFrames);
+    for (auto [node, idx] : drops) {
+        if (node >= out.bodies.size())
+            return "drop node out of range";
+        auto &body = out.bodies[node];
+        auto it = std::find_if(body.begin(), body.end(),
+                               [idx = idx](const BodyItem &b) {
+                                   return b.origIndex == idx;
+                               });
+        if (it == body.end())
+            return "drop index not found: " + std::to_string(idx);
+        body.erase(it);
+        out.dropped.emplace_back(node, idx);
+    }
+    if (haveDigest) {
+        uint64_t got = digestString(buildProgram(out).listing());
+        if (got != digest) {
+            std::ostringstream os;
+            os << std::hex << "listing digest mismatch: entry has 0x"
+               << digest << ", regenerated program has 0x" << got
+               << " (generator drifted; re-shrink this entry)";
+            return os.str();
+        }
+    }
+    return "";
+}
+
+} // namespace april::fuzz

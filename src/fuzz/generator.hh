@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Constrained random generation of well-formed APRIL programs.
+ *
+ * Every generated case is designed to be *machine-independent by
+ * construction* so that the ALEWIFE machine (with its remote misses,
+ * context switches and coherence protocol) and the perfect-memory
+ * oracle converge to the same architectural state:
+ *
+ *  - Single-writer memory ownership: each node stores only into its
+ *    own read/write region (which may be *homed* on a remote node, so
+ *    cross-node coherence traffic still happens), plus one private
+ *    done flag. A separate shared region is read-only for everyone.
+ *  - Consuming loads (feModify) are restricted to the own region, so
+ *    full/empty state evolution of every word follows one node's
+ *    program order.
+ *  - Only node 0 writes the console and MachineHalt, after a
+ *    full/empty-bit barrier on every node's done flag.
+ *  - Control flow inside a body is forward-only branches.
+ *
+ * Within those constraints the generator covers the interesting ISA
+ * surface: all 16 Table 2 load/store flavors, Jfull/Jempty on the
+ * latched F bit, tagged fixnum/cons/future operands (futures trap in
+ * strict instructions and are real data in raw ones), TAS, software
+ * traps, and 1-4 hardware task frames.
+ */
+
+#ifndef APRIL_FUZZ_GENERATOR_HH
+#define APRIL_FUZZ_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "mem/memory.hh"
+#include "proc/processor.hh"
+
+namespace april::fuzz
+{
+
+/** What one body item turns into. */
+enum class ItemKind : uint8_t
+{
+    Load,       ///< one of the 8 Table 2 load flavors
+    Store,      ///< one of the 8 Table 2 store flavors
+    Tas,        ///< atomic test&set on the own region
+    Alu,        ///< 3-address compute (strict or raw)
+    Movi,       ///< load a random tagged constant
+    Branch,     ///< forward conditional branch (incl. Jfull/Jempty)
+    SoftTrap,   ///< TRAP #0..7
+    Nop,
+};
+
+/** Which base register a memory item goes through. */
+enum class Region : uint8_t
+{
+    Own,        ///< r1: this node's read/write region
+    Shared,     ///< r2: global read-only region
+    FutureAlias,///< r5: future-tagged pointer to the own region
+};
+
+/** One randomly sampled body instruction (spec domain, not ISA). */
+struct BodyItem
+{
+    ItemKind kind = ItemKind::Nop;
+    uint32_t origIndex = 0;     ///< index in the unshrunk body
+
+    // Memory items.
+    Region region = Region::Own;
+    bool feTrap = false;
+    bool feModify = false;
+    bool missTrap = false;      ///< MissPolicy::Trap vs Wait
+    bool strict = true;
+    uint32_t slot = 0;          ///< word index within the region
+    uint8_t reg = 16;           ///< data register (load rd / store rs)
+
+    // ALU items.
+    Opcode aluOp = Opcode::ADD;
+    uint8_t rs1 = 16;
+    uint8_t rs2 = 16;
+    bool useImm = false;
+    int32_t imm = 0;
+
+    // Movi items.
+    Word value = 0;
+
+    // Branch items.
+    Cond cond = Cond::EQ;
+    uint32_t skip = 1;          ///< body items to jump over
+
+    // SoftTrap items.
+    uint32_t vec = 0;
+};
+
+/** One word of the deterministic initial memory image. */
+struct MemInit
+{
+    Addr addr = 0;
+    Word data = 0;
+    bool full = true;
+};
+
+/** A complete generated test case. */
+struct FuzzCase
+{
+    uint64_t seed = 0;
+
+    // Machine shape.
+    int dim = 1;                ///< network dimension (1 or 2)
+    int radix = 2;              ///< nodes = radix^dim (2 or 4)
+    uint32_t numFrames = 4;     ///< 1..4 hardware task frames
+    uint32_t wordsPerNode = 1u << 14;
+
+    // Memory plan.
+    std::vector<uint32_t> ownHome;  ///< home node of each own region
+    uint32_t sharedHome = 0;
+    std::vector<MemInit> inits;
+
+    /// Initial values of the data registers r16.. of each node.
+    std::vector<std::vector<Word>> dataInit;
+
+    // Per-node instruction specs.
+    std::vector<std::vector<BodyItem>> bodies;
+
+    /// Items deleted by the shrinker, as (node, origIndex) pairs
+    /// relative to sampleCase(seed); empty for unshrunk cases.
+    std::vector<std::pair<uint32_t, uint32_t>> dropped;
+
+    uint32_t numNodes() const;
+};
+
+// Fixed register roles in generated programs (body items use
+// r16..r23 as data registers).
+namespace genreg
+{
+constexpr uint8_t ownBase = 1;      ///< other-tagged own-region pointer
+constexpr uint8_t sharedBase = 2;   ///< other-tagged shared-region ptr
+constexpr uint8_t scratch0 = 3;     ///< node-id dispatch
+constexpr uint8_t scratch1 = 4;     ///< epilogue flag pointer
+constexpr uint8_t futureAlias = 5;  ///< future-tagged own-region ptr
+constexpr uint8_t scratch2 = 6;
+constexpr uint8_t scratch3 = 7;
+constexpr uint8_t dataFirst = 16;
+constexpr unsigned numData = 8;
+} // namespace genreg
+
+/** Words per own region / shared region. */
+constexpr uint32_t kOwnWords = 24;
+constexpr uint32_t kSharedWords = 16;
+
+/** Sample a complete random case from @p seed (pure function). */
+FuzzCase sampleCase(uint64_t seed);
+
+/** Assemble the case into an executable program. */
+Program buildProgram(const FuzzCase &c);
+
+/** Write the case's deterministic initial memory image into @p mem. */
+void applyMemInit(const FuzzCase &c, SharedMemory &mem);
+
+/**
+ * Point @p proc at the generated entry and trap handlers and park
+ * frames 1..numFrames-1 in the yield loop (same pattern for every
+ * machine model, so boot state is identical by construction).
+ */
+void bootFuzzProcessor(Processor &proc, const Program &prog);
+
+/** Re-assemble just the instructions of one body item (shrinker
+ *  introspection; branch targets are rendered as forward skips). */
+std::vector<Instruction> instructionsFor(const BodyItem &item);
+
+/**
+ * Serialize a case as a self-contained corpus entry: `key = value`
+ * header (seed, machine shape, drop list, listing digest) then the
+ * full program listing as a comment.
+ */
+std::string serializeCase(const FuzzCase &c);
+
+/**
+ * Reconstruct a case from a corpus entry: re-sample from the recorded
+ * seed, re-apply the drop list, and verify the listing digest matches
+ * byte for byte. @return "" on success, else an error message.
+ */
+std::string parseCase(const std::string &text, FuzzCase &out);
+
+} // namespace april::fuzz
+
+#endif // APRIL_FUZZ_GENERATOR_HH

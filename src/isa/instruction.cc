@@ -108,6 +108,108 @@ opName(Opcode op)
 
 } // namespace
 
+OperandInfo
+operandInfo(const Instruction &inst)
+{
+    OperandInfo oi;
+    auto src = [&](uint8_t r) { oi.srcs[oi.numSrcs++] = r; };
+
+    if (inst.isCompute()) {
+        src(inst.rs1);
+        if (!inst.useImm)
+            src(inst.rs2);
+        oi.dst = inst.rd;
+        oi.setsCond = true;
+        return oi;
+    }
+
+    switch (inst.op) {
+      case Opcode::MOVI:
+        oi.dst = inst.rd;
+        break;
+      case Opcode::LD:
+        src(inst.rs1);
+        oi.dst = inst.rd;
+        // Latches the F condition bit; feTrap can vector, feModify
+        // consumes the word.
+        oi.sideEffects = true;
+        break;
+      case Opcode::ST:
+        src(inst.rs1);
+        src(inst.rd);               // rd is the store *source*
+        oi.sideEffects = true;
+        break;
+      case Opcode::TAS:
+        src(inst.rs1);
+        oi.dst = inst.rd;
+        oi.setsCond = true;
+        oi.sideEffects = true;
+        break;
+      case Opcode::J:
+        oi.readsCond = inst.cond != Cond::AL;
+        oi.sideEffects = true;
+        break;
+      case Opcode::JMPL:
+        if (!inst.useImm)
+            src(inst.rs1);
+        oi.dst = inst.rd;
+        oi.sideEffects = true;
+        break;
+      case Opcode::RDFP:
+      case Opcode::RDPSR:
+      case Opcode::RDFENCE:
+        oi.dst = inst.rd;
+        break;
+      case Opcode::RDSPEC:
+        oi.dst = inst.rd;
+        if (Spec(inst.imm) == Spec::CycleLo)
+            oi.sideEffects = true;  // timing-dependent read
+        break;
+      case Opcode::LDIO:
+        oi.dst = inst.rd;
+        oi.sideEffects = true;
+        break;
+      case Opcode::STIO:
+        src(inst.rd);               // rd is the I/O store source
+        oi.sideEffects = true;
+        break;
+      case Opcode::STFP:
+      case Opcode::WRPSR:
+      case Opcode::WRSPEC:
+        src(inst.rs1);
+        oi.sideEffects = true;
+        break;
+      case Opcode::RDREGX:
+        src(inst.rs1);
+        oi.dst = inst.rd;
+        oi.indirectRegs = true;
+        break;
+      case Opcode::WRREGX:
+        src(inst.rs1);
+        src(inst.rs2);
+        oi.indirectRegs = true;
+        oi.sideEffects = true;
+        break;
+      case Opcode::FLUSH:
+        src(inst.rs1);
+        oi.sideEffects = true;
+        break;
+      case Opcode::INCFP:
+      case Opcode::DECFP:
+      case Opcode::RETT:
+      case Opcode::TRAP:
+      case Opcode::HALT:
+        oi.sideEffects = true;
+        break;
+      case Opcode::NOP:
+        break;
+      default:
+        oi.sideEffects = true;      // be conservative about the rest
+        break;
+    }
+    return oi;
+}
+
 std::string
 memFlavorName(const Instruction &inst)
 {

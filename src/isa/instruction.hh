@@ -21,6 +21,7 @@
 #ifndef APRIL_ISA_INSTRUCTION_HH
 #define APRIL_ISA_INSTRUCTION_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -194,6 +195,31 @@ struct Instruction
         }
     }
 };
+
+/**
+ * Dataflow summary of one instruction, for program analysis that does
+ * not want to re-derive per-opcode operand conventions (the fuzzer's
+ * shrinker uses it to find dead destinations; ST reads `rd`, JMPL
+ * writes it, RDREGX/WRREGX address the register file indirectly, ...).
+ */
+struct OperandInfo
+{
+    std::array<uint8_t, 3> srcs{};  ///< register numbers read
+    uint8_t numSrcs = 0;
+    int16_t dst = -1;               ///< register written; -1 = none
+
+    /// Memory, I/O, trap, PSR/FP/special-register or control-flow
+    /// effects beyond writing `dst` (never safe to delete).
+    bool sideEffects = false;
+    bool setsCond = false;          ///< writes the Z/N condition codes
+    bool readsCond = false;         ///< dispatches on Z/N/F (J cc)
+    /// Accesses registers by runtime value (RDREGX/WRREGX): analysis
+    /// must assume the whole register file is touched.
+    bool indirectRegs = false;
+};
+
+/** @return the dataflow summary of @p inst. */
+OperandInfo operandInfo(const Instruction &inst);
 
 /** Disassemble one instruction (labels rendered as absolute targets). */
 std::string disassemble(const Instruction &inst);

@@ -143,6 +143,17 @@ AlewifeMachine::run(uint64_t max_cycles)
     return _cycle - start;
 }
 
+bool
+AlewifeMachine::quiesce(uint64_t max_cycles)
+{
+    for (uint64_t i = 0; i < max_cycles; ++i) {
+        if (nextEventCycle() == kNeverCycle)
+            return true;
+        tick();
+    }
+    return nextEventCycle() == kNeverCycle;
+}
+
 uint64_t
 AlewifeMachine::runtimeCounter(int slot) const
 {

@@ -65,6 +65,16 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
      *  comes from AlewifeParams::cycleSkip). */
     void setCycleSkipping(bool on) { params.cycleSkip = on; }
 
+    /**
+     * Tick until no component (processor, controller, network) has a
+     * pending event or @p max_cycles elapse; @return true when fully
+     * quiescent. run() exits the moment MachineHalt is written, which
+     * can leave coherence traffic (e.g. the write-back of the very
+     * word the halt decision was read from) in flight — snapshotting
+     * without draining it would read stale memory.
+     */
+    bool quiesce(uint64_t max_cycles);
+
     bool halted() const { return haltFlag; }
     uint64_t cycle() const { return _cycle; }
     uint32_t numNodes() const { return net_.numNodes(); }

@@ -11,8 +11,7 @@ namespace april
 {
 
 PerfectMachine::PerfectMachine(const PerfectMachineParams &p,
-                               const Program *prog,
-                               const rt::Runtime &runtime)
+                               const Program *prog)
     : stats::Group("machine"),
       params(p),
       mem({.numNodes = p.numNodes, .wordsPerNode = p.wordsPerNode})
@@ -32,10 +31,11 @@ PerfectMachine::PerfectMachine(const PerfectMachineParams &p,
         procs.push_back(std::make_unique<Processor>(
             pp, prog, ports.back().get(), ios.back().get(), this));
         procs.back()->setTraceRecorder(trec.get());
-        rt::Runtime::bootProcessor(*procs.back(), *prog, mem, n,
-                                   p.numNodes);
+        if (p.bootRuntime) {
+            rt::Runtime::bootProcessor(*procs.back(), *prog, mem, n,
+                                       p.numNodes);
+        }
     }
-    (void)runtime;
 }
 
 Word
@@ -132,6 +132,17 @@ PerfectMachine::run(uint64_t max_cycles)
         tick();
     }
     return _cycle - start;
+}
+
+bool
+PerfectMachine::quiesce(uint64_t max_cycles)
+{
+    for (uint64_t i = 0; i < max_cycles; ++i) {
+        if (nextEventCycle() == kNeverCycle)
+            return true;
+        tick();
+    }
+    return nextEventCycle() == kNeverCycle;
 }
 
 uint64_t

@@ -39,6 +39,10 @@ struct PerfectMachineParams
     uint32_t wordsPerNode = 1u << 20;
     ProcParams proc;            ///< per-processor parameters
     uint64_t seed = 12345;      ///< work-stealing RNG seed
+    /// Boot the Mul-T run-time system on every node (requires the
+    /// runtime's symbols in the program). Turn off for raw programs
+    /// that manage their own entry points and trap vectors.
+    bool bootRuntime = true;
     /// Fast-forward cycles in run() when every processor is stalled or
     /// halted (cycle-exact; see Processor::nextEventCycle()).
     bool cycleSkip = true;
@@ -54,7 +58,16 @@ class PerfectMachine : public stats::Group
 {
   public:
     PerfectMachine(const PerfectMachineParams &params,
-                   const Program *prog, const rt::Runtime &runtime);
+                   const Program *prog);
+
+    /** Historical signature; the runtime argument was never consulted
+     *  (bootProcessor is static). Kept so existing callers compile. */
+    PerfectMachine(const PerfectMachineParams &params,
+                   const Program *prog, const rt::Runtime &runtime)
+        : PerfectMachine(params, prog)
+    {
+        (void)runtime;
+    }
 
     /** Advance every processor by one cycle. */
     void tick();
@@ -74,6 +87,15 @@ class PerfectMachine : public stats::Group
 
     /** Toggle cycle-skipping in run(). */
     void setCycleSkipping(bool on) { params.cycleSkip = on; }
+
+    /**
+     * Tick until no processor has a pending event or @p max_cycles
+     * elapse; @return true when fully quiescent. run() exits the
+     * moment MachineHalt is written, which can leave other cores one
+     * instruction short of their own HALT — snapshot/compare flows
+     * quiesce first so final state is well defined.
+     */
+    bool quiesce(uint64_t max_cycles);
 
     bool halted() const { return haltFlag; }
     uint64_t cycle() const { return _cycle; }

@@ -306,19 +306,24 @@ Processor::executeCompute(const Instruction &inst)
       case Opcode::ADD: r = a + b; break;
       case Opcode::SUB: r = a - b; break;
       case Opcode::MUL:
-        r = Word(int32_t(a) * int32_t(b));
+        // Widen before multiplying: int32 * int32 overflows (UB) on
+        // plenty of legitimate tagged operands; the architected result
+        // is the low 32 bits of the full product.
+        r = Word(int64_t(int32_t(a)) * int64_t(int32_t(b)));
         stall += params.mulCycles - 1;
         break;
       case Opcode::DIV:
         if (b == 0)
             panic("DIV by zero at pc=", _pc, " [", prog->symbolAt(_pc), "]");
-        r = Word(int32_t(a) / int32_t(b));
+        // INT_MIN / -1 overflows (UB in C++); the hardware quotient
+        // wraps back to INT_MIN. Widen to make that case defined.
+        r = Word(int64_t(int32_t(a)) / int64_t(int32_t(b)));
         stall += params.divCycles - 1;
         break;
       case Opcode::REM:
         if (b == 0)
             panic("REM by zero at pc=", _pc, " [", prog->symbolAt(_pc), "]");
-        r = Word(int32_t(a) % int32_t(b));
+        r = Word(int64_t(int32_t(a)) % int64_t(int32_t(b)));
         stall += params.divCycles - 1;
         break;
       case Opcode::AND: r = a & b; break;

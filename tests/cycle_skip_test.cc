@@ -16,8 +16,8 @@
 #include "machine/driver.hh"
 #include "workloads/workloads.hh"
 
-#include "machine_test_util.hh"
-#include "proc_test_util.hh"
+#include "test_support/machine_workloads.hh"
+#include "test_support/proc_rig.hh"
 
 namespace april
 {

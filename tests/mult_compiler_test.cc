@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "mult_test_util.hh"
+#include "test_support/mult_run.hh"
 
 namespace april
 {

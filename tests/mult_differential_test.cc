@@ -13,7 +13,7 @@
 #include <algorithm>
 
 #include "common/random.hh"
-#include "mult_test_util.hh"
+#include "test_support/mult_run.hh"
 
 namespace april
 {

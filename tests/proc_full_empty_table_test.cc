@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Exhaustive property test of the Table 2 full/empty load/store
+ * matrix. A tiny executable model of the table (written from the
+ * paper's description, independent of src/proc/fe_semantics.hh)
+ * predicts, for every flavor x initial word state:
+ *
+ *   - whether the access faults (FeEmpty / FeFull trap),
+ *   - the final word value and f/e bit,
+ *   - the destination register (loads: data on success, untouched on
+ *     a fault),
+ *   - the latched F condition bit, observed architecturally through
+ *     Jfull/Jempty -- including that a faulting access *preserves*
+ *     the previous latch.
+ *
+ * All 16 flavors (feTrap x feModify x MissPolicy, loads and stores)
+ * are driven through a real processor on perfect memory and checked
+ * against the model; TAS's ignore-f/e-write-full-latch behavior gets
+ * its own case.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_support/proc_rig.hh"
+
+namespace april
+{
+namespace
+{
+
+using testutil::Rig;
+
+constexpr Addr kAddr = 512;         ///< the word under test
+constexpr Addr kPresetAddr = 520;   ///< known-state word: presets F
+constexpr Word kInitData = tagged::fixnum(31);
+constexpr Word kStoreData = tagged::fixnum(77);
+constexpr Word kSentinel = tagged::fixnum(999);
+
+/** One of the 16 Table 2 flavors. */
+struct Flavor
+{
+    bool isLoad;
+    bool feTrap;
+    bool feModify;
+    MissPolicy miss;
+};
+
+std::string
+flavorName(const Flavor &f)
+{
+    std::string n = f.isLoad ? "ld" : "st";
+    if (f.feTrap)
+        n += 't';
+    if (f.feModify)
+        n += f.isLoad ? 'e' : 'f';
+    n += 'n';
+    n += f.miss == MissPolicy::Trap ? 't' : 'w';
+    return n;
+}
+
+/** What the executable model of Table 2 predicts. */
+struct Expected
+{
+    bool faults;    ///< FeEmpty (loads) / FeFull (stores) trap
+    Word data;      ///< final word contents
+    bool full;      ///< final f/e bit
+    Word rd;        ///< destination register after the access
+    bool fBit;      ///< latched F condition after the access
+};
+
+/**
+ * The model: trapping flavors fault on the "wrong" f/e state and then
+ * touch nothing (word, rd and the F latch all keep their old values);
+ * otherwise data moves, feModify consumes (loads) or produces
+ * (stores) the bit, and F latches the bit as it was *before* the
+ * access. MissPolicy only matters on a cache miss, which perfect
+ * memory never has.
+ */
+Expected
+table2(const Flavor &f, bool init_full, bool preset_f)
+{
+    Expected e;
+    e.faults = f.feTrap && (f.isLoad ? !init_full : init_full);
+    if (e.faults) {
+        e.data = kInitData;
+        e.full = init_full;
+        e.rd = kSentinel;
+        e.fBit = preset_f;
+        return e;
+    }
+    e.data = f.isLoad ? kInitData : kStoreData;
+    e.full = f.feModify ? !f.isLoad : init_full;
+    e.rd = f.isLoad ? kInitData : kSentinel;
+    e.fBit = init_full;
+    return e;
+}
+
+/**
+ * Drive one flavor against one initial word state and return what the
+ * processor actually did. The F latch is preset via a plain load of a
+ * word in a known state, then observed with Jfull after the access.
+ */
+struct Observed
+{
+    Word data;
+    bool full;
+    Word rd;
+    bool fBit;
+    uint64_t feEmptyTraps;
+    uint64_t feFullTraps;
+};
+
+Observed
+runFlavor(const Flavor &f, bool init_full, bool preset_f)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, tagged::ptr(kAddr, Tag::Other));
+    as.movi(4, tagged::ptr(kPresetAddr, Tag::Other));
+    as.movi(2, kStoreData);
+    as.movi(16, kSentinel);
+    as.ldnw(5, 4, 0);                   // preset the F latch
+    if (f.isLoad)
+        as.load(16, 1, 0, f.feTrap, f.feModify, f.miss);
+    else
+        as.store(2, 1, 0, f.feTrap, f.feModify, f.miss);
+    as.jRaw(Cond::FULL, "was_full");
+    as.nop();
+    as.movi(3, tagged::fixnum(0));
+    as.jRaw(Cond::AL, "join");
+    as.nop();
+    as.bind("was_full");
+    as.movi(3, tagged::fixnum(1));
+    as.bind("join");
+    // Jempty must be Jfull's exact complement on the same latch.
+    as.jRaw(Cond::EMPTY, "was_empty");
+    as.nop();
+    as.movi(6, tagged::fixnum(0));
+    as.jRaw(Cond::AL, "out");
+    as.nop();
+    as.bind("was_empty");
+    as.movi(6, tagged::fixnum(1));
+    as.bind("out");
+    as.halt();
+
+    // Faulting flavors vector here: count in g6, skip the instruction.
+    as.bind("fe_handler");
+    as.addiR(reg::g(6), reg::g(6), 1);
+    as.rettSkip();
+
+    Rig rig(as.finish());
+    rig.proc.setTrapVector(TrapKind::FeEmpty,
+                           rig.prog.entry("fe_handler"));
+    rig.proc.setTrapVector(TrapKind::FeFull,
+                           rig.prog.entry("fe_handler"));
+    rig.mem.writeFe(kAddr, kInitData, init_full);
+    rig.mem.writeFe(kPresetAddr, tagged::fixnum(5), preset_f);
+    rig.run();
+
+    Observed o;
+    o.data = rig.mem.read(kAddr);
+    o.full = rig.mem.isFull(kAddr);
+    o.rd = rig.proc.frame(0).regs[16];
+    Word jfull = rig.proc.frame(0).regs[3];
+    Word jempty = rig.proc.frame(0).regs[6];
+    EXPECT_NE(jfull, jempty) << "Jfull and Jempty saw different latches";
+    o.fBit = jfull == tagged::fixnum(1);
+    o.feEmptyTraps = rig.proc.statTraps[size_t(TrapKind::FeEmpty)].value();
+    o.feFullTraps = rig.proc.statTraps[size_t(TrapKind::FeFull)].value();
+    return o;
+}
+
+TEST(FullEmptyTable, AllSixteenFlavorsMatchTheModel)
+{
+    for (bool is_load : {true, false}) {
+        for (bool fe_trap : {false, true}) {
+            for (bool fe_modify : {false, true}) {
+                for (MissPolicy miss :
+                     {MissPolicy::Trap, MissPolicy::Wait}) {
+                    Flavor f{is_load, fe_trap, fe_modify, miss};
+                    for (bool init_full : {false, true}) {
+                        // Preset F opposite to the word under test so
+                        // "latched" and "preserved" are distinguishable.
+                        bool preset_f = !init_full;
+                        SCOPED_TRACE(flavorName(f) +
+                                     (init_full ? " on full" : " on empty"));
+                        Expected e = table2(f, init_full, preset_f);
+                        Observed o = runFlavor(f, init_full, preset_f);
+                        EXPECT_EQ(o.data, e.data);
+                        EXPECT_EQ(o.full, e.full);
+                        EXPECT_EQ(o.rd, e.rd);
+                        EXPECT_EQ(o.fBit, e.fBit);
+                        EXPECT_EQ(o.feEmptyTraps,
+                                  uint64_t(e.faults && f.isLoad));
+                        EXPECT_EQ(o.feFullTraps,
+                                  uint64_t(e.faults && !f.isLoad));
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(FullEmptyTable, TasIgnoresFeAndLatchesOldState)
+{
+    for (bool init_full : {false, true}) {
+        SCOPED_TRACE(init_full ? "tas on full" : "tas on empty");
+        Assembler as;
+        as.bind("main");
+        as.movi(1, tagged::ptr(kAddr, Tag::Other));
+        as.tas(16, 1, 0);
+        as.jRaw(Cond::FULL, "was_full");
+        as.nop();
+        as.movi(3, tagged::fixnum(0));
+        as.jRaw(Cond::AL, "out");
+        as.nop();
+        as.bind("was_full");
+        as.movi(3, tagged::fixnum(1));
+        as.bind("out");
+        as.halt();
+
+        Rig rig(as.finish());
+        rig.mem.writeFe(kAddr, kInitData, init_full);
+        rig.run();
+
+        // TAS never faults, returns the old word, writes 1, leaves the
+        // f/e bit alone, and latches the old state like any access.
+        EXPECT_EQ(rig.proc.frame(0).regs[16], kInitData);
+        EXPECT_EQ(rig.mem.read(kAddr), Word(1));
+        EXPECT_EQ(rig.mem.isFull(kAddr), init_full);
+        EXPECT_EQ(rig.proc.frame(0).regs[3],
+                  tagged::fixnum(init_full ? 1 : 0));
+        EXPECT_EQ(rig.proc.statTraps[size_t(TrapKind::FeEmpty)].value(),
+                  0u);
+        EXPECT_EQ(rig.proc.statTraps[size_t(TrapKind::FeFull)].value(),
+                  0u);
+    }
+}
+
+} // namespace
+} // namespace april

@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "proc_test_util.hh"
+#include "test_support/proc_rig.hh"
 
 namespace april
 {

@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "proc_test_util.hh"
+#include "test_support/proc_rig.hh"
 
 namespace april
 {

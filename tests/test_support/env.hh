@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Environment-variable test knobs. CI uses these to scale test effort
+ * (e.g. APRIL_FUZZ_ITERS) per job without rebuilding the binaries.
+ */
+
+#ifndef APRIL_TESTS_TEST_SUPPORT_ENV_HH
+#define APRIL_TESTS_TEST_SUPPORT_ENV_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace april::testutil
+{
+
+/** The value of @p name, or @p fallback when unset/empty. */
+inline std::string
+envOr(const char *name, const std::string &fallback)
+{
+    const char *v = std::getenv(name);
+    return (v && *v) ? std::string(v) : fallback;
+}
+
+/** Numeric env knob; accepts decimal or 0x-prefixed hex. */
+inline uint64_t
+envOrU64(const char *name, uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::stoull(v, nullptr, 0);
+}
+
+} // namespace april::testutil
+
+#endif // APRIL_TESTS_TEST_SUPPORT_ENV_HH

@@ -7,8 +7,8 @@
  * (skip on vs. off) and must observe identical machines.
  */
 
-#ifndef APRIL_TESTS_MACHINE_TEST_UTIL_HH
-#define APRIL_TESTS_MACHINE_TEST_UTIL_HH
+#ifndef APRIL_TESTS_TEST_SUPPORT_MACHINE_WORKLOADS_HH
+#define APRIL_TESTS_TEST_SUPPORT_MACHINE_WORKLOADS_HH
 
 #include <sstream>
 #include <string>
@@ -133,4 +133,4 @@ finishMachine(AlewifeMachine &m)
 
 } // namespace april::testutil
 
-#endif // APRIL_TESTS_MACHINE_TEST_UTIL_HH
+#endif // APRIL_TESTS_TEST_SUPPORT_MACHINE_WORKLOADS_HH

@@ -1,7 +1,7 @@
 /** @file Helpers to compile and run Mul-T programs in tests. */
 
-#ifndef APRIL_TESTS_MULT_TEST_UTIL_HH
-#define APRIL_TESTS_MULT_TEST_UTIL_HH
+#ifndef APRIL_TESTS_TEST_SUPPORT_MULT_RUN_HH
+#define APRIL_TESTS_TEST_SUPPORT_MULT_RUN_HH
 
 #include <string>
 
@@ -67,4 +67,4 @@ runMult(const std::string &source, mult::CompileOptions copts = {},
 
 } // namespace april::testutil
 
-#endif // APRIL_TESTS_MULT_TEST_UTIL_HH
+#endif // APRIL_TESTS_TEST_SUPPORT_MULT_RUN_HH

@@ -1,7 +1,7 @@
 /** @file Shared fixture utilities for processor-level tests. */
 
-#ifndef APRIL_TESTS_PROC_TEST_UTIL_HH
-#define APRIL_TESTS_PROC_TEST_UTIL_HH
+#ifndef APRIL_TESTS_TEST_SUPPORT_PROC_RIG_HH
+#define APRIL_TESTS_TEST_SUPPORT_PROC_RIG_HH
 
 #include <memory>
 
@@ -47,4 +47,4 @@ struct Rig
 
 } // namespace april::testutil
 
-#endif // APRIL_TESTS_PROC_TEST_UTIL_HH
+#endif // APRIL_TESTS_TEST_SUPPORT_PROC_RIG_HH

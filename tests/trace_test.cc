@@ -19,7 +19,7 @@
 #include "workloads/workloads.hh"
 
 #include "json_test_util.hh"
-#include "machine_test_util.hh"
+#include "test_support/machine_workloads.hh"
 
 namespace april
 {

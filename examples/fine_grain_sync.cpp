@@ -8,110 +8,41 @@
  * stores; node 1 consumes them with consuming (reset-to-empty) loads,
  * accumulating the sum. Each side spins with a *non-trapping* probe +
  * Jempty/Jfull, the explicit-control idiom Table 2's flavors enable.
+ *
+ * The program itself lives in workloads::buildFineGrainSync() so the
+ * `april-lint` analyzer and the race-detector tests exercise exactly
+ * the code this example runs.
  */
 
 #include <cstdio>
 
 #include "machine/perfect_machine.hh"
 #include "runtime/runtime.hh"
+#include "workloads/handwritten.hh"
 
 int
 main()
 {
     using namespace april;
-    using namespace april::tagged;
 
-    constexpr Addr kBuf = 4096;     // 64-slot ring, homed on node 0
-    constexpr int kItems = 64;
-
-    Assembler as;
-    // Producer (node 0): buf[i] <- i*i, set full; waits while full.
-    as.bind("producer");
-    as.movi(1, ptr(kBuf, Tag::Other));
-    as.movi(2, 0);                          // i (raw)
-    as.bind("ploop");
-    as.mulR(3, 2, 2);
-    as.slliR(3, 3, 2);                      // fixnum(i*i)
-    as.bind("pwait");
-    as.ldnw(4, 1, 0);                       // probe the f/e state
-    as.jRaw(Cond::FULL, "pwait");           // still full: consumer lags
-    as.nop();
-    as.stfnw(3, 1, 0);                      // store and set full
-    as.addiR(1, 1, kWordOff);
-    as.addiR(2, 2, 1);
-    as.cmpiR(2, kItems);
-    as.jRaw(Cond::LT, "ploop");
-    as.nop();
-    as.halt();
-
-    // Consumer (node 1): consuming loads; spins while empty.
-    as.bind("consumer");
-    as.movi(1, ptr(kBuf, Tag::Other));
-    as.movi(2, 0);
-    as.movi(5, fixnum(0));                  // sum
-    as.bind("cloop");
-    as.bind("cwait");
-    as.ldenw(6, 1, 0);                      // atomically read-and-empty
-    as.jRaw(Cond::EMPTY, "cwait");          // was empty: retry
-    as.nop();
-    as.add(5, 5, 6);
-    as.addiR(1, 1, kWordOff);
-    as.addiR(2, 2, 1);
-    as.cmpiR(2, kItems);
-    as.jRaw(Cond::LT, "cloop");
-    as.nop();
-    as.stio(int(IoReg::ConsoleOut), 5);
-    as.stio(int(IoReg::MachineHalt), 5);
-    as.halt();
-
-    // Boot plumbing expected by the machine (no Mul-T here).
-    as.bind(rt::sym::boot);
-    as.j(Cond::AL, "producer");
-    as.bind(rt::sym::idle);
-    as.j(Cond::AL, "consumer");
-    as.bind(rt::sym::sched);
-    as.bind(rt::sym::cswitch);
-    as.rdpsr(reg::t(0));
-    as.incfp();
-    as.nop();
-    as.wrpsr(reg::t(0));
-    as.nop();
-    as.rettRetry();
-    as.bind(rt::sym::futureTouch);
-    as.bind(rt::sym::ipi);
-    as.rettRetry();
-    as.bind(rt::sym::fault);
-    as.halt();
-    as.bind(rt::sym::makeFuture);
-    as.bind(rt::sym::resolve);
-    as.bind(rt::sym::spawn);
-    as.bind(rt::sym::cons);
-    as.bind(rt::sym::makeVector);
-    as.bind(rt::sym::stolenExit);
-    as.bind(rt::sym::touchSw);
-    as.bind(rt::sym::touchResume);
-    as.bind(rt::sym::userMain);
-    as.ret();
-    Program prog = as.finish();
+    workloads::FineGrainSync w = workloads::buildFineGrainSync();
 
     rt::Runtime runtime;
     PerfectMachineParams params;
     params.numNodes = 2;
     params.wordsPerNode = 1u << 16;
-    PerfectMachine m(params, &prog, runtime);
+    PerfectMachine m(params, &w.prog, runtime);
     // The buffer starts empty: nothing to consume yet.
-    for (int i = 0; i < kItems; ++i)
-        m.memory().setFull(kBuf + Addr(i), false);
+    for (int i = 0; i < w.items; ++i)
+        m.memory().setFull(w.buf + Addr(i), false);
 
     m.run(1'000'000);
 
-    long long expect = 0;
-    for (int i = 0; i < kItems; ++i)
-        expect += (long long)i * i;
     std::printf("pipeline of %d items finished in %llu cycles\n",
-                kItems, (unsigned long long)m.cycle());
+                w.items, (unsigned long long)m.cycle());
     std::printf("consumer's sum: %s (expected %lld)\n",
-                toString(m.console().back()).c_str(), expect);
+                tagged::toString(m.console().back()).c_str(),
+                (long long)w.expectedSum);
     std::printf("\nEvery word carried its own synchronization state — "
                 "one memory op per handoff,\nno test&set, no lock "
                 "words (Section 3.3).\n");

@@ -1,0 +1,188 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace april::analysis
+{
+
+namespace
+{
+
+/** Static control-flow classification of one instruction. */
+struct FlowInfo
+{
+    bool branch = false;        ///< J/JMPL: has a delay slot
+    bool terminator = false;    ///< RETT/HALT: nothing follows
+    bool fallsThrough = true;   ///< execution can continue past it
+    bool hasTarget = false;     ///< static target in `target`
+    bool isCall = false;        ///< JMPL with a link register
+    uint32_t target = 0;
+};
+
+FlowInfo
+flowOf(const Instruction &inst)
+{
+    FlowInfo f;
+    switch (inst.op) {
+      case Opcode::J:
+        f.branch = true;
+        f.hasTarget = true;
+        f.target = uint32_t(inst.imm);
+        f.fallsThrough = inst.cond != Cond::AL;
+        break;
+      case Opcode::JMPL:
+        f.branch = true;
+        f.isCall = inst.rd != reg::r0;
+        if (inst.useImm) {
+            f.hasTarget = true;
+            f.target = uint32_t(inst.imm);
+        }
+        // A call resumes after the slot once the callee returns; a
+        // non-linking jump (ret / jmpReg) never comes back.
+        f.fallsThrough = f.isCall;
+        break;
+      case Opcode::RETT:
+      case Opcode::HALT:
+        f.terminator = true;
+        f.fallsThrough = false;
+        break;
+      default:
+        break;
+    }
+    return f;
+}
+
+} // namespace
+
+Cfg
+buildCfg(const Program &prog, const std::vector<uint32_t> &rootPcs)
+{
+    Cfg cfg;
+    cfg.prog = &prog;
+    uint32_t size = prog.size();
+    if (size == 0)
+        return cfg;
+
+    // Pass 1: leaders. A branch's slot is pc+1 and its out-edges leave
+    // from pc+2; code after a terminator starts a new block.
+    std::set<uint32_t> leaders;
+    std::set<uint32_t> slots;
+    for (uint32_t pc : rootPcs) {
+        if (pc < size)
+            leaders.insert(pc);
+        else
+            cfg.defects.push_back({pc, "analysis root past program end"});
+    }
+    for (uint32_t pc = 0; pc < size; ++pc) {
+        FlowInfo f = flowOf(prog.at(pc));
+        if (f.branch) {
+            if (pc + 1 >= size) {
+                cfg.defects.push_back(
+                    {pc, "branch delay slot runs past the end of the "
+                         "program"});
+            } else {
+                slots.insert(pc + 1);
+                if (flowOf(prog.at(pc + 1)).branch) {
+                    cfg.defects.push_back(
+                        {pc + 1, "branch in the delay slot of the "
+                                 "branch at pc " + std::to_string(pc)});
+                }
+            }
+            if (f.hasTarget) {
+                if (f.target < size)
+                    leaders.insert(f.target);
+                else
+                    cfg.defects.push_back(
+                        {pc, "branch target " +
+                             std::to_string(f.target) +
+                             " past program end"});
+            }
+            if (f.fallsThrough && pc + 2 < size)
+                leaders.insert(pc + 2);
+        } else if (f.terminator && pc + 1 < size) {
+            leaders.insert(pc + 1);
+        }
+    }
+    for (uint32_t l : leaders) {
+        if (slots.count(l)) {
+            cfg.defects.push_back(
+                {l, "branch target or analysis root lands in a branch "
+                    "delay slot"});
+        }
+    }
+
+    // Pass 2: carve blocks. A branch normally closes its block after
+    // the slot; when the slot is itself a leader (defect above) the
+    // block closes at the slot and chains to it so every pc still
+    // belongs to exactly one block.
+    cfg.blockAt.assign(size, 0);
+    uint32_t pc = 0;
+    while (pc < size) {
+        Block b;
+        b.first = pc;
+        uint32_t cur = pc;
+        while (true) {
+            FlowInfo f = flowOf(prog.at(cur));
+            if (f.branch) {
+                cur = (cur + 1 < size && !leaders.count(cur + 1))
+                          ? cur + 2
+                          : cur + 1;
+                break;
+            }
+            if (f.terminator) {
+                cur += 1;
+                break;
+            }
+            cur += 1;
+            if (cur >= size || leaders.count(cur))
+                break;
+        }
+        b.end = std::min(cur, size);
+        for (uint32_t i = b.first; i < b.end; ++i)
+            cfg.blockAt[i] = uint32_t(cfg.blocks.size());
+        cfg.blocks.push_back(b);
+        pc = b.end;
+    }
+
+    // Pass 3: edges (now that every pc maps to a block).
+    for (Block &b : cfg.blocks) {
+        uint32_t last = b.end - 1;
+        // Find the branch that closed this block, if any: it is either
+        // the last instruction (slot split off / slot past end) or the
+        // one before the slot.
+        uint32_t branchPc = last;
+        FlowInfo f = flowOf(prog.at(branchPc));
+        if (!f.branch && b.end >= b.first + 2 &&
+            flowOf(prog.at(b.end - 2)).branch) {
+            branchPc = b.end - 2;
+            f = flowOf(prog.at(branchPc));
+        }
+        if (f.branch) {
+            if (branchPc == last && branchPc + 1 < size) {
+                // Slot was split into its own block: execution always
+                // proceeds into the slot next, whatever the branch
+                // decides. Conservative but structurally sound.
+                b.succs.push_back(cfg.blockAt[branchPc + 1]);
+                continue;
+            }
+            if (f.hasTarget && f.target < size)
+                b.succs.push_back(cfg.blockAt[f.target]);
+            if (f.fallsThrough && branchPc + 2 < size) {
+                if (f.isCall)
+                    b.callFallthrough = int32_t(b.succs.size());
+                b.succs.push_back(cfg.blockAt[branchPc + 2]);
+            }
+        } else if (!f.terminator && b.end < size) {
+            b.succs.push_back(cfg.blockAt[b.end]);
+        }
+    }
+
+    for (uint32_t r : rootPcs) {
+        if (r < size)
+            cfg.roots.push_back(cfg.blockAt[r]);
+    }
+    return cfg;
+}
+
+} // namespace april::analysis

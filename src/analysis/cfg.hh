@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Control-flow graph over an assembled APRIL program.
+ *
+ * The CFG honors the machine's branch discipline (Section 3): every J
+ * and JMPL has a single architectural delay slot, so a branch and its
+ * slot instruction always live in the same basic block and the block's
+ * out-edges leave *after* the slot (the PC chain advances _pc/_npc,
+ * i.e. the slot executes before the target). JMPL is classified by its
+ * link register: a linking jump (rd != r0) is a call whose fall-through
+ * edge resumes after the slot when the callee returns; a non-linking
+ * register-indirect jump (ret / jmpReg) is a block terminator. RETT
+ * and HALT terminate blocks; TRAP falls through (the handler resumes
+ * at pc+1 via rett).
+ *
+ * Structural defects (a branch target landing in a delay slot, a
+ * branch placed inside another branch's slot, a slot running past the
+ * end of the program) are recorded rather than fatal, and the graph
+ * degrades conservatively so the dataflow engine can still run.
+ */
+
+#ifndef APRIL_ANALYSIS_CFG_HH
+#define APRIL_ANALYSIS_CFG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+
+namespace april::analysis
+{
+
+/** One basic block: the half-open pc range [first, end). */
+struct Block
+{
+    uint32_t first = 0;
+    uint32_t end = 0;
+
+    /** Successor block indices (call targets included). */
+    std::vector<uint32_t> succs;
+
+    /**
+     * Position in succs of a call's fall-through edge, or -1. The
+     * dataflow engine havocs register state along this edge because
+     * the callee ran in between (its effects are not tracked
+     * interprocedurally).
+     */
+    int32_t callFallthrough = -1;
+};
+
+/** The whole graph plus construction-time structural defects. */
+struct Cfg
+{
+    const Program *prog = nullptr;
+    std::vector<Block> blocks;
+    /** pc -> index of the block containing it. */
+    std::vector<uint32_t> blockAt;
+    /** Block indices of the requested analysis roots. */
+    std::vector<uint32_t> roots;
+
+    struct Defect
+    {
+        uint32_t pc = 0;
+        std::string message;
+    };
+    std::vector<Defect> defects;
+};
+
+/** Build the CFG with blocks split at @p rootPcs and branch targets. */
+Cfg buildCfg(const Program &prog, const std::vector<uint32_t> &rootPcs);
+
+} // namespace april::analysis
+
+#endif // APRIL_ANALYSIS_CFG_HH

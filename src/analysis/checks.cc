@@ -1,0 +1,470 @@
+#include "analysis/checks.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "analysis/dataflow.hh"
+
+namespace april::analysis
+{
+
+namespace
+{
+
+constexpr uint64_t kAllRegs = (uint64_t(1) << reg::numNames) - 1;
+
+constexpr int32_t kFpUnknown = -1;   ///< STFP: any rotation possible
+constexpr int32_t kFpConflict = -2;  ///< two paths, two known deltas
+
+/** The per-program-point abstract state (see checks.hh). */
+struct RegState
+{
+    bool reachable = false;
+    uint64_t defined = 1;       ///< must-defined; bit 0 (r0) always
+    uint64_t maybeFut = 0;      ///< may hold a future-tagged value
+    bool fLatched = false;      ///< F bit set by a non-trapping access
+    int32_t fpDelta = 0;        ///< net frame rotation since root entry
+
+    bool
+    joinWith(const RegState &o)
+    {
+        if (!o.reachable)
+            return false;
+        if (!reachable) {
+            *this = o;
+            return true;
+        }
+        RegState before = *this;
+        defined &= o.defined;
+        maybeFut |= o.maybeFut;
+        fLatched = fLatched && o.fLatched;
+        if (fpDelta != o.fpDelta) {
+            fpDelta = (fpDelta == kFpConflict || o.fpDelta == kFpConflict)
+                ? kFpConflict
+                : (fpDelta == kFpUnknown || o.fpDelta == kFpUnknown)
+                    ? kFpUnknown
+                    : kFpConflict;
+        }
+        return defined != before.defined || maybeFut != before.maybeFut ||
+               fLatched != before.fLatched || fpDelta != before.fpDelta;
+    }
+};
+
+bool
+srcMaybeFuture(const RegState &s, const Instruction &inst)
+{
+    // The hardware's strict checks: compute ops test their register
+    // operands, memory ops test the address operand rs1 (Section 4).
+    if (inst.isCompute()) {
+        if (s.maybeFut >> inst.rs1 & 1)
+            return true;
+        return !inst.useImm && (s.maybeFut >> inst.rs2 & 1);
+    }
+    if (inst.isMemory())
+        return s.maybeFut >> inst.rs1 & 1;
+    return false;
+}
+
+/** Does this non-trapping flavor latch the F condition bit? */
+bool
+latchesF(const Instruction &inst)
+{
+    return inst.isMemory() && !inst.feTrap;
+}
+
+/** Apply one instruction to the abstract state. */
+void
+applyInst(const Instruction &inst, RegState &s, uint32_t numFrames)
+{
+    auto def = [&](uint8_t r, bool fut) {
+        s.defined |= uint64_t(1) << r;
+        if (fut)
+            s.maybeFut |= uint64_t(1) << r;
+        else if (r != reg::r0)
+            s.maybeFut &= ~(uint64_t(1) << r);
+    };
+
+    if (inst.isCompute()) {
+        bool fut = !inst.strict && srcMaybeFuture(s, inst);
+        if (inst.strict) {
+            // A strict op is a touch: the handler resolves the future
+            // operand in place before the retry (Section 4).
+            s.maybeFut &= ~(uint64_t(1) << inst.rs1);
+            if (!inst.useImm)
+                s.maybeFut &= ~(uint64_t(1) << inst.rs2);
+        }
+        def(inst.rd, fut);
+        return;
+    }
+
+    switch (inst.op) {
+      case Opcode::MOVI:
+        def(inst.rd, tagged::isFuture(Word(uint32_t(inst.imm))));
+        break;
+      case Opcode::LD:
+        if (inst.strict)
+            s.maybeFut &= ~(uint64_t(1) << inst.rs1);
+        def(inst.rd, true);         // memory may hold future tags
+        if (latchesF(inst))
+            s.fLatched = true;
+        break;
+      case Opcode::ST:
+        if (inst.strict)
+            s.maybeFut &= ~(uint64_t(1) << inst.rs1);
+        if (latchesF(inst))
+            s.fLatched = true;
+        break;
+      case Opcode::TAS:
+      case Opcode::FLUSH:
+        if (inst.op == Opcode::TAS)
+            def(inst.rd, true);
+        s.fLatched = true;
+        break;
+      case Opcode::JMPL:
+        def(inst.rd, false);        // the link address
+        break;
+      case Opcode::RDFP:
+      case Opcode::RDPSR:
+      case Opcode::RDFENCE:
+      case Opcode::RDSPEC:
+      case Opcode::LDIO:
+        def(inst.rd, false);
+        break;
+      case Opcode::WRPSR:
+        // Restores a saved PSR, F bit included: whatever it holds is
+        // a deliberate value, not a stale latch.
+        s.fLatched = true;
+        break;
+      case Opcode::RDREGX:
+        def(inst.rd, s.maybeFut != 0);
+        break;
+      case Opcode::WRREGX:
+        // Writes one dynamically chosen register: cannot grow the
+        // must-defined set, and may deposit a future anywhere.
+        if (s.maybeFut >> inst.rs2 & 1)
+            s.maybeFut = kAllRegs;
+        break;
+      case Opcode::INCFP:
+        if (s.fpDelta >= 0)
+            s.fpDelta = int32_t((uint32_t(s.fpDelta) + 1) % numFrames);
+        break;
+      case Opcode::DECFP:
+        if (s.fpDelta >= 0) {
+            s.fpDelta = int32_t((uint32_t(s.fpDelta) + numFrames - 1) %
+                                numFrames);
+        }
+        break;
+      case Opcode::STFP:
+        s.fpDelta = kFpUnknown;
+        break;
+      default:
+        break;
+    }
+}
+
+/** Call fall-through havoc: the untracked callee ran in between. */
+void
+havocAfterCall(RegState &s)
+{
+    s.defined = kAllRegs;
+    s.fLatched = true;          // callees do perform memory accesses
+}
+
+/** Trap kind a reachable instruction can raise deterministically. */
+TrapKind
+trapRaised(const Instruction &inst)
+{
+    if (inst.op == Opcode::TRAP)
+        return TrapKind(int(TrapKind::SoftTrap0) + inst.imm);
+    if (inst.isMemory() && inst.op != Opcode::FLUSH) {
+        if (inst.feTrap) {
+            return inst.op == Opcode::ST ? TrapKind::FeFull
+                                         : TrapKind::FeEmpty;
+        }
+        if (inst.miss == MissPolicy::Trap)
+            return TrapKind::RemoteMiss;
+    }
+    return TrapKind::None;
+}
+
+struct Checker
+{
+    const Program &prog;
+    const AnalysisOptions &opts;
+    const Cfg &cfg;
+    AnalysisResult &res;
+    std::set<std::pair<CheckKind, uint32_t>> seen;
+
+    void
+    report(CheckKind kind, Severity sev, uint32_t pc, std::string msg)
+    {
+        if (seen.emplace(kind, pc).second)
+            res.findings.push_back({kind, sev, pc, std::move(msg)});
+    }
+
+    void
+    checkInst(uint32_t pc, const RegState &s)
+    {
+        const Instruction &inst = prog.at(pc);
+        OperandInfo oi = operandInfo(inst);
+
+        for (uint8_t i = 0; i < oi.numSrcs; ++i) {
+            uint8_t r = oi.srcs[i];
+            if (r != reg::r0 && !(s.defined >> r & 1)) {
+                report(CheckKind::UninitRead, Severity::Error, pc,
+                       "`" + disassemble(inst) + "` reads " +
+                           reg::name(r) +
+                           ", which no path to here has written");
+            }
+        }
+
+        if (inst.op == Opcode::J &&
+            (inst.cond == Cond::FULL || inst.cond == Cond::EMPTY) &&
+            !s.fLatched) {
+            report(CheckKind::StaleFLatch, Severity::Warning, pc,
+                   "`" + disassemble(inst) +
+                       "` tests the F latch, but no non-trapping "
+                       "full/empty access reaches it: the branch "
+                       "dispatches on a stale (or never-set) bit");
+        }
+
+        if (inst.strict && srcMaybeFuture(s, inst)) {
+            TrapKind k = inst.isCompute() ? TrapKind::FutureCompute
+                                          : TrapKind::FutureMemory;
+            bool vectored = opts.installed[size_t(k)];
+            report(CheckKind::StrictFutureUse,
+                   vectored ? Severity::Info : Severity::Warning, pc,
+                   "`" + disassemble(inst) +
+                       "` is strict and an operand may hold a future" +
+                       (vectored
+                            ? " (touch handler installed: this is "
+                              "where the touch happens)"
+                            : ", but no " +
+                              std::string(trapKindName(k)) +
+                              " handler is installed"));
+        }
+
+        TrapKind k = trapRaised(inst);
+        if (k != TrapKind::None && !opts.installed[size_t(k)]) {
+            report(CheckKind::MissingHandler, Severity::Error, pc,
+                   "`" + disassemble(inst) + "` can raise " +
+                       trapKindName(k) +
+                       " but no handler is installed: the core "
+                       "panics on an unvectored trap");
+        }
+
+        if (inst.op == Opcode::RETT) {
+            if (s.fpDelta == kFpConflict) {
+                report(CheckKind::FramePointer, Severity::Warning, pc,
+                       "paths reaching this rett disagree on the net "
+                       "incfp/decfp rotation: the resumed PC chain "
+                       "belongs to a data-dependent frame");
+            } else if (s.fpDelta == kFpUnknown) {
+                report(CheckKind::FramePointer, Severity::Info, pc,
+                       "frame pointer was set from a register (stfp) "
+                       "on a path to this rett; rotation not "
+                       "statically tracked");
+            }
+        }
+    }
+
+    /**
+     * DelaySlotClobber: block ends [conditional J, slot], the slot
+     * writes a register, and the taken target reads it before any
+     * redefinition. The write executes on both paths — if it was
+     * meant for the fall-through code, the target sees it too.
+     */
+    void
+    checkDelaySlot(const Block &b)
+    {
+        if (b.end < b.first + 2)
+            return;
+        const Instruction &br = prog.at(b.end - 2);
+        if (br.op != Opcode::J || br.cond == Cond::AL)
+            return;
+        const Instruction &slot = prog.at(b.end - 1);
+        OperandInfo so = operandInfo(slot);
+        if (so.dst <= 0 || so.indirectRegs)
+            return;
+        uint8_t w = uint8_t(so.dst);
+        uint32_t target = uint32_t(br.imm);
+        if (target >= prog.size())
+            return;
+        const Block &tb = cfg.blocks[cfg.blockAt[target]];
+        for (uint32_t pc = target; pc < tb.end; ++pc) {
+            OperandInfo oi = operandInfo(prog.at(pc));
+            bool reads = oi.indirectRegs;
+            for (uint8_t i = 0; i < oi.numSrcs && !reads; ++i)
+                reads = oi.srcs[i] == w;
+            if (reads) {
+                report(CheckKind::DelaySlotClobber, Severity::Warning,
+                       b.end - 1,
+                       "delay slot of the conditional branch at pc " +
+                           std::to_string(b.end - 2) + " writes " +
+                           reg::name(w) + ", which the branch target " +
+                           prog.symbolAt(target) +
+                           " reads before redefining it; the write "
+                           "executes on the fall-through path too");
+                return;
+            }
+            if (oi.dst == int16_t(w) || oi.indirectRegs)
+                return;
+        }
+    }
+};
+
+} // namespace
+
+const char *
+checkName(CheckKind kind)
+{
+    switch (kind) {
+      case CheckKind::UninitRead: return "uninit-read";
+      case CheckKind::DelaySlotClobber: return "delay-slot-clobber";
+      case CheckKind::StaleFLatch: return "stale-f-latch";
+      case CheckKind::MissingHandler: return "missing-handler";
+      case CheckKind::StrictFutureUse: return "strict-future-use";
+      case CheckKind::Unreachable: return "unreachable";
+      case CheckKind::FramePointer: return "frame-pointer";
+      case CheckKind::MalformedCfg: return "malformed-cfg";
+    }
+    return "?";
+}
+
+const char *
+severityName(Severity sev)
+{
+    switch (sev) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+AnalysisOptions
+allSymbolRoots(const Program &prog)
+{
+    AnalysisOptions opts;
+    for (const auto &[name, pc] : prog.symbols()) {
+        AnalysisOptions::Root r;
+        r.pc = pc;
+        r.name = name;
+        r.allRegsDefined = true;
+        opts.roots.push_back(std::move(r));
+    }
+    opts.installAllHandlers();
+    return opts;
+}
+
+bool
+AnalysisResult::clean(Severity min) const
+{
+    return count(min) == 0;
+}
+
+uint32_t
+AnalysisResult::count(Severity min) const
+{
+    uint32_t n = 0;
+    for (const Finding &f : findings)
+        n += f.sev >= min;
+    return n;
+}
+
+AnalysisResult
+analyzeProgram(const Program &prog, const AnalysisOptions &opts)
+{
+    AnalysisResult res;
+
+    std::vector<uint32_t> rootPcs;
+    rootPcs.reserve(opts.roots.size());
+    for (const auto &r : opts.roots)
+        rootPcs.push_back(r.pc);
+    Cfg cfg = buildCfg(prog, rootPcs);
+    res.numBlocks = uint32_t(cfg.blocks.size());
+
+    for (const Cfg::Defect &d : cfg.defects) {
+        res.findings.push_back({CheckKind::MalformedCfg,
+                                Severity::Error, d.pc, d.message});
+    }
+    if (prog.size() == 0)
+        return res;
+
+    std::vector<std::pair<uint32_t, RegState>> seeds;
+    for (const auto &r : opts.roots) {
+        if (r.pc >= prog.size())
+            continue;
+        RegState s;
+        s.reachable = true;
+        s.defined = r.allRegsDefined ? kAllRegs : (r.definedRegs | 1);
+        seeds.emplace_back(cfg.blockAt[r.pc], s);
+    }
+
+    auto transfer = [&](uint32_t b, RegState &s) {
+        const Block &blk = cfg.blocks[b];
+        for (uint32_t pc = blk.first; pc < blk.end; ++pc)
+            applyInst(prog.at(pc), s, opts.numFrames);
+    };
+    auto edge = [&](uint32_t b, uint32_t pos, RegState &s) {
+        if (cfg.blocks[b].callFallthrough == int32_t(pos))
+            havocAfterCall(s);
+    };
+    std::vector<RegState> in = solveForward(cfg, seeds, transfer, edge);
+
+    // Check pass: replay each reachable block from its fixpoint entry
+    // state, checking every instruction before applying it.
+    Checker checker{prog, opts, cfg, res, {}};
+    for (uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (!in[b].reachable)
+            continue;
+        const Block &blk = cfg.blocks[b];
+        res.reachableInsts += blk.end - blk.first;
+        RegState s = in[b];
+        for (uint32_t pc = blk.first; pc < blk.end; ++pc) {
+            checker.checkInst(pc, s);
+            applyInst(prog.at(pc), s, opts.numFrames);
+        }
+        checker.checkDelaySlot(blk);
+    }
+
+    // Unreachable: group maximal runs of instructions in unreached
+    // blocks into one finding each.
+    uint32_t run = 0;
+    for (uint32_t pc = 0; pc <= prog.size(); ++pc) {
+        bool dead = pc < prog.size() && !in[cfg.blockAt[pc]].reachable;
+        if (dead) {
+            ++run;
+        } else if (run) {
+            std::ostringstream os;
+            os << run << " unreachable instruction" << (run > 1 ? "s" : "")
+               << " at pc " << pc - run;
+            if (run > 1)
+                os << ".." << pc - 1;
+            checker.report(CheckKind::Unreachable, Severity::Warning,
+                           pc - run, os.str());
+            run = 0;
+        }
+    }
+
+    std::stable_sort(res.findings.begin(), res.findings.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return a.pc < b.pc;
+                     });
+    return res;
+}
+
+std::string
+formatFindings(const AnalysisResult &res, const Program &prog)
+{
+    std::ostringstream os;
+    for (const Finding &f : res.findings) {
+        os << "pc " << f.pc << " (" << prog.symbolAt(f.pc) << "): "
+           << severityName(f.sev) << " [" << checkName(f.kind) << "] "
+           << f.message << "\n";
+    }
+    return os.str();
+}
+
+} // namespace april::analysis

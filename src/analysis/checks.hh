@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The static check suite over assembled APRIL programs (`april-lint`).
+ *
+ * analyzeProgram() builds the CFG, runs a forward dataflow pass on
+ * operandInfo() def/use sets, and walks every reachable instruction
+ * checking for:
+ *
+ *   UninitRead       a source register no path has defined
+ *   DelaySlotClobber a conditional branch's delay slot writes a
+ *                    register the branch target reads first — the
+ *                    write also executes on the fall-through path,
+ *                    the classic misplaced-slot bug
+ *   StaleFLatch      Jfull/Jempty with no reaching non-trapping f/e
+ *                    access: the F condition bit was never latched
+ *   MissingHandler   a reachable instruction can raise a trap whose
+ *                    vector the runtime never installs (the core
+ *                    panics on an unvectored trap)
+ *   StrictFutureUse  a strict instruction consumes a register that
+ *                    may hold a future tag; Warning when the future
+ *                    trap vectors are absent, Info otherwise
+ *   Unreachable      instructions no root can reach
+ *   FramePointer     paths reaching the same RETT disagree on the net
+ *                    INCFP/DECFP rotation (Warning), or STFP made the
+ *                    rotation untrackable (Info)
+ *   MalformedCfg     structural defects: branch into / inside a delay
+ *                    slot, slot past the end of the program
+ *
+ * The dataflow lattice tracks, per register: must-defined, and
+ * may-hold-a-future (a strict op counts as a touch and clears its
+ * operands, modeling a resolving touch handler); plus the F-latch
+ * validity and the frame-pointer delta mod numFrames.
+ */
+
+#ifndef APRIL_ANALYSIS_CHECKS_HH
+#define APRIL_ANALYSIS_CHECKS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+
+namespace april::analysis
+{
+
+enum class CheckKind : uint8_t
+{
+    UninitRead,
+    DelaySlotClobber,
+    StaleFLatch,
+    MissingHandler,
+    StrictFutureUse,
+    Unreachable,
+    FramePointer,
+    MalformedCfg,
+};
+
+const char *checkName(CheckKind kind);
+
+enum class Severity : uint8_t { Info, Warning, Error };
+
+const char *severityName(Severity sev);
+
+struct Finding
+{
+    CheckKind kind = CheckKind::UninitRead;
+    Severity sev = Severity::Warning;
+    uint32_t pc = 0;
+    std::string message;
+};
+
+/** What the analyzer may assume about the program's environment. */
+struct AnalysisOptions
+{
+    /** One entry point: a program entry or an installed trap vector. */
+    struct Root
+    {
+        uint32_t pc = 0;
+        std::string name;
+        /// Registers guaranteed defined on entry (bit i = register i);
+        /// r0 is always defined. Handlers and whole-symbol roots
+        /// typically assume everything.
+        uint64_t definedRegs = 0;
+        bool allRegsDefined = false;
+        /// Entered via a trap vector: the FramePointer check expects
+        /// its RETTs to rotate consistently.
+        bool handler = false;
+    };
+
+    std::vector<Root> roots;
+    /// Trap vectors the runtime installs before this code runs.
+    std::array<bool, size_t(TrapKind::NumKinds)> installed{};
+    uint32_t numFrames = 4;
+
+    void
+    installAllHandlers()
+    {
+        installed.fill(true);
+    }
+};
+
+/**
+ * Every symbol becomes a root with all registers assumed defined and
+ * every handler installed: the profile for linting whole runtime +
+ * compiled-workload images, where any label may be entered through a
+ * code pointer or trap vector the analysis cannot see.
+ */
+AnalysisOptions allSymbolRoots(const Program &prog);
+
+struct AnalysisResult
+{
+    std::vector<Finding> findings;
+    uint32_t numBlocks = 0;
+    uint32_t reachableInsts = 0;
+
+    /** @return true when no finding reaches @p min severity. */
+    bool clean(Severity min = Severity::Warning) const;
+    /** Number of findings at or above @p min severity. */
+    uint32_t count(Severity min = Severity::Warning) const;
+};
+
+AnalysisResult analyzeProgram(const Program &prog,
+                              const AnalysisOptions &opts);
+
+/** Human-readable report, one line per finding, symbol-annotated. */
+std::string formatFindings(const AnalysisResult &res,
+                           const Program &prog);
+
+} // namespace april::analysis
+
+#endif // APRIL_ANALYSIS_CHECKS_HH

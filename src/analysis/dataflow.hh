@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A small generic forward dataflow engine over the analysis CFG.
+ *
+ * The solver is a classic worklist fixpoint: seed the root blocks,
+ * apply a whole-block transfer function, and join the out-state into
+ * each successor's in-state until nothing changes. State is abstract:
+ *
+ *   State s;                      // default-constructed = unreached
+ *   bool s.joinWith(const State&) // in-place join, true when changed
+ *
+ * transfer(blockIndex, State&) applies one block in place. edge(from,
+ * succPosition, State&) adjusts the state flowing along one specific
+ * out-edge — used for a call's fall-through edge, where the callee's
+ * untracked effects must be havocked in.
+ *
+ * Termination: joins must be monotone over a finite lattice (the
+ * register-state lattice in checks.cc is a few bitsets and small
+ * enums, so the chain height is tiny).
+ */
+
+#ifndef APRIL_ANALYSIS_DATAFLOW_HH
+#define APRIL_ANALYSIS_DATAFLOW_HH
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace april::analysis
+{
+
+template <typename State, typename TransferFn, typename EdgeFn>
+std::vector<State>
+solveForward(const Cfg &cfg,
+             const std::vector<std::pair<uint32_t, State>> &seeds,
+             TransferFn transfer, EdgeFn edge)
+{
+    std::vector<State> in(cfg.blocks.size());
+    std::deque<uint32_t> work;
+    std::vector<bool> queued(cfg.blocks.size(), false);
+
+    for (const auto &[block, state] : seeds) {
+        if (in[block].joinWith(state) && !queued[block]) {
+            queued[block] = true;
+            work.push_back(block);
+        }
+    }
+
+    while (!work.empty()) {
+        uint32_t b = work.front();
+        work.pop_front();
+        queued[b] = false;
+
+        State out = in[b];
+        transfer(b, out);
+
+        const Block &blk = cfg.blocks[b];
+        for (uint32_t pos = 0; pos < blk.succs.size(); ++pos) {
+            uint32_t s = blk.succs[pos];
+            State e = out;
+            edge(b, pos, e);
+            if (in[s].joinWith(e) && !queued[s]) {
+                queued[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    return in;
+}
+
+} // namespace april::analysis
+
+#endif // APRIL_ANALYSIS_DATAFLOW_HH

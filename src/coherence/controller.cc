@@ -177,7 +177,15 @@ Controller::access(const MemAccess &req)
                  (!need_m && line->state == cache::LineState::Shared))) {
         ++_cache.statHits;
         _cache.use(line);
-        return applyFeAccess(line->words[offset], req);
+        MemResult res = applyFeAccess(line->words[offset], req);
+        // Every data access eventually completes through this hit
+        // path (misses retry until they fill), so observing Ready
+        // results here sees each architectural access exactly once.
+        if (observer && res.kind == MemResult::Kind::Ready) {
+            observer->observe(fabric->now(), nodeId,
+                              proc ? proc->pc() : 0, req, res);
+        }
+        return res;
     }
 
     uint32_t home = homeOf(line_addr);

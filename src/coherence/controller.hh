@@ -78,6 +78,9 @@ class Controller : public MemPort, public stats::Group
     /** Attach the machine's event recorder (nullptr: tracing off). */
     void setTraceRecorder(trace::Recorder *r) { trec = r; }
 
+    /** Attach a completed-access observer (nullptr: observation off). */
+    void setObserver(MemObserver *o) { observer = o; }
+
     // MemPort interface (processor side).
     MemResult access(const MemAccess &req) override;
     bool fillReady(uint8_t frame) const override;
@@ -157,6 +160,7 @@ class Controller : public MemPort, public stats::Group
     ControllerParams params;
     uint32_t nodeId;
     trace::Recorder *trec = nullptr;
+    MemObserver *observer = nullptr;
     SharedMemory *mem;
     Fabric *fabric;
     Processor *proc = nullptr;

@@ -144,6 +144,14 @@ Recorder::writeChromeTrace(std::ostream &os) const
                        "\"addr\":" + std::to_string(e.arg) +
                            ",\"store\":" + std::to_string(e.a));
             break;
+          case EventKind::Race:
+            writeEvent(os, first, "race", "i", "race", e.cycle,
+                       e.node,
+                       "\"addr\":" + std::to_string(e.arg) +
+                           ",\"pc\":" + std::to_string(e.arg2) +
+                           ",\"write\":" + std::to_string(e.a) +
+                           ",\"other\":" + std::to_string(e.b));
+            break;
         }
     }
 

@@ -44,6 +44,8 @@ enum class EventKind : uint8_t
     NetHop,         ///< arg: dst node, arg2: hops taken so far
     NetDeliver,     ///< arg: src node, arg2: send-to-delivery cycles
     FeRetry,        ///< a: 1 store/0 load, arg: faulting word address
+    Race,           ///< a: 1 write/0 read, b: prior owner node,
+                    ///< arg: word address, arg2: pc
 };
 
 /** One recorded machine event (kept small: the log gets long). */

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/checks.hh"
 #include "isa/assembler.hh"
 #include "mem/memory.hh"
 #include "proc/processor.hh"
@@ -168,6 +169,15 @@ void bootFuzzProcessor(Processor &proc, const Program &prog);
 /** Re-assemble just the instructions of one body item (shrinker
  *  introspection; branch targets are rendered as forward skips). */
 std::vector<Instruction> instructionsFor(const BodyItem &item);
+
+/**
+ * The lint profile matching bootFuzzProcessor(): fz$main is the entry
+ * root with nothing but r0 defined, the fz$* handlers are handler
+ * roots, and every trap vector is installed. Generated programs (and
+ * every shrink of one) must analyze clean under this profile — the
+ * fuzz corpus is gated on it in CI.
+ */
+analysis::AnalysisOptions lintOptions(const Program &prog);
 
 /**
  * Serialize a case as a self-contained corpus entry: `key = value`

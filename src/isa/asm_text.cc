@@ -1,0 +1,604 @@
+#include "isa/asm_text.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+namespace april
+{
+
+namespace
+{
+
+/** Cursor over one source line's operand text. */
+struct LineParser
+{
+    const std::string &s;
+    size_t pos = 0;
+    std::string error{};        ///< first problem on this line
+
+    void
+    skipSpace()
+    {
+        while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t'))
+            ++pos;
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos >= s.size() || s[pos] == ';';
+    }
+
+    void
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg;
+    }
+
+    bool
+    expect(char c)
+    {
+        skipSpace();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        fail(std::string("expected `") + c + "`");
+        return false;
+    }
+
+    /** Next char is @p c (consumes it); no error when absent. */
+    bool
+    accept(char c)
+    {
+        skipSpace();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    word()
+    {
+        skipSpace();
+        size_t start = pos;
+        while (pos < s.size() &&
+               (std::isalnum(uint8_t(s[pos])) || s[pos] == '.' ||
+                s[pos] == '_' || s[pos] == '$')) {
+            ++pos;
+        }
+        return s.substr(start, pos - start);
+    }
+
+    std::optional<uint8_t>
+    reg()
+    {
+        skipSpace();
+        size_t save = pos;
+        std::string w = word();
+        unsigned base = 0;
+        if (w.size() >= 2 && (w[0] == 'r' || w[0] == 'g' || w[0] == 't') &&
+            std::isdigit(uint8_t(w[1]))) {
+            base = w[0] == 'r' ? 0
+                 : w[0] == 'g' ? reg::numUser
+                                : reg::numUser + reg::numGlobal;
+            unsigned limit = w[0] == 'r' ? reg::numUser
+                           : w[0] == 'g' ? reg::numGlobal
+                                          : reg::numTrap;
+            char *end = nullptr;
+            unsigned long n = std::strtoul(w.c_str() + 1, &end, 10);
+            if (*end == '\0' && n < limit)
+                return uint8_t(base + n);
+        }
+        pos = save;
+        fail("expected a register, got `" + (w.empty() ? "?" : w) + "`");
+        return std::nullopt;
+    }
+
+    std::optional<int32_t>
+    number()
+    {
+        skipSpace();
+        size_t start = pos;
+        if (pos < s.size() && (s[pos] == '-' || s[pos] == '+'))
+            ++pos;
+        while (pos < s.size() && std::isdigit(uint8_t(s[pos])))
+            ++pos;
+        if (pos == start || (pos == start + 1 && !std::isdigit(uint8_t(s[start])))) {
+            pos = start;
+            fail("expected a number");
+            return std::nullopt;
+        }
+        return int32_t(std::strtol(s.c_str() + start, nullptr, 10));
+    }
+
+    /** `[base+off]` / `[base-off]` / `[base]`. */
+    bool
+    memRef(uint8_t &base, int32_t &off)
+    {
+        if (!expect('['))
+            return false;
+        auto b = reg();
+        if (!b)
+            return false;
+        base = *b;
+        off = 0;
+        skipSpace();
+        if (pos < s.size() && s[pos] != ']') {
+            auto n = number();
+            if (!n)
+                return false;
+            off = *n;
+        }
+        return expect(']');
+    }
+
+    /** Is the next operand a register name (vs a number / label)? */
+    bool
+    looksLikeReg()
+    {
+        skipSpace();
+        size_t save = pos;
+        bool ok = reg().has_value();
+        pos = save;
+        error.clear();
+        return ok;
+    }
+
+    /** Does the next operand start like a number? */
+    bool
+    looksLikeNumber()
+    {
+        skipSpace();
+        return pos < s.size() &&
+               (std::isdigit(uint8_t(s[pos])) || s[pos] == '-' ||
+                s[pos] == '+');
+    }
+};
+
+struct TextAssembler
+{
+    Assembler as;
+    std::vector<AsmTextDiagnostic> &diags;
+    std::map<std::string, std::pair<uint32_t, uint32_t>> labels;  // name -> (pc, line)
+
+    struct Ref
+    {
+        uint32_t index;         ///< instruction to patch
+        std::string label;
+        uint32_t line;
+    };
+    std::vector<Ref> refs;
+
+    explicit TextAssembler(std::vector<AsmTextDiagnostic> &d) : diags(d) {}
+
+    void
+    report(uint32_t line, const std::string &msg)
+    {
+        diags.push_back({line, msg});
+    }
+
+    void
+    bindLabel(const std::string &name, uint32_t line)
+    {
+        auto [it, inserted] = labels.emplace(name,
+                                             std::make_pair(as.here(), line));
+        if (!inserted) {
+            report(line, "duplicate label `" + name + "` (first bound on "
+                         "line " + std::to_string(it->second.second) + ")");
+            return;
+        }
+        as.bind(name);
+    }
+
+    /** A branch/movi target: numeric pc or symbolic label. */
+    void
+    target(LineParser &p, Instruction &inst, uint32_t line)
+    {
+        if (p.looksLikeNumber()) {
+            if (auto n = p.number())
+                inst.imm = *n;
+            return;
+        }
+        std::string label = p.word();
+        if (label.empty()) {
+            p.fail("expected a branch target");
+            return;
+        }
+        refs.push_back({as.here(), label, line});
+    }
+
+    /** Decode a Table 2 flavor mnemonic; false if @p m is not one. */
+    static bool
+    memFlavor(const std::string &m, Instruction &inst)
+    {
+        std::string base = m;
+        inst.strict = true;
+        if (base.size() > 4 && base.substr(base.size() - 4) == ".raw") {
+            inst.strict = false;
+            base = base.substr(0, base.size() - 4);
+        }
+        if (base.size() < 4 || base.size() > 5)
+            return false;
+        bool isSt = base.compare(0, 2, "st") == 0;
+        if (!isSt && base.compare(0, 2, "ld") != 0)
+            return false;
+        size_t i = 2;
+        inst.op = isSt ? Opcode::ST : Opcode::LD;
+        inst.feModify = base[i] == (isSt ? 'f' : 'e');
+        if (inst.feModify)
+            ++i;
+        if (i + 2 != base.size())
+            return false;
+        if (base[i] == 't')
+            inst.feTrap = true;
+        else if (base[i] != 'n')
+            return false;
+        if (base[i + 1] == 't')
+            inst.miss = MissPolicy::Trap;
+        else if (base[i + 1] == 'w')
+            inst.miss = MissPolicy::Wait;
+        else
+            return false;
+        return true;
+    }
+
+    static std::optional<Cond>
+    condOf(const std::string &suffix)
+    {
+        if (suffix.empty()) return Cond::AL;
+        if (suffix == "eq") return Cond::EQ;
+        if (suffix == "ne") return Cond::NE;
+        if (suffix == "lt") return Cond::LT;
+        if (suffix == "ge") return Cond::GE;
+        if (suffix == "le") return Cond::LE;
+        if (suffix == "gt") return Cond::GT;
+        if (suffix == "full") return Cond::FULL;
+        if (suffix == "empty") return Cond::EMPTY;
+        return std::nullopt;
+    }
+
+    static std::optional<Opcode>
+    aluOf(const std::string &m)
+    {
+        if (m == "add") return Opcode::ADD;
+        if (m == "sub") return Opcode::SUB;
+        if (m == "mul") return Opcode::MUL;
+        if (m == "div") return Opcode::DIV;
+        if (m == "rem") return Opcode::REM;
+        if (m == "and") return Opcode::AND;
+        if (m == "or") return Opcode::OR;
+        if (m == "xor") return Opcode::XOR;
+        if (m == "sll") return Opcode::SLL;
+        if (m == "srl") return Opcode::SRL;
+        if (m == "sra") return Opcode::SRA;
+        return std::nullopt;
+    }
+
+    void
+    parseInst(LineParser &p, const std::string &m, uint32_t line)
+    {
+        Instruction inst;
+
+        // Fixed mnemonics first: several share prefixes with the
+        // Table 2 flavor grammar (stfp/stio vs st*, ldio vs ld*).
+        if (m == "nop") { commit(p, {.op = Opcode::NOP}, line); return; }
+        if (m == "halt") { commit(p, {.op = Opcode::HALT}, line); return; }
+        if (m == "incfp") { commit(p, {.op = Opcode::INCFP}, line); return; }
+        if (m == "decfp") { commit(p, {.op = Opcode::DECFP}, line); return; }
+
+        if (m == "rdfp" || m == "rdpsr" || m == "rdfence") {
+            inst.op = m == "rdfp" ? Opcode::RDFP
+                    : m == "rdpsr" ? Opcode::RDPSR
+                                    : Opcode::RDFENCE;
+            if (auto r = p.reg())
+                inst.rd = *r;
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "stfp" || m == "wrpsr") {
+            inst.op = m == "stfp" ? Opcode::STFP : Opcode::WRPSR;
+            if (auto r = p.reg())
+                inst.rs1 = *r;
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "rdspec") {
+            inst.op = Opcode::RDSPEC;
+            if (auto r = p.reg())
+                inst.rd = *r;
+            p.expect(',');
+            p.expect('#');
+            if (auto n = p.number())
+                inst.imm = *n;
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "wrspec") {
+            inst.op = Opcode::WRSPEC;
+            p.expect('#');
+            if (auto n = p.number())
+                inst.imm = *n;
+            p.expect(',');
+            if (auto r = p.reg())
+                inst.rs1 = *r;
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "rdregx") {
+            inst.op = Opcode::RDREGX;
+            if (auto r = p.reg())
+                inst.rd = *r;
+            p.expect(',');
+            p.expect('[');
+            if (auto r = p.reg())
+                inst.rs1 = *r;
+            p.expect(']');
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "wrregx") {
+            inst.op = Opcode::WRREGX;
+            p.expect('[');
+            if (auto r = p.reg())
+                inst.rs1 = *r;
+            p.expect(']');
+            p.expect(',');
+            if (auto r = p.reg())
+                inst.rs2 = *r;
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "rett") {
+            inst.op = Opcode::RETT;
+            std::string mode = p.word();
+            if (mode == "retry")
+                inst.imm = 0;
+            else if (mode == "skip")
+                inst.imm = 1;
+            else
+                p.fail("rett expects `retry` or `skip`");
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "trap") {
+            inst.op = Opcode::TRAP;
+            p.expect('#');
+            if (auto n = p.number())
+                inst.imm = *n;
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "flush") {
+            inst.op = Opcode::FLUSH;
+            p.memRef(inst.rs1, inst.imm);
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "stio") {
+            inst.op = Opcode::STIO;
+            std::string io = p.word();
+            if (io != "io")
+                p.fail("stio expects `io[n]`");
+            p.expect('[');
+            if (auto n = p.number())
+                inst.imm = *n;
+            p.expect(']');
+            p.expect(',');
+            if (auto r = p.reg())
+                inst.rd = *r;
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "ldio") {
+            inst.op = Opcode::LDIO;
+            if (auto r = p.reg())
+                inst.rd = *r;
+            p.expect(',');
+            std::string io = p.word();
+            if (io != "io")
+                p.fail("ldio expects `io[n]`");
+            p.expect('[');
+            if (auto n = p.number())
+                inst.imm = *n;
+            p.expect(']');
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "movi") {
+            inst.op = Opcode::MOVI;
+            if (auto r = p.reg())
+                inst.rd = *r;
+            p.expect(',');
+            if (p.looksLikeNumber()) {
+                if (auto n = p.number())
+                    inst.imm = *n;
+            } else {
+                target(p, inst, line);  // moviLabel form
+            }
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "tas") {
+            inst.op = Opcode::TAS;
+            inst.miss = MissPolicy::Wait;
+            if (auto r = p.reg())
+                inst.rd = *r;
+            p.expect(',');
+            p.memRef(inst.rs1, inst.imm);
+            commit(p, inst, line);
+            return;
+        }
+        if (m == "jmpl") {
+            inst.op = Opcode::JMPL;
+            if (auto r = p.reg())
+                inst.rd = *r;
+            p.expect(',');
+            if (p.looksLikeReg()) {
+                if (auto r = p.reg())
+                    inst.rs1 = *r;
+                p.expect('+');
+                if (auto n = p.number())
+                    inst.imm = *n;
+            } else {
+                inst.useImm = true;
+                target(p, inst, line);
+            }
+            commit(p, inst, line);
+            return;
+        }
+
+        // ALU mnemonics, with optional .raw suffix.
+        {
+            std::string base = m;
+            bool strict = true;
+            if (base.size() > 4 && base.substr(base.size() - 4) == ".raw") {
+                strict = false;
+                base = base.substr(0, base.size() - 4);
+            }
+            if (auto op = aluOf(base)) {
+                inst.op = *op;
+                inst.strict = strict;
+                if (auto r = p.reg())
+                    inst.rd = *r;
+                p.expect(',');
+                if (auto r = p.reg())
+                    inst.rs1 = *r;
+                p.expect(',');
+                if (p.looksLikeReg()) {
+                    if (auto r = p.reg())
+                        inst.rs2 = *r;
+                } else {
+                    inst.useImm = true;
+                    if (auto n = p.number())
+                        inst.imm = *n;
+                }
+                commit(p, inst, line);
+                return;
+            }
+        }
+
+        // Table 2 memory flavors.
+        if (memFlavor(m, inst)) {
+            if (inst.op == Opcode::LD) {
+                if (auto r = p.reg())
+                    inst.rd = *r;
+                p.expect(',');
+                p.memRef(inst.rs1, inst.imm);
+            } else {
+                p.memRef(inst.rs1, inst.imm);
+                p.expect(',');
+                if (auto r = p.reg())
+                    inst.rd = *r;      // store source lives in rd
+            }
+            commit(p, inst, line);
+            return;
+        }
+
+        // Conditional branches: j + cond suffix.
+        if (m.size() >= 1 && m[0] == 'j') {
+            if (auto c = condOf(m.substr(1))) {
+                inst.op = Opcode::J;
+                inst.cond = *c;
+                target(p, inst, line);
+                commit(p, inst, line);
+                return;
+            }
+        }
+
+        report(line, "unknown mnemonic `" + m + "`");
+    }
+
+    void
+    commit(LineParser &p, Instruction inst, uint32_t line)
+    {
+        if (!p.error.empty()) {
+            report(line, p.error);
+            return;
+        }
+        if (!p.atEnd()) {
+            report(line, "trailing junk after operands: `" +
+                             p.s.substr(p.pos) + "`");
+            return;
+        }
+        as.push(inst);
+    }
+};
+
+} // namespace
+
+bool
+assembleText(const std::string &text, Program &out,
+             std::vector<AsmTextDiagnostic> &diags)
+{
+    size_t before = diags.size();
+    TextAssembler ta(diags);
+
+    uint32_t lineNo = 0;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t eol = text.find('\n', pos);
+        std::string line = text.substr(
+            pos, eol == std::string::npos ? std::string::npos : eol - pos);
+        pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+        ++lineNo;
+
+        LineParser p{line};
+        if (p.atEnd())
+            continue;
+
+        // Strip the `<pc>:` prefix listing() prints.
+        if (p.looksLikeNumber()) {
+            p.number();
+            if (!p.accept(':')) {
+                ta.report(lineNo, "expected `:` after address");
+                continue;
+            }
+            if (p.atEnd())
+                continue;
+        }
+
+        std::string w = p.word();
+        if (w.empty()) {
+            ta.report(lineNo, "expected a mnemonic or label");
+            continue;
+        }
+        if (p.accept(':')) {
+            ta.bindLabel(w, lineNo);
+            if (p.atEnd())
+                continue;
+            w = p.word();
+            if (w.empty()) {
+                ta.report(lineNo, "expected a mnemonic after label");
+                continue;
+            }
+        }
+        ta.parseInst(p, w, lineNo);
+    }
+
+    for (const TextAssembler::Ref &r : ta.refs) {
+        auto it = ta.labels.find(r.label);
+        if (it == ta.labels.end()) {
+            ta.report(r.line, "undefined label `" + r.label + "`");
+            continue;
+        }
+        // A parse error can drop the referencing instruction; the
+        // diagnostic for it was already reported.
+        if (r.index < ta.as.here())
+            ta.as.patchImm(r.index, int32_t(it->second.first));
+    }
+
+    std::vector<AsmDiagnostic> asmDiags;
+    out = ta.as.finish(asmDiags);
+    for (const AsmDiagnostic &d : asmDiags)
+        diags.push_back({0, d.message});
+    return diags.size() == before;
+}
+
+} // namespace april

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Text-form assembler: parses the syntax Program::listing() and
+ * disassemble() emit back into a Program.
+ *
+ * Grammar (one instruction or label per line):
+ *
+ *   label:                    ; binds `label` at the current pc
+ *     add[.raw] rd, rs1, rs2|imm
+ *     movi rd, imm
+ *     ld[e][t|n][t|w][.raw] rd, [base+off]
+ *     st[f][t|n][t|w][.raw] [base+off], rs
+ *     tas rd, [base+off]
+ *     j[eq|ne|lt|ge|le|gt|full|empty] target
+ *     jmpl rd, target | jmpl rd, rs1+off
+ *     rett retry|skip        trap #n        flush [base+off]
+ *     stio io[n], rs         ldio rd, io[n]
+ *     ... (every mnemonic disassemble() produces)
+ *
+ * Leading `<pc>:` prefixes (as printed by listing()) are accepted and
+ * ignored; `;` starts a comment. Branch/jmpl/movi targets may be
+ * numeric (what the disassembler prints) or symbolic labels resolved
+ * at the end of the parse.
+ *
+ * Errors — unknown mnemonics, malformed operands, duplicate labels,
+ * references to labels never bound — are reported as diagnostics
+ * carrying 1-based source line numbers; the parse continues past them
+ * so one pass surfaces every problem.
+ */
+
+#ifndef APRIL_ISA_ASM_TEXT_HH
+#define APRIL_ISA_ASM_TEXT_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+
+namespace april
+{
+
+struct AsmTextDiagnostic
+{
+    uint32_t line = 0;          ///< 1-based source line
+    std::string message;
+};
+
+/**
+ * Assemble @p text into @p out. @return true when no diagnostics were
+ * produced; on failure @p out still receives the partial program.
+ */
+bool assembleText(const std::string &text, Program &out,
+                  std::vector<AsmTextDiagnostic> &diags);
+
+} // namespace april
+
+#endif // APRIL_ISA_ASM_TEXT_HH

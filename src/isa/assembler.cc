@@ -63,9 +63,12 @@ Program::listing() const
 void
 Assembler::bind(const Label &name)
 {
-    if (symbols.count(name))
-        panic("assembler label bound twice: ", name);
-    symbols[name] = here();
+    auto [it, inserted] = symbols.emplace(name, here());
+    if (!inserted) {
+        diags.push_back(
+            {here(), "label `" + name + "` bound twice (first at pc " +
+                         std::to_string(it->second) + ")"});
+    }
 }
 
 Assembler::Label
@@ -77,18 +80,37 @@ Assembler::fresh(const std::string &prefix)
 Program
 Assembler::finish()
 {
+    std::vector<AsmDiagnostic> problems;
+    Program prog = finish(problems);
+    if (!problems.empty()) {
+        std::ostringstream os;
+        for (const AsmDiagnostic &d : problems)
+            os << "\n  pc " << d.where << ": " << d.message;
+        panic("assembler diagnostics:", os.str());
+    }
+    return prog;
+}
+
+Program
+Assembler::finish(std::vector<AsmDiagnostic> &out)
+{
     for (const Fixup &f : fixups) {
         auto it = symbols.find(f.label);
-        if (it == symbols.end())
-            panic("undefined assembler label: ", f.label);
+        if (it == symbols.end()) {
+            diags.push_back(
+                {f.index, "undefined label `" + f.label + "`"});
+            continue;
+        }
         insts[f.index].imm = int32_t(it->second);
     }
+    out.insert(out.end(), diags.begin(), diags.end());
     Program prog;
     prog._insts = std::move(insts);
     prog._symbols = std::move(symbols);
     insts.clear();
     symbols.clear();
     fixups.clear();
+    diags.clear();
     return prog;
 }
 

@@ -51,6 +51,9 @@ class Program
     /** Nearest symbol at or before @p pc (for diagnostics). */
     std::string symbolAt(uint32_t pc) const;
 
+    /** The full symbol table (name -> instruction address). */
+    const std::map<std::string, uint32_t> &symbols() const { return _symbols; }
+
     /** Render the whole program as assembly text. */
     std::string listing() const;
 
@@ -61,13 +64,25 @@ class Program
     std::map<std::string, uint32_t> _symbols;
 };
 
+/** A label problem found while assembling (see Assembler::finish). */
+struct AsmDiagnostic
+{
+    /// Instruction address of the offending bind / reference site.
+    uint32_t where = 0;
+    std::string message;
+};
+
 /** Incremental program builder with label fix-ups. */
 class Assembler
 {
   public:
     using Label = std::string;
 
-    /** Define @p name at the current position. */
+    /**
+     * Define @p name at the current position. Binding a label twice is
+     * recorded as a diagnostic (the first binding wins) and reported at
+     * finish() time rather than asserting immediately.
+     */
     void bind(const Label &name);
 
     /** Create a fresh unique label (not yet bound). */
@@ -76,8 +91,20 @@ class Assembler
     /** Current instruction address. */
     uint32_t here() const { return uint32_t(insts.size()); }
 
-    /** Resolve fix-ups and produce the final Program. */
+    /**
+     * Resolve fix-ups and produce the final Program. Panics if any
+     * label was bound twice or referenced but never bound, listing
+     * every such diagnostic.
+     */
     Program finish();
+
+    /**
+     * Non-panicking variant: label problems are appended to @p diags
+     * (undefined references leave their branches pointing at 0).
+     * Callers with untrusted input — the text assembler, fuzz tooling —
+     * use this to report instead of aborting.
+     */
+    Program finish(std::vector<AsmDiagnostic> &diags);
 
     // --- compute -----------------------------------------------------
     // Strict forms trap when an operand is a future (Section 4);
@@ -227,6 +254,7 @@ class Assembler
     std::vector<Instruction> insts;
     std::map<std::string, uint32_t> symbols;
     std::vector<Fixup> fixups;
+    std::vector<AsmDiagnostic> diags;
     uint64_t freshCounter = 0;
 };
 

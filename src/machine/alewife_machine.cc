@@ -31,6 +31,11 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
             n, p.proc.numFrames, p.traceCapacity));
         net_.setTraceRecorder(trec.get());
     }
+    if (p.detectRaces) {
+        races = std::make_unique<analysis::RaceDetector>(
+            n, p.raceMaxReports, this);
+        races->setTraceRecorder(trec.get());
+    }
     for (uint32_t i = 0; i < n; ++i) {
         rt::Runtime::initNode(mem, i);
         ctrls.push_back(std::make_unique<coh::Controller>(
@@ -43,6 +48,7 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
             pp, prog, ctrls.back().get(), ios.back().get(), this));
         ctrls.back()->setProcessor(procs.back().get());
         ctrls.back()->setTraceRecorder(trec.get());
+        ctrls.back()->setObserver(races.get());
         procs.back()->setTraceRecorder(trec.get());
         if (p.bootRuntime)
             rt::Runtime::bootProcessor(*procs.back(), *prog, mem, i, n);

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/race_detector.hh"
 #include "coherence/controller.hh"
 #include "common/random.hh"
 #include "common/trace.hh"
@@ -43,6 +44,13 @@ struct AlewifeParams
     bool traceEvents = false;
     /// Recorded-event cap when traceEvents is on.
     uint64_t traceCapacity = 1u << 22;
+    /// Attach the Eraser-style full/empty race detector to every
+    /// controller. Purely observational: execution (and the trace
+    /// event stream, minus Race events) is identical either way.
+    bool detectRaces = false;
+    /// Detailed race reports retained when detectRaces is on (the
+    /// stats counter keeps counting past the cap).
+    uint64_t raceMaxReports = 64;
 };
 
 /** N ALEWIFE nodes on a mesh. */
@@ -90,6 +98,9 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
     /** Event recorder (nullptr unless params.traceEvents). */
     trace::Recorder *traceRecorder() { return trec.get(); }
 
+    /** Race detector (nullptr unless params.detectRaces). */
+    analysis::RaceDetector *raceDetector() { return races.get(); }
+
     /** Serialize the event log as Chrome trace-event JSON.
      *  No-op when tracing is off. */
     void
@@ -127,6 +138,7 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
     AlewifeParams params;
     SharedMemory mem;
     std::unique_ptr<trace::Recorder> trec;
+    std::unique_ptr<analysis::RaceDetector> races;
     net::Network net_;
     std::vector<std::unique_ptr<coh::Controller>> ctrls;
     std::vector<std::unique_ptr<NodeIo>> ios;

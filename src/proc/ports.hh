@@ -81,6 +81,22 @@ struct MemResult
     static MemResult retry() { return {Kind::Retry, 0, false, 0, 0}; }
 };
 
+/**
+ * Passive observer of *completed* data accesses (result kind Ready).
+ * The port invokes it after full/empty semantics have been applied, so
+ * the observer sees the data and f/e state the processor sees; faulted,
+ * retried, and context-switched attempts are not reported. Used by the
+ * dynamic race detector.
+ */
+class MemObserver
+{
+  public:
+    virtual ~MemObserver() = default;
+
+    virtual void observe(uint64_t cycle, uint32_t node, uint32_t pc,
+                         const MemAccess &req, const MemResult &res) = 0;
+};
+
 /** Memory-side interface implemented by ports (perfect or cached). */
 class MemPort
 {

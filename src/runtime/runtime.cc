@@ -387,7 +387,7 @@ Runtime::emitHeapOps(Assembler &as) const
 }
 
 void
-Runtime::emitLazyOps(Assembler &as) const
+Runtime::emitLazyOps(Assembler &) const
 {
     // The owner-side push and pop of lazy-task markers are inlined by
     // the compiler (they are a handful of instructions — the whole

@@ -1,0 +1,92 @@
+#include "workloads/handwritten.hh"
+
+#include "runtime/runtime.hh"
+
+namespace april::workloads
+{
+
+FineGrainSync
+buildFineGrainSync()
+{
+    using namespace april::tagged;
+
+    FineGrainSync out;
+    out.buf = 4096;             // 64-slot ring, homed on node 0
+    out.items = 64;
+
+    Assembler as;
+    // Producer (node 0): buf[i] <- i*i, set full; waits while full.
+    as.bind("producer");
+    as.movi(1, ptr(out.buf, Tag::Other));
+    as.movi(2, 0);                          // i (raw)
+    as.bind("ploop");
+    as.mulR(3, 2, 2);
+    as.slliR(3, 3, 2);                      // fixnum(i*i)
+    as.bind("pwait");
+    as.ldnw(4, 1, 0);                       // probe the f/e state
+    as.jRaw(Cond::FULL, "pwait");           // still full: consumer lags
+    as.nop();
+    as.stfnw(3, 1, 0);                      // store and set full
+    as.addiR(1, 1, kWordOff);
+    as.addiR(2, 2, 1);
+    as.cmpiR(2, out.items);
+    as.jRaw(Cond::LT, "ploop");
+    as.nop();
+    as.halt();
+
+    // Consumer (node 1): consuming loads; spins while empty.
+    as.bind("consumer");
+    as.movi(1, ptr(out.buf, Tag::Other));
+    as.movi(2, 0);
+    as.movi(5, fixnum(0));                  // sum
+    as.bind("cloop");
+    as.bind("cwait");
+    as.ldenw(6, 1, 0);                      // atomically read-and-empty
+    as.jRaw(Cond::EMPTY, "cwait");          // was empty: retry
+    as.nop();
+    as.add(5, 5, 6);
+    as.addiR(1, 1, kWordOff);
+    as.addiR(2, 2, 1);
+    as.cmpiR(2, out.items);
+    as.jRaw(Cond::LT, "cloop");
+    as.nop();
+    as.stio(int(IoReg::ConsoleOut), 5);
+    as.stio(int(IoReg::MachineHalt), 5);
+    as.halt();
+
+    // Boot plumbing expected by the machine (no Mul-T here).
+    as.bind(rt::sym::boot);
+    as.j(Cond::AL, "producer");
+    as.bind(rt::sym::idle);
+    as.j(Cond::AL, "consumer");
+    as.bind(rt::sym::sched);
+    as.bind(rt::sym::cswitch);
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.nop();
+    as.wrpsr(reg::t(0));
+    as.nop();
+    as.rettRetry();
+    as.bind(rt::sym::futureTouch);
+    as.bind(rt::sym::ipi);
+    as.rettRetry();
+    as.bind(rt::sym::fault);
+    as.halt();
+    as.bind(rt::sym::makeFuture);
+    as.bind(rt::sym::resolve);
+    as.bind(rt::sym::spawn);
+    as.bind(rt::sym::cons);
+    as.bind(rt::sym::makeVector);
+    as.bind(rt::sym::stolenExit);
+    as.bind(rt::sym::touchSw);
+    as.bind(rt::sym::touchResume);
+    as.bind(rt::sym::userMain);
+    as.ret();
+    out.prog = as.finish();
+
+    for (int i = 0; i < out.items; ++i)
+        out.expectedSum += int64_t(i) * i;
+    return out;
+}
+
+} // namespace april::workloads

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hand-written (non-Mul-T) assembly workloads shared by the examples,
+ * the `april-lint` static analyzer gate, and the dynamic race-detector
+ * tests. Keeping the builders here means the program the example runs
+ * is byte-for-byte the program the analyzer vouches for.
+ */
+
+#ifndef APRIL_WORKLOADS_HANDWRITTEN_HH
+#define APRIL_WORKLOADS_HANDWRITTEN_HH
+
+#include "isa/assembler.hh"
+#include "isa/types.hh"
+
+namespace april::workloads
+{
+
+/**
+ * The Section 3.3 fine-grain synchronization pipeline: node 0 produces
+ * squares into a shared buffer with set-to-full stores, node 1 drains
+ * it with consuming (reset-to-empty) loads. All cross-node handoffs go
+ * through full/empty bits — the race detector must see zero races.
+ */
+struct FineGrainSync
+{
+    Program prog;
+    Addr buf = 0;               ///< first buffer word (starts empty)
+    int items = 0;              ///< buffer length in words
+    int64_t expectedSum = 0;    ///< sum of i*i the consumer prints
+};
+
+FineGrainSync buildFineGrainSync();
+
+} // namespace april::workloads
+
+#endif // APRIL_WORKLOADS_HANDWRITTEN_HH

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Mutation-style tests for the static check suite: every check gets a
+ * positive case (a program seeded with exactly that bug, which must be
+ * flagged) and a negative case (the repaired program, which must be
+ * clean of that check). CFG structure (delay-slot pairing, call
+ * fall-through havoc) is exercised along the way.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/cfg.hh"
+#include "analysis/checks.hh"
+
+namespace april::analysis
+{
+namespace
+{
+
+/** Analyze with a single "main" root; all handlers installed. */
+AnalysisResult
+analyzeMain(Assembler &as, uint64_t defined_regs = 0,
+            bool install_handlers = true)
+{
+    Program prog = as.finish();
+    AnalysisOptions opts;
+    AnalysisOptions::Root root;
+    root.pc = prog.entry("main");
+    root.name = "main";
+    root.definedRegs = defined_regs;
+    opts.roots.push_back(root);
+    if (install_handlers)
+        opts.installAllHandlers();
+    return analyzeProgram(prog, opts);
+}
+
+bool
+has(const AnalysisResult &res, CheckKind kind)
+{
+    return std::any_of(res.findings.begin(), res.findings.end(),
+                       [&](const Finding &f) { return f.kind == kind; });
+}
+
+uint32_t
+countKind(const AnalysisResult &res, CheckKind kind)
+{
+    return uint32_t(std::count_if(
+        res.findings.begin(), res.findings.end(),
+        [&](const Finding &f) { return f.kind == kind; }));
+}
+
+TEST(Cfg, BranchAndSlotShareABlockAndEdgesLeaveAfterTheSlot)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, 0);              // 0
+    as.cmpiR(1, 3);             // 1
+    as.jRaw(Cond::LT, "main");  // 2: branch...
+    as.nop();                   // 3: ...and its delay slot
+    as.halt();                  // 4
+    Program prog = as.finish();
+
+    Cfg cfg = buildCfg(prog, {prog.entry("main")});
+    ASSERT_TRUE(cfg.defects.empty());
+    // Block [0,4) closes *after* the slot; both out-edges recorded.
+    const Block &b = cfg.blocks[cfg.blockAt[2]];
+    EXPECT_EQ(b.first, 0u);
+    EXPECT_EQ(b.end, 4u);
+    EXPECT_EQ(cfg.blockAt[3], cfg.blockAt[2]);
+    EXPECT_EQ(b.succs.size(), 2u);
+}
+
+TEST(Cfg, NonLinkingJmplTerminatesLinkingJmplFallsThrough)
+{
+    Assembler as;
+    as.bind("main");
+    as.call("fn");              // JMPL ra: falls through after slot
+    as.halt();
+    as.bind("fn");
+    as.ret();                   // JMPL r0: terminator
+    Program prog = as.finish();
+
+    Cfg cfg = buildCfg(prog, {prog.entry("main")});
+    const Block &callb = cfg.blocks[cfg.blockAt[0]];
+    EXPECT_EQ(callb.succs.size(), 2u);
+    EXPECT_GE(callb.callFallthrough, 0);
+    const Block &retb = cfg.blocks[cfg.blockAt[prog.entry("fn")]];
+    EXPECT_TRUE(retb.succs.empty());
+}
+
+TEST(UninitRead, FlagsAReadOfANeverWrittenRegister)
+{
+    Assembler as;
+    as.bind("main");
+    as.addR(1, 2, 3);           // r2, r3 never defined
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_TRUE(has(res, CheckKind::UninitRead));
+    EXPECT_FALSE(res.clean());
+}
+
+TEST(UninitRead, CleanWhenAllSourcesAreDefinedOnEveryPath)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(2, 7);
+    as.movi(3, 8);
+    as.addR(1, 2, 3);
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_FALSE(has(res, CheckKind::UninitRead));
+    EXPECT_TRUE(res.clean());
+}
+
+TEST(UninitRead, AMeriblyDefinedRegisterStillCounts)
+{
+    // r2 is defined on only one of two joining paths: must-defined
+    // analysis has to flag the read after the join.
+    Assembler as;
+    as.bind("main");
+    as.movi(1, 0);
+    as.cmpiR(1, 0);
+    as.jRaw(Cond::EQ, "join");
+    as.nop();
+    as.movi(2, 5);              // only the fall-through defines r2
+    as.bind("join");
+    as.addR(3, 2, 2);
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_TRUE(has(res, CheckKind::UninitRead));
+}
+
+TEST(UninitRead, RootDefinedRegsAndCallHavocAreHonored)
+{
+    Assembler as;
+    as.bind("main");
+    as.addR(1, 2, 2);           // r2 from definedRegs: fine
+    as.call("fn");
+    as.addR(3, 4, 4);           // r4 defined by callee havoc: fine
+    as.halt();
+    as.bind("fn");
+    as.ret();
+    AnalysisResult res = analyzeMain(as, uint64_t(1) << 2);
+    EXPECT_FALSE(has(res, CheckKind::UninitRead));
+}
+
+TEST(DelaySlotClobber, FlagsASlotWriteTheTargetReads)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, 0);
+    as.movi(2, 5);
+    as.cmpiR(1, 3);
+    as.jRaw(Cond::LT, "target");
+    as.addiR(2, 2, 1);          // slot writes r2 on BOTH paths
+    as.halt();
+    as.bind("target");
+    as.addR(3, 2, 2);           // target reads r2 first
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_TRUE(has(res, CheckKind::DelaySlotClobber));
+}
+
+TEST(DelaySlotClobber, CleanWhenTheTargetRedefinesFirstOrIgnoresIt)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, 0);
+    as.movi(2, 5);
+    as.cmpiR(1, 3);
+    as.jRaw(Cond::LT, "target");
+    as.addiR(2, 2, 1);
+    as.halt();
+    as.bind("target");
+    as.movi(2, 0);              // redefines r2 before any read
+    as.addR(3, 2, 2);
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_FALSE(has(res, CheckKind::DelaySlotClobber));
+}
+
+TEST(StaleFLatch, FlagsJfullWithNoReachingFeAccess)
+{
+    Assembler as;
+    as.bind("main");
+    as.jRaw(Cond::FULL, "main");    // F latch never set
+    as.nop();
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_TRUE(has(res, CheckKind::StaleFLatch));
+}
+
+TEST(StaleFLatch, CleanWhenANonTrappingAccessDominatesTheBranch)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, tagged::ptr(64, Tag::Other));
+    as.bind("spin");
+    as.ldnw(2, 1, 0);           // latches F every iteration
+    as.jRaw(Cond::EMPTY, "spin");
+    as.nop();
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_FALSE(has(res, CheckKind::StaleFLatch));
+}
+
+TEST(StaleFLatch, TrappingFlavorsDoNotSatisfyTheBranch)
+{
+    // ldtw vectors on empty instead of reporting through F; per the
+    // paper's Table 2 split, explicit-control branching wants the
+    // non-trapping flavors.
+    Assembler as;
+    as.bind("main");
+    as.movi(1, tagged::ptr(64, Tag::Other));
+    as.ldtw(2, 1, 0);
+    as.jRaw(Cond::FULL, "main");
+    as.nop();
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_TRUE(has(res, CheckKind::StaleFLatch));
+}
+
+TEST(MissingHandler, FlagsTrappingFlavorsAndSoftTrapsWithoutVectors)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, tagged::ptr(64, Tag::Other));
+    as.ldtw(2, 1, 0);           // can raise FeEmpty
+    as.trap(3);                 // raises SoftTrap3
+    as.halt();
+    AnalysisResult res = analyzeMain(as, 0, /*install=*/false);
+    EXPECT_EQ(countKind(res, CheckKind::MissingHandler), 2u);
+    EXPECT_FALSE(res.clean());
+}
+
+TEST(MissingHandler, CleanOnceTheVectorsAreInstalled)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, tagged::ptr(64, Tag::Other));
+    as.ldtw(2, 1, 0);
+    as.trap(3);
+    as.halt();
+    AnalysisResult res = analyzeMain(as, 0, /*install=*/true);
+    EXPECT_FALSE(has(res, CheckKind::MissingHandler));
+}
+
+TEST(StrictFutureUse, WarnsWithoutATouchHandlerInfoWithOne)
+{
+    auto build = [] {
+        Assembler as;
+        as.bind("main");
+        as.movi(1, tagged::ptr(64, Tag::Future));
+        as.add(2, 1, 1);        // strict op on a possible future
+        as.halt();
+        return as;
+    };
+    Assembler without = build();
+    AnalysisResult res = analyzeMain(without, 0, /*install=*/false);
+    auto it = std::find_if(res.findings.begin(), res.findings.end(),
+                           [](const Finding &f) {
+                               return f.kind == CheckKind::StrictFutureUse;
+                           });
+    ASSERT_NE(it, res.findings.end());
+    EXPECT_EQ(it->sev, Severity::Warning);
+
+    Assembler with = build();
+    res = analyzeMain(with, 0, /*install=*/true);
+    it = std::find_if(res.findings.begin(), res.findings.end(),
+                      [](const Finding &f) {
+                          return f.kind == CheckKind::StrictFutureUse;
+                      });
+    ASSERT_NE(it, res.findings.end());
+    EXPECT_EQ(it->sev, Severity::Info);
+}
+
+TEST(StrictFutureUse, AStrictTouchResolvesForLaterUses)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, tagged::ptr(64, Tag::Future));
+    as.add(2, 1, 1);            // the touch: resolves r1 in place
+    as.addR(3, 1, 1);           // raw use afterwards: no new finding
+    as.add(4, 1, 1);            // strict use afterwards: resolved
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_EQ(countKind(res, CheckKind::StrictFutureUse), 1u);
+}
+
+TEST(StrictFutureUse, RawOpsNeverFire)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, tagged::ptr(64, Tag::Future));
+    as.addR(2, 1, 1);
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_FALSE(has(res, CheckKind::StrictFutureUse));
+}
+
+TEST(Unreachable, GroupsDeadRunsBehindAnUnconditionalBranch)
+{
+    Assembler as;
+    as.bind("main");
+    as.jRaw(Cond::AL, "end");
+    as.nop();
+    as.movi(1, 1);              // dead
+    as.movi(2, 2);              // dead
+    as.bind("end");
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_EQ(countKind(res, CheckKind::Unreachable), 1u);
+}
+
+TEST(Unreachable, CleanOnAFullyConnectedProgram)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, 1);
+    as.jRaw(Cond::AL, "end");
+    as.nop();
+    as.bind("end");
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_FALSE(has(res, CheckKind::Unreachable));
+}
+
+TEST(FramePointer, ConflictingRotationsAtARettWarn)
+{
+    Assembler as;
+    as.bind("main");
+    as.cmpiR(1, 0);
+    as.jRaw(Cond::EQ, "out");
+    as.nop();
+    as.incfp();                 // one path rotates...
+    as.bind("out");
+    as.rettRetry();             // ...the other does not
+    Program prog = as.finish();
+
+    AnalysisOptions opts;
+    AnalysisOptions::Root root;
+    root.pc = prog.entry("main");
+    root.name = "main";
+    root.allRegsDefined = true;
+    root.handler = true;
+    opts.roots.push_back(root);
+    opts.installAllHandlers();
+    AnalysisResult res = analyzeProgram(prog, opts);
+    EXPECT_TRUE(has(res, CheckKind::FramePointer));
+}
+
+TEST(FramePointer, BalancedHandlerIsCleanAndStfpIsInfoOnly)
+{
+    Assembler as;
+    as.bind("main");
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.wrpsr(reg::t(0));
+    as.rettRetry();             // consistent single-path rotation
+    Program prog = as.finish();
+
+    AnalysisOptions opts;
+    AnalysisOptions::Root root;
+    root.pc = prog.entry("main");
+    root.name = "main";
+    root.allRegsDefined = true;
+    root.handler = true;
+    opts.roots.push_back(root);
+    opts.installAllHandlers();
+    AnalysisResult res = analyzeProgram(prog, opts);
+    EXPECT_TRUE(res.clean());
+
+    Assembler as2;
+    as2.bind("main");
+    as2.stfp(reg::t(1));        // rotation becomes untrackable
+    as2.rettRetry();
+    Program prog2 = as2.finish();
+    AnalysisOptions opts2;
+    root.pc = prog2.entry("main");
+    opts2.roots.push_back(root);
+    opts2.installAllHandlers();
+    AnalysisResult res2 = analyzeProgram(prog2, opts2);
+    auto it = std::find_if(res2.findings.begin(), res2.findings.end(),
+                           [](const Finding &f) {
+                               return f.kind == CheckKind::FramePointer;
+                           });
+    ASSERT_NE(it, res2.findings.end());
+    EXPECT_EQ(it->sev, Severity::Info);
+    EXPECT_TRUE(res2.clean());  // Info does not gate
+}
+
+TEST(MalformedCfg, BranchIntoADelaySlotIsAnError)
+{
+    Assembler as;
+    as.bind("main");
+    as.push({.op = Opcode::J, .cond = Cond::AL, .imm = 1});  // -> slot!
+    as.nop();                   // pc 1: the branch's own slot
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_TRUE(has(res, CheckKind::MalformedCfg));
+    EXPECT_FALSE(res.clean());
+}
+
+TEST(MalformedCfg, BranchInsideADelaySlotIsAnError)
+{
+    Assembler as;
+    as.bind("main");
+    as.push({.op = Opcode::J, .cond = Cond::AL, .imm = 4});
+    as.push({.op = Opcode::J, .cond = Cond::AL, .imm = 4});  // in slot
+    as.nop();
+    as.nop();
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_TRUE(has(res, CheckKind::MalformedCfg));
+}
+
+TEST(Severity, CleanAndCountRespectTheGate)
+{
+    Assembler as;
+    as.bind("main");
+    as.movi(1, tagged::ptr(64, Tag::Future));
+    as.add(2, 1, 1);            // Info (handlers installed)
+    as.halt();
+    AnalysisResult res = analyzeMain(as);
+    EXPECT_TRUE(res.clean(Severity::Warning));
+    EXPECT_FALSE(res.clean(Severity::Info));
+    EXPECT_EQ(res.count(Severity::Info), 1u);
+}
+
+TEST(Format, FindingsRenderWithSymbolAndCheckName)
+{
+    Assembler as;
+    as.bind("main");
+    as.addR(1, 2, 3);
+    as.halt();
+    Program prog = as.finish();
+    AnalysisOptions opts;
+    opts.roots.push_back({prog.entry("main"), "main", 0, false, false});
+    opts.installAllHandlers();
+    AnalysisResult res = analyzeProgram(prog, opts);
+    std::string text = formatFindings(res, prog);
+    EXPECT_NE(text.find("uninit-read"), std::string::npos);
+    EXPECT_NE(text.find("main"), std::string::npos);
+}
+
+} // namespace
+} // namespace april::analysis

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Generated programs must be lint-clean by construction: every sampled
+ * case (and every shrink of one) analyzes with zero Warning-or-worse
+ * findings under the fuzz profile. This is the property the CI corpus
+ * gate relies on — if the generator ever emits a program the static
+ * checks object to, this test localizes the seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/checks.hh"
+#include "common/random.hh"
+#include "fuzz/generator.hh"
+
+namespace april::fuzz
+{
+namespace
+{
+
+void
+expectClean(const FuzzCase &c, const std::string &what)
+{
+    Program prog = buildProgram(c);
+    analysis::AnalysisResult res =
+        analysis::analyzeProgram(prog, lintOptions(prog));
+    EXPECT_TRUE(res.clean(analysis::Severity::Warning))
+        << what << " is not lint-clean:\n"
+        << analysis::formatFindings(res, prog);
+}
+
+TEST(FuzzLint, SampledCasesAreCleanByConstruction)
+{
+    for (uint64_t seed = 1; seed <= 24; ++seed)
+        expectClean(sampleCase(seed), "seed " + std::to_string(seed));
+}
+
+TEST(FuzzLint, ShrunkCasesStayClean)
+{
+    // The shrinker deletes body items one at a time (see
+    // differential.cc withoutItem); cleanliness must be preserved so
+    // a shrunk reproducer still passes the corpus gate.
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        FuzzCase c = sampleCase(seed);
+        Rng rng(seed * 7919 + 1);
+        for (int round = 0; round < 8; ++round) {
+            uint32_t node = uint32_t(rng.next() % c.numNodes());
+            auto &body = c.bodies[node];
+            if (body.empty())
+                continue;
+            size_t index = size_t(rng.next() % body.size());
+            c.dropped.emplace_back(node, body[index].origIndex);
+            body.erase(body.begin() + long(index));
+        }
+        expectClean(c, "shrunk seed " + std::to_string(seed));
+    }
+}
+
+TEST(FuzzLint, LintOptionsMatchTheBootContract)
+{
+    Program prog = buildProgram(sampleCase(3));
+    analysis::AnalysisOptions opts = lintOptions(prog);
+    // Entry plus the five fz$* handler/yield roots.
+    ASSERT_GE(opts.roots.size(), 6u);
+    EXPECT_EQ(opts.roots[0].pc, prog.entry("fz$main"));
+    EXPECT_EQ(opts.roots[0].definedRegs, 0u);
+    bool anyHandler = false;
+    for (const auto &r : opts.roots)
+        anyHandler |= r.handler;
+    EXPECT_TRUE(anyHandler);
+    for (bool b : opts.installed)
+        EXPECT_TRUE(b);
+}
+
+} // namespace
+} // namespace april::fuzz

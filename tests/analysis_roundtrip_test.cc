@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Disassembler <-> assembler round trip: every corpus seed program is
+ * rendered with Program::listing(), re-assembled with assembleText(),
+ * and the two listings must digest identically. Also covers the text
+ * assembler's diagnostics (duplicate labels, undefined references,
+ * unknown mnemonics, trailing junk) with line numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/digest.hh"
+#include "fuzz/generator.hh"
+#include "isa/asm_text.hh"
+
+namespace april
+{
+namespace
+{
+
+/** listing -> assembleText -> listing must be a fixed point. */
+void
+expectRoundTrip(const Program &prog, const std::string &what)
+{
+    std::string text = prog.listing();
+    Program back;
+    std::vector<AsmTextDiagnostic> diags;
+    bool ok = assembleText(text, back, diags);
+    std::ostringstream why;
+    for (const AsmTextDiagnostic &d : diags)
+        why << "  line " << d.line << ": " << d.message << "\n";
+    ASSERT_TRUE(ok) << what << " listing failed to re-assemble:\n"
+                    << why.str();
+    EXPECT_EQ(back.size(), prog.size()) << what;
+    EXPECT_EQ(digestString(back.listing()), digestString(text))
+        << what << " round-trip drifted:\n--- original\n" << text
+        << "--- reassembled\n" << back.listing();
+}
+
+TEST(RoundTrip, EveryCorpusSeedSurvives)
+{
+    namespace fs = std::filesystem;
+    uint32_t seen = 0;
+    for (const fs::directory_entry &e :
+         fs::directory_iterator(APRIL_CORPUS_DIR)) {
+        if (e.path().extension() != ".april")
+            continue;
+        std::ifstream in(e.path());
+        ASSERT_TRUE(in) << e.path();
+        std::ostringstream os;
+        os << in.rdbuf();
+
+        fuzz::FuzzCase c;
+        std::string err = fuzz::parseCase(os.str(), c);
+        ASSERT_EQ(err, "") << e.path();
+        expectRoundTrip(fuzz::buildProgram(c), e.path().filename());
+        ++seen;
+    }
+    EXPECT_GE(seen, 6u);    // the checked-in corpus
+}
+
+TEST(RoundTrip, FreshlySampledCasesSurvive)
+{
+    // Wider flavor coverage than the checked-in corpus alone.
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        fuzz::FuzzCase c = fuzz::sampleCase(seed);
+        expectRoundTrip(fuzz::buildProgram(c),
+                        "seed " + std::to_string(seed));
+    }
+}
+
+TEST(RoundTrip, HandToolingSyntaxVariants)
+{
+    // Symbolic targets, comments, `<pc>:` prefixes, .raw suffixes.
+    std::string text =
+        "main:\n"
+        "  0:\tmovi r1, 42 ; a comment\n"
+        "  sub.raw r0, r1, 42\n"
+        "  jeq done\n"
+        "  nop\n"
+        "  ldenw r2, [r1+8]\n"
+        "  stfnw [r1+8], r2\n"
+        "done:\n"
+        "  halt\n";
+    Program prog;
+    std::vector<AsmTextDiagnostic> diags;
+    ASSERT_TRUE(assembleText(text, prog, diags));
+    EXPECT_EQ(prog.entry("done"), 6u);
+    EXPECT_EQ(prog.at(0).op, Opcode::MOVI);
+    EXPECT_EQ(prog.at(2).op, Opcode::J);
+    EXPECT_EQ(prog.at(2).imm, 6);
+    EXPECT_TRUE(prog.at(4).feModify);
+    EXPECT_EQ(prog.at(4).miss, MissPolicy::Wait);
+    expectRoundTrip(prog, "hand-written");
+}
+
+TEST(Diagnostics, DuplicateLabelReportsBothLines)
+{
+    std::string text =
+        "main:\n"
+        "  nop\n"
+        "main:\n"
+        "  halt\n";
+    Program prog;
+    std::vector<AsmTextDiagnostic> diags;
+    EXPECT_FALSE(assembleText(text, prog, diags));
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 3u);
+    EXPECT_NE(diags[0].message.find("main"), std::string::npos);
+}
+
+TEST(Diagnostics, UndefinedLabelIsReported)
+{
+    std::string text =
+        "main:\n"
+        "  j nowhere\n"
+        "  nop\n";
+    Program prog;
+    std::vector<AsmTextDiagnostic> diags;
+    EXPECT_FALSE(assembleText(text, prog, diags));
+    ASSERT_FALSE(diags.empty());
+    EXPECT_NE(diags[0].message.find("nowhere"), std::string::npos);
+}
+
+TEST(Diagnostics, UnknownMnemonicAndTrailingJunkCarryLineNumbers)
+{
+    std::string text =
+        "main:\n"
+        "  frobnicate r1, r2\n"
+        "  nop r9\n"
+        "  halt\n";
+    Program prog;
+    std::vector<AsmTextDiagnostic> diags;
+    EXPECT_FALSE(assembleText(text, prog, diags));
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].line, 2u);
+    EXPECT_EQ(diags[1].line, 3u);
+}
+
+TEST(Diagnostics, ParseContinuesPastErrorsToFindAllProblems)
+{
+    std::string text =
+        "  bogus1\n"
+        "  nop\n"
+        "  bogus2\n";
+    Program prog;
+    std::vector<AsmTextDiagnostic> diags;
+    EXPECT_FALSE(assembleText(text, prog, diags));
+    EXPECT_EQ(diags.size(), 2u);
+    EXPECT_EQ(prog.size(), 1u);     // the good nop still assembled
+}
+
+} // namespace
+} // namespace april

@@ -39,18 +39,69 @@ TEST(Assembler, ForwardAndBackwardReferences)
     EXPECT_EQ(p.at(3).imm, int32_t(p.entry("end")));
 }
 
-TEST(Assembler, UndefinedLabelPanics)
+TEST(Assembler, UndefinedLabelPanicsAtFinish)
 {
     Assembler as;
     as.j(Cond::AL, "nowhere");
     EXPECT_THROW(as.finish(), PanicError);
 }
 
-TEST(Assembler, DuplicateLabelPanics)
+TEST(Assembler, DuplicateLabelPanicsAtFinish)
+{
+    // Binding twice is recorded, not fatal on the spot: the panic
+    // comes from finish(), so one pass reports every label problem.
+    Assembler as;
+    as.bind("x");
+    as.nop();
+    as.bind("x");
+    as.halt();
+    EXPECT_THROW(as.finish(), PanicError);
+}
+
+TEST(Assembler, DiagnosticFinishReportsDuplicateKeepingTheFirst)
 {
     Assembler as;
     as.bind("x");
-    EXPECT_THROW(as.bind("x"), PanicError);
+    as.nop();
+    as.bind("x");               // second binding at pc 1: ignored
+    as.j(Cond::AL, "x");
+    Program p;
+    std::vector<AsmDiagnostic> diags;
+    p = as.finish(diags);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].where, 1u);
+    EXPECT_NE(diags[0].message.find("x"), std::string::npos);
+    EXPECT_NE(diags[0].message.find("twice"), std::string::npos);
+    EXPECT_EQ(p.entry("x"), 0u);        // first binding wins
+    EXPECT_EQ(p.at(2).imm, 0);
+}
+
+TEST(Assembler, DiagnosticFinishReportsEveryUndefinedLabel)
+{
+    Assembler as;
+    as.j(Cond::AL, "a");        // pc 0 (+ slot nop)
+    as.j(Cond::AL, "b");        // pc 2 (+ slot nop)
+    std::vector<AsmDiagnostic> diags;
+    Program p = as.finish(diags);
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].where, 0u);
+    EXPECT_NE(diags[0].message.find("a"), std::string::npos);
+    EXPECT_EQ(diags[1].where, 2u);
+    EXPECT_NE(diags[1].message.find("b"), std::string::npos);
+    // Unresolved branches are left pointing at 0, not garbage.
+    EXPECT_EQ(p.at(0).imm, 0);
+    EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(Assembler, DiagnosticFinishIsCleanOnAGoodProgram)
+{
+    Assembler as;
+    as.bind("main");
+    as.j(Cond::AL, "main");
+    std::vector<AsmDiagnostic> diags;
+    Program p = as.finish(diags);
+    EXPECT_TRUE(diags.empty());
+    EXPECT_EQ(p.entry("main"), 0u);
 }
 
 TEST(Assembler, FreshLabelsAreUnique)

@@ -102,12 +102,20 @@ class JsonParser
           case '{': return object();
           case '[': return array();
           case '"': return string();
-          case 't': return keyword("true", {.kind = Json::Kind::Bool,
-                                            .boolean = true});
-          case 'f': return keyword("false", {.kind = Json::Kind::Bool});
+          case 't': return keyword("true", boolean(true));
+          case 'f': return keyword("false", boolean(false));
           case 'n': return keyword("null", {});
           default: return number();
         }
+    }
+
+    static Json
+    boolean(bool v)
+    {
+        Json j;
+        j.kind = Json::Kind::Bool;
+        j.boolean = v;
+        return j;
     }
 
     Json

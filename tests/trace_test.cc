@@ -114,12 +114,13 @@ checkChromeTraceSchema(const std::string &text)
                 << "timestamps must be non-decreasing on track " << key;
         }
         lastTs[key] = ev.at("ts").number;
-        if (ph == "b")
+        if (ph == "b") {
             EXPECT_EQ(++asyncDepth[key], 1) << "frame slices must not "
                                                "nest on track " << key;
-        else if (ph == "e")
+        } else if (ph == "e") {
             EXPECT_EQ(--asyncDepth[key], 0) << "unbalanced frame slice "
                                                "on track " << key;
+        }
     }
     for (const auto &[key, depth] : asyncDepth)
         EXPECT_EQ(depth, 0) << "unclosed frame slice on track " << key;

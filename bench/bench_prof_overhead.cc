@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Profiler-overhead benchmark: the observability layer must observe,
+ * not perturb.
+ *
+ * Two fixed workloads (an f/e-locked ALEWIFE counter loop with a DIV
+ * stall per iteration, and a future-heavy Mul-T fib through the
+ * standard driver), each run with profiling off and on (PC sampling +
+ * interval stats snapshots). The gate is twofold:
+ *
+ *  - bit-identical simulation: cycle counts, instruction counts and
+ *    the full statistics dump must match exactly between the two
+ *    modes — sampling clamps cycle-skip windows at snapshot
+ *    boundaries, which is required to be cycle-exact (§7.5);
+ *  - wall-clock overhead of profiling < 10% on the ALEWIFE workload
+ *    (min of two reps per mode to damp scheduler noise).
+ *
+ * Writes BENCH_prof_overhead.json next to BENCH_sim_speed.json.
+ *
+ * Usage: bench_prof_overhead [--quick]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "machine/alewife_machine.hh"
+#include "machine/driver.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace april;
+using namespace tagged;
+
+constexpr Addr kLock = 400;
+constexpr Addr kCount = 404;
+
+/** The bench_sim_speed coherent loop: contended f/e lock + DIV. */
+Program
+buildCoherentLoop(uint32_t nodes, uint32_t iters)
+{
+    Assembler as;
+    as.bind("worker");
+    as.movi(1, ptr(kLock, Tag::Other));
+    as.movi(2, ptr(kCount, Tag::Other));
+    as.movi(3, 0);
+    as.movi(7, fixnum(84));
+    as.movi(8, fixnum(4));
+    as.bind("loop");
+    as.div(9, 7, 8);
+    as.bind("acq");
+    as.ldenw(4, 1, 0);
+    as.jRaw(Cond::EMPTY, "acq");
+    as.nop();
+    as.ldnw(5, 2, 0);
+    as.addi(5, 5, int32_t(fixnum(1)));
+    as.stnw(5, 2, 0);
+    as.stfnw(reg::r0, 1, 0);
+    as.addiR(3, 3, 1);
+    as.cmpiR(3, int32_t(iters));
+    as.jRaw(Cond::LT, "loop");
+    as.nop();
+    as.ldio(6, int(IoReg::NodeId));
+    as.cmpiR(6, 0);
+    as.jRaw(Cond::NE, "done");
+    as.nop();
+    as.bind("wait");
+    as.ldnw(5, 2, 0);
+    as.cmpiR(5, int32_t(fixnum(int32_t(nodes * iters))));
+    as.jRaw(Cond::NE, "wait");
+    as.nop();
+    as.stio(int(IoReg::MachineHalt), reg::r0);
+    as.bind("done");
+    as.halt();
+
+    as.bind("cswitch");
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.nop();
+    as.wrpsr(reg::t(0));
+    as.nop();
+    as.rettRetry();
+    as.bind("fyield");
+    as.moviLabel(reg::t(1), "fyield");
+    as.wrspec(Spec::TrapPC, reg::t(1));
+    as.addiR(reg::t(1), reg::t(1), 1);
+    as.wrspec(Spec::TrapNPC, reg::t(1));
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.wrpsr(reg::t(0));
+    as.rettRetry();
+    return as.finish();
+}
+
+struct Measurement
+{
+    uint64_t simCycles = 0;
+    uint64_t insts = 0;
+    std::string stats;
+    double seconds = 0;
+};
+
+struct WorkloadResult
+{
+    std::string name;
+    Measurement off;            ///< profiling disabled
+    Measurement on;             ///< PC sampling + interval snapshots
+    bool identical = false;
+
+    double overhead() const { return on.seconds / off.seconds - 1.0; }
+};
+
+Measurement
+runAlewifeOnce(const Program &prog, uint32_t nodes, bool profile)
+{
+    AlewifeParams p;
+    p.network = {.dim = 2, .radix = 2};                 // 4 nodes
+    p.wordsPerNode = 1u << 16;
+    p.bootRuntime = false;
+    p.controller.cache = {.lineWords = 4, .numLines = 64, .assoc = 2};
+    p.profile = profile;
+    p.profilePeriod = 64;
+    p.statsInterval = profile ? 4096 : 0;
+    AlewifeMachine m(p, &prog);
+    for (uint32_t n = 0; n < nodes; ++n) {
+        Processor &proc = m.proc(n);
+        proc.reset(prog.entry("worker"));
+        proc.setTrapVector(TrapKind::RemoteMiss, prog.entry("cswitch"));
+        proc.setTrapVector(TrapKind::FeEmpty, prog.entry("cswitch"));
+        for (uint32_t f = 1; f < proc.numFrames(); ++f) {
+            proc.frame(f).trapPC = prog.entry("fyield");
+            proc.frame(f).trapNPC = prog.entry("fyield") + 1;
+            proc.frame(f).trapRegs[0] = psr::ET;
+        }
+    }
+    m.memory().write(kCount, fixnum(0));
+
+    auto t0 = std::chrono::steady_clock::now();
+    m.run(2'000'000'000);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!m.halted())
+        fatal("bench_prof_overhead: alewife workload did not finish");
+
+    Measurement out;
+    out.simCycles = m.cycle();
+    for (uint32_t n = 0; n < nodes; ++n)
+        out.insts += uint64_t(m.proc(n).statInsts.value());
+    std::ostringstream os;
+    m.dump(os);
+    out.stats = os.str();
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return out;
+}
+
+Measurement
+runDriverOnce(int fib_n, bool profile)
+{
+    DriverOptions opts = DriverOptions::april(
+        mult::CompileOptions::FutureMode::Eager, 8);
+    opts.profile = profile;
+    opts.statsInterval = profile ? 4096 : 0;
+    auto t0 = std::chrono::steady_clock::now();
+    DriverResult d = runMultProgram(workloads::fibSource(fib_n), opts);
+    auto t1 = std::chrono::steady_clock::now();
+    if (d.result != Word(fixnum(int32_t(workloads::fibExpected(fib_n)))))
+        fatal("bench_prof_overhead: wrong fib result");
+    Measurement out;
+    out.simCycles = d.cycles;
+    out.insts = d.instructions;
+    out.stats = d.statsJson;
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return out;
+}
+
+/** Min-of-@p reps wall clock, single sim result (they must agree). */
+template <typename RunOnce>
+Measurement
+best(RunOnce once, int reps)
+{
+    Measurement m = once();
+    for (int i = 1; i < reps; ++i) {
+        Measurement again = once();
+        if (again.seconds < m.seconds)
+            m.seconds = again.seconds;
+    }
+    return m;
+}
+
+std::string
+toJson(const std::vector<WorkloadResult> &results, bool quick)
+{
+    std::string out = "{\"bench\":\"prof_overhead\",\"quick\":";
+    out += quick ? "true" : "false";
+    out += ",\"workloads\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const WorkloadResult &r = results[i];
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"name\":\"%s\",\"identical\":%s,"
+                      "\"overhead\":%.4f,\"off_seconds\":%.6f,"
+                      "\"on_seconds\":%.6f,\"sim_cycles\":%llu}",
+                      i ? "," : "", r.name.c_str(),
+                      r.identical ? "true" : "false", r.overhead(),
+                      r.off.seconds, r.on.seconds,
+                      (unsigned long long)r.on.simCycles);
+        out += buf;
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    QuietScope quiet_scope;
+    int reps = 2;
+
+    uint32_t iters = quick ? 100 : 2'000;
+    int fib_n = quick ? 10 : 13;
+    Program prog = buildCoherentLoop(4, iters);
+
+    std::vector<WorkloadResult> results;
+    {
+        WorkloadResult r;
+        r.name = "alewife_coherent4";
+        r.off = best([&] { return runAlewifeOnce(prog, 4, false); },
+                     reps);
+        r.on = best([&] { return runAlewifeOnce(prog, 4, true); },
+                    reps);
+        results.push_back(std::move(r));
+    }
+    {
+        WorkloadResult r;
+        r.name = "perfect8_fib";
+        r.off = best([&] { return runDriverOnce(fib_n, false); }, reps);
+        r.on = best([&] { return runDriverOnce(fib_n, true); }, reps);
+        results.push_back(std::move(r));
+    }
+
+    bool ok = true;
+    std::printf("%-20s %12s %12s %9s %10s\n", "workload", "off (s)",
+                "on (s)", "overhead", "identical");
+    for (WorkloadResult &r : results) {
+        r.identical = r.on.simCycles == r.off.simCycles &&
+                      r.on.insts == r.off.insts &&
+                      r.on.stats == r.off.stats;
+        if (!r.identical) {
+            std::fprintf(stderr,
+                         "%s: profiling changed the simulation! "
+                         "cycles %llu vs %llu, insts %llu vs %llu, "
+                         "stats %s\n",
+                         r.name.c_str(),
+                         (unsigned long long)r.off.simCycles,
+                         (unsigned long long)r.on.simCycles,
+                         (unsigned long long)r.off.insts,
+                         (unsigned long long)r.on.insts,
+                         r.on.stats == r.off.stats ? "equal"
+                                                   : "DIFFER");
+            ok = false;
+        }
+        std::printf("%-20s %12.4f %12.4f %8.1f%% %10s\n",
+                    r.name.c_str(), r.off.seconds, r.on.seconds,
+                    100.0 * r.overhead(),
+                    r.identical ? "yes" : "NO");
+    }
+
+    std::string json = toJson(results, quick);
+    std::printf("\n%s\n", json.c_str());
+    std::ofstream f("BENCH_prof_overhead.json");
+    f << json << "\n";
+
+    // Acceptance gate: sampling overhead < 10% on the machine that
+    // matters (the ALEWIFE run; the driver run is reported only).
+    if (results[0].overhead() >= 0.10) {
+        std::fprintf(stderr, "FAIL: profiling overhead %.1f%% >= 10%%\n",
+                     100.0 * results[0].overhead());
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

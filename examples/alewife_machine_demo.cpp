@@ -11,6 +11,11 @@
  *   --stats=FILE   write the statistics tree as JSON to FILE
  *   --debug=FLAGS  enable live debug printing, e.g. --debug=Ctx,Net
  *                  or --debug=All (also: APRIL_DEBUG env var)
+ *   --profile=FILE       PC-sample every node and write profile JSON
+ *                        (cycle breakdown + hotspots) to FILE
+ *   --profile-period=N   PC sample period in cycles (default 64)
+ *   --stats-interval=N   snapshot all statistics every N cycles and
+ *                        append the CSV time series after the run
  */
 
 #include <cstdio>
@@ -32,6 +37,9 @@ main(int argc, char **argv)
     int n = 13;
     std::string trace_file;
     std::string stats_file;
+    std::string profile_file;
+    uint64_t profile_period = 64;
+    uint64_t stats_interval = 0;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strncmp(arg, "--trace=", 8) == 0)
@@ -40,6 +48,12 @@ main(int argc, char **argv)
             stats_file = arg + 8;
         else if (std::strncmp(arg, "--debug=", 8) == 0)
             debug::setFlags(arg + 8);
+        else if (std::strncmp(arg, "--profile=", 10) == 0)
+            profile_file = arg + 10;
+        else if (std::strncmp(arg, "--profile-period=", 17) == 0)
+            profile_period = std::strtoull(arg + 17, nullptr, 10);
+        else if (std::strncmp(arg, "--stats-interval=", 17) == 0)
+            stats_interval = std::strtoull(arg + 17, nullptr, 10);
         else
             n = std::atoi(arg);
     }
@@ -58,6 +72,9 @@ main(int argc, char **argv)
     params.controller.cache = {.lineWords = 4, .numLines = 4096,
                                .assoc = 4};      // Table 4: 64 KB
     params.traceEvents = !trace_file.empty();
+    params.profile = !profile_file.empty();
+    params.profilePeriod = profile_period;
+    params.statsInterval = stats_interval;
     AlewifeMachine machine(params, &prog);
 
     machine.run(100'000'000);
@@ -90,6 +107,17 @@ main(int argc, char **argv)
         os << "\n";
         std::printf("wrote statistics JSON to %s\n",
                     stats_file.c_str());
+    }
+    if (!profile_file.empty()) {
+        std::ofstream os(profile_file);
+        profile::writeProfileJson(os, machine.profileSource());
+        os << "\n";
+        std::printf("wrote profile JSON to %s\n", profile_file.c_str());
+    }
+    if (stats_interval) {
+        std::printf("\nstats time series (every %llu cycles):\n",
+                    (unsigned long long)stats_interval);
+        machine.intervalSampler()->writeCsv(std::cout);
     }
 
     std::printf("\nnote the contextSwitches and trapsRemoteMiss "

@@ -20,6 +20,8 @@ Controller::Controller(const ControllerParams &p, uint32_t node_id,
                        "misses needing the network"),
       statInvSent(this, "invalidations", "invalidations sent"),
       statWritebacks(this, "writebacks", "dirty lines written back"),
+      statRemoteLatency(this, "remoteLatency",
+                        "issue-to-fill cycles of remote transactions"),
       params(p), nodeId(node_id), mem(memory), fabric(fabric_),
       _cache(p.cache, this), mshrs(num_frames)
 {
@@ -201,6 +203,8 @@ Controller::access(const MemAccess &req)
         m.valid = true;
         m.lineAddr = line_addr;
         m.write = need_m;
+        m.issued = fabric->now();
+        m.remote = home != nodeId;
         Message msg;
         msg.type = need_m ? MsgType::WriteReq : MsgType::ReadReq;
         msg.lineAddr = line_addr;
@@ -256,8 +260,12 @@ Controller::fill(const Message &msg)
         : cache::LineState::Shared;
     _cache.use(line);
     for (Mshr &m : mshrs) {
-        if (m.valid && m.lineAddr == msg.lineAddr)
+        if (m.valid && m.lineAddr == msg.lineAddr) {
             m.valid = false;
+            if (m.remote)
+                statRemoteLatency.sample(
+                    int64_t(fabric->now() - m.issued));
+        }
     }
 }
 

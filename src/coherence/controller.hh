@@ -107,6 +107,9 @@ class Controller : public MemPort, public stats::Group
     stats::Scalar statRemoteMisses;
     stats::Scalar statInvSent;
     stats::Scalar statWritebacks;
+    /// Issue-to-fill cycles of remote transactions — the measured T(p)
+    /// of Equation 1.
+    stats::Histogram statRemoteLatency;
 
   private:
     /** Directory entry for one home line. */
@@ -131,6 +134,8 @@ class Controller : public MemPort, public stats::Group
         bool valid = false;
         Addr lineAddr = 0;
         bool write = false;
+        uint64_t issued = 0;    ///< machine cycle the request left
+        bool remote = false;    ///< home is another node
     };
 
     uint32_t homeOf(Addr line_addr) const;

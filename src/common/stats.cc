@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <bit>
 #include <iomanip>
 #include <limits>
 
@@ -135,6 +136,87 @@ Distribution::reset()
 {
     std::fill(_buckets.begin(), _buckets.end(), 0);
     _underflow = _overflow = 0;
+    _count = 0;
+    _sum = 0;
+    _min = std::numeric_limits<int64_t>::max();
+    _max = std::numeric_limits<int64_t>::min();
+}
+
+Histogram::Histogram(Group *parent, std::string name, std::string desc,
+                     size_t num_buckets)
+    : Info(parent, std::move(name), std::move(desc))
+{
+    if (num_buckets < 2)
+        panic("Histogram ", this->name(), ": need at least 2 buckets");
+    _buckets.resize(num_buckets, 0);
+    reset();
+}
+
+size_t
+Histogram::bucketIndex(int64_t v) const
+{
+    if (v <= 0)
+        return 0;
+    size_t idx = size_t(std::bit_width(uint64_t(v)));
+    return std::min(idx, _buckets.size() - 1);
+}
+
+void
+Histogram::sample(int64_t v)
+{
+    if (_count == 0) {
+        _min = _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    ++_count;
+    _sum += double(v);
+    ++_buckets[bucketIndex(v)];
+}
+
+void
+Histogram::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(44) << (prefix + name())
+       << std::right << std::setw(14) << mean()
+       << "  # " << desc() << " (mean; samples=" << _count
+       << " min=" << (_count ? _min : 0)
+       << " max=" << (_count ? _max : 0) << ")\n";
+    for (size_t i = 0; i < _buckets.size(); ++i) {
+        if (!_buckets[i])
+            continue;
+        std::string range;
+        if (i == 0)
+            range = "(-inf,1)";
+        else if (i == _buckets.size() - 1)
+            range = "[" + std::to_string(int64_t(1) << (i - 1)) + ",inf)";
+        else
+            range = "[" + std::to_string(int64_t(1) << (i - 1)) + ","
+                    + std::to_string(int64_t(1) << i) + ")";
+        os << std::left << std::setw(44) << (prefix + name() + range)
+           << std::right << std::setw(14) << _buckets[i] << "\n";
+    }
+}
+
+void
+Histogram::printJson(std::ostream &os) const
+{
+    os << "{\"type\":\"histogram\",\"desc\":";
+    json::writeString(os, desc());
+    os << ",\"count\":" << _count << ",\"mean\":";
+    json::writeNumber(os, mean());
+    os << ",\"min\":" << (_count ? _min : 0)
+       << ",\"max\":" << (_count ? _max : 0) << ",\"buckets\":[";
+    for (size_t i = 0; i < _buckets.size(); ++i)
+        os << (i ? "," : "") << _buckets[i];
+    os << "]}";
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
     _count = 0;
     _sum = 0;
     _min = std::numeric_limits<int64_t>::max();

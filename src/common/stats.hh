@@ -45,6 +45,14 @@ class Info
     /** Reset the statistic to its initial state. */
     virtual void reset() = 0;
 
+    /**
+     * One representative number for time-series sampling (the
+     * interval profiler records this every N cycles): the value for
+     * scalars and formulas, the running mean for averages,
+     * distributions and histograms.
+     */
+    virtual double summaryValue() const = 0;
+
   private:
     std::string _name;
     std::string _desc;
@@ -67,6 +75,7 @@ class Scalar : public Info
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os) const override;
     void reset() override { _value = 0; }
+    double summaryValue() const override { return _value; }
 
   private:
     double _value = 0;
@@ -95,6 +104,7 @@ class Average : public Info
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os) const override;
     void reset() override { _sum = 0; _count = 0; }
+    double summaryValue() const override { return mean(); }
 
   private:
     double _sum = 0;
@@ -125,6 +135,7 @@ class Distribution : public Info
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os) const override;
     void reset() override;
+    double summaryValue() const override { return mean(); }
 
   private:
     int64_t _lo;
@@ -153,9 +164,50 @@ class Formula : public Info
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os) const override;
     void reset() override {}
+    double summaryValue() const override { return value(); }
 
   private:
     std::function<double()> _fn;
+};
+
+/**
+ * Power-of-two bucketed histogram: values <= 0 land in bucket 0 and
+ * bucket i (i >= 1) counts samples with 2^(i-1) <= v < 2^i; the last
+ * bucket absorbs everything larger. Log2 buckets suit long-tailed
+ * latency/gap distributions: they stay small and deterministic no
+ * matter how large the tail grows.
+ */
+class Histogram : public Info
+{
+  public:
+    static constexpr size_t kDefaultBuckets = 24;
+
+    Histogram(Group *parent, std::string name, std::string desc,
+              size_t num_buckets = kDefaultBuckets);
+
+    void sample(int64_t v);
+
+    /** Bucket index a value falls into: 0 for v<=0, else min(1+floor(log2 v), n-1). */
+    size_t bucketIndex(int64_t v) const;
+
+    uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / double(_count) : 0.0; }
+    int64_t min() const { return _min; }
+    int64_t max() const { return _max; }
+    uint64_t bucketCount(size_t i) const { return _buckets.at(i); }
+    size_t numBuckets() const { return _buckets.size(); }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
+    void reset() override;
+    double summaryValue() const override { return mean(); }
+
+  private:
+    std::vector<uint64_t> _buckets;
+    uint64_t _count = 0;
+    double _sum = 0;
+    int64_t _min = 0;
+    int64_t _max = 0;
 };
 
 /** A named, nestable container of statistics. */
@@ -197,6 +249,12 @@ class Group
      * any component is missing.
      */
     const Info *resolve(const std::string &path) const;
+
+    /** All statistics owned directly by this group, in creation order. */
+    const std::vector<Info *> &statsList() const { return _stats; }
+
+    /** All direct child groups, in creation order. */
+    const std::vector<Group *> &childGroups() const { return _children; }
 
   private:
     friend class Info;

@@ -6,6 +6,7 @@
 #include "machine/alewife_machine.hh"
 #include "machine/perfect_machine.hh"
 #include "machine/snapshot.hh"
+#include "profile/report.hh"
 
 namespace april::fuzz
 {
@@ -19,6 +20,7 @@ struct AlewifeRun
     MachineSnapshot snap;
     std::string stats;
     std::string trace;
+    std::string breakdown;      ///< profile::cycleBreakdownJson
     std::string error;          ///< hang / failed quiesce
 };
 
@@ -62,6 +64,11 @@ runAlewife(const FuzzCase &c, const Program &prog, bool cycle_skip,
     std::ostringstream stats;
     m.dump(stats);
     run.stats = stats.str();
+    // quiesce() already panicked if any node's bucket sum diverged
+    // from its cycle count; here we pin the full breakdown so the two
+    // cycle-skip modes must also agree bucket by bucket, frame by
+    // frame (§7.5: skip windows are attributed, never dropped).
+    run.breakdown = profile::cycleBreakdownJson(m.profileSource().procs);
     if (opts.compareTraces) {
         std::ostringstream trace;
         m.writeTrace(trace);
@@ -104,6 +111,11 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
         div << "cycle-skip ON vs OFF: stats dumps differ ("
             << on.stats.size() << " vs " << off.stats.size()
             << " bytes)\n";
+    }
+    if (on.breakdown != off.breakdown) {
+        div << "cycle-skip ON vs OFF: cycle-accounting breakdowns "
+               "differ:\n  on:  " << on.breakdown << "\n  off: "
+            << off.breakdown << "\n";
     }
     if (opts.compareTraces && on.trace != off.trace) {
         div << "cycle-skip ON vs OFF: trace JSON differs ("

@@ -52,7 +52,37 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
         procs.back()->setTraceRecorder(trec.get());
         if (p.bootRuntime)
             rt::Runtime::bootProcessor(*procs.back(), *prog, mem, i, n);
+        if (p.profile) {
+            samplers.push_back(std::make_unique<profile::PcSampler>(
+                p.profilePeriod));
+            procs.back()->setPcSampler(samplers.back().get());
+        }
     }
+    // Built last so every subsystem's statistics become columns.
+    if (p.statsInterval)
+        interval_ = std::make_unique<profile::IntervalSampler>(
+            p.statsInterval, *this);
+}
+
+profile::ProfileSource
+AlewifeMachine::profileSource() const
+{
+    profile::ProfileSource src;
+    src.machineCycles = _cycle;
+    src.program = procs.empty() ? nullptr : procs[0]->program();
+    for (const auto &p : procs)
+        src.procs.push_back(p.get());
+    for (const auto &s : samplers)
+        src.samplers.push_back(s.get());
+    src.intervals = interval_.get();
+    return src;
+}
+
+void
+AlewifeMachine::verifyCycleAccounting() const
+{
+    for (const auto &p : procs)
+        p->verifyCycleAccounting();
 }
 
 void
@@ -139,12 +169,24 @@ AlewifeMachine::run(uint64_t max_cycles)
                 uint64_t idle = next == kNeverCycle
                     ? kNeverCycle
                     : next - _cycle - 1;
-                fastForward(
-                    std::min(idle, max_cycles - (_cycle - start)));
+                idle = std::min(idle, max_cycles - (_cycle - start));
+                // Never skip past a stats-sample boundary: skipCycles
+                // is additive, so splitting the window is cycle-exact
+                // and the recorded series matches the per-cycle loop.
+                if (interval_) {
+                    idle = std::min(
+                        idle,
+                        interval_->nextSampleCycle(_cycle) - _cycle);
+                }
+                fastForward(idle);
+                if (interval_)
+                    interval_->sampleIfDue(_cycle);
                 continue;
             }
         }
         tick();
+        if (interval_)
+            interval_->sampleIfDue(_cycle);
     }
     return _cycle - start;
 }
@@ -153,10 +195,13 @@ bool
 AlewifeMachine::quiesce(uint64_t max_cycles)
 {
     for (uint64_t i = 0; i < max_cycles; ++i) {
-        if (nextEventCycle() == kNeverCycle)
+        if (nextEventCycle() == kNeverCycle) {
+            verifyCycleAccounting();
             return true;
+        }
         tick();
     }
+    verifyCycleAccounting();
     return nextEventCycle() == kNeverCycle;
 }
 

@@ -19,6 +19,9 @@
 #include "common/trace.hh"
 #include "network/network.hh"
 #include "proc/processor.hh"
+#include "profile/interval.hh"
+#include "profile/pc_sampler.hh"
+#include "profile/report.hh"
 #include "runtime/runtime.hh"
 
 namespace april
@@ -51,6 +54,15 @@ struct AlewifeParams
     /// Detailed race reports retained when detectRaces is on (the
     /// stats counter keeps counting past the cap).
     uint64_t raceMaxReports = 64;
+    /// Attach a PC sampler to every processor. Cycle accounting is
+    /// always on; this adds the sampled-hotspot layer.
+    bool profile = false;
+    /// PC sample period in cycles when profile is on.
+    uint64_t profilePeriod = 64;
+    /// Snapshot every statistic each time the machine clock crosses a
+    /// multiple of this many cycles (0: no time series). Cycle-skip
+    /// windows are clamped at sample boundaries, which is cycle-exact.
+    uint64_t statsInterval = 0;
 };
 
 /** N ALEWIFE nodes on a mesh. */
@@ -110,6 +122,22 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
             trec->writeChromeTrace(os);
     }
 
+    /** Assemble the report writers' view of this run. */
+    profile::ProfileSource profileSource() const;
+
+    /** Interval time series (nullptr unless params.statsInterval). */
+    const profile::IntervalSampler *intervalSampler() const
+    {
+        return interval_.get();
+    }
+
+    /**
+     * Panic unless every processor's bucket sums equal its cycle
+     * count (per node and per frame). quiesce() calls this; tests and
+     * tools may call it at any point.
+     */
+    void verifyCycleAccounting() const;
+
   private:
     // coh::Fabric interface.
     void transmit(uint32_t to, const coh::Message &msg,
@@ -143,6 +171,8 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
     std::vector<std::unique_ptr<coh::Controller>> ctrls;
     std::vector<std::unique_ptr<NodeIo>> ios;
     std::vector<std::unique_ptr<Processor>> procs;
+    std::vector<std::unique_ptr<profile::PcSampler>> samplers;
+    std::unique_ptr<profile::IntervalSampler> interval_;
     /** Bulk-advance @p cycles fully idle cycles (run() fast path). */
     void fastForward(uint64_t cycles);
 

@@ -32,6 +32,9 @@ runMultProgram(const std::string &source, const DriverOptions &options)
     mp.seed = options.seed;
     mp.cycleSkip = options.cycleSkip;
     mp.traceEvents = options.traceEvents;
+    mp.profile = options.profile;
+    mp.profilePeriod = options.profilePeriod;
+    mp.statsInterval = options.statsInterval;
     PerfectMachine machine(mp, &prog, runtime);
     machine.run(options.maxCycles);
     if (!machine.halted()) {
@@ -62,6 +65,17 @@ runMultProgram(const std::string &source, const DriverOptions &options)
         std::ostringstream os;
         machine.writeTrace(os);
         r.traceJson = os.str();
+    }
+    machine.verifyCycleAccounting();
+    if (options.profile) {
+        std::ostringstream os;
+        profile::writeProfileJson(os, machine.profileSource());
+        r.profileJson = os.str();
+    }
+    if (options.statsInterval && machine.intervalSampler()) {
+        std::ostringstream os;
+        machine.intervalSampler()->writeCsv(os);
+        r.statsSeriesCsv = os.str();
     }
     return r;
 }

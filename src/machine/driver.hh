@@ -34,6 +34,13 @@ struct DriverOptions
     std::string debugFlags;
     /// Record machine events and return them in DriverResult::traceJson.
     bool traceEvents = false;
+    /// PC-sample every node and return DriverResult::profileJson.
+    bool profile = false;
+    /// PC sample period when profile is on.
+    uint64_t profilePeriod = 64;
+    /// Snapshot all statistics every N cycles into
+    /// DriverResult::statsSeriesCsv (0: off).
+    uint64_t statsInterval = 0;
 
     /** The Encore Multimax baseline configuration (Section 7). */
     static DriverOptions
@@ -74,6 +81,12 @@ struct DriverResult
     std::string statsJson;
     /// Chrome trace-event JSON; empty unless options.traceEvents.
     std::string traceJson;
+    /// Profile JSON (schemaVersion 1: per-node buckets, frames,
+    /// hotspots); empty unless options.profile.
+    std::string profileJson;
+    /// "cycle,col,..." stats time series; empty unless
+    /// options.statsInterval.
+    std::string statsSeriesCsv;
 };
 
 /**

@@ -35,7 +35,37 @@ PerfectMachine::PerfectMachine(const PerfectMachineParams &p,
             rt::Runtime::bootProcessor(*procs.back(), *prog, mem, n,
                                        p.numNodes);
         }
+        if (p.profile) {
+            samplers.push_back(std::make_unique<profile::PcSampler>(
+                p.profilePeriod));
+            procs.back()->setPcSampler(samplers.back().get());
+        }
     }
+    // Built last so every subsystem's statistics become columns.
+    if (p.statsInterval)
+        interval_ = std::make_unique<profile::IntervalSampler>(
+            p.statsInterval, *this);
+}
+
+profile::ProfileSource
+PerfectMachine::profileSource() const
+{
+    profile::ProfileSource src;
+    src.machineCycles = _cycle;
+    src.program = procs.empty() ? nullptr : procs[0]->program();
+    for (const auto &p : procs)
+        src.procs.push_back(p.get());
+    for (const auto &s : samplers)
+        src.samplers.push_back(s.get());
+    src.intervals = interval_.get();
+    return src;
+}
+
+void
+PerfectMachine::verifyCycleAccounting() const
+{
+    for (const auto &p : procs)
+        p->verifyCycleAccounting();
 }
 
 Word
@@ -123,13 +153,24 @@ PerfectMachine::run(uint64_t max_cycles)
                     : next - _cycle - 1;
                 uint64_t n =
                     std::min(idle, max_cycles - (_cycle - start));
+                // Never skip past a stats-sample boundary: skipCycles
+                // is additive, so splitting the window is cycle-exact
+                // and the recorded series matches the per-cycle loop.
+                if (interval_) {
+                    n = std::min(
+                        n, interval_->nextSampleCycle(_cycle) - _cycle);
+                }
                 _cycle += n;
                 for (auto &p : procs)
                     p->skipCycles(n);
+                if (interval_)
+                    interval_->sampleIfDue(_cycle);
                 continue;
             }
         }
         tick();
+        if (interval_)
+            interval_->sampleIfDue(_cycle);
     }
     return _cycle - start;
 }
@@ -138,10 +179,13 @@ bool
 PerfectMachine::quiesce(uint64_t max_cycles)
 {
     for (uint64_t i = 0; i < max_cycles; ++i) {
-        if (nextEventCycle() == kNeverCycle)
+        if (nextEventCycle() == kNeverCycle) {
+            verifyCycleAccounting();
             return true;
+        }
         tick();
     }
+    verifyCycleAccounting();
     return nextEventCycle() == kNeverCycle;
 }
 

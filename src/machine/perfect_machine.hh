@@ -27,6 +27,9 @@
 #include "mem/memory.hh"
 #include "proc/perfect_port.hh"
 #include "proc/processor.hh"
+#include "profile/interval.hh"
+#include "profile/pc_sampler.hh"
+#include "profile/report.hh"
 #include "runtime/runtime.hh"
 
 namespace april
@@ -51,6 +54,15 @@ struct PerfectMachineParams
     bool traceEvents = false;
     /// Recorded-event cap when traceEvents is on.
     uint64_t traceCapacity = 1u << 22;
+    /// Attach a PC sampler to every processor. Cycle accounting is
+    /// always on; this adds the sampled-hotspot layer.
+    bool profile = false;
+    /// PC sample period in cycles when profile is on.
+    uint64_t profilePeriod = 64;
+    /// Snapshot every statistic each time the machine clock crosses a
+    /// multiple of this many cycles (0: no time series). Cycle-skip
+    /// windows are clamped at sample boundaries, which is cycle-exact.
+    uint64_t statsInterval = 0;
 };
 
 /** N APRIL cores on zero-latency shared memory. */
@@ -122,6 +134,22 @@ class PerfectMachine : public stats::Group
             trec->writeChromeTrace(os);
     }
 
+    /** Assemble the report writers' view of this run. */
+    profile::ProfileSource profileSource() const;
+
+    /** Interval time series (nullptr unless params.statsInterval). */
+    const profile::IntervalSampler *intervalSampler() const
+    {
+        return interval_.get();
+    }
+
+    /**
+     * Panic unless every processor's bucket sums equal its cycle
+     * count (per node and per frame). quiesce() calls this; tests and
+     * tools may call it at any point.
+     */
+    void verifyCycleAccounting() const;
+
   private:
     /** Per-node memory-mapped I/O. */
     class NodeIo : public IoPort
@@ -149,6 +177,8 @@ class PerfectMachine : public stats::Group
     std::vector<std::unique_ptr<PerfectMemPort>> ports;
     std::vector<std::unique_ptr<NodeIo>> ios;
     std::vector<std::unique_ptr<Processor>> procs;
+    std::vector<std::unique_ptr<profile::PcSampler>> samplers;
+    std::unique_ptr<profile::IntervalSampler> interval_;
     std::vector<Word> consoleWords;
     bool haltFlag = false;
     uint64_t _cycle = 0;

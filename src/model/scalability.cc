@@ -151,6 +151,17 @@ ScalabilityModel::utilizationIdeal(double p) const
 }
 
 double
+ScalabilityModel::utilizationMeasured(double p, double m, double t,
+                                      double c)
+{
+    if (p < 1 || m < 0 || t < 0 || c < 0)
+        fatal("utilizationMeasured: bad arguments");
+    double pstar = (1.0 + t * m) / (1.0 + c * m);
+    double u = p < pstar ? p / (1.0 + t * m) : 1.0 / (1.0 + c * m);
+    return std::min(1.0, u);
+}
+
+double
 ScalabilityModel::systemPower(double p, double processors) const
 {
     return processors * utilization(p);

@@ -104,6 +104,18 @@ class ScalabilityModel
     /** U(p), the "Useful Work" curve. */
     double utilization(double p) const { return evaluate(p).utilization; }
 
+    /**
+     * Equation 1 in closed form with *measured* inputs: miss rate m
+     * per useful cycle, remote latency T in cycles and switch cost C
+     * in cycles, as reported by the cycle accountant (§7.5) and the
+     * coherence controllers' remoteLatency histogram. No contention
+     * fixed point, no bandwidth cap — those are already folded into
+     * the measured T. Used to cross-check the simulator's measured
+     * useful-cycle fraction against the analytical curve (X6).
+     */
+    static double utilizationMeasured(double p, double m, double t,
+                                      double c);
+
     // --- Figure 5 decomposition ----------------------------------------
 
     /** No switch overhead (C = 0): the "CS Overhead" boundary. */

@@ -1,10 +1,12 @@
 #include "proc/processor.hh"
 
+#include <algorithm>
 #include <iostream>
 
 #include "common/bits.hh"
 #include "common/debug.hh"
 #include "common/logging.hh"
+#include "profile/pc_sampler.hh"
 
 namespace april
 {
@@ -19,12 +21,19 @@ Processor::Processor(const ProcParams &p, const Program *program,
       statTrapCycles(this, "trapCycles", "trap-entry squash cycles"),
       statSwitches(this, "contextSwitches", "context switches"),
       statUtilization(this, "utilization",
-                      "completed instructions per cycle",
+                      "useful-cycle fraction "
+                      "((Useful + Hazard buckets) / cycles)",
                       [this] {
                           return statCycles.value()
-                              ? statInsts.value() / statCycles.value()
+                              ? (statBuckets[size_t(
+                                     profile::Bucket::Useful)].value() +
+                                 statBuckets[size_t(
+                                     profile::Bucket::Hazard)].value())
+                                  / statCycles.value()
                               : 0.0;
                       }),
+      statSwitchGap(this, "switchGap",
+                    "cycles between consecutive context switches"),
       params(p), prog(program), mem(mem_port), io(io_port),
       frames(p.numFrames)
 {
@@ -36,9 +45,64 @@ Processor::Processor(const ProcParams &p, const Program *program,
         statTraps.emplace_back(this, std::string("traps") + kind,
                                std::string(kind) + " traps");
     }
+    statBuckets.reserve(profile::kNumBuckets);
+    for (size_t b = 0; b < profile::kNumBuckets; ++b) {
+        const char *bucket = profile::bucketName(profile::Bucket(b));
+        statBuckets.emplace_back(this, std::string("cycles") + bucket,
+                                 std::string("cycles attributed to the ")
+                                     + bucket + " bucket");
+    }
+    frameCycles_.resize(p.numFrames);
+    spinArmed_.assign(p.numFrames, 0);
+    spinPc_.assign(p.numFrames, 0);
     vectorSet.fill(false);
     vectors.fill(0);
     setFrame(0);
+}
+
+void
+Processor::account(uint32_t frame, profile::Bucket b)
+{
+    ++statBuckets[size_t(b)];
+    ++frameCycles_[frame][size_t(b)];
+    if (b == profile::Bucket::Useful && spinArmed_[frame]) {
+        spinArmed_[frame] = 0;
+        --spinArmedCount_;
+    }
+}
+
+profile::Bucket
+Processor::bucketForTrap(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::RemoteMiss:
+      case TrapKind::FeFull:
+      case TrapKind::FeEmpty:
+        return profile::Bucket::Switch;
+      default:
+        return profile::Bucket::Trap;
+    }
+}
+
+void
+Processor::verifyCycleAccounting() const
+{
+    double sum = 0;
+    for (const stats::Scalar &s : statBuckets)
+        sum += s.value();
+    if (sum != statCycles.value()) {
+        panic("cycle accounting broken on node ", params.nodeId,
+              ": bucket sum ", sum, " != cycles ", statCycles.value());
+    }
+    uint64_t frame_sum = 0;
+    for (const auto &row : frameCycles_)
+        for (uint64_t v : row)
+            frame_sum += v;
+    if (double(frame_sum) != statCycles.value()) {
+        panic("per-frame cycle accounting broken on node ",
+              params.nodeId, ": matrix sum ", frame_sum, " != cycles ",
+              statCycles.value());
+    }
 }
 
 void
@@ -68,6 +132,10 @@ Processor::reset(uint32_t entry_pc)
     _halted = false;
     stall = 0;
     ipiPending = false;
+    handlerBucket_ = profile::Bucket::Useful;
+    stallBucket_ = profile::Bucket::Hazard;
+    std::fill(spinArmed_.begin(), spinArmed_.end(), uint8_t(0));
+    spinArmedCount_ = 0;
 }
 
 Word
@@ -147,6 +215,8 @@ void
 Processor::noteSwitch(uint32_t from, uint32_t to)
 {
     ++statSwitches;
+    statSwitchGap.sample(int64_t(_cycle - lastSwitchCycle_));
+    lastSwitchCycle_ = _cycle;
     if (trec) {
         trec->record({_cycle, params.nodeId, trace::EventKind::CtxSwitch,
                       uint8_t(from), uint8_t(to), _pc, 0});
@@ -166,6 +236,25 @@ Processor::takeTrap(TrapKind kind, Word arg, Word va)
     TRACE(Trap, "c", _cycle, " n", params.nodeId, " ",
           trapKindName(kind), " trap at pc=", _pc, " arg=", arg);
     redirected = true;
+
+    // Classify the trap (§7.5). Switch-class traps feed the spin
+    // detector: a repeat trap at the same PC while every frame is
+    // armed means the frame revolution found no runnable work.
+    profile::Bucket b = bucketForTrap(kind);
+    if (b == profile::Bucket::Switch) {
+        if (spinArmed_[_fp] && spinPc_[_fp] == _pc) {
+            if (spinArmedCount_ == params.numFrames)
+                b = profile::Bucket::Idle;
+        } else {
+            if (!spinArmed_[_fp]) {
+                spinArmed_[_fp] = 1;
+                ++spinArmedCount_;
+            }
+            spinPc_[_fp] = _pc;
+        }
+    }
+    cycleBucket_ = b;
+    stallBucket_ = b;
 
     Frame &f = frames[_fp];
     f.trapPC = _pc;
@@ -191,6 +280,7 @@ Processor::takeTrap(TrapKind kind, Word arg, Word va)
               _pc, " [", prog->symbolAt(_pc), "] node ", params.nodeId);
     }
 
+    handlerBucket_ = b;
     _psr &= ~psr::ET;
     _pc = vectors[size_t(kind)];
     _npc = _pc + 1;
@@ -223,16 +313,28 @@ Processor::tick()
         return;
     ++_cycle;
     ++statCycles;
+    if (pcSampler_)
+        pcSampler_->tick(_cycle, _pc);
+
+    // Every cycle is attributed to the frame active when it starts;
+    // a mid-cycle switch (takeTrap/INCFP) charges the switcher.
+    uint32_t acct_frame = _fp;
 
     if (stall > 0) {
         --stall;
         ++statStallCycles;
+        account(acct_frame, stallBucket_);
         return;
     }
+
+    // Instruction cycles default to the execution context (user code
+    // or a handler); execute paths override for faults and holds.
+    cycleBucket_ = handlerBucket_;
 
     if (ipiPending && (_psr & psr::ET)) {
         ipiPending = false;
         takeTrap(TrapKind::Ipi, ipiArg);
+        account(acct_frame, cycleBucket_);
         return;
     }
 
@@ -244,6 +346,7 @@ Processor::tick()
                   << "\n";
     }
     execute(inst);
+    account(acct_frame, cycleBucket_);
 }
 
 uint64_t
@@ -276,9 +379,15 @@ Processor::skipCycles(uint64_t cycles)
         panic("Processor::skipCycles(", cycles, ") overruns the next "
               "event (stall=", stall, ") on node ", params.nodeId);
     }
+    if (pcSampler_)
+        pcSampler_->skip(_cycle, cycles, _pc);
     _cycle += cycles;
     statCycles += double(cycles);
     statStallCycles += double(cycles);
+    // The whole window drains one stall whose bucket is already
+    // decided; bulk-credit it exactly as per-cycle ticks would.
+    statBuckets[size_t(stallBucket_)] += double(cycles);
+    frameCycles_[_fp][size_t(stallBucket_)] += cycles;
     stall -= uint32_t(cycles);
 }
 
@@ -310,6 +419,7 @@ Processor::executeCompute(const Instruction &inst)
         // plenty of legitimate tagged operands; the architected result
         // is the low 32 bits of the full product.
         r = Word(int64_t(int32_t(a)) * int64_t(int32_t(b)));
+        stallBucket_ = profile::Bucket::Hazard;
         stall += params.mulCycles - 1;
         break;
       case Opcode::DIV:
@@ -318,12 +428,14 @@ Processor::executeCompute(const Instruction &inst)
         // INT_MIN / -1 overflows (UB in C++); the hardware quotient
         // wraps back to INT_MIN. Widen to make that case defined.
         r = Word(int64_t(int32_t(a)) / int64_t(int32_t(b)));
+        stallBucket_ = profile::Bucket::Hazard;
         stall += params.divCycles - 1;
         break;
       case Opcode::REM:
         if (b == 0)
             panic("REM by zero at pc=", _pc, " [", prog->symbolAt(_pc), "]");
         r = Word(int64_t(int32_t(a)) % int64_t(int32_t(b)));
+        stallBucket_ = profile::Bucket::Hazard;
         stall += params.divCycles - 1;
         break;
       case Opcode::AND: r = a & b; break;
@@ -402,11 +514,16 @@ Processor::executeMemory(const Instruction &inst)
         return;
       case MemResult::Kind::Retry:
         // MHOLD: stay on this instruction; the cycle is a stall.
+        // Memory wait beats handler context in the accounting (§7.5).
         redirected = true;          // keep the PC chain in place
         ++statStallCycles;
+        cycleBucket_ = profile::Bucket::LocalMiss;
         return;
     }
 
+    // Cache-fill / local-memory hold cycles (and the TAS penalty
+    // below) drain as memory wait.
+    stallBucket_ = profile::Bucket::LocalMiss;
     stall += res.extraCycles;
 
     // Latch the observed f/e state into the condition bit so that
@@ -486,6 +603,12 @@ Processor::execute(const Instruction &inst)
       case Opcode::DECFP: {
         uint32_t prev = _fp;
         if (params.switchMode == ProcParams::SwitchMode::Hardware) {
+            // The FP change *is* the context switch here; its cycle
+            // and the hardware drain are switch overhead. (In
+            // TrapHandler mode the surrounding cswitch handler already
+            // classifies these cycles via handlerBucket_.)
+            cycleBucket_ = profile::Bucket::Switch;
+            stallBucket_ = profile::Bucket::Switch;
             Frame &f = frames[_fp];
             f.trapPC = next_pc;         // resume after the switch inst
             f.trapNPC = next_npc;
@@ -575,6 +698,10 @@ Processor::execute(const Instruction &inst)
             _npc = f.trapNPC + 1;
         }
         _psr |= psr::ET;
+        // Leaving the handler: subsequent instruction cycles are user
+        // code again. This RETT's own cycle still counts as handler
+        // (cycleBucket_ was latched at tick entry).
+        handlerBucket_ = profile::Bucket::Useful;
         ++statInsts;
         return;
       }
@@ -592,6 +719,8 @@ Processor::execute(const Instruction &inst)
         break;
 
       case Opcode::STIO:
+        // I/O holds (e.g. the block-transfer engine) are hazards.
+        stallBucket_ = profile::Bucket::Hazard;
         stall += io->ioWrite(IoReg(inst.imm), readReg(inst.rd));
         break;
       case Opcode::LDIO:

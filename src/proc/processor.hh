@@ -45,6 +45,12 @@
 #include "isa/assembler.hh"
 #include "isa/instruction.hh"
 #include "proc/ports.hh"
+#include "profile/accounting.hh"
+
+namespace april::profile
+{
+class PcSampler;
+} // namespace april::profile
 
 namespace april
 {
@@ -130,6 +136,7 @@ class Processor : public stats::Group
     bool halted() const { return _halted; }
     void forceHalt() { _halted = true; }
     uint64_t cycle() const { return _cycle; }
+    uint32_t nodeId() const { return params.nodeId; }
 
     // --- architectural state access (runtime setup, tests) ------------
 
@@ -162,12 +169,39 @@ class Processor : public stats::Group
     /** Attach the machine's event recorder (nullptr: tracing off). */
     void setTraceRecorder(trace::Recorder *r) { trec = r; }
 
+    /** Attach a PC sampler (nullptr: sampling off, zero overhead). */
+    void setPcSampler(profile::PcSampler *s) { pcSampler_ = s; }
+
     /** Fence counter (FLUSH acknowledgments outstanding). */
     Word fenceCounter() const { return _fence; }
     void incFence() { ++_fence; }
     void decFence() { if (_fence) --_fence; }
 
     const Program *program() const { return prog; }
+
+    // --- cycle accounting (DESIGN.md §7.5) -----------------------------
+
+    /** Cycles attributed to bucket @p b on this core so far. */
+    uint64_t
+    bucketCycles(profile::Bucket b) const
+    {
+        return uint64_t(statBuckets[size_t(b)].value());
+    }
+
+    /** Per-frame attribution matrix: [frame][bucket] cycles. */
+    const std::vector<std::array<uint64_t, profile::kNumBuckets>> &
+    frameCycles() const
+    {
+        return frameCycles_;
+    }
+
+    /**
+     * Panic unless every cycle this core ran is attributed to exactly
+     * one bucket: sum over buckets == statCycles, for the per-node
+     * scalars and the per-frame matrix alike. Machines check this at
+     * quiesce; tests and the differential fuzzer call it directly.
+     */
+    void verifyCycleAccounting() const;
 
     // --- statistics ----------------------------------------------------
 
@@ -176,8 +210,10 @@ class Processor : public stats::Group
     stats::Scalar statStallCycles;   ///< MHOLD + multi-cycle ops
     stats::Scalar statTrapCycles;    ///< trap-entry squash cycles
     stats::Scalar statSwitches;      ///< context switches (both modes)
-    stats::Formula statUtilization;  ///< completed insts per cycle
+    stats::Formula statUtilization;  ///< useful-cycle fraction (§7.5)
+    stats::Histogram statSwitchGap;  ///< cycles between context switches
     std::vector<stats::Scalar> statTraps;   ///< per TrapKind
+    std::vector<stats::Scalar> statBuckets; ///< per profile::Bucket
 
   private:
     void execute(const Instruction &inst);
@@ -196,6 +232,11 @@ class Processor : public stats::Group
 
     /** Record a context switch (event log + Ctx debug flag). */
     void noteSwitch(uint32_t from, uint32_t to);
+
+    /** Credit the cycle just ticked to @p b for frame @p frame. */
+    void account(uint32_t frame, profile::Bucket b);
+    /** Bucket class of a trap kind (switch-class vs other). */
+    static profile::Bucket bucketForTrap(TrapKind kind);
 
     Word operand2(const Instruction &inst) const;
 
@@ -231,6 +272,29 @@ class Processor : public stats::Group
     bool redirected = false;    ///< PC chain replaced by a trap/switch
     bool ipiPending = false;
     Word ipiArg = 0;
+
+    // --- cycle-accounting context (DESIGN.md §7.5) ---------------------
+
+    profile::PcSampler *pcSampler_ = nullptr;
+    /// Classification of instruction cycles in the current execution
+    /// context: Useful in user code, the trap's bucket inside a
+    /// handler (reset by RETT).
+    profile::Bucket handlerBucket_ = profile::Bucket::Useful;
+    /// Classification of the pending stall cycles; whoever adds to
+    /// `stall` sets it, and skipCycles() credits whole windows to it.
+    profile::Bucket stallBucket_ = profile::Bucket::Hazard;
+    /// Working classification of the cycle being ticked.
+    profile::Bucket cycleBucket_ = profile::Bucket::Useful;
+    /// [frame][bucket] attribution matrix behind frameCycles().
+    std::vector<std::array<uint64_t, profile::kNumBuckets>> frameCycles_;
+    /// Switch-spin detection: a frame arms on its first switch-class
+    /// trap; a repeat trap at the same PC while *all* frames are armed
+    /// means the revolution found no runnable work (Idle). A completed
+    /// Useful cycle disarms the frame.
+    std::vector<uint8_t> spinArmed_;
+    std::vector<uint32_t> spinPc_;
+    uint32_t spinArmedCount_ = 0;
+    uint64_t lastSwitchCycle_ = 0;  ///< for the switch-gap histogram
 };
 
 } // namespace april

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cycle-accounting buckets (DESIGN.md §7.5).
+ *
+ * The processor attributes every cycle it runs to exactly one bucket,
+ * per node and per task frame, so `sum(buckets) == cycles` holds
+ * exactly — under cycle-skipping an entire skipped window is credited
+ * in bulk to the bucket that made the window idle, which keeps the
+ * attribution bit-identical to the per-cycle loop. This is the
+ * measured counterpart of the paper's Equation 1 decomposition of
+ * processor utilization.
+ */
+
+#ifndef APRIL_PROFILE_ACCOUNTING_HH
+#define APRIL_PROFILE_ACCOUNTING_HH
+
+#include <cstddef>
+
+namespace april::profile
+{
+
+/** Where one processor cycle went. */
+enum class Bucket : unsigned char
+{
+    /// User instructions completing outside any trap handler.
+    Useful,
+    /// Context-switch overhead: the switch-causing access, the trap
+    /// entry squash, the software cswitch handler (11 cycles total in
+    /// TrapHandler mode) or the 4-cycle hardware switch.
+    Switch,
+    /// Non-switch trap handling: future touches, software traps, IPIs
+    /// (entry squash + handler instructions until RETT).
+    Trap,
+    /// Memory wait with the processor held (MHOLD): cache-fill /
+    /// local-miss extra cycles, TAS penalty, non-switching retries.
+    LocalMiss,
+    /// Cycles burned revisiting a frame that is still blocked — the
+    /// switch-spin loop when every frame waits on a remote
+    /// transaction or failed synchronization.
+    Idle,
+    /// Pipeline hazards: multi-cycle MUL/DIV/REM drain, I/O holds.
+    Hazard,
+};
+
+constexpr size_t kNumBuckets = 6;
+
+constexpr const char *
+bucketName(Bucket b)
+{
+    switch (b) {
+      case Bucket::Useful: return "Useful";
+      case Bucket::Switch: return "Switch";
+      case Bucket::Trap: return "Trap";
+      case Bucket::LocalMiss: return "LocalMiss";
+      case Bucket::Idle: return "Idle";
+      case Bucket::Hazard: return "Hazard";
+    }
+    return "?";
+}
+
+} // namespace april::profile
+
+#endif // APRIL_PROFILE_ACCOUNTING_HH

@@ -1,0 +1,88 @@
+#include "profile/interval.hh"
+
+#include "common/json.hh"
+
+namespace april::profile
+{
+
+IntervalSampler::IntervalSampler(uint64_t period,
+                                 const stats::Group &root)
+    : period_(period)
+{
+    collect(root, "");
+}
+
+void
+IntervalSampler::collect(const stats::Group &g, const std::string &prefix)
+{
+    std::string here =
+        prefix.empty() ? g.groupName() : prefix + "." + g.groupName();
+    for (const stats::Info *info : g.statsList()) {
+        columns_.push_back(here + "." + info->name());
+        infos_.push_back(info);
+    }
+    for (const stats::Group *child : g.childGroups())
+        collect(*child, here);
+}
+
+void
+IntervalSampler::sampleIfDue(uint64_t cycle)
+{
+    if (!period_ || cycle % period_ != 0 || cycle == lastSampled_)
+        return;
+    sampleFinal(cycle);
+}
+
+void
+IntervalSampler::sampleFinal(uint64_t cycle)
+{
+    if (cycle == lastSampled_)
+        return;
+    lastSampled_ = cycle;
+    Row row;
+    row.cycle = cycle;
+    row.values.reserve(infos_.size());
+    for (const stats::Info *info : infos_)
+        row.values.push_back(info->summaryValue());
+    rows_.push_back(std::move(row));
+}
+
+void
+IntervalSampler::writeCsv(std::ostream &os) const
+{
+    os << "cycle";
+    for (const std::string &c : columns_)
+        os << "," << c;
+    os << "\n";
+    for (const Row &row : rows_) {
+        os << row.cycle;
+        for (double v : row.values) {
+            os << ",";
+            json::writeNumber(os, v);
+        }
+        os << "\n";
+    }
+}
+
+void
+IntervalSampler::writeJson(std::ostream &os) const
+{
+    os << "{\"columns\":[";
+    for (size_t i = 0; i < columns_.size(); ++i) {
+        os << (i ? "," : "");
+        json::writeString(os, columns_[i]);
+    }
+    os << "],\"rows\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        os << (i ? "," : "") << "{\"cycle\":" << rows_[i].cycle
+           << ",\"values\":[";
+        for (size_t j = 0; j < rows_[i].values.size(); ++j) {
+            os << (j ? "," : "");
+            json::writeNumber(os, rows_[i].values[j]);
+        }
+        os << "]}";
+    }
+    os << "]}";
+}
+
+} // namespace april::profile

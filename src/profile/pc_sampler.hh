@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Statistical PC sampling for one processor.
+ *
+ * Every `period` cycles the sampler records the PC the core is at (the
+ * instruction about to execute, or the one being waited on while
+ * stalled), building a histogram that symbolizes into hotspots. The
+ * sample grid is the global cycle count, so a skipped idle window
+ * contributes exactly the samples the per-cycle loop would have taken
+ * — all at the (necessarily unchanged) stalled PC — keeping profiles
+ * bit-identical with cycle-skipping on or off.
+ */
+
+#ifndef APRIL_PROFILE_PC_SAMPLER_HH
+#define APRIL_PROFILE_PC_SAMPLER_HH
+
+#include <cstdint>
+#include <map>
+
+namespace april::profile
+{
+
+/** Periodic PC histogram (deterministic, ordered by PC). */
+class PcSampler
+{
+  public:
+    explicit PcSampler(uint64_t period) : period_(period) {}
+
+    uint64_t period() const { return period_; }
+
+    /** Called once per executed/stalled cycle, post-increment. */
+    void
+    tick(uint64_t cycle, uint32_t pc)
+    {
+        if (period_ && cycle % period_ == 0)
+            ++hist_[pc];
+    }
+
+    /**
+     * Account a skipped stall window: cycles @p from_cycle + 1 ..
+     * @p from_cycle + @p cycles, all spent at @p pc. Credits one
+     * sample per period boundary inside the window.
+     */
+    void
+    skip(uint64_t from_cycle, uint64_t cycles, uint32_t pc)
+    {
+        if (!period_ || !cycles)
+            return;
+        uint64_t n =
+            (from_cycle + cycles) / period_ - from_cycle / period_;
+        if (n)
+            hist_[pc] += n;
+    }
+
+    uint64_t
+    totalSamples() const
+    {
+        uint64_t n = 0;
+        for (const auto &[pc, c] : hist_)
+            n += c;
+        return n;
+    }
+
+    const std::map<uint32_t, uint64_t> &histogram() const
+    {
+        return hist_;
+    }
+
+  private:
+    uint64_t period_;
+    std::map<uint32_t, uint64_t> hist_;
+};
+
+} // namespace april::profile
+
+#endif // APRIL_PROFILE_PC_SAMPLER_HH

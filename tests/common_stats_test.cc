@@ -165,5 +165,75 @@ TEST(Stats, NestedResetClearsEverything)
     EXPECT_DOUBLE_EQ(b.value(), 0.0);
 }
 
+TEST(Stats, HistogramLog2BucketIndex)
+{
+    Group g("top");
+    Histogram h(&g, "gap", "log2 histogram", 6);
+    // Bucket 0: v <= 0; bucket i >= 1: 2^(i-1) <= v < 2^i; the last
+    // bucket absorbs everything larger.
+    EXPECT_EQ(h.bucketIndex(-5), 0u);
+    EXPECT_EQ(h.bucketIndex(0), 0u);
+    EXPECT_EQ(h.bucketIndex(1), 1u);
+    EXPECT_EQ(h.bucketIndex(2), 2u);
+    EXPECT_EQ(h.bucketIndex(3), 2u);
+    EXPECT_EQ(h.bucketIndex(4), 3u);
+    EXPECT_EQ(h.bucketIndex(7), 3u);
+    EXPECT_EQ(h.bucketIndex(8), 4u);
+    EXPECT_EQ(h.bucketIndex(16), 5u);       // last bucket
+    EXPECT_EQ(h.bucketIndex(1 << 20), 5u);  // clamped into it
+}
+
+TEST(Stats, HistogramSampleStatistics)
+{
+    Group g("top");
+    Histogram h(&g, "lat", "latency histogram");
+    h.sample(1);
+    h.sample(4);
+    h.sample(100);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 35.0);
+    EXPECT_EQ(h.min(), 1);
+    EXPECT_EQ(h.max(), 100);
+    EXPECT_DOUBLE_EQ(h.summaryValue(), 35.0);
+    g.resetStats();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Stats, HistogramDumpJson)
+{
+    Group g("top");
+    Histogram h(&g, "lat", "latency", 4);
+    h.sample(1);
+    h.sample(3);
+    h.sample(1000);     // clamps into the last bucket
+    std::ostringstream os;
+    g.dumpJson(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"lat\":{\"type\":\"histogram\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"count\":3"), std::string::npos);
+    EXPECT_NE(out.find("\"buckets\":[0,1,1,1]"), std::string::npos)
+        << out;
+}
+
+TEST(Stats, SummaryValueCoversEveryKind)
+{
+    Group g("top");
+    Scalar s(&g, "s", "");
+    s += 4;
+    Average a(&g, "a", "");
+    a.sample(2);
+    a.sample(4);
+    Formula f(&g, "f", "", [&] { return s.value() * 10; });
+    EXPECT_DOUBLE_EQ(s.summaryValue(), 4.0);
+    EXPECT_DOUBLE_EQ(a.summaryValue(), 3.0);
+    EXPECT_DOUBLE_EQ(f.summaryValue(), 40.0);
+    // The group exposes its member list for generic consumers
+    // (IntervalSampler walks it to build time-series columns).
+    EXPECT_EQ(g.statsList().size(), 3u);
+    EXPECT_TRUE(g.childGroups().empty());
+}
+
 } // namespace
 } // namespace april::stats

@@ -63,11 +63,20 @@ TEST(MachineStats, UtilizationFormulaIsConsistent)
     m.run(1'000'000);
     ASSERT_TRUE(m.halted());
 
+    // Utilization is defined on the cycle accountant (§7.5): the
+    // fraction of cycles doing useful work, pipeline hazards included
+    // (the paper's U counts issue slots the thread itself occupies).
     Processor &proc = m.proc(0);
+    double useful = proc.bucketCycles(profile::Bucket::Useful);
+    double hazard = proc.bucketCycles(profile::Bucket::Hazard);
     EXPECT_NEAR(proc.statUtilization.value(),
-                proc.statInsts.value() / proc.statCycles.value(), 1e-12);
+                (useful + hazard) / proc.statCycles.value(), 1e-12);
     EXPECT_GT(proc.statUtilization.value(), 0.0);
     EXPECT_LE(proc.statUtilization.value(), 1.0);
+    // Useful cycles never exceed completed instructions and together
+    // the buckets account for every cycle.
+    EXPECT_LE(useful, proc.statInsts.value());
+    proc.verifyCycleAccounting();
 }
 
 TEST(MachineStats, ResetClearsTheWholeTree)

@@ -213,5 +213,31 @@ TEST_P(ModelSweep, PointIsConsistent)
 INSTANTIATE_TEST_SUITE_P(OneToTwelve, ModelSweep,
                          ::testing::Range(1, 13));
 
+TEST(Model, UtilizationMeasuredIsClosedFormEquationOne)
+{
+    // Below p* = (1 + Tm)/(1 + Cm) the processor runs out of threads
+    // to switch to: U = p/(1 + Tm). Above it the switch overhead per
+    // miss is the limit: U = 1/(1 + Cm).
+    double m = 0.04, t = 55, c = 11;
+    double pstar = (1 + t * m) / (1 + c * m);
+    EXPECT_NEAR(pstar, 2.2222, 1e-3);
+    EXPECT_DOUBLE_EQ(ScalabilityModel::utilizationMeasured(1, m, t, c),
+                     1 / (1 + t * m));
+    EXPECT_DOUBLE_EQ(ScalabilityModel::utilizationMeasured(2, m, t, c),
+                     2 / (1 + t * m));
+    EXPECT_DOUBLE_EQ(ScalabilityModel::utilizationMeasured(3, m, t, c),
+                     1 / (1 + c * m));
+    EXPECT_DOUBLE_EQ(ScalabilityModel::utilizationMeasured(8, m, t, c),
+                     1 / (1 + c * m));
+    // Utilization saturates at 1 when there is nothing to hide.
+    EXPECT_DOUBLE_EQ(ScalabilityModel::utilizationMeasured(4, 0, 0, 0),
+                     1.0);
+    // Monotone non-decreasing in p for fixed m, T, C.
+    for (int p = 1; p < 12; ++p) {
+        EXPECT_LE(ScalabilityModel::utilizationMeasured(p, m, t, c),
+                  ScalabilityModel::utilizationMeasured(p + 1, m, t, c));
+    }
+}
+
 } // namespace
 } // namespace april::model

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * april-prof — run a workload image under the cycle-accounting
+ * profiler and report where every cycle went.
+ *
+ * Modes:
+ *
+ *   april-prof [--workload=NAME[:ARGS]] [options]
+ *       Run a Table 3 workload (fib[:n], factor[:lo:hi], queens[:n],
+ *       speech[:layers:width]) on a 2x2 ALEWIFE machine (or a perfect
+ *       shared-memory machine with --perfect) with PC sampling and
+ *       interval stats on, then print a cycle-breakdown + top-hotspot
+ *       report. Export options write the same run as profile JSON,
+ *       folded stacks, Perfetto counter tracks, or a CSV time series.
+ *
+ *   april-prof --diff A.json B.json
+ *       Compare two profile JSON files: per-node bucket deltas,
+ *       utilization deltas and hotspot movement.
+ *
+ *   april-prof --check FILE [--schema=SCHEMA.json]
+ *       Validate a profile JSON file against the checked-in schema
+ *       (tools/april_prof_schema.json) and the accounting invariant
+ *       sum(buckets) == cycles for every node. Exit 1 on violation.
+ *
+ * Exit codes: 0 ok, 1 check/diff violation, 2 usage or run failure.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.hh"
+#include "common/logging.hh"
+#include "machine/alewife_machine.hh"
+#include "machine/perfect_machine.hh"
+#include "mult/compiler.hh"
+#include "profile/report.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using april::json::Json;
+using april::json::parseJson;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: april-prof [--workload=NAME[:ARGS]] [options]\n"
+        "       april-prof --diff A.json B.json\n"
+        "       april-prof --check FILE [--schema=SCHEMA.json]\n"
+        "\n"
+        "workloads: fib[:n] factor[:lo:hi] queens[:n] "
+        "speech[:layers:width]\n"
+        "options:\n"
+        "  --perfect          perfect shared memory instead of ALEWIFE\n"
+        "  --nodes=N          node count with --perfect (default 4)\n"
+        "  --frames=N         task frames per processor (default 4)\n"
+        "  --period=N         PC sample period (default 64)\n"
+        "  --interval=N       stats snapshot period (default 4096)\n"
+        "  --top=N            hotspots per node in the report "
+        "(default 8)\n"
+        "  --max-cycles=N     run budget (default 200000000)\n"
+        "  --json=FILE        write profile JSON\n"
+        "  --folded=FILE      write folded-stack hotspot lines\n"
+        "  --counters=FILE    write Perfetto counter tracks\n"
+        "  --series=FILE      write the stats time series as CSV\n");
+    return 2;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        april::fatal("april-prof: cannot open ", path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+// --- minimal JSON-schema-subset validator ----------------------------
+//
+// Supports the subset the checked-in schema uses: "type" (object,
+// array, string, number, integer, boolean), "required", "properties",
+// "items". Unknown keywords are ignored (permissive forward
+// compatibility); errors carry a JSON-pointer-ish path.
+
+void
+validateNode(const Json &value, const Json &schema,
+             const std::string &path, std::vector<std::string> &errors)
+{
+    if (schema.has("type")) {
+        const std::string &t = schema.at("type").str;
+        bool ok = true;
+        if (t == "object")
+            ok = value.kind == Json::Kind::Object;
+        else if (t == "array")
+            ok = value.kind == Json::Kind::Array;
+        else if (t == "string")
+            ok = value.kind == Json::Kind::String;
+        else if (t == "boolean")
+            ok = value.kind == Json::Kind::Bool;
+        else if (t == "number")
+            ok = value.kind == Json::Kind::Number;
+        else if (t == "integer")
+            ok = value.kind == Json::Kind::Number &&
+                 value.number == std::floor(value.number);
+        if (!ok) {
+            errors.push_back(path + ": expected " + t);
+            return;
+        }
+    }
+    if (schema.has("required")) {
+        for (const Json &key : schema.at("required").array) {
+            if (!value.has(key.str))
+                errors.push_back(path + ": missing required key '" +
+                                 key.str + "'");
+        }
+    }
+    if (schema.has("properties") && value.kind == Json::Kind::Object) {
+        for (const auto &[key, sub] :
+             schema.at("properties").object) {
+            if (value.has(key))
+                validateNode(value.at(key), sub, path + "/" + key,
+                             errors);
+        }
+    }
+    if (schema.has("items") && value.kind == Json::Kind::Array) {
+        const Json &item_schema = schema.at("items");
+        for (size_t i = 0; i < value.array.size(); ++i)
+            validateNode(value.array[i], item_schema,
+                         path + "/" + std::to_string(i), errors);
+    }
+}
+
+/** Accounting invariant: per-node bucket sums equal cycle counts. */
+void
+checkInvariants(const Json &profile, std::vector<std::string> &errors)
+{
+    if (!profile.has("nodes"))
+        return;
+    const auto &nodes = profile.at("nodes").array;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Json &node = nodes[i];
+        if (!node.has("buckets") || !node.has("cycles"))
+            continue;
+        double sum = 0;
+        for (const auto &[name, v] : node.at("buckets").object)
+            sum += v.number;
+        if (sum != node.at("cycles").number) {
+            errors.push_back("/nodes/" + std::to_string(i) +
+                             ": bucket sum " + std::to_string(sum) +
+                             " != cycles " +
+                             std::to_string(node.at("cycles").number));
+        }
+        if (!node.has("frames"))
+            continue;
+        double frame_sum = 0;
+        for (const Json &row : node.at("frames").array)
+            for (const Json &v : row.array)
+                frame_sum += v.number;
+        if (frame_sum != node.at("cycles").number) {
+            errors.push_back("/nodes/" + std::to_string(i) +
+                             ": frame matrix sum " +
+                             std::to_string(frame_sum) + " != cycles");
+        }
+    }
+}
+
+int
+runCheck(const std::string &file, const std::string &schema_path)
+{
+    Json profile = parseJson(readFile(file));
+    Json schema = parseJson(readFile(schema_path));
+    std::vector<std::string> errors;
+    validateNode(profile, schema, "", errors);
+    checkInvariants(profile, errors);
+    if (errors.empty()) {
+        std::printf("%s: ok (schema + invariants)\n", file.c_str());
+        return 0;
+    }
+    for (const std::string &e : errors)
+        std::fprintf(stderr, "%s: %s\n", file.c_str(), e.c_str());
+    return 1;
+}
+
+// --- diff mode -------------------------------------------------------
+
+int
+runDiff(const std::string &file_a, const std::string &file_b)
+{
+    Json a = parseJson(readFile(file_a));
+    Json b = parseJson(readFile(file_b));
+    std::printf("diff %s -> %s\n", file_a.c_str(), file_b.c_str());
+    std::printf("total cycles: %.0f -> %.0f (%+.1f%%)\n",
+                a.at("totalCycles").number, b.at("totalCycles").number,
+                a.at("totalCycles").number
+                    ? 100.0 * (b.at("totalCycles").number -
+                               a.at("totalCycles").number)
+                          / a.at("totalCycles").number
+                    : 0.0);
+    const auto &nodes_a = a.at("nodes").array;
+    const auto &nodes_b = b.at("nodes").array;
+    size_t n = std::min(nodes_a.size(), nodes_b.size());
+    if (nodes_a.size() != nodes_b.size()) {
+        std::printf("node count differs: %zu vs %zu (comparing first "
+                    "%zu)\n",
+                    nodes_a.size(), nodes_b.size(), n);
+    }
+    for (size_t i = 0; i < n; ++i) {
+        const Json &na = nodes_a[i];
+        const Json &nb = nodes_b[i];
+        std::printf("node %.0f: utilization %.3f -> %.3f\n",
+                    na.at("node").number, na.at("utilization").number,
+                    nb.at("utilization").number);
+        for (const auto &[bucket, va] : na.at("buckets").object) {
+            double vb = nb.at("buckets").has(bucket)
+                ? nb.at("buckets").at(bucket).number
+                : 0.0;
+            if (va.number == vb)
+                continue;
+            std::printf("  %-10s %12.0f -> %12.0f (%+.0f)\n",
+                        bucket.c_str(), va.number, vb, vb - va.number);
+        }
+    }
+    return 0;
+}
+
+// --- run mode --------------------------------------------------------
+
+struct Workload
+{
+    std::string name;
+    std::string source;
+    int64_t expected = 0;
+};
+
+Workload
+parseWorkload(const std::string &spec)
+{
+    namespace wl = april::workloads;
+    std::vector<std::string> parts;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t colon = spec.find(':', pos);
+        if (colon == std::string::npos) {
+            parts.push_back(spec.substr(pos));
+            break;
+        }
+        parts.push_back(spec.substr(pos, colon - pos));
+        pos = colon + 1;
+    }
+    auto arg = [&](size_t i, int fallback) {
+        return parts.size() > i ? std::atoi(parts[i].c_str())
+                                : fallback;
+    };
+    Workload w;
+    w.name = parts.empty() ? "fib" : parts[0];
+    if (w.name == "fib") {
+        int fib_n = arg(1, 12);
+        w.source = wl::fibSource(fib_n);
+        w.expected = wl::fibExpected(fib_n);
+    } else if (w.name == "factor") {
+        int lo = arg(1, 1000);
+        int hi = arg(2, 1040);
+        w.source = wl::factorSource(lo, hi);
+        w.expected = wl::factorExpected(lo, hi);
+    } else if (w.name == "queens") {
+        int queens_n = arg(1, 6);
+        w.source = wl::queensSource(queens_n);
+        w.expected = wl::queensExpected(queens_n);
+    } else if (w.name == "speech") {
+        int layers = arg(1, 8);
+        int width = arg(2, 12);
+        w.source = wl::speechSource(layers, width);
+        w.expected = wl::speechExpected(layers, width);
+    } else {
+        april::fatal("april-prof: unknown workload '", w.name,
+                     "' (try fib, factor, queens, speech)");
+    }
+    return w;
+}
+
+struct RunOptions
+{
+    std::string workload = "fib:12";
+    bool perfect = false;
+    uint32_t nodes = 4;
+    uint32_t frames = 4;
+    uint64_t period = 64;
+    uint64_t interval = 4096;
+    size_t top = 8;
+    uint64_t maxCycles = 200'000'000;
+    std::string jsonFile;
+    std::string foldedFile;
+    std::string countersFile;
+    std::string seriesFile;
+};
+
+int
+runProfile(const RunOptions &opt)
+{
+    using namespace april;
+
+    Workload w = parseWorkload(opt.workload);
+
+    Assembler as;
+    rt::Runtime runtime;
+    runtime.emit(as);
+    mult::CompileOptions copts;
+    copts.futures = mult::CompileOptions::FutureMode::Lazy;
+    mult::Compiler compiler(as, copts);
+    compiler.compileSource(w.source);
+    Program prog = as.finish();
+
+    std::unique_ptr<AlewifeMachine> alewife;
+    std::unique_ptr<PerfectMachine> perfect;
+    if (opt.perfect) {
+        PerfectMachineParams mp;
+        mp.numNodes = opt.nodes;
+        mp.proc.numFrames = opt.frames;
+        mp.profile = true;
+        mp.profilePeriod = opt.period;
+        mp.statsInterval = opt.interval;
+        perfect = std::make_unique<PerfectMachine>(mp, &prog);
+    } else {
+        AlewifeParams mp;
+        mp.network = {.dim = 2, .radix = 2};
+        mp.controller.cache = {.lineWords = 4, .numLines = 4096,
+                               .assoc = 4};     // Table 4: 64 KB
+        mp.proc.numFrames = opt.frames;
+        mp.profile = true;
+        mp.profilePeriod = opt.period;
+        mp.statsInterval = opt.interval;
+        alewife = std::make_unique<AlewifeMachine>(mp, &prog);
+    }
+
+    uint64_t cycles;
+    bool halted;
+    std::vector<Word> console;
+    // No quiesce: the report should cover the run up to MachineHalt,
+    // not however long the leftover workers keep spinning afterwards.
+    if (perfect) {
+        perfect->run(opt.maxCycles);
+        perfect->verifyCycleAccounting();
+        cycles = perfect->cycle();
+        halted = perfect->halted();
+        console = perfect->console();
+    } else {
+        alewife->run(opt.maxCycles);
+        alewife->verifyCycleAccounting();
+        cycles = alewife->cycle();
+        halted = alewife->halted();
+        console = alewife->console();
+    }
+    if (!halted) {
+        std::fprintf(stderr,
+                     "april-prof: %s did not halt in %llu cycles\n",
+                     w.name.c_str(),
+                     (unsigned long long)opt.maxCycles);
+        return 2;
+    }
+    if (console.empty()) {
+        std::fprintf(stderr, "april-prof: no boot output\n");
+        return 2;
+    }
+    std::printf("%s on %s: result %s (expected %lld), %llu cycles\n\n",
+                opt.workload.c_str(),
+                perfect ? "perfect shared memory" : "2x2 ALEWIFE",
+                tagged::toString(console.back()).c_str(),
+                (long long)w.expected, (unsigned long long)cycles);
+
+    profile::ProfileSource src = perfect ? perfect->profileSource()
+                                         : alewife->profileSource();
+    profile::writeProfileText(std::cout, src, opt.top);
+
+    auto writeTo = [](const std::string &path, auto &&writer) {
+        if (path.empty())
+            return;
+        std::ofstream os(path);
+        if (!os)
+            fatal("april-prof: cannot write ", path);
+        writer(os);
+        os << "\n";
+        std::printf("wrote %s\n", path.c_str());
+    };
+    writeTo(opt.jsonFile, [&](std::ostream &os) {
+        profile::writeProfileJson(os, src);
+    });
+    writeTo(opt.foldedFile, [&](std::ostream &os) {
+        profile::writeFolded(os, src);
+    });
+    writeTo(opt.countersFile, [&](std::ostream &os) {
+        profile::writeCounterTrace(os, src);
+    });
+    writeTo(opt.seriesFile, [&](std::ostream &os) {
+        if (src.intervals)
+            src.intervals->writeCsv(os);
+    });
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> positional;
+    std::string mode;
+    std::string schema_path = "../tools/april_prof_schema.json";
+    RunOptions opt;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *prefix) {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg == "--diff" || arg == "--check")
+            mode = arg;
+        else if (arg.rfind("--workload=", 0) == 0)
+            opt.workload = value("--workload=");
+        else if (arg == "--perfect")
+            opt.perfect = true;
+        else if (arg.rfind("--nodes=", 0) == 0)
+            opt.nodes = uint32_t(std::atoi(value("--nodes=").c_str()));
+        else if (arg.rfind("--frames=", 0) == 0)
+            opt.frames =
+                uint32_t(std::atoi(value("--frames=").c_str()));
+        else if (arg.rfind("--period=", 0) == 0)
+            opt.period = std::strtoull(value("--period=").c_str(),
+                                       nullptr, 10);
+        else if (arg.rfind("--interval=", 0) == 0)
+            opt.interval = std::strtoull(value("--interval=").c_str(),
+                                         nullptr, 10);
+        else if (arg.rfind("--top=", 0) == 0)
+            opt.top = size_t(std::atoi(value("--top=").c_str()));
+        else if (arg.rfind("--max-cycles=", 0) == 0)
+            opt.maxCycles = std::strtoull(
+                value("--max-cycles=").c_str(), nullptr, 10);
+        else if (arg.rfind("--json=", 0) == 0)
+            opt.jsonFile = value("--json=");
+        else if (arg.rfind("--folded=", 0) == 0)
+            opt.foldedFile = value("--folded=");
+        else if (arg.rfind("--counters=", 0) == 0)
+            opt.countersFile = value("--counters=");
+        else if (arg.rfind("--series=", 0) == 0)
+            opt.seriesFile = value("--series=");
+        else if (arg.rfind("--schema=", 0) == 0)
+            schema_path = value("--schema=");
+        else if (arg.rfind("--", 0) == 0)
+            return usage();
+        else
+            positional.push_back(arg);
+    }
+
+    try {
+        if (mode == "--diff") {
+            if (positional.size() != 2)
+                return usage();
+            return runDiff(positional[0], positional[1]);
+        }
+        if (mode == "--check") {
+            if (positional.size() != 1)
+                return usage();
+            return runCheck(positional[0], schema_path);
+        }
+        if (!positional.empty())
+            return usage();
+        return runProfile(opt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "april-prof: %s\n", e.what());
+        return 2;
+    }
+}

@@ -41,27 +41,16 @@ loadedLatency(double inject_per_node, uint64_t seed)
 {
     Network n({.dim = 2, .radix = 8});
     Rng rng(seed);
-    std::vector<Packet> drained;
-    for (int cycle = 0; cycle < 4000; ++cycle) {
+    for (uint64_t cycle = 0; cycle < 4000; ++cycle) {
         for (uint32_t node = 0; node < n.numNodes(); ++node) {
             if (rng.chance(inject_per_node)) {
-                Packet p;
-                p.src = node;
-                p.dst = uint32_t(rng.below(n.numNodes()));
-                p.flits = 4;
-                n.send(p);
+                uint32_t dst = uint32_t(rng.below(n.numNodes()));
+                Injection inj = n.inject(node, dst, 4, cycle);
+                n.recordDelivery(dst, inj.arrive - cycle, inj.hops, 4);
             }
         }
-        n.tick();
-        for (uint32_t node = 0; node < n.numNodes(); ++node)
-            n.deliver(node, drained);
     }
-    // Drain.
-    for (int cycle = 0; cycle < 4000 && !n.idle(); ++cycle) {
-        n.tick();
-        for (uint32_t node = 0; node < n.numNodes(); ++node)
-            n.deliver(node, drained);
-    }
+    n.foldStats();
     return n.statLatency.mean();
 }
 

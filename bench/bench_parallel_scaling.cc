@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Host-side scaling of the parallel execution engine (DESIGN.md
+ * §7.6): simulated-cycles/sec at 1..8 host worker threads on two
+ * 16-node ALEWIFE workloads, with a correctness digest proving every
+ * thread count simulated exactly the same machine.
+ *
+ *  - alewife_coherent16: the shared f/e-locked counter loop of
+ *    bench_sim_speed — coherence traffic keeps every controller and
+ *    the network busy, so the quantum barrier is the only serial
+ *    part. The scaling gate lives here.
+ *  - alewife_stall16: the DIV-heavy lockstep loop — with
+ *    cycle-skipping on, most of the run fast-forwards at the barrier,
+ *    so this bounds how much the engine can lose when there is
+ *    little concurrent work per quantum.
+ *
+ * Every configuration must produce identical cycle counts,
+ * instruction counts and stats dumps (the engine's bit-identical
+ * contract); the run fails on any digest mismatch. The throughput
+ * gate — >= 3x cycles/sec at 4 threads on alewife_coherent16 with
+ * skipping off — only arms when the host actually has 4 or more
+ * cores; on smaller hosts the numbers are still reported and the
+ * digest check still gates.
+ *
+ * Writes BENCH_parallel_scaling.json.
+ *
+ * Usage: bench_parallel_scaling [--quick]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "machine/alewife_machine.hh"
+
+namespace
+{
+
+using namespace april;
+using namespace tagged;
+
+constexpr Addr kLock = 400;
+constexpr Addr kCount = 404;
+
+/** The bench_sim_speed coherent loop: every node hammers one
+ *  f/e-locked counter with a DIV per iteration. */
+Program
+buildCoherentLoop(uint32_t nodes, uint32_t iters)
+{
+    Assembler as;
+    as.bind("worker");
+    as.movi(1, ptr(kLock, Tag::Other));
+    as.movi(2, ptr(kCount, Tag::Other));
+    as.movi(3, 0);
+    as.movi(7, fixnum(84));
+    as.movi(8, fixnum(4));
+    as.bind("loop");
+    as.div(9, 7, 8);
+    as.bind("acq");
+    as.ldenw(4, 1, 0);
+    as.jRaw(Cond::EMPTY, "acq");
+    as.nop();
+    as.ldnw(5, 2, 0);
+    as.addi(5, 5, int32_t(fixnum(1)));
+    as.stnw(5, 2, 0);
+    as.stfnw(reg::r0, 1, 0);
+    as.addiR(3, 3, 1);
+    as.cmpiR(3, int32_t(iters));
+    as.jRaw(Cond::LT, "loop");
+    as.nop();
+    as.ldio(6, int(IoReg::NodeId));
+    as.cmpiR(6, 0);
+    as.jRaw(Cond::NE, "done");
+    as.nop();
+    as.bind("wait");
+    as.ldnw(5, 2, 0);
+    as.cmpiR(5, int32_t(fixnum(int32_t(nodes * iters))));
+    as.jRaw(Cond::NE, "wait");
+    as.nop();
+    as.stio(int(IoReg::MachineHalt), reg::r0);
+    as.bind("done");
+    as.halt();
+
+    as.bind("cswitch");
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.nop();
+    as.wrpsr(reg::t(0));
+    as.nop();
+    as.rettRetry();
+    as.bind("fyield");
+    as.moviLabel(reg::t(1), "fyield");
+    as.wrspec(Spec::TrapPC, reg::t(1));
+    as.addiR(reg::t(1), reg::t(1), 1);
+    as.wrspec(Spec::TrapNPC, reg::t(1));
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.wrpsr(reg::t(0));
+    as.rettRetry();
+    return as.finish();
+}
+
+/** Lockstep DIV loop on every node; node 0 stops the machine. */
+Program
+buildStallLoop(uint32_t iters)
+{
+    Assembler as;
+    as.bind("worker");
+    as.movi(1, Word(iters));
+    as.movi(2, fixnum(84));
+    as.movi(3, fixnum(4));
+    as.bind("loop");
+    as.div(4, 2, 3);
+    as.subiR(1, 1, 1);
+    as.jRaw(Cond::NE, "loop");
+    as.nop();
+    as.ldio(5, int(IoReg::NodeId));
+    as.cmpiR(5, 0);
+    as.jRaw(Cond::NE, "done");
+    as.nop();
+    as.stio(int(IoReg::MachineHalt), reg::r0);
+    as.bind("done");
+    as.halt();
+    return as.finish();
+}
+
+struct Point
+{
+    uint32_t threads = 0;
+    uint64_t simCycles = 0;
+    uint64_t insts = 0;
+    double seconds = 0;
+
+    double cyclesPerSec() const { return double(simCycles) / seconds; }
+};
+
+struct Workload
+{
+    std::string name;
+    Program prog;
+    bool coherent = false;      ///< needs caches + trap vectors
+};
+
+std::unique_ptr<AlewifeMachine>
+makeMachine(const Workload &w, uint32_t threads, bool skip)
+{
+    AlewifeParams p;
+    p.network = {.dim = 2, .radix = 4};             // 16 nodes
+    p.wordsPerNode = 1u << 16;
+    p.bootRuntime = false;
+    p.cycleSkip = skip;
+    p.hostThreads = threads;
+    if (w.coherent)
+        p.controller.cache = {.lineWords = 4, .numLines = 64,
+                              .assoc = 2};
+    auto m = std::make_unique<AlewifeMachine>(p, &w.prog);
+    for (uint32_t n = 0; n < m->numNodes(); ++n) {
+        Processor &proc = m->proc(n);
+        proc.reset(w.prog.entry("worker"));
+        if (!w.coherent)
+            continue;
+        proc.setTrapVector(TrapKind::RemoteMiss,
+                           w.prog.entry("cswitch"));
+        proc.setTrapVector(TrapKind::FeEmpty, w.prog.entry("cswitch"));
+        for (uint32_t f = 1; f < proc.numFrames(); ++f) {
+            proc.frame(f).trapPC = w.prog.entry("fyield");
+            proc.frame(f).trapNPC = w.prog.entry("fyield") + 1;
+            proc.frame(f).trapRegs[0] = psr::ET;
+        }
+    }
+    if (w.coherent)
+        m->memory().write(kCount, fixnum(0));
+    return m;
+}
+
+/** One timed run; @p digest receives cycles/insts/stats identity. */
+Point
+timeRun(const Workload &w, uint32_t threads, bool skip,
+        std::string *digest)
+{
+    auto m = makeMachine(w, threads, skip);
+    auto t0 = std::chrono::steady_clock::now();
+    m->run(2'000'000'000);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!m->halted())
+        fatal("bench_parallel_scaling: ", w.name, " did not finish");
+    Point pt;
+    pt.threads = m->hostThreads();
+    pt.simCycles = m->cycle();
+    for (uint32_t n = 0; n < m->numNodes(); ++n)
+        pt.insts += uint64_t(m->proc(n).statInsts.value());
+    pt.seconds = std::chrono::duration<double>(t1 - t0).count();
+    std::ostringstream os;
+    m->dump(os);
+    *digest = os.str();
+    return pt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    QuietScope quiet_scope;
+
+    uint32_t cores = std::thread::hardware_concurrency();
+    std::vector<Workload> workloads;
+    workloads.push_back({"alewife_coherent16",
+                         buildCoherentLoop(16, quick ? 40 : 400),
+                         true});
+    workloads.push_back({"alewife_stall16",
+                         buildStallLoop(quick ? 3'000 : 50'000),
+                         false});
+
+    bool ok = true;
+    std::string json = "{\"bench\":\"parallel_scaling\",\"quick\":";
+    json += quick ? "true" : "false";
+    json += ",\"host_cores\":" + std::to_string(cores);
+    json += ",\"workloads\":[";
+
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Workload &w = workloads[wi];
+        std::printf("%s\n%8s %6s %14s %14s %9s\n", w.name.c_str(),
+                    "threads", "skip", "sim cycles", "cyc/s",
+                    "scaling");
+        json += std::string(wi ? "," : "") + "{\"name\":\"" + w.name +
+                "\",\"points\":[";
+        bool first_point = true;
+        double gate_scaling = 0;
+        for (bool skip : {false, true}) {
+            std::string ref_digest;
+            Point base;
+            for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+                std::string digest;
+                Point pt = timeRun(w, threads, skip, &digest);
+                if (threads == 1) {
+                    base = pt;
+                    ref_digest = digest;
+                }
+                bool same = pt.simCycles == base.simCycles &&
+                            pt.insts == base.insts &&
+                            digest == ref_digest;
+                if (!same) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s threads=%u skip=%d diverged "
+                                 "from the sequential run\n",
+                                 w.name.c_str(), threads, int(skip));
+                    ok = false;
+                }
+                double scaling = base.seconds / pt.seconds;
+                if (w.coherent && !skip && threads == 4)
+                    gate_scaling = scaling;
+                std::printf("%8u %6s %14llu %14.0f %8.2fx\n",
+                            pt.threads, skip ? "on" : "off",
+                            (unsigned long long)pt.simCycles,
+                            pt.cyclesPerSec(), scaling);
+                char buf[256];
+                std::snprintf(
+                    buf, sizeof buf,
+                    "%s{\"threads\":%u,\"skip\":%s,"
+                    "\"sim_cycles\":%llu,\"insts\":%llu,"
+                    "\"seconds\":%.6f,\"cycles_per_sec\":%.0f,"
+                    "\"scaling\":%.3f,\"identical\":%s}",
+                    first_point ? "" : ",", pt.threads,
+                    skip ? "true" : "false",
+                    (unsigned long long)pt.simCycles,
+                    (unsigned long long)pt.insts, pt.seconds,
+                    pt.cyclesPerSec(), scaling,
+                    same ? "true" : "false");
+                json += buf;
+                first_point = false;
+            }
+        }
+        json += "]}";
+        std::printf("\n");
+
+        // The throughput gate: 4 threads must be >= 3x sequential on
+        // the coherence-bound workload — when the host can run 4
+        // workers at all.
+        if (w.coherent) {
+            if (cores >= 4 && gate_scaling < 3.0) {
+                std::fprintf(stderr,
+                             "FAIL: %s at 4 threads scales %.2fx < 3x "
+                             "on a %u-core host\n",
+                             w.name.c_str(), gate_scaling, cores);
+                ok = false;
+            } else if (cores < 4) {
+                std::printf("(scaling gate skipped: host has only %u "
+                            "core%s)\n\n",
+                            cores, cores == 1 ? "" : "s");
+            }
+        }
+    }
+    json += "]}";
+
+    std::printf("%s\n", json.c_str());
+    std::ofstream f("BENCH_parallel_scaling.json");
+    f << json << "\n";
+    return ok ? 0 : 1;
+}

@@ -32,6 +32,7 @@
 #include "common/logging.hh"
 #include "machine/alewife_machine.hh"
 #include "machine/driver.hh"
+#include "profile/report.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -105,6 +106,7 @@ struct Measurement
     uint64_t simCycles = 0;
     uint64_t insts = 0;
     std::string stats;
+    std::string profile;        ///< writeProfileJson when sampling
     double seconds = 0;
 };
 
@@ -119,7 +121,8 @@ struct WorkloadResult
 };
 
 Measurement
-runAlewifeOnce(const Program &prog, uint32_t nodes, bool profile)
+runAlewifeOnce(const Program &prog, uint32_t nodes, bool profile,
+               uint32_t host_threads = 1)
 {
     AlewifeParams p;
     p.network = {.dim = 2, .radix = 2};                 // 4 nodes
@@ -129,6 +132,7 @@ runAlewifeOnce(const Program &prog, uint32_t nodes, bool profile)
     p.profile = profile;
     p.profilePeriod = 64;
     p.statsInterval = profile ? 4096 : 0;
+    p.hostThreads = host_threads;
     AlewifeMachine m(p, &prog);
     for (uint32_t n = 0; n < nodes; ++n) {
         Processor &proc = m.proc(n);
@@ -156,6 +160,11 @@ runAlewifeOnce(const Program &prog, uint32_t nodes, bool profile)
     std::ostringstream os;
     m.dump(os);
     out.stats = os.str();
+    if (profile) {
+        std::ostringstream prof;
+        profile::writeProfileJson(prof, m.profileSource());
+        out.profile = prof.str();
+    }
     out.seconds = std::chrono::duration<double>(t1 - t0).count();
     return out;
 }
@@ -273,6 +282,32 @@ main(int argc, char **argv)
                     r.name.c_str(), r.off.seconds, r.on.seconds,
                     100.0 * r.overhead(),
                     r.identical ? "yes" : "NO");
+    }
+
+    // Observability composes with the parallel engine: the profiled
+    // run sharded over 4 host threads must produce byte-identical
+    // profile JSON and stats to the profiled sequential run.
+    {
+        Measurement seq = runAlewifeOnce(prog, 4, true, 1);
+        Measurement par = runAlewifeOnce(prog, 4, true, 4);
+        bool same = par.simCycles == seq.simCycles &&
+                    par.stats == seq.stats &&
+                    par.profile == seq.profile;
+        std::printf("%-20s %12s %12s %9s %10s\n",
+                    "profiled threads=4", "-", "-", "-",
+                    same ? "yes" : "NO");
+        if (!same) {
+            std::fprintf(stderr,
+                         "FAIL: profiled run at 4 host threads "
+                         "diverged from sequential (cycles %llu vs "
+                         "%llu, stats %s, profile %s)\n",
+                         (unsigned long long)seq.simCycles,
+                         (unsigned long long)par.simCycles,
+                         par.stats == seq.stats ? "equal" : "DIFFER",
+                         par.profile == seq.profile ? "equal"
+                                                    : "DIFFER");
+            ok = false;
+        }
     }
 
     std::string json = toJson(results, quick);

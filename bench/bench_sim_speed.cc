@@ -25,7 +25,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <algorithm>
 #include <cstring>
+#include <functional>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -307,10 +309,25 @@ main(int argc, char **argv)
     bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
     QuietScope quiet_scope;
 
+    // Min-of-reps wall clock per mode: quick runs are fractions of a
+    // second, where scheduler noise alone swings ratios by +-10%.
+    int reps = 3;
+    auto bestOf = [&](const std::function<WorkloadResult()> &make) {
+        WorkloadResult r = make();
+        for (int i = 1; i < reps; ++i) {
+            WorkloadResult again = make();
+            r.on.seconds = std::min(r.on.seconds, again.on.seconds);
+            r.off.seconds = std::min(r.off.seconds, again.off.seconds);
+        }
+        return r;
+    };
+    std::vector<std::function<WorkloadResult()>> makers;
+    makers.push_back([&] { return runStall16(quick ? 2'000 : 50'000); });
+    makers.push_back([&] { return runCoherent16(quick ? 30 : 200); });
+    makers.push_back([&] { return runPerfect16(quick ? 10 : 13); });
     std::vector<WorkloadResult> results;
-    results.push_back(runStall16(quick ? 2'000 : 50'000));
-    results.push_back(runCoherent16(quick ? 30 : 200));
-    results.push_back(runPerfect16(quick ? 10 : 13));
+    for (auto &make : makers)
+        results.push_back(bestOf(make));
 
     bool ok = true;
     std::printf("%-20s %14s %14s %14s %9s\n", "workload",
@@ -348,6 +365,31 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: stall-heavy speedup %.2fx < 2x\n", gate);
         ok = false;
+    }
+
+    // And skipping must never cost measurable time, even on
+    // coherence-bound workloads where few windows are skippable: the
+    // per-iteration skip probe has to stay cheap. 2% tolerance in
+    // full mode, with one re-measure to ride out host scheduling
+    // noise; quick runs are fractions of a second, where min-of-reps
+    // wall clocks still jitter by ~15% on a busy host, so the smoke
+    // budget is only tight enough to catch a broken probe path.
+    double budget = quick ? 0.85 : 0.98;
+    for (size_t i = 0; i < results.size(); ++i) {
+        double ratio = results[i].off.seconds / results[i].on.seconds;
+        if (ratio < budget) {
+            WorkloadResult again = bestOf(makers[i]);
+            ratio = std::max(ratio,
+                             again.off.seconds / again.on.seconds);
+        }
+        if (ratio < budget) {
+            std::fprintf(stderr,
+                         "FAIL: %s with skipping on is %.1f%% slower "
+                         "than plain ticking (>%.0f%% budget)\n",
+                         results[i].name.c_str(), (1 / ratio - 1) * 100,
+                         (1 / budget - 1) * 100);
+            ok = false;
+        }
     }
     return ok ? 0 : 1;
 }

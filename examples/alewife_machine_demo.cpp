@@ -16,6 +16,9 @@
  *   --profile-period=N   PC sample period in cycles (default 64)
  *   --stats-interval=N   snapshot all statistics every N cycles and
  *                        append the CSV time series after the run
+ *   --threads=N          shard the machine over N host worker threads
+ *                        (DESIGN.md §7.6); the run is bit-identical
+ *                        to --threads=1, traces and profiles included
  */
 
 #include <cstdio>
@@ -40,6 +43,7 @@ main(int argc, char **argv)
     std::string profile_file;
     uint64_t profile_period = 64;
     uint64_t stats_interval = 0;
+    uint32_t threads = 1;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strncmp(arg, "--trace=", 8) == 0)
@@ -54,6 +58,8 @@ main(int argc, char **argv)
             profile_period = std::strtoull(arg + 17, nullptr, 10);
         else if (std::strncmp(arg, "--stats-interval=", 17) == 0)
             stats_interval = std::strtoull(arg + 17, nullptr, 10);
+        else if (std::strncmp(arg, "--threads=", 10) == 0)
+            threads = uint32_t(std::atoi(arg + 10));
         else
             n = std::atoi(arg);
     }
@@ -75,6 +81,7 @@ main(int argc, char **argv)
     params.profile = !profile_file.empty();
     params.profilePeriod = profile_period;
     params.statsInterval = stats_interval;
+    params.hostThreads = threads;
     AlewifeMachine machine(params, &prog);
 
     machine.run(100'000'000);
@@ -84,10 +91,13 @@ main(int argc, char **argv)
     }
 
     std::printf("fib(%d) on a 2x2 ALEWIFE = %s (expected %lld) in "
-                "%llu cycles\n\n",
+                "%llu cycles",
                 n, tagged::toString(machine.console().back()).c_str(),
                 (long long)workloads::fibExpected(n),
                 (unsigned long long)machine.cycle());
+    if (machine.hostThreads() > 1)
+        std::printf(" (%u host threads)", machine.hostThreads());
+    std::printf("\n\n");
 
     std::printf("machine statistics:\n");
     machine.dump(std::cout);

@@ -51,18 +51,25 @@ Controller::writeMemoryLine(Addr line_addr,
 }
 
 void
+Controller::pushDelayed(uint64_t due, uint32_t to, const Message &msg)
+{
+    delayed.push_back({due, delayedSeq++, to, msg});
+    std::push_heap(delayed.begin(), delayed.end());
+}
+
+void
 Controller::send(uint32_t to, Message msg)
 {
     msg.from = nodeId;
-    delayed.push_back({fabric->now() + params.occupancy, to, msg});
+    pushDelayed(fabric->now() + params.occupancy, to, msg);
 }
 
 void
 Controller::sendAfterMemory(uint32_t to, Message msg)
 {
     msg.from = nodeId;
-    delayed.push_back(
-        {fabric->now() + params.occupancy + params.memLatency, to, msg});
+    pushDelayed(fabric->now() + params.occupancy + params.memLatency,
+                to, msg);
 }
 
 void
@@ -80,15 +87,13 @@ Controller::dispatch(uint32_t to, const Message &msg)
 void
 Controller::tick()
 {
-    // Dispatch due delayed work (occupancy / memory latency).
-    for (size_t i = 0; i < delayed.size();) {
-        if (delayed[i].due <= fabric->now()) {
-            Delayed d = delayed[i];
-            delayed.erase(delayed.begin() + long(i));
-            dispatch(d.to, d.msg);
-        } else {
-            ++i;
-        }
+    // Dispatch due delayed work (occupancy / memory latency) in
+    // (due, insertion) order off the heap.
+    while (!delayed.empty() && delayed.front().due <= fabric->now()) {
+        std::pop_heap(delayed.begin(), delayed.end());
+        Delayed d = std::move(delayed.back());
+        delayed.pop_back();
+        dispatch(d.to, d.msg);
     }
     // Handle a bounded number of messages per cycle (occupancy).
     int budget = 2;
@@ -114,10 +119,10 @@ Controller::nextEventCycle() const
         return now + 1;
     // Delayed work dispatches at its due time; entries already due
     // (scheduled this cycle, after our tick ran) go out next tick.
-    uint64_t next = kNeverCycle;
-    for (const Delayed &d : delayed)
-        next = std::min(next, std::max(d.due, now + 1));
-    return next;
+    // The heap root is the minimum due: O(1).
+    if (delayed.empty())
+        return kNeverCycle;
+    return std::max(delayed.front().due, now + 1);
 }
 
 bool

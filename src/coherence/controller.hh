@@ -177,12 +177,33 @@ class Controller : public MemPort, public stats::Group
     struct Delayed
     {
         uint64_t due;
+        uint64_t seq;       ///< insertion order, the dispatch tiebreak
         uint32_t to;
         Message msg;
+
+        /// std::push_heap builds a max-heap; invert for earliest-first.
+        bool
+        operator<(const Delayed &o) const
+        {
+            return due != o.due ? due > o.due : seq > o.seq;
+        }
     };
 
-    std::deque<Delayed> delayed;    ///< occupancy/memory-latency queue
+    /**
+     * Occupancy/memory-latency queue as a binary min-heap on
+     * (due, seq), making tick() and nextEventCycle() O(1) when
+     * nothing is due — the old linear scan was the cycle-skip
+     * overhead on coherence-heavy workloads. Dispatch order is
+     * unchanged: the machine ticks every cycle while this queue is
+     * non-empty (nextEventCycle() reports the minimum due), so all
+     * entries popped in one tick share the same due cycle and the seq
+     * tiebreak reproduces the old insertion-order scan exactly.
+     */
+    std::vector<Delayed> delayed;
+    uint64_t delayedSeq = 0;
     std::deque<Message> inbox;
+
+    void pushDelayed(uint64_t due, uint32_t to, const Message &msg);
 };
 
 } // namespace april::coh

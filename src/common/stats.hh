@@ -97,6 +97,14 @@ class Average : public Info
         ++_count;
     }
 
+    /** Overwrite with externally accumulated totals (stat folding). */
+    void
+    set(double sum, uint64_t count)
+    {
+        _sum = sum;
+        _count = count;
+    }
+
     double mean() const { return _count ? _sum / double(_count) : 0.0; }
     uint64_t count() const { return _count; }
     double sum() const { return _sum; }

@@ -127,11 +127,6 @@ Recorder::writeChromeTrace(std::ostream &os) const
                        "\"dst\":" + std::to_string(e.arg) +
                            ",\"flits\":" + std::to_string(e.arg2));
             break;
-          case EventKind::NetHop:
-            writeEvent(os, first, "hop", "i", "net", e.cycle, e.node,
-                       "\"dst\":" + std::to_string(e.arg) +
-                           ",\"hops\":" + std::to_string(e.arg2));
-            break;
           case EventKind::NetDeliver:
             writeEvent(os, first, "deliver", "i", "net", e.cycle,
                        e.node,

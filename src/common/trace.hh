@@ -5,8 +5,8 @@
  *
  * The recorder is a flat append-only log of small fixed-size events:
  * context switches (from/to hardware frame), traps (by TrapKind),
- * directory protocol transitions, network packet send/hop/deliver,
- * and failed full/empty synchronization attempts. Components hold a
+ * directory protocol transitions, network packet send/deliver, and
+ * failed full/empty synchronization attempts. Components hold a
  * nullable Recorder pointer wired up by the enclosing machine; the
  * disabled path is therefore a single pointer test.
  *
@@ -41,7 +41,6 @@ enum class EventKind : uint8_t
     Trap,           ///< a: TrapKind, arg: trapping PC
     Coherence,      ///< a: old dir state, b: new, arg: line, arg2: req
     NetSend,        ///< arg: dst node, arg2: flits
-    NetHop,         ///< arg: dst node, arg2: hops taken so far
     NetDeliver,     ///< arg: src node, arg2: send-to-delivery cycles
     FeRetry,        ///< a: 1 store/0 load, arg: faulting word address
     Race,           ///< a: 1 write/0 read, b: prior owner node,
@@ -98,6 +97,18 @@ class Recorder
     const std::vector<Event> &events() const { return events_; }
     uint64_t dropped() const { return dropped_; }
     const RecorderConfig &config() const { return config_; }
+
+    /** Fold another lane's overflow count into this log (used when
+     *  merging the parallel engine's per-shard lanes). */
+    void addDropped(uint64_t n) { dropped_ += n; }
+
+    /** Discard all recorded events (a merged-out lane). */
+    void
+    clear()
+    {
+        events_.clear();
+        dropped_ = 0;
+    }
 
     /**
      * Serialize as Chrome trace-event JSON ({"traceEvents":[...]}).

@@ -26,7 +26,7 @@ struct AlewifeRun
 
 AlewifeRun
 runAlewife(const FuzzCase &c, const Program &prog, bool cycle_skip,
-           const DiffOptions &opts)
+           const DiffOptions &opts, uint32_t host_threads = 1)
 {
     AlewifeRun run;
     AlewifeParams p;
@@ -38,6 +38,7 @@ runAlewife(const FuzzCase &c, const Program &prog, bool cycle_skip,
     p.bootRuntime = false;
     p.cycleSkip = cycle_skip;
     p.traceEvents = opts.compareTraces;
+    p.hostThreads = host_threads;
 
     run.machine = std::make_unique<AlewifeMachine>(p, &prog);
     AlewifeMachine &m = *run.machine;
@@ -121,6 +122,37 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
         div << "cycle-skip ON vs OFF: trace JSON differs ("
             << on.trace.size() << " vs " << off.trace.size()
             << " bytes)\n";
+    }
+
+    // The parallel execution engine: same machine, same skip mode,
+    // sharded across host worker threads. Must be a bit-for-bit twin
+    // of the sequential run (DESIGN.md §7.6).
+    if (opts.hostThreads > 1) {
+        AlewifeRun par =
+            runAlewife(c, prog, true, opts, opts.hostThreads);
+        if (!par.error.empty()) {
+            r.divergence = par.error;
+            return r;
+        }
+        std::string pexact = compareExact(on.snap, par.snap);
+        if (!pexact.empty()) {
+            div << "threads=1 vs threads=" << opts.hostThreads
+                << ":\n" << pexact;
+        }
+        if (on.stats != par.stats) {
+            div << "threads=1 vs threads=" << opts.hostThreads
+                << ": stats dumps differ (" << on.stats.size()
+                << " vs " << par.stats.size() << " bytes)\n";
+        }
+        if (on.breakdown != par.breakdown) {
+            div << "threads=1 vs threads=" << opts.hostThreads
+                << ": cycle-accounting breakdowns differ\n";
+        }
+        if (opts.compareTraces && on.trace != par.trace) {
+            div << "threads=1 vs threads=" << opts.hostThreads
+                << ": trace JSON differs (" << on.trace.size()
+                << " vs " << par.trace.size() << " bytes)\n";
+        }
     }
 
     // The oracle: perfect memory, same cores, same program.

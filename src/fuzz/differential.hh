@@ -39,6 +39,10 @@ struct DiffOptions
     uint64_t maxCycles = 4'000'000; ///< per machine; hang => failure
     uint64_t quiesceCycles = 250'000;
     bool compareTraces = true;      ///< trace JSON of runs 1 vs 2
+    /// When > 1, a fourth run repeats run 1 sharded over this many
+    /// host worker threads and must be bit-for-bit identical to it
+    /// (snapshot, stats dump, cycle breakdown, trace JSON).
+    uint32_t hostThreads = 1;
 };
 
 /** Outcome of one differential run. */

@@ -26,30 +26,70 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
 {
     debug::initFromEnv();
     uint32_t n = mem.numNodes();
+
+    // The quantum: no cross-node message (coherence packet or IPI)
+    // sent at cycle c can be observed before c + Q, so shards may
+    // advance Q cycles between barriers without seeing each other.
+    quantum_ = net_.minCrossNodeLatency(
+        std::min(p.controller.reqFlits, p.controller.dataFlits));
+    if (quantum_ == 0)
+        quantum_ = 1;
+
+    uint32_t w = std::clamp<uint32_t>(params.hostThreads, 1, n);
+    if (params.detectRaces)
+        w = 1;      // the race observer keeps cross-node state
+    params.hostThreads = w;
+
     if (p.traceEvents) {
         trec = std::make_unique<trace::Recorder>(makeRecorderConfig(
             n, p.proc.numFrames, p.traceCapacity));
-        net_.setTraceRecorder(trec.get());
     }
     if (p.detectRaces) {
         races = std::make_unique<analysis::RaceDetector>(
             n, p.raceMaxReports, this);
         races->setTraceRecorder(trec.get());
     }
+
+    shards.resize(w);
+    uint32_t base = n / w;
+    uint32_t rem = n % w;
+    uint32_t at = 0;
+    for (uint32_t s = 0; s < w; ++s) {
+        shards[s].first = at;
+        at += base + (s < rem ? 1 : 0);
+        shards[s].last = at;
+        // With several shards each gets a private trace lane (merged
+        // canonically on demand); with one, components write the
+        // merged recorder directly. A lane's capacity equals the
+        // global capacity: any event a lane would drop has at least
+        // capacity earlier events in its own lane alone, so it would
+        // be truncated from the merged log anyway.
+        if (p.traceEvents && w > 1) {
+            shards[s].lane = std::make_unique<trace::Recorder>(
+                makeRecorderConfig(n, p.proc.numFrames,
+                                   p.traceCapacity));
+        }
+    }
+    arrivals.resize(n);
+
     for (uint32_t i = 0; i < n; ++i) {
         rt::Runtime::initNode(mem, i);
+        Shard *sh = &shards[shardOf(i)];
+        trace::Recorder *lane = sh->lane ? sh->lane.get() : trec.get();
+        fabrics.push_back(std::make_unique<NodeFabric>(this, sh));
         ctrls.push_back(std::make_unique<coh::Controller>(
-            p.controller, i, p.proc.numFrames, &mem, this, this));
-        ios.push_back(std::make_unique<NodeIo>(this, i,
+            p.controller, i, p.proc.numFrames, &mem,
+            fabrics.back().get(), this));
+        ios.push_back(std::make_unique<NodeIo>(this, sh, i,
                                                p.seed * 1000003 + i));
         ProcParams pp = p.proc;
         pp.nodeId = i;
         procs.push_back(std::make_unique<Processor>(
             pp, prog, ctrls.back().get(), ios.back().get(), this));
         ctrls.back()->setProcessor(procs.back().get());
-        ctrls.back()->setTraceRecorder(trec.get());
+        ctrls.back()->setTraceRecorder(lane);
         ctrls.back()->setObserver(races.get());
-        procs.back()->setTraceRecorder(trec.get());
+        procs.back()->setTraceRecorder(lane);
         if (p.bootRuntime)
             rt::Runtime::bootProcessor(*procs.back(), *prog, mem, i, n);
         if (p.profile) {
@@ -62,6 +102,42 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
     if (p.statsInterval)
         interval_ = std::make_unique<profile::IntervalSampler>(
             p.statsInterval, *this);
+    if (w > 1) {
+        pool_ = std::make_unique<par::WorkerPool>(
+            w, [this](uint32_t worker) {
+                advanceShard(shards[worker], quantumTarget_);
+            });
+    }
+}
+
+AlewifeMachine::~AlewifeMachine() = default;
+
+uint64_t
+AlewifeMachine::NodeFabric::now() const
+{
+    return s->cycle;
+}
+
+uint32_t
+AlewifeMachine::shardOf(uint32_t node) const
+{
+    for (uint32_t s = 0; s < shards.size(); ++s) {
+        if (node >= shards[s].first && node < shards[s].last)
+            return s;
+    }
+    panic("shardOf: node ", node, " outside every shard");
+}
+
+uint64_t
+AlewifeMachine::gridAlign(uint64_t c) const
+{
+    return (c + quantum_ - 1) / quantum_ * quantum_;
+}
+
+uint64_t
+AlewifeMachine::nextGrid(uint64_t c) const
+{
+    return (c / quantum_ + 1) * quantum_;
 }
 
 profile::ProfileSource
@@ -85,124 +161,435 @@ AlewifeMachine::verifyCycleAccounting() const
         p->verifyCycleAccounting();
 }
 
+// ---------------------------------------------------------------------
+// Cross-node channels
+// ---------------------------------------------------------------------
+
 void
-AlewifeMachine::transmit(uint32_t to, const coh::Message &msg,
-                         uint32_t flits)
+AlewifeMachine::pushArrival(const InFlight &f)
 {
-    uint64_t slot;
-    if (!msgFree.empty()) {
-        slot = msgFree.back();
-        msgFree.pop_back();
-        msgPool[slot] = msg;
-    } else {
-        slot = msgPool.size();
-        msgPool.push_back(msg);
+    auto &q = arrivals[f.dst].q;
+    q.push_back(f);
+    std::push_heap(q.begin(), q.end());
+}
+
+void
+AlewifeMachine::shardTransmit(Shard &s, uint32_t to,
+                              const coh::Message &msg, uint32_t flits)
+{
+    net::Injection inj = net_.inject(msg.from, to, flits, s.cycle);
+    if (trace::Recorder *r = s.lane ? s.lane.get() : trec.get()) {
+        r->record({s.cycle, msg.from, trace::EventKind::NetSend, 0, 0,
+                   to, flits});
     }
-    net::Packet pkt;
-    pkt.src = msg.from;
-    pkt.dst = to;
-    pkt.flits = flits;
-    pkt.payload = slot;
-    net_.send(pkt);
+    TRACE(Net, "c", s.cycle, " send ", msg.from, "->", to,
+          " flits=", flits, " arrive=", inj.arrive);
+    InFlight f;
+    f.arrive = inj.arrive;
+    f.src = msg.from;
+    f.seq = inj.seq;
+    f.dst = to;
+    f.flits = flits;
+    f.hops = inj.hops;
+    f.sendCycle = s.cycle;
+    f.msg = msg;
+    if (to >= s.first && to < s.last)
+        pushArrival(f);
+    else
+        s.outbox.push_back(std::move(f));
+}
+
+void
+AlewifeMachine::deliverNode(Shard &s, uint32_t node)
+{
+    auto &q = arrivals[node].q;
+    while (!q.empty() && q.front().arrive <= s.cycle) {
+        std::pop_heap(q.begin(), q.end());
+        InFlight f = std::move(q.back());
+        q.pop_back();
+        net_.recordDelivery(node, s.cycle - f.sendCycle, f.hops,
+                            f.flits);
+        if (trace::Recorder *r = s.lane ? s.lane.get() : trec.get()) {
+            r->record({s.cycle, node, trace::EventKind::NetDeliver,
+                       0, 0, f.src, uint32_t(s.cycle - f.sendCycle)});
+        }
+        TRACE(Net, "c", s.cycle, " deliver ", f.src, "->", node,
+              " latency=", s.cycle - f.sendCycle);
+        ctrls[node]->receive(f.msg);
+    }
+}
+
+void
+AlewifeMachine::queueIpi(Shard &s, uint32_t src, uint32_t dst,
+                         Word arg)
+{
+    // Preemptive interprocessor interrupts (Section 3.4) travel
+    // through the network as a request packet handled once by the
+    // remote controller: occupancy + traversal. The latency is at
+    // least the quantum for any cross-node pair, so the parallel
+    // engine can commit them at barriers.
+    uint64_t due = s.cycle + params.controller.occupancy +
+                   uint64_t(net_.distance(src, dst)) *
+                       net_.hopCycles() +
+                   params.controller.reqFlits;
+    PendingIpi ipi{due, src, dst, arg};
+    Shard &home = shards[shardOf(dst)];
+    if (&home == &s) {
+        auto pos = std::upper_bound(
+            s.ipiPending.begin(), s.ipiPending.end(), ipi,
+            [](const PendingIpi &a, const PendingIpi &b) {
+                return a.due != b.due ? a.due < b.due : a.src < b.src;
+            });
+        s.ipiPending.insert(pos, ipi);
+    } else {
+        s.ipiOutbox.push_back(ipi);
+    }
+}
+
+void
+AlewifeMachine::applyIpis(Shard &s)
+{
+    if (s.ipiPending.empty() || s.ipiPending.front().due > s.cycle)
+        return;
+    size_t n = 0;
+    while (n < s.ipiPending.size() && s.ipiPending[n].due <= s.cycle) {
+        const PendingIpi &ipi = s.ipiPending[n];
+        procs[ipi.dst]->postIpi(ipi.arg);
+        ++n;
+    }
+    s.ipiPending.erase(s.ipiPending.begin(),
+                       s.ipiPending.begin() + long(n));
+}
+
+uint32_t
+AlewifeMachine::queueBlockGo(Shard &s, uint32_t node, Word src,
+                             Word dst, Word len)
+{
+    // The transfer commits at the next grid boundary, where every
+    // shard is parked at a barrier: the coherent sweep reads all
+    // caches, which no shard may do mid-quantum. The issuing
+    // processor is held one cycle per word and at least until the
+    // boundary, so the resuming thread always observes the copy.
+    uint64_t commit = gridAlign(s.cycle);
+    s.blockOps.push_back({commit, s.cycle, node, src, dst, len});
+    s.blockMin = std::min(s.blockMin, commit);
+    return uint32_t(std::max<uint64_t>(len, commit - s.cycle));
+}
+
+void
+AlewifeMachine::executeBlockOp(const BlockOp &op)
+{
+    // The block-transfer engine (Section 3.4) is coherent:
+    //  1) dirty source lines anywhere are swept back to memory so
+    //     the copy sees current data;
+    //  2) the words move in memory;
+    //  3) cached copies overlapping the destination are updated
+    //     in place (a destination line can legitimately be cached
+    //     dirty when a bump-allocated region shares a line with a
+    //     live earlier allocation — invalidating would lose that
+    //     neighbor's data, so the transfer write-updates instead).
+    for (uint32_t node_i = 0; node_i < numNodes(); ++node_i) {
+        auto &cache = ctrls[node_i]->cacheRef();
+        uint32_t lw = cache.lineWords();
+        for (Word w = op.src / lw; w <= (op.src + op.len) / lw; ++w) {
+            auto *line = cache.find(Addr(w));
+            if (line && line->state == cache::LineState::Modified) {
+                for (uint32_t k = 0; k < lw; ++k)
+                    mem.word(Addr(w * lw + k)) = line->words[k];
+            }
+        }
+    }
+    for (Word i = 0; i < op.len; ++i)
+        mem.word(op.dst + i) = mem.word(op.src + i);
+    for (uint32_t node_i = 0; node_i < numNodes(); ++node_i) {
+        auto &cache = ctrls[node_i]->cacheRef();
+        uint32_t lw = cache.lineWords();
+        for (Word i = 0; i < op.len; ++i) {
+            auto *line = cache.find(Addr((op.dst + i) / lw));
+            if (line) {
+                line->words[(op.dst + i) % lw] =
+                    mem.word(op.dst + i);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The execution engine
+// ---------------------------------------------------------------------
+
+uint64_t
+AlewifeMachine::shardNextEvent(const Shard &s) const
+{
+    uint64_t soon = s.cycle + 1;
+    uint64_t next = std::min(s.haltAt, s.blockMin);
+    if (!s.ipiPending.empty())
+        next = std::min(next, s.ipiPending.front().due);
+    next = std::max(next, soon);
+    // Components in cheapest-first order, bailing out as soon as one
+    // wants the very next tick: the common busy case must not pay
+    // full scans.
+    for (uint32_t i = s.first; i < s.last; ++i) {
+        next = std::min(next, procs[i]->nextEventCycle());
+        if (next <= soon)
+            return next;
+    }
+    for (uint32_t i = s.first; i < s.last; ++i) {
+        next = std::min(next, ctrls[i]->nextEventCycle());
+        if (next <= soon)
+            return next;
+        const auto &q = arrivals[i].q;
+        if (!q.empty()) {
+            next = std::min(next, std::max(q.front().arrive, soon));
+            if (next <= soon)
+                return next;
+        }
+    }
+    return next;
+}
+
+void
+AlewifeMachine::shardSkip(Shard &s, uint64_t cycles)
+{
+    for (uint32_t i = s.first; i < s.last; ++i)
+        procs[i]->skipCycles(cycles);
+    // Controllers keep no per-cycle state (absolute due times), and
+    // packet arrivals are absolute-cycle heaps: only the processors
+    // and the shard clock move.
+    s.cycle += cycles;
+}
+
+void
+AlewifeMachine::advanceShard(Shard &s, uint64_t target)
+{
+    for (;;) {
+        // A commit boundary of our own (halt write or block transfer)
+        // forces this shard to stop there so the coordinator can run
+        // the barrier phase exactly at the boundary. With several
+        // shards those boundaries coincide with the quantum end; with
+        // one shard (longer targets) this is what slices the run.
+        uint64_t stop = std::min({target, s.haltAt, s.blockMin});
+        if (s.cycle >= stop)
+            break;
+        if (params.cycleSkip && s.cycle >= s.probeAt) {
+            uint64_t next = shardNextEvent(s);
+            if (next > s.cycle + 1) {
+                s.probeBackoff = 0;
+                uint64_t to = std::min(next - 1, stop);
+                if (to > s.cycle) {
+                    shardSkip(s, to - s.cycle);
+                    continue;
+                }
+            } else {
+                // Nothing to skip: on probe-hostile phases (coherence
+                // traffic every cycle) the full scan is pure overhead,
+                // so back off exponentially before asking again. A
+                // window that opens mid-back-off is simply ticked
+                // through, which the skip contract makes equivalent.
+                s.probeBackoff = std::min<uint32_t>(
+                    s.probeBackoff ? s.probeBackoff * 2 : 1, 32);
+                s.probeAt = s.cycle + 1 + s.probeBackoff;
+            }
+        }
+        ++s.cycle;
+        applyIpis(s);
+        for (uint32_t i = s.first; i < s.last; ++i) {
+            deliverNode(s, i);
+            ctrls[i]->tick();
+            procs[i]->tick();
+        }
+    }
+}
+
+void
+AlewifeMachine::syncAt(uint64_t t)
+{
+    _cycle = t;
+    // Cross-shard packets: the arrival heaps order by the canonical
+    // (arrive, src, seq) key, so insertion order is irrelevant — but
+    // every merged packet must still be in this barrier's future.
+    for (Shard &s : shards) {
+        for (InFlight &f : s.outbox) {
+            if (f.arrive <= t) {
+                panic("parallel engine: packet ", f.src, "->", f.dst,
+                      " arrives at ", f.arrive,
+                      " on or before the barrier at ", t);
+            }
+            pushArrival(f);
+        }
+        s.outbox.clear();
+        for (const PendingIpi &ipi : s.ipiOutbox) {
+            if (ipi.due <= t) {
+                panic("parallel engine: IPI ", ipi.src, "->", ipi.dst,
+                      " due at ", ipi.due,
+                      " on or before the barrier at ", t);
+            }
+            Shard &home = shards[shardOf(ipi.dst)];
+            auto pos = std::upper_bound(
+                home.ipiPending.begin(), home.ipiPending.end(), ipi,
+                [](const PendingIpi &a, const PendingIpi &b) {
+                    return a.due != b.due ? a.due < b.due
+                                          : a.src < b.src;
+                });
+            home.ipiPending.insert(pos, ipi);
+        }
+        s.ipiOutbox.clear();
+    }
+    // Block transfers commit in canonical (commit, issue-cycle, node)
+    // order; ops beyond this barrier (budget- or sample-clamped
+    // quanta) stay pending and force a barrier at their boundary.
+    bool gathered = false;
+    for (Shard &s : shards) {
+        if (!s.blockOps.empty()) {
+            pendingBlocks.insert(pendingBlocks.end(),
+                                 s.blockOps.begin(), s.blockOps.end());
+            s.blockOps.clear();
+            s.blockMin = kNeverCycle;
+            gathered = true;
+        }
+    }
+    if (gathered) {
+        std::sort(pendingBlocks.begin(), pendingBlocks.end(),
+                  [](const BlockOp &a, const BlockOp &b) {
+                      if (a.commit != b.commit)
+                          return a.commit < b.commit;
+                      if (a.issued != b.issued)
+                          return a.issued < b.issued;
+                      return a.node < b.node;
+                  });
+    }
+    size_t done = 0;
+    while (done < pendingBlocks.size() &&
+           pendingBlocks[done].commit <= t) {
+        executeBlockOp(pendingBlocks[done]);
+        ++done;
+    }
+    if (done)
+        pendingBlocks.erase(pendingBlocks.begin(),
+                            pendingBlocks.begin() + long(done));
+    // Halt commits at its grid boundary.
+    for (Shard &s : shards) {
+        if (s.haltAt <= t) {
+            haltFlag = true;
+            s.haltAt = kNeverCycle;
+        }
+    }
+    // Console output merges in (cycle, node) order — exactly the
+    // order the one-shard machine emits, since it processes nodes in
+    // ascending order within a cycle.
+    bool any_console = false;
+    for (const Shard &s : shards)
+        any_console |= !s.console.empty();
+    if (any_console) {
+        std::vector<ConsoleEntry> merged;
+        for (Shard &s : shards) {
+            merged.insert(merged.end(), s.console.begin(),
+                          s.console.end());
+            s.console.clear();
+        }
+        std::sort(merged.begin(), merged.end(),
+                  [](const ConsoleEntry &a, const ConsoleEntry &b) {
+                      return a.cycle != b.cycle ? a.cycle < b.cycle
+                                                : a.node < b.node;
+                  });
+        for (const ConsoleEntry &e : merged)
+            consoleWords.push_back(e.word);
+    }
+    if (interval_) {
+        net_.foldStats();
+        interval_->sampleIfDue(t);
+    }
 }
 
 void
 AlewifeMachine::tick()
 {
-    ++_cycle;
-    net_.tick();
-    for (uint32_t i = 0; i < procs.size(); ++i) {
-        net_.deliver(i, deliverBuf);
-        for (const net::Packet &pkt : deliverBuf) {
-            ctrls[i]->receive(msgPool[pkt.payload]);
-            msgFree.push_back(pkt.payload);
-        }
-        ctrls[i]->tick();
-        procs[i]->tick();
-    }
+    // Serial one-cycle advance (tests, quiesce): shard order equals
+    // node order, so this is the same schedule the parallel engine's
+    // barriers guarantee.
+    uint64_t t = _cycle + 1;
+    for (Shard &s : shards)
+        advanceShard(s, t);
+    syncAt(t);
 }
 
 uint64_t
 AlewifeMachine::nextEventCycle() const
 {
-    uint64_t soon = _cycle + 1;
     uint64_t next = kNeverCycle;
-    // Components in cheapest-first order, bailing out as soon as one
-    // wants the very next tick: the common busy case must not pay for
-    // the O(links) network scan.
-    for (const auto &p : procs) {
-        next = std::min(next, p->nextEventCycle());
-        if (next <= soon)
+    if (!pendingBlocks.empty())
+        next = pendingBlocks.front().commit;
+    for (const Shard &s : shards) {
+        next = std::min(next, shardNextEvent(s));
+        if (next <= _cycle + 1)
             return next;
     }
-    for (const auto &c : ctrls) {
-        next = std::min(next, c->nextEventCycle());
-        if (next <= soon)
-            return next;
-    }
-    return std::min(next, net_.nextEventCycle());
-}
-
-void
-AlewifeMachine::fastForward(uint64_t cycles)
-{
-    _cycle += cycles;
-    net_.skip(cycles);
-    for (auto &p : procs)
-        p->skipCycles(cycles);
-    // Controllers keep no per-cycle state: their delayed queues hold
-    // absolute due times checked against the machine clock.
+    return next;
 }
 
 uint64_t
 AlewifeMachine::run(uint64_t max_cycles)
 {
     uint64_t start = _cycle;
-    while (!haltFlag && _cycle - start < max_cycles) {
+    uint64_t end = max_cycles > kNeverCycle - _cycle
+        ? kNeverCycle
+        : _cycle + max_cycles;
+    uint32_t w = hostThreads();
+    while (!haltFlag && _cycle < end) {
+        uint64_t target = end;
+        for (const Shard &s : shards)
+            target = std::min({target, s.haltAt, s.blockMin});
+        if (!pendingBlocks.empty())
+            target = std::min(target, pendingBlocks.front().commit);
+        if (interval_)
+            target = std::min(target,
+                              interval_->nextSampleCycle(_cycle));
+        if (w == 1) {
+            // One shard: no quantum needed — the shard slices itself
+            // at its own commit boundaries.
+            advanceShard(shards[0], target);
+            syncAt(shards[0].cycle);
+            continue;
+        }
+        target = std::min(target, nextGrid(_cycle));
         if (params.cycleSkip) {
+            // Whole-machine fast-forward across quanta: sound because
+            // every shard's next event (including in-flight arrivals
+            // and pending commits) bounds the window.
             uint64_t next = nextEventCycle();
             if (next > _cycle + 1) {
-                // Everything is idle until `next` (or forever): credit
-                // the skipped cycles in one arithmetic step, clamped
-                // to the caller's budget, and resume ticking one cycle
-                // before the event.
-                uint64_t idle = next == kNeverCycle
-                    ? kNeverCycle
-                    : next - _cycle - 1;
-                idle = std::min(idle, max_cycles - (_cycle - start));
-                // Never skip past a stats-sample boundary: skipCycles
-                // is additive, so splitting the window is cycle-exact
-                // and the recorded series matches the per-cycle loop.
-                if (interval_) {
-                    idle = std::min(
-                        idle,
-                        interval_->nextSampleCycle(_cycle) - _cycle);
+                uint64_t to = std::min(
+                    next == kNeverCycle ? end : next - 1, target);
+                if (to > _cycle) {
+                    for (Shard &s : shards)
+                        shardSkip(s, to - _cycle);
+                    syncAt(to);
+                    continue;
                 }
-                fastForward(idle);
-                if (interval_)
-                    interval_->sampleIfDue(_cycle);
-                continue;
             }
         }
-        tick();
-        if (interval_)
-            interval_->sampleIfDue(_cycle);
+        quantumTarget_ = target;
+        pool_->runQuantum();
+        syncAt(target);
     }
+    net_.foldStats();
     return _cycle - start;
 }
 
 bool
 AlewifeMachine::quiesce(uint64_t max_cycles)
 {
-    for (uint64_t i = 0; i < max_cycles; ++i) {
-        if (nextEventCycle() == kNeverCycle) {
-            verifyCycleAccounting();
-            return true;
-        }
-        tick();
+    bool quiet = false;
+    for (uint64_t i = 0; i < max_cycles && !quiet; ++i) {
+        if (nextEventCycle() == kNeverCycle)
+            quiet = true;
+        else
+            tick();
     }
+    quiet = quiet || nextEventCycle() == kNeverCycle;
     verifyCycleAccounting();
-    return nextEventCycle() == kNeverCycle;
+    net_.foldStats();
+    return quiet;
 }
 
 uint64_t
@@ -215,11 +602,70 @@ AlewifeMachine::runtimeCounter(int slot) const
     return total;
 }
 
+trace::Recorder *
+AlewifeMachine::traceRecorder()
+{
+    if (!trec)
+        return nullptr;
+    mergeTraceLanes();
+    return trec.get();
+}
+
+void
+AlewifeMachine::mergeTraceLanes()
+{
+    if (shards.size() < 2 || !trec)
+        return;
+    // Each lane is sorted by (cycle, node): a shard's cycle only
+    // grows, and within one cycle it visits its nodes in ascending
+    // order. Distinct lanes never share a (cycle, node) pair, so a
+    // k-way merge on that key reproduces the one-shard emission
+    // order exactly.
+    struct Cursor
+    {
+        const std::vector<trace::Event> *events;
+        size_t at = 0;
+    };
+    std::vector<Cursor> cur;
+    for (Shard &s : shards) {
+        if (s.lane)
+            cur.push_back({&s.lane->events(), 0});
+    }
+    for (;;) {
+        int best = -1;
+        for (size_t i = 0; i < cur.size(); ++i) {
+            if (cur[i].at >= cur[i].events->size())
+                continue;
+            const trace::Event &e = (*cur[i].events)[cur[i].at];
+            if (best < 0)
+                best = int(i);
+            else {
+                const trace::Event &b =
+                    (*cur[size_t(best)].events)[cur[size_t(best)].at];
+                if (e.cycle < b.cycle ||
+                    (e.cycle == b.cycle && e.node < b.node)) {
+                    best = int(i);
+                }
+            }
+        }
+        if (best < 0)
+            break;
+        trec->record((*cur[size_t(best)].events)[cur[size_t(best)].at]);
+        ++cur[size_t(best)].at;
+    }
+    for (Shard &s : shards) {
+        if (s.lane) {
+            trec->addDropped(s.lane->dropped());
+            s.lane->clear();
+        }
+    }
+}
+
 Word
 AlewifeMachine::NodeIo::ioRead(IoReg r)
 {
     switch (r) {
-      case IoReg::CycleCount: return Word(m->_cycle);
+      case IoReg::CycleCount: return Word(s->cycle);
       case IoReg::NodeId: return node;
       case IoReg::NumNodes: return m->numNodes();
       case IoReg::Random: return Word(rng.next());
@@ -232,20 +678,20 @@ AlewifeMachine::NodeIo::ioWrite(IoReg r, Word value)
 {
     switch (r) {
       case IoReg::ConsoleOut:
-        m->consoleWords.push_back(value);
+        s->console.push_back({s->cycle, node, value});
         break;
       case IoReg::MachineHalt:
-        m->haltFlag = true;
+        // Commits at the next grid boundary (identical for every
+        // host-thread count: the boundary depends only on the write
+        // cycle and the quantum).
+        s->haltAt = std::min(s->haltAt, m->gridAlign(s->cycle));
         break;
       case IoReg::IpiDest:
         ipiDest = value;
         break;
       case IoReg::IpiSend:
-        // Preemptive interprocessor interrupts (Section 3.4) are
-        // delivered through the network in the real machine; the
-        // asynchronous trap line is modeled directly.
         if (ipiDest < m->numNodes())
-            m->procs[ipiDest]->postIpi(value);
+            m->queueIpi(*s, node, uint32_t(ipiDest), value);
         break;
       case IoReg::BlockSrc:
         blockSrc = value;
@@ -253,43 +699,8 @@ AlewifeMachine::NodeIo::ioWrite(IoReg r, Word value)
       case IoReg::BlockDst:
         blockDst = value;
         break;
-      case IoReg::BlockGo: {
-        // The block-transfer engine (Section 3.4) is coherent:
-        //  1) dirty source lines anywhere are swept back to memory so
-        //     the copy sees current data;
-        //  2) the words move in memory;
-        //  3) cached copies overlapping the destination are updated
-        //     in place (a destination line can legitimately be cached
-        //     dirty when a bump-allocated region shares a line with a
-        //     live earlier allocation — invalidating would lose that
-        //     neighbor's data, so the transfer write-updates instead).
-        for (uint32_t node_i = 0; node_i < m->numNodes(); ++node_i) {
-            auto &cache = m->ctrls[node_i]->cacheRef();
-            uint32_t lw = cache.lineWords();
-            for (Word w = blockSrc / lw; w <= (blockSrc + value) / lw;
-                 ++w) {
-                auto *line = cache.find(Addr(w));
-                if (line &&
-                    line->state == cache::LineState::Modified) {
-                    for (uint32_t k = 0; k < lw; ++k)
-                        m->mem.word(Addr(w * lw + k)) = line->words[k];
-                }
-            }
-        }
-        for (Word i = 0; i < value; ++i)
-            m->mem.word(blockDst + i) = m->mem.word(blockSrc + i);
-        for (uint32_t node_i = 0; node_i < m->numNodes(); ++node_i) {
-            auto &cache = m->ctrls[node_i]->cacheRef();
-            uint32_t lw = cache.lineWords();
-            for (Word i = 0; i < value; ++i) {
-                auto *line = cache.find(Addr((blockDst + i) / lw));
-                if (line)
-                    line->words[(blockDst + i) % lw] =
-                        m->mem.word(blockDst + i);
-            }
-        }
-        return value;
-      }
+      case IoReg::BlockGo:
+        return m->queueBlockGo(*s, node, blockSrc, blockDst, value);
       default:
         break;
     }

@@ -5,6 +5,18 @@
  * by the k-ary n-cube network. This is the configuration the paper's
  * Figure 4 simulator models when the cache and network simulators are
  * enabled.
+ *
+ * Execution engine (DESIGN.md §7.6): the nodes are partitioned into
+ * contiguous shards, one per host worker thread. Each shard owns its
+ * processors, controllers, caches, home memory segment, per-node
+ * network arrival queues and a local clock, and advances
+ * independently inside a quantum of Q cycles, where Q is the minimum
+ * cross-node network latency — no message sent during a quantum can
+ * arrive inside the same quantum. At the quantum barrier the
+ * coordinator merges cross-shard traffic in a canonical order, so a
+ * run is bit-identical for every host-thread count (the 1-thread
+ * configuration IS the sequential simulator; there is no separate
+ * sequential loop).
  */
 
 #ifndef APRIL_MACHINE_ALEWIFE_MACHINE_HH
@@ -15,6 +27,7 @@
 
 #include "analysis/race_detector.hh"
 #include "coherence/controller.hh"
+#include "common/parallel.hh"
 #include "common/random.hh"
 #include "common/trace.hh"
 #include "network/network.hh"
@@ -42,6 +55,12 @@ struct AlewifeParams
     /// and the network is provably idle (cycle-exact; see
     /// nextEventCycle()). Off forces the plain per-cycle loop.
     bool cycleSkip = true;
+    /// Host worker threads for run(). Nodes are split into that many
+    /// contiguous shards advanced in parallel; results are
+    /// bit-identical for every value. Clamped to [1, numNodes] and
+    /// forced to 1 when detectRaces is on (the race observer keeps
+    /// global state).
+    uint32_t hostThreads = 1;
     /// Record machine events (context switches, traps, coherence
     /// transitions, network traffic) for Chrome-trace export.
     bool traceEvents = false;
@@ -60,24 +79,28 @@ struct AlewifeParams
     /// PC sample period in cycles when profile is on.
     uint64_t profilePeriod = 64;
     /// Snapshot every statistic each time the machine clock crosses a
-    /// multiple of this many cycles (0: no time series). Cycle-skip
-    /// windows are clamped at sample boundaries, which is cycle-exact.
+    /// multiple of this many cycles (0: no time series). Quanta and
+    /// cycle-skip windows are clamped at sample boundaries, which is
+    /// cycle-exact.
     uint64_t statsInterval = 0;
 };
 
 /** N ALEWIFE nodes on a mesh. */
-class AlewifeMachine : public stats::Group, public coh::Fabric
+class AlewifeMachine : public stats::Group
 {
   public:
     AlewifeMachine(const AlewifeParams &params, const Program *prog);
+    ~AlewifeMachine();
 
+    /** Advance exactly one machine cycle (serial; tests, quiesce). */
     void tick();
     uint64_t run(uint64_t max_cycles);
 
     /**
      * Earliest cycle at which any component (processor, controller,
-     * network) can do observable work; kNeverCycle when the machine
-     * is permanently idle. Values <= cycle() + 1 mean "tick normally".
+     * in-flight packet, pending interrupt or block transfer) can do
+     * observable work; kNeverCycle when the machine is permanently
+     * idle. Values <= cycle() + 1 mean "tick normally".
      */
     uint64_t nextEventCycle() const;
 
@@ -86,18 +109,24 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
     void setCycleSkipping(bool on) { params.cycleSkip = on; }
 
     /**
-     * Tick until no component (processor, controller, network) has a
-     * pending event or @p max_cycles elapse; @return true when fully
-     * quiescent. run() exits the moment MachineHalt is written, which
-     * can leave coherence traffic (e.g. the write-back of the very
-     * word the halt decision was read from) in flight — snapshotting
-     * without draining it would read stale memory.
+     * Tick until no component has a pending event or @p max_cycles
+     * elapse; @return true when fully quiescent. run() exits when the
+     * committed MachineHalt boundary is reached, which can leave
+     * coherence traffic (e.g. the write-back of the very word the
+     * halt decision was read from) in flight — snapshotting without
+     * draining it would read stale memory.
      */
     bool quiesce(uint64_t max_cycles);
 
     bool halted() const { return haltFlag; }
     uint64_t cycle() const { return _cycle; }
     uint32_t numNodes() const { return net_.numNodes(); }
+
+    /** Number of shards (= host worker threads) actually in use. */
+    uint32_t hostThreads() const { return uint32_t(shards.size()); }
+
+    /** The parallel quantum Q (minimum cross-node network latency). */
+    uint64_t quantum() const { return quantum_; }
 
     Processor &proc(uint32_t n) { return *procs.at(n); }
     coh::Controller &controller(uint32_t n) { return *ctrls.at(n); }
@@ -107,8 +136,9 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
     const std::vector<Word> &console() const { return consoleWords; }
     uint64_t runtimeCounter(int slot) const;
 
-    /** Event recorder (nullptr unless params.traceEvents). */
-    trace::Recorder *traceRecorder() { return trec.get(); }
+    /** Event recorder with all lanes merged (nullptr unless
+     *  params.traceEvents). */
+    trace::Recorder *traceRecorder();
 
     /** Race detector (nullptr unless params.detectRaces). */
     analysis::RaceDetector *raceDetector() { return races.get(); }
@@ -116,10 +146,10 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
     /** Serialize the event log as Chrome trace-event JSON.
      *  No-op when tracing is off. */
     void
-    writeTrace(std::ostream &os) const
+    writeTrace(std::ostream &os)
     {
-        if (trec)
-            trec->writeChromeTrace(os);
+        if (trace::Recorder *r = traceRecorder())
+            r->writeChromeTrace(os);
     }
 
     /** Assemble the report writers' view of this run. */
@@ -139,16 +169,98 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
     void verifyCycleAccounting() const;
 
   private:
-    // coh::Fabric interface.
-    void transmit(uint32_t to, const coh::Message &msg,
-                  uint32_t flits) override;
-    uint64_t now() const override { return _cycle; }
+    struct Shard;
+
+    /** One coherence message in flight, timing fixed at injection.
+     *  Heap-ordered by the canonical (arrive, src, seq) key, so the
+     *  delivery order is independent of insertion order. */
+    struct InFlight
+    {
+        uint64_t arrive = 0;
+        uint32_t src = 0;
+        uint64_t seq = 0;       ///< per-source injection sequence
+        uint32_t dst = 0;
+        uint32_t flits = 0;
+        uint32_t hops = 0;
+        uint64_t sendCycle = 0;
+        coh::Message msg;
+
+        /// std::push_heap builds a max-heap; invert for earliest-first.
+        bool
+        operator<(const InFlight &o) const
+        {
+            if (arrive != o.arrive)
+                return arrive > o.arrive;
+            if (src != o.src)
+                return src > o.src;
+            return seq > o.seq;
+        }
+    };
+
+    /** Per-node arrival queue, padded so neighbouring shards never
+     *  share a cache line. */
+    struct alignas(64) ArrivalQueue
+    {
+        std::vector<InFlight> q;    ///< binary min-heap (see InFlight)
+    };
+
+    /** An interprocessor interrupt in flight (Section 3.4: delivered
+     *  through the network; latency = controller occupancy + network
+     *  traversal of a request packet). */
+    struct PendingIpi
+    {
+        uint64_t due = 0;
+        uint32_t src = 0;
+        uint32_t dst = 0;
+        Word arg = 0;
+    };
+
+    /** A block transfer awaiting its commit boundary. */
+    struct BlockOp
+    {
+        uint64_t commit = 0;    ///< grid boundary the copy runs at
+        uint64_t issued = 0;
+        uint32_t node = 0;
+        Word src = 0;
+        Word dst = 0;
+        Word len = 0;
+    };
+
+    struct ConsoleEntry
+    {
+        uint64_t cycle = 0;
+        uint32_t node = 0;
+        Word word = 0;
+    };
+
+    /** Fabric endpoint for one node, bound to its shard's clock. */
+    class NodeFabric : public coh::Fabric
+    {
+      public:
+        NodeFabric(AlewifeMachine *machine, Shard *shard)
+            : m(machine), s(shard)
+        {}
+
+        void
+        transmit(uint32_t to, const coh::Message &msg,
+                 uint32_t flits) override
+        {
+            m->shardTransmit(*s, to, msg, flits);
+        }
+
+        uint64_t now() const override;
+
+      private:
+        AlewifeMachine *m;
+        Shard *s;
+    };
 
     class NodeIo : public IoPort
     {
       public:
-        NodeIo(AlewifeMachine *machine, uint32_t node, uint64_t seed)
-            : m(machine), node(node), rng(seed)
+        NodeIo(AlewifeMachine *machine, Shard *shard, uint32_t node,
+               uint64_t seed)
+            : m(machine), s(shard), node(node), rng(seed)
         {}
 
         Word ioRead(IoReg r) override;
@@ -156,6 +268,7 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
 
       private:
         AlewifeMachine *m;
+        Shard *s;
         uint32_t node;
         Rng rng;
         Word ipiDest = 0;
@@ -163,24 +276,95 @@ class AlewifeMachine : public stats::Group, public coh::Fabric
         Word blockDst = 0;
     };
 
+    /** One worker thread's slice of the machine. */
+    struct alignas(64) Shard
+    {
+        uint32_t first = 0;         ///< node range [first, last)
+        uint32_t last = 0;
+        uint64_t cycle = 0;         ///< local clock
+        /// Cross-shard packets injected this quantum, merged into the
+        /// destination queues at the barrier.
+        std::vector<InFlight> outbox;
+        /// Cross-shard interrupts issued this quantum.
+        std::vector<PendingIpi> ipiOutbox;
+        /// Interrupts for this shard's nodes, sorted by (due, src).
+        std::vector<PendingIpi> ipiPending;
+        /// Block transfers issued this quantum (committed at the
+        /// barrier by the coordinator).
+        std::vector<BlockOp> blockOps;
+        uint64_t blockMin = kNeverCycle;  ///< earliest pending commit
+        uint64_t haltAt = kNeverCycle;    ///< committed halt boundary
+        /// Host-side skip-probe hysteresis: after a probe finds no
+        /// skippable window, don't probe again before this cycle
+        /// (back-off doubles up to a cap, resets on any skip). Pure
+        /// heuristic — skipping fewer provably idle windows cannot
+        /// change simulated state, only host speed.
+        uint64_t probeAt = 0;
+        uint32_t probeBackoff = 0;
+        /// Per-shard trace lane (only when W > 1 and tracing is on;
+        /// with one shard components write the merged recorder
+        /// directly).
+        std::unique_ptr<trace::Recorder> lane;
+        std::vector<ConsoleEntry> console;
+    };
+
+    uint32_t shardOf(uint32_t node) const;
+    /** Smallest grid boundary (multiple of Q) >= @p c. */
+    uint64_t gridAlign(uint64_t c) const;
+    /** Smallest grid boundary (multiple of Q) > @p c. */
+    uint64_t nextGrid(uint64_t c) const;
+
+    void shardTransmit(Shard &s, uint32_t to, const coh::Message &msg,
+                       uint32_t flits);
+    void pushArrival(const InFlight &f);
+    void deliverNode(Shard &s, uint32_t node);
+    void applyIpis(Shard &s);
+    void queueIpi(Shard &s, uint32_t src, uint32_t dst, Word arg);
+    uint32_t queueBlockGo(Shard &s, uint32_t node, Word src, Word dst,
+                          Word len);
+    void executeBlockOp(const BlockOp &op);
+
+    /** Earliest observable event for @p s's own components. */
+    uint64_t shardNextEvent(const Shard &s) const;
+    /** Skip @p cycles provably idle cycles on @p s (cycle-exact). */
+    void shardSkip(Shard &s, uint64_t cycles);
+    /**
+     * Advance @p s to @p target (clamped at this shard's own pending
+     * commit boundaries), delivering packets, applying interrupts and
+     * ticking controllers and processors cycle by cycle, with
+     * skip-window fast-forwarding when enabled.
+     */
+    void advanceShard(Shard &s, uint64_t target);
+
+    /** Barrier phase: all shards parked at cycle @p t. Merges
+     *  cross-shard traffic canonically, commits due block transfers
+     *  and halts, and takes due interval samples. */
+    void syncAt(uint64_t t);
+
+    void mergeTraceLanes();
+
     AlewifeParams params;
     SharedMemory mem;
     std::unique_ptr<trace::Recorder> trec;
     std::unique_ptr<analysis::RaceDetector> races;
     net::Network net_;
+    uint64_t quantum_ = 1;
+    std::vector<Shard> shards;
+    std::vector<ArrivalQueue> arrivals;
     std::vector<std::unique_ptr<coh::Controller>> ctrls;
+    std::vector<std::unique_ptr<NodeFabric>> fabrics;
     std::vector<std::unique_ptr<NodeIo>> ios;
     std::vector<std::unique_ptr<Processor>> procs;
     std::vector<std::unique_ptr<profile::PcSampler>> samplers;
     std::unique_ptr<profile::IntervalSampler> interval_;
-    /** Bulk-advance @p cycles fully idle cycles (run() fast path). */
-    void fastForward(uint64_t cycles);
-
-    /** In-flight coherence messages, keyed by packet payload. */
-    std::vector<coh::Message> msgPool;
-    std::vector<uint64_t> msgFree;
-    /** Reusable per-tick delivery buffer (see net::Network::deliver). */
-    std::vector<net::Packet> deliverBuf;
+    std::unique_ptr<par::WorkerPool> pool_;
+    /// Quantum end published to the worker pool for the current
+    /// runQuantum() call (the pool's epoch counter orders the write).
+    uint64_t quantumTarget_ = 0;
+    /// Block transfers whose commit boundary lies beyond the barrier
+    /// they were collected at (budget/interval-clamped quanta), in
+    /// canonical (commit, issued, node) order.
+    std::vector<BlockOp> pendingBlocks;
     std::vector<Word> consoleWords;
     bool haltFlag = false;
     uint64_t _cycle = 0;

@@ -1,5 +1,6 @@
 #include "machine/driver.hh"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "common/debug.hh"
@@ -8,6 +9,20 @@
 
 namespace april
 {
+
+uint32_t
+hostThreadCount(uint32_t requested)
+{
+    if (requested)
+        return requested;
+    if (const char *env = std::getenv("APRIL_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end && end != env && *end == '\0' && v >= 1 && v <= 64)
+            return uint32_t(v);
+    }
+    return 1;
+}
 
 DriverResult
 runMultProgram(const std::string &source, const DriverOptions &options)
@@ -31,6 +46,7 @@ runMultProgram(const std::string &source, const DriverOptions &options)
     mp.proc = options.proc;
     mp.seed = options.seed;
     mp.cycleSkip = options.cycleSkip;
+    mp.hostThreads = hostThreadCount(options.hostThreads);
     mp.traceEvents = options.traceEvents;
     mp.profile = options.profile;
     mp.profilePeriod = options.profilePeriod;

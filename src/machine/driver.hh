@@ -29,6 +29,10 @@ struct DriverOptions
     uint64_t maxCycles = 2'000'000'000;
     uint64_t seed = 12345;
     bool cycleSkip = true;      ///< fast-forward fully idle cycles
+    /// Host worker threads (AlewifeMachine shards; a documented no-op
+    /// on the perfect-memory machine). 0 means "use the APRIL_THREADS
+    /// environment variable, else 1" — resolved by hostThreadCount().
+    uint32_t hostThreads = 0;
     /// Comma-separated debug-flag names ("Ctx,Trap", "All") turned on
     /// for the run; empty leaves the current flags untouched.
     std::string debugFlags;
@@ -95,6 +99,13 @@ struct DriverResult
  */
 DriverResult runMultProgram(const std::string &source,
                             const DriverOptions &options);
+
+/**
+ * Resolve a host-thread request: a non-zero @p requested wins;
+ * otherwise the APRIL_THREADS environment variable (clamped to
+ * [1, 64]; unparsable values fall through); otherwise 1.
+ */
+uint32_t hostThreadCount(uint32_t requested);
 
 } // namespace april
 

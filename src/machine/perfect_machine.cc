@@ -142,9 +142,19 @@ PerfectMachine::run(uint64_t max_cycles)
 {
     uint64_t start = _cycle;
     while (!haltFlag && _cycle - start < max_cycles) {
-        if (params.cycleSkip) {
+        if (params.cycleSkip && _cycle >= probeAt_) {
             uint64_t next = nextEventCycle();
-            if (next > _cycle + 1) {
+            if (next <= _cycle + 1) {
+                // No skippable window: back off before probing again
+                // so probe-hostile phases (every core busy every
+                // cycle) don't pay the scan per tick. Ticking through
+                // a window that opens mid-back-off is equivalent to
+                // skipping it, so this is a host-speed knob only.
+                probeBackoff_ = std::min<uint32_t>(
+                    probeBackoff_ ? probeBackoff_ * 2 : 1, 32);
+                probeAt_ = _cycle + 1 + probeBackoff_;
+            } else {
+                probeBackoff_ = 0;
                 // Every core is stalled (or halted) until `next`:
                 // credit the idle window in one arithmetic step,
                 // clamped to the caller's budget.

@@ -49,6 +49,11 @@ struct PerfectMachineParams
     /// Fast-forward cycles in run() when every processor is stalled or
     /// halted (cycle-exact; see Processor::nextEventCycle()).
     bool cycleSkip = true;
+    /// Accepted for interface parity with AlewifeParams::hostThreads
+    /// and deliberately a no-op: perfect memory has zero latency, so
+    /// the conservative-quantum engine has no lookahead window to
+    /// exploit — this machine always runs sequentially.
+    uint32_t hostThreads = 1;
     /// Record machine events (context switches, traps, full/empty
     /// retries) for Chrome-trace export.
     bool traceEvents = false;
@@ -182,6 +187,10 @@ class PerfectMachine : public stats::Group
     std::vector<Word> consoleWords;
     bool haltFlag = false;
     uint64_t _cycle = 0;
+    /// Skip-probe hysteresis (host speed only; see run()): no probe
+    /// before probeAt_, back-off doubling to a cap, reset on a skip.
+    uint64_t probeAt_ = 0;
+    uint32_t probeBackoff_ = 0;
 };
 
 } // namespace april

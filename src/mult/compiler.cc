@@ -403,11 +403,12 @@ Compiler::compileFuture(const Sexp &e, FnCtx &ctx)
     // cheap case); full with a value = stolen, the value is the
     // thief's future.
     auto l_stolen = as.fresh("fstolen");
+    auto l_mine = as.fresh("fmine");
     as.ldenw(OP2, sp, wordOff(m + rt::marker::state));
     as.jRaw(Cond::EMPTY, l_spin);
     as.nop();
     as.cmpiR(OP2, 0);
-    as.jRaw(Cond::EQ, l_merge);             // we won: inline value
+    as.jRaw(Cond::EQ, l_mine);              // we won: inline value
     as.nop();
     as.j(Cond::AL, l_stolen);
     // Thief mid-copy: wait for it to publish the future.
@@ -419,6 +420,21 @@ Compiler::compileFuture(const Sexp &e, FnCtx &ctx)
     as.mov(reg::a(0), OP2);                 // resolve it with our value
     loadSlot(reg::a(1), s);                 // and become a worker
     as.j(Cond::AL, rt::sym::stolenExit);
+
+    // We won the claim, so our entry is still the deque's newest and
+    // the owner-private bottom index can step back over it. Pops nest
+    // LIFO within a thread, so this keeps the deque dense: without it,
+    // dead entries pile up for the lifetime of the program and every
+    // thief scan wades through all of them (probing stale markers in
+    // long-returned frames) while holding the deque lock. On the
+    // stolen and mid-copy paths the thief has already consumed the
+    // entry from the top end, so retracting there would undercut top
+    // and hide later pushes from every scan.
+    as.bind(l_mine);
+    as.ldnw(OP2, reg::g(0), wordOff(rt::nb::dequeBottom));
+    as.subiR(OP2, OP2, 1);
+    as.stnw(OP2, reg::g(0), wordOff(rt::nb::dequeBottom));
+    as.j(Cond::AL, l_merge);
 
     as.bind(l_resume);                      // thief enters here, r1 = F
     storeSlot(reg::a(0), s);

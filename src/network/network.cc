@@ -1,9 +1,7 @@
 #include "network/network.hh"
 
-#include <algorithm>
 #include <cmath>
 
-#include "common/debug.hh"
 #include "common/logging.hh"
 
 namespace april::net
@@ -26,9 +24,10 @@ Network::Network(const NetworkParams &p, stats::Group *parent)
             fatal("Network: too many nodes");
         _numNodes = uint32_t(next);
     }
-    // Two directed links per node per dimension (+ and -).
-    links.resize(size_t(_numNodes) * size_t(p.dim) * 2);
-    arrived.resize(_numNodes);
+    ports.resize(_numNodes);
+    for (SrcPort &port : ports)
+        port.linkBusyUntil.assign(2 * size_t(p.dim), 0);
+    dstStats.resize(_numNodes);
 }
 
 int
@@ -37,41 +36,6 @@ Network::coord(uint32_t node, int d) const
     for (int i = 0; i < d; ++i)
         node /= uint32_t(params.radix);
     return int(node % uint32_t(params.radix));
-}
-
-uint32_t
-Network::neighbor(uint32_t node, int d, int dir) const
-{
-    uint32_t stride = 1;
-    for (int i = 0; i < d; ++i)
-        stride *= uint32_t(params.radix);
-    int c = coord(node, d);
-    int nc = c + dir;
-    if (nc < 0 || nc >= params.radix)
-        panic("Network: neighbor off the mesh edge");
-    return uint32_t(int64_t(node) + int64_t(dir) * stride);
-}
-
-size_t
-Network::linkIndex(uint32_t node, int d, int dir) const
-{
-    return (size_t(node) * size_t(params.dim) + size_t(d)) * 2 +
-           (dir > 0 ? 0 : 1);
-}
-
-int
-Network::route(uint32_t node, uint32_t dst, int *dir) const
-{
-    // Dimension-order: correct the lowest unequal dimension first.
-    for (int d = 0; d < params.dim; ++d) {
-        int c = coord(node, d);
-        int t = coord(dst, d);
-        if (c != t) {
-            *dir = t > c ? 1 : -1;
-            return d;
-        }
-    }
-    return -1;
 }
 
 uint32_t
@@ -91,123 +55,65 @@ Network::unloadedRoundTrip(uint32_t a, uint32_t b, uint32_t flits) const
     return 2 * one_way;
 }
 
-void
-Network::send(Packet pkt)
+Injection
+Network::inject(uint32_t src, uint32_t dst, uint32_t flits,
+                uint64_t now)
 {
-    if (pkt.src >= _numNodes || pkt.dst >= _numNodes)
-        panic("Network: bad endpoint ", pkt.src, "->", pkt.dst);
-    if (pkt.flits == 0)
+    if (src >= _numNodes || dst >= _numNodes)
+        panic("Network: bad endpoint ", src, "->", dst);
+    if (flits == 0)
         panic("Network: empty packet");
-    pkt.sendCycle = _cycle;
-    pkt.hops = 0;
-    ++inFlight;
-    if (trec) {
-        trec->record({_cycle, pkt.src, trace::EventKind::NetSend, 0, 0,
-                      pkt.dst, pkt.flits});
-    }
-    TRACE(Net, "c", _cycle, " send ", pkt.src, "->", pkt.dst,
-          " flits=", pkt.flits);
-    advance(pkt.src, {pkt, _cycle});
-}
-
-void
-Network::advance(uint32_t node, Hop hop)
-{
-    int dir = 0;
-    int d = route(node, hop.pkt.dst, &dir);
-    if (d < 0) {
-        // Arrived; deliverable once the tail drains at the ejection
-        // port (cut-through pays the serialization latency once).
-        hop.readyAt += hop.pkt.flits - 1;
-        arrived[node].push_back(hop);
-        return;
-    }
-    links[linkIndex(node, d, dir)].queue.push_back(hop);
-}
-
-void
-Network::tick()
-{
-    ++_cycle;
-    // Move the head packet of every ready link one hop. A link is
-    // occupied for `flits` cycles per packet (serialization).
-    for (uint32_t node = 0; node < _numNodes; ++node) {
-        for (int d = 0; d < params.dim; ++d) {
-            for (int dir : {1, -1}) {
-                Link &link = links[linkIndex(node, d, dir)];
-                if (link.queue.empty() || link.busyUntil > _cycle)
-                    continue;
-                Hop hop = link.queue.front();
-                if (hop.readyAt > _cycle)
-                    continue;
-                link.queue.pop_front();
-                // Cut-through: the head moves after the switch delay;
-                // the link stays occupied for the whole packet's
-                // serialization (bandwidth), but downstream hops
-                // overlap with the tail still draining.
-                link.busyUntil = _cycle + hop.pkt.flits;
-                statFlitHops += hop.pkt.flits;
-                ++hop.pkt.hops;
-                hop.readyAt = _cycle + params.hopCycles;
-                uint32_t next_node = neighbor(node, d, dir);
-                if (trec) {
-                    trec->record({_cycle, next_node,
-                                  trace::EventKind::NetHop, 0, 0,
-                                  hop.pkt.dst, hop.pkt.hops});
-                }
-                advance(next_node, hop);
-            }
+    SrcPort &port = ports[src];
+    // Dimension-order routing: the first hop leaves along the lowest
+    // dimension whose coordinate differs. Local traffic (src == dst)
+    // never reaches the network, so link 0 is a safe placeholder.
+    uint32_t link = 0;
+    for (int d = 0; d < params.dim; ++d) {
+        int from = coord(src, d);
+        int to = coord(dst, d);
+        if (from != to) {
+            link = 2 * uint32_t(d) + (to > from ? 1 : 0);
+            break;
         }
     }
+    uint64_t &busy = port.linkBusyUntil[link];
+    Injection inj;
+    inj.start = std::max(now, busy);
+    inj.hops = distance(src, dst);
+    inj.arrive = inj.start + uint64_t(inj.hops) * params.hopCycles +
+                 flits;
+    inj.seq = port.seq++;
+    busy = inj.start + flits;
+    return inj;
 }
 
 void
-Network::deliver(uint32_t node, std::vector<Packet> &out)
+Network::recordDelivery(uint32_t dst, uint64_t latency, uint32_t hops,
+                        uint32_t flits)
 {
-    out.clear();
-    auto &q = arrived.at(node);
-    while (!q.empty() && q.front().readyAt <= _cycle) {
-        const Hop &hop = q.front();
-        ++statPackets;
-        statLatency.sample(double(_cycle - hop.pkt.sendCycle));
-        statHops.sample(hop.pkt.hops);
-        --inFlight;
-        if (trec) {
-            trec->record({_cycle, node, trace::EventKind::NetDeliver,
-                          0, 0, hop.pkt.src,
-                          uint32_t(_cycle - hop.pkt.sendCycle)});
-        }
-        TRACE(Net, "c", _cycle, " deliver ", hop.pkt.src, "->", node,
-              " latency=", _cycle - hop.pkt.sendCycle);
-        out.push_back(hop.pkt);
-        q.pop_front();
-    }
+    DstStats &s = dstStats.at(dst);
+    ++s.packets;
+    s.flitHops += uint64_t(flits) * hops;
+    s.latencySum += latency;
+    s.hopSum += hops;
 }
 
-uint64_t
-Network::nextEventCycle() const
+void
+Network::foldStats()
 {
-    if (inFlight == 0)
-        return kNeverCycle;
-    uint64_t next = kNeverCycle;
-    // A queued hop moves at the first tick() where both the hop's head
-    // has reached the router and the link has drained the previous
-    // packet's tail (tick's `readyAt > _cycle` / `busyUntil > _cycle`
-    // guards).
-    for (const Link &link : links) {
-        if (link.queue.empty())
-            continue;
-        uint64_t e = std::max(link.queue.front().readyAt, link.busyUntil);
-        next = std::min(next, e);
+    // Sums of integers well below 2^53: exact in double regardless of
+    // node order, so the fold is bit-identical for any sharding.
+    uint64_t packets = 0, flit_hops = 0, lat_sum = 0, hop_sum = 0;
+    for (const DstStats &s : dstStats) {
+        packets += s.packets;
+        flit_hops += s.flitHops;
+        lat_sum += s.latencySum;
+        hop_sum += s.hopSum;
     }
-    // An arrived packet becomes deliverable (front of the ejection
-    // FIFO only, matching deliver()) once its tail drains.
-    for (const auto &q : arrived) {
-        if (!q.empty())
-            next = std::min(next, q.front().readyAt);
-    }
-    // Nothing can happen before the next tick.
-    return std::max(next, _cycle + 1);
+    statPackets = double(packets);
+    statFlitHops = double(flit_hops);
+    statLatency.set(double(lat_sum), packets);
+    statHops.set(double(hop_sum), packets);
 }
 
 } // namespace april::net

@@ -1,29 +1,48 @@
 /**
  * @file
- * A low-dimension direct network: the k-ary n-cube (mesh) of
- * Section 2.1, cycle-stepped with link contention.
+ * The k-ary n-cube (mesh) of Section 2.1, modeled at its endpoints.
  *
  * Topology: n dimensions of radix k, bidirectional mesh links,
- * dimension-order routing (all X hops, then Y, then Z ...). Each
- * directed link carries one flit per cycle; a packet of B flits
- * occupies its link for B cycles, which is where queueing delay and
- * the bandwidth ceiling of Section 8 come from.
+ * dimension-order distances. Timing is computed at injection time
+ * (a source-link contention model):
  *
- * Routers use unbounded FIFO output queues (virtual-channel flow
- * control is beyond the paper's level of detail); latency statistics
- * therefore reflect contention but the network never deadlocks.
+ *   start   = max(now, first-hop link free)
+ *   arrival = start + distance * hopCycles + flits
+ *
+ * Each node owns one injection port per outgoing link (2 * dim of
+ * them), chosen by the packet's dimension-order first hop; a packet
+ * of B flits occupies that link for B cycles, which is where
+ * back-to-back send queueing comes from, while packets leaving in
+ * different directions pipeline in parallel — matching the wormhole
+ * behaviour at the hop that actually saturates (a home node fanning
+ * out replies). Contention at interior links is not modeled; for the
+ * coherence traffic the machine generates, first-link serialization
+ * dominates and the zero-load latency matches the cut-through
+ * pipeline (hops * hopCycles switch traversals plus the packet drain
+ * time).
+ *
+ * Computing the arrival cycle at injection is what makes the
+ * parallel execution engine possible (DESIGN.md §7.6): a packet's
+ * delivery time is known the moment it is sent, every cross-node
+ * latency is at least hopCycles + flits, and so shards can advance a
+ * whole quantum without observing each other. There is no per-cycle
+ * network tick at all; the machine owns the per-node arrival queues
+ * and asks this class only for timing, topology, and statistics.
+ *
+ * Delivery statistics accumulate into plain per-node counters (the
+ * delivering shard touches only its own nodes' slots) and fold into
+ * the stats::Group members at deterministic synchronization points
+ * via foldStats().
  */
 
 #ifndef APRIL_NETWORK_NETWORK_HH
 #define APRIL_NETWORK_NETWORK_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/bits.hh"
 #include "common/stats.hh"
-#include "common/trace.hh"
 
 namespace april::net
 {
@@ -36,15 +55,13 @@ struct NetworkParams
     uint32_t hopCycles = 1;     ///< switch traversal delay
 };
 
-/** An in-flight message; payload meaning belongs to the coherence layer. */
-struct Packet
+/** Timing of one injected packet. */
+struct Injection
 {
-    uint32_t src = 0;
-    uint32_t dst = 0;
-    uint32_t flits = 1;         ///< serialization length
-    uint64_t payload = 0;       ///< opaque handle for the user
-    uint64_t sendCycle = 0;     ///< stamped by send()
-    uint32_t hops = 0;
+    uint64_t start = 0;         ///< cycle the head leaves the source
+    uint64_t arrive = 0;        ///< cycle the tail drains at the dest
+    uint64_t seq = 0;           ///< per-source sequence number
+    uint32_t hops = 0;          ///< dimension-order distance
 };
 
 /** The mesh. */
@@ -55,41 +72,42 @@ class Network : public stats::Group
                      stats::Group *parent = nullptr);
 
     uint32_t numNodes() const { return _numNodes; }
-
-    /** Attach the machine's event recorder (nullptr: tracing off). */
-    void setTraceRecorder(trace::Recorder *r) { trec = r; }
-
-    /** Inject a packet at its source router. */
-    void send(Packet pkt);
-
-    /** Advance every link by one cycle. */
-    void tick();
+    uint32_t hopCycles() const { return params.hopCycles; }
 
     /**
-     * Drain packets that have arrived at @p node into @p out. The
-     * buffer is cleared first and is caller-owned so a machine ticking
-     * every node every cycle reuses one allocation instead of
-     * constructing a fresh vector per node per cycle.
+     * Inject a packet of @p flits flits at @p src headed to @p dst at
+     * cycle @p now: serializes on the source injection port and
+     * returns the computed timing. Only @p src's shard may call this
+     * for @p src (per-source state).
      */
-    void deliver(uint32_t node, std::vector<Packet> &out);
-
-    /** @return true when no packet is anywhere in the network. */
-    bool idle() const { return inFlight == 0; }
+    Injection inject(uint32_t src, uint32_t dst, uint32_t flits,
+                     uint64_t now);
 
     /**
-     * Earliest cycle at which the network can do observable work: a
-     * link moving a head flit or an arrived packet finishing ejection.
-     * kNeverCycle when nothing is in flight. Used by the machines'
-     * cycle-skipping run loops.
+     * Account one delivered packet at @p dst (per-destination
+     * accumulators; only @p dst's shard may call this for @p dst).
      */
-    uint64_t nextEventCycle() const;
+    void recordDelivery(uint32_t dst, uint64_t latency, uint32_t hops,
+                        uint32_t flits);
 
     /**
-     * Fast-forward @p cycles cycles during which the caller has
-     * established (via nextEventCycle()) that no link or ejection port
-     * has work. Equivalent to @p cycles tick() calls.
+     * Recompute the stats::Group members from the per-node
+     * accumulators. Idempotent; the machine calls it at deterministic
+     * synchronization points (quiesce, run exit, interval samples) so
+     * dumped statistics are identical for every host-thread count.
      */
-    void skip(uint64_t cycles) { _cycle += cycles; }
+    void foldStats();
+
+    /**
+     * The smallest possible send-to-delivery latency of a cross-node
+     * packet no smaller than @p min_flits: the parallel engine's
+     * quantum bound.
+     */
+    uint64_t
+    minCrossNodeLatency(uint32_t min_flits) const
+    {
+        return uint64_t(params.hopCycles) + min_flits;
+    }
 
     /** Zero-load round-trip latency between @p a and @p b. */
     uint32_t unloadedRoundTrip(uint32_t a, uint32_t b,
@@ -98,43 +116,36 @@ class Network : public stats::Group
     /** Manhattan distance in hops. */
     uint32_t distance(uint32_t a, uint32_t b) const;
 
-    uint64_t cycle() const { return _cycle; }
-
     stats::Scalar statPackets;
     stats::Scalar statFlitHops;
     stats::Average statLatency;     ///< send-to-delivery cycles
     stats::Average statHops;
 
   private:
-    struct Hop
+    /** Per-source injection state, one busy time per outgoing link
+     *  (owned by the source's shard). */
+    struct alignas(64) SrcPort
     {
-        Packet pkt;
-        uint64_t readyAt = 0;   ///< when the head reaches this router
+        /// Indexed by 2 * dimension + direction of the first hop.
+        std::vector<uint64_t> linkBusyUntil;
+        uint64_t seq = 0;
     };
 
-    /** One directed link's queue and its serialization state. */
-    struct Link
+    /** Per-destination delivery accounting (owned by the dest shard). */
+    struct alignas(64) DstStats
     {
-        std::deque<Hop> queue;
-        uint64_t busyUntil = 0;
+        uint64_t packets = 0;
+        uint64_t flitHops = 0;
+        uint64_t latencySum = 0;
+        uint64_t hopSum = 0;
     };
 
     int coord(uint32_t node, int d) const;
-    uint32_t neighbor(uint32_t node, int d, int dir) const;
-    /** Link index for (node, dimension, direction). */
-    size_t linkIndex(uint32_t node, int d, int dir) const;
-    /** Next hop for a packet at @p node headed to dst (or -1: local). */
-    int route(uint32_t node, uint32_t dst, int *dir) const;
-
-    void advance(uint32_t node, Hop hop);
 
     NetworkParams params;
     uint32_t _numNodes;
-    trace::Recorder *trec = nullptr;
-    std::vector<Link> links;
-    std::vector<std::deque<Hop>> arrived;
-    uint64_t _cycle = 0;
-    uint64_t inFlight = 0;
+    std::vector<SrcPort> ports;
+    std::vector<DstStats> dstStats;
 };
 
 } // namespace april::net

@@ -164,44 +164,12 @@ TEST(CtrlNextEvent, IdlePendingAndInbox)
     EXPECT_EQ(ctrl.nextEventCycle(), fabric.cur + 1);
 }
 
-// ---------------------------------------------------------------------
-// net::Network::nextEventCycle
-// ---------------------------------------------------------------------
-
-TEST(NetNextEvent, InFlightPacketEventsMatchTicking)
-{
-    net::Network n({.dim = 1, .radix = 4});
-
-    // Empty network: no events.
-    EXPECT_EQ(n.nextEventCycle(), kNeverCycle);
-
-    net::Packet pkt;
-    pkt.src = 0;
-    pkt.dst = 2;
-    pkt.flits = 2;
-    n.send(pkt);
-
-    // Step tick-by-tick; whenever nextEventCycle() says the network is
-    // quiet until cycle E, verify no delivery happens before E.
-    std::vector<net::Packet> buf;
-    uint64_t guard = 0;
-    while (n.idle() == false) {
-        uint64_t next = n.nextEventCycle();
-        ASSERT_NE(next, kNeverCycle);
-        ASSERT_GT(next, n.cycle());
-        n.tick();
-        n.deliver(2, buf);
-        if (!buf.empty()) {
-            EXPECT_GE(n.cycle(), next)
-                << "a packet was delivered before the advertised event";
-            EXPECT_EQ(buf.size(), 1u);
-            EXPECT_EQ(buf[0].dst, 2u);
-        }
-        ASSERT_LT(++guard, 100u) << "packet never arrived";
-    }
-    EXPECT_EQ(n.statPackets.value(), 1.0);
-    EXPECT_EQ(n.nextEventCycle(), kNeverCycle);
-}
+// The network computes each packet's arrival cycle at injection time
+// (endpoint model) and keeps no per-cycle state, so it has no
+// nextEventCycle() of its own: in-flight packets bound the machine's
+// skip windows through the per-node arrival queues, which the
+// machine-level differential below (and tests/parallel_run_test.cc)
+// pin cycle-exactly.
 
 // ---------------------------------------------------------------------
 // Differential: coherence-stress workload on the full machine

@@ -53,11 +53,18 @@ TEST(FuzzDifferential, RandomPrograms)
 {
     uint64_t iters = testutil::envOrU64("APRIL_FUZZ_ITERS", 500);
     uint64_t base = testutil::envOrU64("APRIL_FUZZ_SEED", kDefaultSeed);
+    // Every fourth case also replays on the parallel engine, cycling
+    // through 2, 3 and 4 host threads; APRIL_FUZZ_THREADS pins every
+    // case to one count instead.
+    uint64_t pin = testutil::envOrU64("APRIL_FUZZ_THREADS", 0);
     uint64_t cycles = 0;
     for (uint64_t i = 0; i < iters; ++i) {
         uint64_t seed = deriveSeed(base, i);
         FuzzCase c = sampleCase(seed);
-        DiffResult r = runDifferential(c);
+        DiffOptions opts;
+        opts.hostThreads = pin ? uint32_t(pin)
+                               : (i % 4 == 3 ? 2 + (i / 4) % 3 : 1);
+        DiffResult r = runDifferential(c, opts);
         if (!r.ok)
             FAIL() << "iteration " << i << ":\n" << failureReport(c, r);
         cycles += r.alewifeCycles;
@@ -112,6 +119,17 @@ TEST(FuzzDifferential, CorpusReplays)
         ASSERT_EQ(err, "");
         DiffResult r = runDifferential(c);
         EXPECT_TRUE(r.ok) << r.divergence;
+
+        // Past regressions are exactly the cases most likely to poke
+        // at quantum-boundary behavior: replay each one through the
+        // parallel engine too.
+        for (uint32_t threads : {2u, 4u}) {
+            DiffOptions opts;
+            opts.hostThreads = threads;
+            DiffResult pr = runDifferential(c, opts);
+            EXPECT_TRUE(pr.ok)
+                << "threads=" << threads << ":\n" << pr.divergence;
+        }
     }
 }
 

@@ -1,4 +1,4 @@
-/** @file Unit tests for the k-ary n-cube network simulator. */
+/** @file Unit tests for the k-ary n-cube network timing model. */
 
 #include <gtest/gtest.h>
 
@@ -27,55 +27,15 @@ TEST(Network, ManhattanDistance)
     EXPECT_EQ(n.distance(0, 15), 6u);       // corner to corner
 }
 
-TEST(Network, DeliversSinglePacket)
-{
-    Network n({.dim = 2, .radix = 4});
-    Packet p;
-    p.src = 0;
-    p.dst = 15;
-    p.flits = 1;
-    p.payload = 77;
-    n.send(p);
-    std::vector<Packet> got;
-    for (int i = 0; i < 50; ++i) {
-        n.deliver(15, got);
-        if (!got.empty())
-            break;
-        n.tick();
-    }
-    // Re-check with one more delivered batch.
-    n.tick();
-    n.deliver(15, got);
-    bool found = false;
-    for (auto &pkt : got)
-        found |= pkt.payload == 77;
-    if (!found) {
-        // the earlier drains consumed it; that is fine as long as it
-        // did not vanish
-        EXPECT_TRUE(n.idle());
-    }
-}
-
-TEST(Network, LatencyMatchesUnloadedFormula)
+TEST(Network, InjectionMatchesUnloadedFormula)
 {
     Network n({.dim = 2, .radix = 8});
-    Packet p;
-    p.src = 0;
-    p.dst = 7;              // 7 hops
-    p.flits = 4;
-    n.send(p);
-    uint64_t cycles = 0;
-    std::vector<Packet> got;
-    while (got.empty() && cycles < 200) {
-        n.tick();
-        ++cycles;
-        n.deliver(7, got);
-    }
-    ASSERT_EQ(got.size(), 1u);
-    // One way (cut-through): hops * hopCycles + (flits - 1), plus the
-    // injection cycle.
-    EXPECT_EQ(cycles, 7u * 1 + 3u + 1u);
-    EXPECT_EQ(got[0].hops, 7u);
+    // 7 hops, 4 flits, injected at cycle 0 on an idle port:
+    // arrival = 7 * hopCycles + 4.
+    Injection inj = n.inject(0, 7, 4, 0);
+    EXPECT_EQ(inj.start, 0u);
+    EXPECT_EQ(inj.hops, 7u);
+    EXPECT_EQ(inj.arrive, 7u * 1 + 4u);
 }
 
 TEST(Network, UnloadedRoundTripFormula)
@@ -84,100 +44,79 @@ TEST(Network, UnloadedRoundTripFormula)
     // Average nk/3 = 20 hops each way, packet size 4:
     // 2 * (20 + 3) = 46 network cycles; the remaining 9 of the
     // paper's 55 are memory latency and controller occupancy.
-    uint32_t rt = 0;
-    // pick two nodes 20 hops apart
     uint32_t a = 0;
     uint32_t b = 0 + 10 + 10 * 20;      // +10 in X, +10 in Y
     ASSERT_EQ(n.distance(a, b), 20u);
-    rt = n.unloadedRoundTrip(a, b, 4);
-    EXPECT_EQ(rt, 46u);
+    EXPECT_EQ(n.unloadedRoundTrip(a, b, 4), 46u);
 }
 
-TEST(Network, ContentionSerializesSharedLink)
+TEST(Network, SourcePortSerializesBackToBackSends)
 {
-    // Two packets from the same source over the same first link: the
-    // second is delayed by the first's serialization.
+    // Two packets from the same source: the second's head cannot
+    // leave until the first's 4 flits have drained from the port.
     Network n({.dim = 1, .radix = 4});
-    Packet p;
-    p.src = 0;
-    p.dst = 3;
-    p.flits = 4;
-    n.send(p);
-    n.send(p);
-    uint64_t cycles = 0;
-    int seen = 0;
-    uint64_t last = 0;
-    std::vector<Packet> batch;
-    while (seen < 2 && cycles < 100) {
-        n.tick();
-        ++cycles;
-        n.deliver(3, batch);
-        for (auto &pkt : batch) {
-            (void)pkt;
-            ++seen;
-            last = cycles;
-        }
-    }
-    ASSERT_EQ(seen, 2);
-    // Unloaded: 3 hops + 3 drain = 6; the second should take ~4 more.
-    EXPECT_GE(last, 9u);
+    Injection first = n.inject(0, 3, 4, 0);
+    Injection second = n.inject(0, 3, 4, 0);
+    EXPECT_EQ(first.start, 0u);
+    EXPECT_EQ(first.arrive, 3u * 1 + 4u);
+    EXPECT_EQ(second.start, 4u);
+    EXPECT_EQ(second.arrive, 4u + 3u * 1 + 4u);
+    // Sequence numbers order same-source traffic canonically.
+    EXPECT_LT(first.seq, second.seq);
 }
 
-TEST(Network, ManyRandomPacketsAllArrive)
+TEST(Network, PortFreesAfterDrain)
+{
+    Network n({.dim = 1, .radix = 4});
+    Injection first = n.inject(0, 3, 2, 0);
+    EXPECT_EQ(first.arrive, 5u);
+    // Injecting after the port drained sees no queueing delay.
+    Injection later = n.inject(0, 1, 2, 10);
+    EXPECT_EQ(later.start, 10u);
+    EXPECT_EQ(later.arrive, 10u + 1u + 2u);
+}
+
+TEST(Network, MinCrossNodeLatencyBoundsEveryPacket)
 {
     Network n({.dim = 2, .radix = 5});
     Rng rng(3);
-    int sent = 0;
+    uint64_t q = n.minCrossNodeLatency(2);
+    EXPECT_EQ(q, 3u);
     for (int i = 0; i < 200; ++i) {
-        Packet p;
-        p.src = uint32_t(rng.below(25));
-        p.dst = uint32_t(rng.below(25));
-        p.flits = 1 + uint32_t(rng.below(6));
-        p.payload = uint64_t(i);
-        n.send(p);
-        ++sent;
+        uint32_t src = uint32_t(rng.below(25));
+        uint32_t dst = uint32_t(rng.below(25));
+        if (src == dst)
+            continue;
+        uint32_t flits = 2 + uint32_t(rng.below(5));
+        uint64_t now = uint64_t(i);
+        Injection inj = n.inject(src, dst, flits, now);
+        EXPECT_GE(inj.arrive, now + q);
     }
-    int got = 0;
-    std::vector<Packet> batch;
-    for (int c = 0; c < 5000 && got < sent; ++c) {
-        n.tick();
-        for (uint32_t node = 0; node < n.numNodes(); ++node) {
-            n.deliver(node, batch);
-            got += int(batch.size());
-        }
-    }
-    EXPECT_EQ(got, sent);
-    EXPECT_TRUE(n.idle());
-    EXPECT_EQ(n.statPackets.value(), double(sent));
 }
 
 TEST(Network, StatsTrackHopsAndLatency)
 {
     Network n({.dim = 1, .radix = 4});
-    Packet p;
-    p.src = 0;
-    p.dst = 2;
-    p.flits = 1;
-    n.send(p);
-    std::vector<Packet> batch;
-    for (int i = 0; i < 10; ++i) {
-        n.tick();
-        n.deliver(2, batch);
-    }
+    Injection inj = n.inject(0, 2, 1, 0);
+    EXPECT_EQ(inj.arrive, 3u);
+    n.recordDelivery(2, inj.arrive - 0, inj.hops, 1);
+    n.recordDelivery(2, 5, 2, 1);
+    n.foldStats();
+    EXPECT_DOUBLE_EQ(n.statPackets.value(), 2.0);
     EXPECT_DOUBLE_EQ(n.statHops.mean(), 2.0);
-    EXPECT_GE(n.statLatency.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(n.statLatency.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(n.statFlitHops.value(), 4.0);
+    // foldStats is idempotent: folding again must not double-count.
+    n.foldStats();
+    EXPECT_DOUBLE_EQ(n.statPackets.value(), 2.0);
 }
 
 TEST(Network, BadEndpointsPanic)
 {
     Network n({.dim = 1, .radix = 4});
-    Packet p;
-    p.src = 9;
-    p.dst = 0;
-    EXPECT_THROW(n.send(p), PanicError);
-    p.src = 0;
-    p.flits = 0;
-    EXPECT_THROW(n.send(p), PanicError);
+    EXPECT_THROW(n.inject(9, 0, 1, 0), PanicError);
+    EXPECT_THROW(n.inject(0, 9, 1, 0), PanicError);
+    EXPECT_THROW(n.inject(0, 1, 0, 0), PanicError);
 }
 
 TEST(Network, BadGeometryIsFatal)

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The parallel execution engine (DESIGN.md §7.6): AlewifeMachine
+ * sharded over host worker threads must be a bit-for-bit twin of the
+ * sequential simulator — identical final snapshot, cycle count, stats
+ * dump and trace JSON — for every thread count, with cycle-skipping
+ * on or off, and across arbitrary pause/resume boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "machine/alewife_machine.hh"
+#include "machine/snapshot.hh"
+#include "mult/compiler.hh"
+#include "workloads/workloads.hh"
+
+namespace april
+{
+namespace
+{
+
+/** Everything observable about one finished run. */
+struct RunOut
+{
+    MachineSnapshot snap;
+    std::string stats;
+    std::string trace;
+    Word result = 0;
+    uint64_t cycles = 0;
+    uint32_t threadsUsed = 0;
+    uint64_t quantum = 0;
+};
+
+Program
+compileLazy(const std::string &source)
+{
+    mult::CompileOptions copts;
+    copts.futures = mult::CompileOptions::FutureMode::Lazy;
+    Assembler as;
+    rt::Runtime runtime;
+    runtime.emit(as);
+    mult::Compiler compiler(as, copts);
+    compiler.compileSource(source);
+    return as.finish();
+}
+
+std::unique_ptr<AlewifeMachine>
+makeMachine(const Program &prog, uint32_t threads, bool skip)
+{
+    AlewifeParams p;
+    p.network = {.dim = 2, .radix = 2};
+    p.wordsPerNode = 1u << 20;
+    p.controller.cache = {.lineWords = 4, .numLines = 512, .assoc = 4};
+    p.cycleSkip = skip;
+    p.traceEvents = true;
+    p.hostThreads = threads;
+    return std::make_unique<AlewifeMachine>(p, &prog);
+}
+
+RunOut
+finish(AlewifeMachine &m)
+{
+    EXPECT_TRUE(m.halted());
+    // No quiesce: the booted runtime's idle workers spin forever, so
+    // the machine never goes fully silent. Every run stops at the
+    // same committed halt cycle, which is all twin comparison needs —
+    // in-flight traffic is part of the deterministic state.
+    RunOut out;
+    out.result = m.console().empty() ? 0 : m.console().back();
+    out.cycles = m.cycle();
+    out.threadsUsed = m.hostThreads();
+    out.quantum = m.quantum();
+    out.snap = snapshotMachine(m);
+    std::ostringstream stats, trace;
+    m.dump(stats);
+    out.stats = stats.str();
+    m.writeTrace(trace);
+    out.trace = trace.str();
+    return out;
+}
+
+RunOut
+runOnce(const Program &prog, uint32_t threads, bool skip)
+{
+    auto m = makeMachine(prog, threads, skip);
+    m->run(80'000'000);
+    return finish(*m);
+}
+
+void
+expectTwin(const RunOut &ref, const RunOut &got, const std::string &what)
+{
+    EXPECT_EQ(got.cycles, ref.cycles) << what;
+    std::string diff = compareExact(ref.snap, got.snap);
+    EXPECT_EQ(diff, "") << what;
+    EXPECT_EQ(got.stats, ref.stats) << what;
+    EXPECT_EQ(got.trace, ref.trace) << what;
+}
+
+class ParallelRun : public testing::TestWithParam<const char *>
+{
+};
+
+/** All four suite workloads: threads 2..4 x skip on/off, each a
+ *  bit-identical twin of the one-thread run in the same skip mode. */
+TEST_P(ParallelRun, ShardedRunIsBitIdentical)
+{
+    workloads::SuiteSizes s;
+    s.fibN = 10;
+    s.factorLo = 120;
+    s.factorHi = 150;
+    s.queensN = 5;
+    s.speechLayers = 4;
+    s.speechWidth = 4;
+    std::string name = GetParam();
+    workloads::Benchmark b =
+        name == "fib"      ? workloads::makeFib(s)
+        : name == "factor" ? workloads::makeFactor(s)
+        : name == "queens" ? workloads::makeQueens(s)
+                           : workloads::makeSpeech(s);
+    Program prog = compileLazy(b.source);
+
+    for (bool skip : {true, false}) {
+        RunOut ref = runOnce(prog, 1, skip);
+        EXPECT_EQ(ref.threadsUsed, 1u);
+        EXPECT_EQ(tagged::toInt(ref.result), b.expected);
+        for (uint32_t threads : {2u, 3u, 4u}) {
+            RunOut par = runOnce(prog, threads, skip);
+            EXPECT_EQ(par.threadsUsed, threads);
+            EXPECT_GE(par.quantum, 1u);
+            expectTwin(ref, par,
+                       name + " threads=" + std::to_string(threads) +
+                           " skip=" + (skip ? "on" : "off"));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ParallelRun,
+                         testing::Values("fib", "factor", "queens",
+                                         "speech"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+/** Pausing run() mid-flight — at quantum multiples and at ragged
+ *  off-grid cycle counts — and resuming must not perturb anything:
+ *  the quantum grid is absolute, not relative to the call. */
+TEST(ParallelRunResume, ChunkedRunMatchesContinuousRun)
+{
+    Program prog = compileLazy(workloads::fibSource(10));
+    RunOut ref = runOnce(prog, 4, true);
+
+    for (uint64_t chunk : {uint64_t(1), uint64_t(0)}) {
+        auto m = makeMachine(prog, 4, true);
+        uint64_t step = chunk ? m->quantum() * 16 // on-grid pauses
+                              : 997;              // ragged pauses
+        uint64_t guard = 0;
+        while (!m->halted() && ++guard < 1'000'000)
+            m->run(step);
+        RunOut got = finish(*m);
+        expectTwin(ref, got,
+                   std::string("chunked step=") + std::to_string(step));
+    }
+}
+
+/** Thread counts beyond the node count clamp instead of failing. */
+TEST(ParallelRunResume, ThreadsClampToNodeCount)
+{
+    Program prog = compileLazy(workloads::fibSource(8));
+    RunOut ref = runOnce(prog, 1, true);
+    RunOut par = runOnce(prog, 64, true);
+    EXPECT_LE(par.threadsUsed, 4u);
+    EXPECT_GE(par.threadsUsed, 2u);
+    expectTwin(ref, par, "threads=64 (clamped)");
+}
+
+} // namespace
+} // namespace april

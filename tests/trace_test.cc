@@ -217,7 +217,6 @@ TEST(TraceDifferential, StallStressStreamIdenticalWithSkipOnOff)
         saw[size_t(e.kind)] = true;
     EXPECT_TRUE(saw[size_t(trace::EventKind::Coherence)]);
     EXPECT_TRUE(saw[size_t(trace::EventKind::NetSend)]);
-    EXPECT_TRUE(saw[size_t(trace::EventKind::NetHop)]);
     EXPECT_TRUE(saw[size_t(trace::EventKind::NetDeliver)]);
 
     // And the real machine's export passes the schema check too.

@@ -64,6 +64,9 @@ usage()
         "options:\n"
         "  --perfect          perfect shared memory instead of ALEWIFE\n"
         "  --nodes=N          node count with --perfect (default 4)\n"
+        "  --threads=N        host worker threads for the ALEWIFE run\n"
+        "                     (default 1; the profile is bit-identical\n"
+        "                     at any thread count)\n"
         "  --frames=N         task frames per processor (default 4)\n"
         "  --period=N         PC sample period (default 64)\n"
         "  --interval=N       stats snapshot period (default 4096)\n"
@@ -296,6 +299,7 @@ struct RunOptions
     std::string workload = "fib:12";
     bool perfect = false;
     uint32_t nodes = 4;
+    uint32_t threads = 1;
     uint32_t frames = 4;
     uint64_t period = 64;
     uint64_t interval = 4096;
@@ -342,7 +346,13 @@ runProfile(const RunOptions &opt)
         mp.profile = true;
         mp.profilePeriod = opt.period;
         mp.statsInterval = opt.interval;
+        mp.hostThreads = opt.threads;
         alewife = std::make_unique<AlewifeMachine>(mp, &prog);
+    }
+    if (opt.perfect && opt.threads > 1) {
+        std::fprintf(stderr,
+                     "april-prof: --threads applies to the ALEWIFE "
+                     "machine; the perfect machine runs serially\n");
     }
 
     uint64_t cycles;
@@ -374,11 +384,14 @@ runProfile(const RunOptions &opt)
         std::fprintf(stderr, "april-prof: no boot output\n");
         return 2;
     }
-    std::printf("%s on %s: result %s (expected %lld), %llu cycles\n\n",
+    std::printf("%s on %s: result %s (expected %lld), %llu cycles",
                 opt.workload.c_str(),
                 perfect ? "perfect shared memory" : "2x2 ALEWIFE",
                 tagged::toString(console.back()).c_str(),
                 (long long)w.expected, (unsigned long long)cycles);
+    if (alewife && alewife->hostThreads() > 1)
+        std::printf(" (%u host threads)", alewife->hostThreads());
+    std::printf("\n\n");
 
     profile::ProfileSource src = perfect ? perfect->profileSource()
                                          : alewife->profileSource();
@@ -433,6 +446,9 @@ main(int argc, char **argv)
             opt.perfect = true;
         else if (arg.rfind("--nodes=", 0) == 0)
             opt.nodes = uint32_t(std::atoi(value("--nodes=").c_str()));
+        else if (arg.rfind("--threads=", 0) == 0)
+            opt.threads =
+                uint32_t(std::atoi(value("--threads=").c_str()));
         else if (arg.rfind("--frames=", 0) == 0)
             opt.frames =
                 uint32_t(std::atoi(value("--frames=").c_str()));

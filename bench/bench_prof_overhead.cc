@@ -33,6 +33,7 @@
 #include "machine/alewife_machine.hh"
 #include "machine/driver.hh"
 #include "profile/report.hh"
+#include "workloads/handwritten.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -40,66 +41,6 @@ namespace
 
 using namespace april;
 using namespace tagged;
-
-constexpr Addr kLock = 400;
-constexpr Addr kCount = 404;
-
-/** The bench_sim_speed coherent loop: contended f/e lock + DIV. */
-Program
-buildCoherentLoop(uint32_t nodes, uint32_t iters)
-{
-    Assembler as;
-    as.bind("worker");
-    as.movi(1, ptr(kLock, Tag::Other));
-    as.movi(2, ptr(kCount, Tag::Other));
-    as.movi(3, 0);
-    as.movi(7, fixnum(84));
-    as.movi(8, fixnum(4));
-    as.bind("loop");
-    as.div(9, 7, 8);
-    as.bind("acq");
-    as.ldenw(4, 1, 0);
-    as.jRaw(Cond::EMPTY, "acq");
-    as.nop();
-    as.ldnw(5, 2, 0);
-    as.addi(5, 5, int32_t(fixnum(1)));
-    as.stnw(5, 2, 0);
-    as.stfnw(reg::r0, 1, 0);
-    as.addiR(3, 3, 1);
-    as.cmpiR(3, int32_t(iters));
-    as.jRaw(Cond::LT, "loop");
-    as.nop();
-    as.ldio(6, int(IoReg::NodeId));
-    as.cmpiR(6, 0);
-    as.jRaw(Cond::NE, "done");
-    as.nop();
-    as.bind("wait");
-    as.ldnw(5, 2, 0);
-    as.cmpiR(5, int32_t(fixnum(int32_t(nodes * iters))));
-    as.jRaw(Cond::NE, "wait");
-    as.nop();
-    as.stio(int(IoReg::MachineHalt), reg::r0);
-    as.bind("done");
-    as.halt();
-
-    as.bind("cswitch");
-    as.rdpsr(reg::t(0));
-    as.incfp();
-    as.nop();
-    as.wrpsr(reg::t(0));
-    as.nop();
-    as.rettRetry();
-    as.bind("fyield");
-    as.moviLabel(reg::t(1), "fyield");
-    as.wrspec(Spec::TrapPC, reg::t(1));
-    as.addiR(reg::t(1), reg::t(1), 1);
-    as.wrspec(Spec::TrapNPC, reg::t(1));
-    as.rdpsr(reg::t(0));
-    as.incfp();
-    as.wrpsr(reg::t(0));
-    as.rettRetry();
-    return as.finish();
-}
 
 struct Measurement
 {
@@ -121,9 +62,11 @@ struct WorkloadResult
 };
 
 Measurement
-runAlewifeOnce(const Program &prog, uint32_t nodes, bool profile,
-               uint32_t host_threads = 1)
+runAlewifeOnce(const workloads::CoherentLoop &coh, uint32_t nodes,
+               bool profile, uint32_t host_threads = 1,
+               bool coh_trace = false)
 {
+    const Program &prog = coh.prog;
     AlewifeParams p;
     p.network = {.dim = 2, .radix = 2};                 // 4 nodes
     p.wordsPerNode = 1u << 16;
@@ -133,19 +76,11 @@ runAlewifeOnce(const Program &prog, uint32_t nodes, bool profile,
     p.profilePeriod = 64;
     p.statsInterval = profile ? 4096 : 0;
     p.hostThreads = host_threads;
+    p.cohTrace = coh_trace;
     AlewifeMachine m(p, &prog);
-    for (uint32_t n = 0; n < nodes; ++n) {
-        Processor &proc = m.proc(n);
-        proc.reset(prog.entry("worker"));
-        proc.setTrapVector(TrapKind::RemoteMiss, prog.entry("cswitch"));
-        proc.setTrapVector(TrapKind::FeEmpty, prog.entry("cswitch"));
-        for (uint32_t f = 1; f < proc.numFrames(); ++f) {
-            proc.frame(f).trapPC = prog.entry("fyield");
-            proc.frame(f).trapNPC = prog.entry("fyield") + 1;
-            proc.frame(f).trapRegs[0] = psr::ET;
-        }
-    }
-    m.memory().write(kCount, fixnum(0));
+    for (uint32_t n = 0; n < nodes; ++n)
+        workloads::bootCoherentNode(m.proc(n), prog);
+    m.memory().write(coh.count, fixnum(0));
 
     auto t0 = std::chrono::steady_clock::now();
     m.run(2'000'000'000);
@@ -237,15 +172,15 @@ main(int argc, char **argv)
 
     uint32_t iters = quick ? 100 : 2'000;
     int fib_n = quick ? 10 : 13;
-    Program prog = buildCoherentLoop(4, iters);
+    workloads::CoherentLoop coh = workloads::buildCoherentLoop(4, iters);
 
     std::vector<WorkloadResult> results;
     {
         WorkloadResult r;
         r.name = "alewife_coherent4";
-        r.off = best([&] { return runAlewifeOnce(prog, 4, false); },
+        r.off = best([&] { return runAlewifeOnce(coh, 4, false); },
                      reps);
-        r.on = best([&] { return runAlewifeOnce(prog, 4, true); },
+        r.on = best([&] { return runAlewifeOnce(coh, 4, true); },
                     reps);
         results.push_back(std::move(r));
     }
@@ -288,8 +223,8 @@ main(int argc, char **argv)
     // run sharded over 4 host threads must produce byte-identical
     // profile JSON and stats to the profiled sequential run.
     {
-        Measurement seq = runAlewifeOnce(prog, 4, true, 1);
-        Measurement par = runAlewifeOnce(prog, 4, true, 4);
+        Measurement seq = runAlewifeOnce(coh, 4, true, 1);
+        Measurement par = runAlewifeOnce(coh, 4, true, 4);
         bool same = par.simCycles == seq.simCycles &&
                     par.stats == seq.stats &&
                     par.profile == seq.profile;
@@ -306,6 +241,32 @@ main(int argc, char **argv)
                          par.stats == seq.stats ? "equal" : "DIFFER",
                          par.profile == seq.profile ? "equal"
                                                     : "DIFFER");
+            ok = false;
+        }
+    }
+
+    // Coherence-transaction tracing must observe, not perturb: the
+    // same workload with cohTrace on must reproduce the untraced
+    // simulation digest exactly.
+    {
+        Measurement traced = runAlewifeOnce(coh, 4, false, 1, true);
+        const Measurement &off = results[0].off;
+        bool same = traced.simCycles == off.simCycles &&
+                    traced.insts == off.insts &&
+                    traced.stats == off.stats;
+        std::printf("%-20s %12s %12s %9s %10s\n", "cohTrace on", "-",
+                    "-", "-", same ? "yes" : "NO");
+        if (!same) {
+            std::fprintf(stderr,
+                         "FAIL: coherence tracing changed the "
+                         "simulation (cycles %llu vs %llu, insts "
+                         "%llu vs %llu, stats %s)\n",
+                         (unsigned long long)off.simCycles,
+                         (unsigned long long)traced.simCycles,
+                         (unsigned long long)off.insts,
+                         (unsigned long long)traced.insts,
+                         traced.stats == off.stats ? "equal"
+                                                   : "DIFFER");
             ok = false;
         }
     }

@@ -35,6 +35,7 @@
 #include "common/logging.hh"
 #include "machine/alewife_machine.hh"
 #include "machine/driver.hh"
+#include "workloads/handwritten.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -71,68 +72,6 @@ buildStallLoop(uint32_t iters)
     return as.finish();
 }
 
-constexpr Addr kLock = 400;
-constexpr Addr kCount = 404;
-
-/**
- * All nodes increment a shared f/e-locked counter, with a DIV per
- * iteration; node 0 waits for the full count and halts the machine.
- */
-Program
-buildCoherentLoop(uint32_t nodes, uint32_t iters)
-{
-    Assembler as;
-    as.bind("worker");
-    as.movi(1, ptr(kLock, Tag::Other));
-    as.movi(2, ptr(kCount, Tag::Other));
-    as.movi(3, 0);
-    as.movi(7, fixnum(84));
-    as.movi(8, fixnum(4));
-    as.bind("loop");
-    as.div(9, 7, 8);
-    as.bind("acq");
-    as.ldenw(4, 1, 0);
-    as.jRaw(Cond::EMPTY, "acq");
-    as.nop();
-    as.ldnw(5, 2, 0);
-    as.addi(5, 5, int32_t(fixnum(1)));
-    as.stnw(5, 2, 0);
-    as.stfnw(reg::r0, 1, 0);
-    as.addiR(3, 3, 1);
-    as.cmpiR(3, int32_t(iters));
-    as.jRaw(Cond::LT, "loop");
-    as.nop();
-    as.ldio(6, int(IoReg::NodeId));
-    as.cmpiR(6, 0);
-    as.jRaw(Cond::NE, "done");
-    as.nop();
-    as.bind("wait");
-    as.ldnw(5, 2, 0);
-    as.cmpiR(5, int32_t(fixnum(int32_t(nodes * iters))));
-    as.jRaw(Cond::NE, "wait");
-    as.nop();
-    as.stio(int(IoReg::MachineHalt), reg::r0);
-    as.bind("done");
-    as.halt();
-
-    as.bind("cswitch");
-    as.rdpsr(reg::t(0));
-    as.incfp();
-    as.nop();
-    as.wrpsr(reg::t(0));
-    as.nop();
-    as.rettRetry();
-    as.bind("fyield");
-    as.moviLabel(reg::t(1), "fyield");
-    as.wrspec(Spec::TrapPC, reg::t(1));
-    as.addiR(reg::t(1), reg::t(1), 1);
-    as.wrspec(Spec::TrapNPC, reg::t(1));
-    as.rdpsr(reg::t(0));
-    as.incfp();
-    as.wrpsr(reg::t(0));
-    as.rettRetry();
-    return as.finish();
-}
 
 // ---------------------------------------------------------------------
 // Measurement
@@ -200,7 +139,8 @@ runStall16(uint32_t iters)
 WorkloadResult
 runCoherent16(uint32_t iters)
 {
-    Program prog = buildCoherentLoop(16, iters);
+    workloads::CoherentLoop coh = workloads::buildCoherentLoop(16, iters);
+    const Program &prog = coh.prog;
     auto make = [&](bool skip) {
         AlewifeParams p;
         p.network = {.dim = 2, .radix = 4};         // 16 nodes
@@ -210,20 +150,9 @@ runCoherent16(uint32_t iters)
         p.controller.cache = {.lineWords = 4, .numLines = 64,
                               .assoc = 2};
         auto m = std::make_unique<AlewifeMachine>(p, &prog);
-        for (uint32_t n = 0; n < m->numNodes(); ++n) {
-            Processor &proc = m->proc(n);
-            proc.reset(prog.entry("worker"));
-            proc.setTrapVector(TrapKind::RemoteMiss,
-                               prog.entry("cswitch"));
-            proc.setTrapVector(TrapKind::FeEmpty,
-                               prog.entry("cswitch"));
-            for (uint32_t f = 1; f < proc.numFrames(); ++f) {
-                proc.frame(f).trapPC = prog.entry("fyield");
-                proc.frame(f).trapNPC = prog.entry("fyield") + 1;
-                proc.frame(f).trapRegs[0] = psr::ET;
-            }
-        }
-        m->memory().write(kCount, fixnum(0));
+        for (uint32_t n = 0; n < m->numNodes(); ++n)
+            workloads::bootCoherentNode(m->proc(n), prog);
+        m->memory().write(coh.count, fixnum(0));
         return m;
     };
     WorkloadResult r;

@@ -14,6 +14,8 @@
  *   --profile=FILE       PC-sample every node and write profile JSON
  *                        (cycle breakdown + hotspots) to FILE
  *   --profile-period=N   PC sample period in cycles (default 64)
+ *   --coh=FILE           trace coherence transactions and write the
+ *                        structured span JSON to FILE
  *   --stats-interval=N   snapshot all statistics every N cycles and
  *                        append the CSV time series after the run
  *   --threads=N          shard the machine over N host worker threads
@@ -41,6 +43,7 @@ main(int argc, char **argv)
     std::string trace_file;
     std::string stats_file;
     std::string profile_file;
+    std::string coh_file;
     uint64_t profile_period = 64;
     uint64_t stats_interval = 0;
     uint32_t threads = 1;
@@ -54,6 +57,8 @@ main(int argc, char **argv)
             debug::setFlags(arg + 8);
         else if (std::strncmp(arg, "--profile=", 10) == 0)
             profile_file = arg + 10;
+        else if (std::strncmp(arg, "--coh=", 6) == 0)
+            coh_file = arg + 6;
         else if (std::strncmp(arg, "--profile-period=", 17) == 0)
             profile_period = std::strtoull(arg + 17, nullptr, 10);
         else if (std::strncmp(arg, "--stats-interval=", 17) == 0)
@@ -79,6 +84,7 @@ main(int argc, char **argv)
                                .assoc = 4};      // Table 4: 64 KB
     params.traceEvents = !trace_file.empty();
     params.profile = !profile_file.empty();
+    params.cohTrace = !coh_file.empty();
     params.profilePeriod = profile_period;
     params.statsInterval = stats_interval;
     params.hostThreads = threads;
@@ -123,6 +129,13 @@ main(int argc, char **argv)
         profile::writeProfileJson(os, machine.profileSource());
         os << "\n";
         std::printf("wrote profile JSON to %s\n", profile_file.c_str());
+    }
+    if (!coh_file.empty()) {
+        std::ofstream os(coh_file);
+        machine.writeCohTrace(os);
+        os << "\n";
+        std::printf("wrote coherence transaction JSON to %s\n",
+                    coh_file.c_str());
     }
     if (stats_interval) {
         std::printf("\nstats time series (every %llu cycles):\n",

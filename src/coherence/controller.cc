@@ -19,12 +19,33 @@ Controller::Controller(const ControllerParams &p, uint32_t node_id,
       statRemoteMisses(this, "remoteMisses",
                        "misses needing the network"),
       statInvSent(this, "invalidations", "invalidations sent"),
+      statInvAcks(this, "invAcks",
+                  "invalidation acknowledgments received"),
       statWritebacks(this, "writebacks", "dirty lines written back"),
       statRemoteLatency(this, "remoteLatency",
                         "issue-to-fill cycles of remote transactions"),
+      statSharerCount(this, "sharerCount",
+                      "sharer-set width at directory transitions"),
+      statInvPerWrite(this, "invPerWrite",
+                      "invalidations per exclusive request"),
+      statInboxPeak(this, "inboxPeak",
+                    "high-water mark of the message inbox"),
+      statInboxDepth(this, "inboxDepth",
+                     "instantaneous message-inbox depth",
+                     [this] { return double(inbox.size()); }),
       params(p), nodeId(node_id), mem(memory), fabric(fabric_),
       _cache(p.cache, this), mshrs(num_frames)
 {
+    statDirTransitions.reserve(kNumDirStates * kNumDirStates);
+    for (size_t old_s = 0; old_s < kNumDirStates; ++old_s) {
+        for (size_t new_s = 0; new_s < kNumDirStates; ++new_s) {
+            std::string from = dirStateName(DirState(old_s));
+            std::string to = dirStateName(DirState(new_s));
+            statDirTransitions.emplace_back(
+                this, "dir" + from + "To" + to,
+                "directory transitions " + from + " -> " + to);
+        }
+    }
 }
 
 uint32_t
@@ -108,6 +129,8 @@ void
 Controller::receive(const Message &msg)
 {
     inbox.push_back(msg);
+    if (double(inbox.size()) > statInboxPeak.value())
+        statInboxPeak = double(inbox.size());
 }
 
 uint64_t
@@ -140,6 +163,17 @@ Controller::recordTransition(const DirEntry &e, DirState old_state,
                       trace::EventKind::Coherence, uint8_t(old_state),
                       uint8_t(e.state), line_addr, requester});
     }
+    // Always-on census: sharer-set width after the transition, the
+    // per-transition protocol mix, and the per-line churn record.
+    uint32_t width = e.state == DirState::Shared
+                         ? uint32_t(e.sharers.size())
+                         : (e.state == DirState::Exclusive ? 1 : 0);
+    statSharerCount.sample(int64_t(width));
+    ++statDirTransitions[size_t(old_state) * kNumDirStates +
+                         size_t(e.state)];
+    LineCensus &c = census[line_addr];
+    ++c.transitions;
+    c.maxSharers = std::max(c.maxSharers, width);
     TRACE(Coh, "c", fabric->now(), " n", nodeId, " line=", line_addr,
           " ", dirStateName(old_state), "->", dirStateName(e.state),
           " requester=", requester);
@@ -210,11 +244,15 @@ Controller::access(const MemAccess &req)
         m.write = need_m;
         m.issued = fabric->now();
         m.remote = home != nodeId;
+        m.txn = (uint64_t(nodeId) << 32) | ++txnSeq;
         Message msg;
         msg.type = need_m ? MsgType::WriteReq : MsgType::ReadReq;
         msg.lineAddr = line_addr;
         msg.requester = nodeId;
+        msg.txn = m.txn;
         send(home, msg);
+        traceTxn(m.txn, TxnPhase::Issue, line_addr, home, need_m,
+                 req.frame);
         if (home == nodeId)
             ++statLocalMisses;
         else
@@ -264,12 +302,17 @@ Controller::fill(const Message &msg)
         ? cache::LineState::Modified
         : cache::LineState::Shared;
     _cache.use(line);
-    for (Mshr &m : mshrs) {
+    for (size_t f = 0; f < mshrs.size(); ++f) {
+        Mshr &m = mshrs[f];
         if (m.valid && m.lineAddr == msg.lineAddr) {
             m.valid = false;
             if (m.remote)
                 statRemoteLatency.sample(
                     int64_t(fabric->now() - m.issued));
+            // Piggybacked frames complete under their own ids, so
+            // every issued transaction gets exactly one Fill.
+            traceTxn(m.txn, TxnPhase::Fill, msg.lineAddr, msg.from,
+                     m.write, uint8_t(f));
         }
     }
 }
@@ -289,6 +332,8 @@ Controller::handleMessage(const Message &msg)
       case MsgType::WriteReq: {
         DirEntry &e = directory[msg.lineAddr];
         if (e.busy) {
+            traceTxn(msg.txn, TxnPhase::HomeQueue, msg.lineAddr,
+                     msg.requester, msg.type == MsgType::WriteReq);
             e.waiting.push_back(msg);
             return;
         }
@@ -298,6 +343,12 @@ Controller::handleMessage(const Message &msg)
 
       case MsgType::InvAck: {
         DirEntry &e = directory[msg.lineAddr];
+        // Count and trace the ack before the staleness check: stale
+        // acks carry their Inv's transaction id, so per-transaction
+        // InvSend/InvAck legs balance exactly.
+        ++statInvAcks;
+        traceTxn(msg.txn, TxnPhase::InvAck, msg.lineAddr, msg.from,
+                 true);
         if (!e.busy || e.wait != DirEntry::Wait::Acks ||
             e.pendingAcks == 0) {
             return;             // stale ack for a dropped copy
@@ -309,6 +360,8 @@ Controller::handleMessage(const Message &msg)
 
       case MsgType::WbData: {
         DirEntry &e = directory[msg.lineAddr];
+        traceTxn(msg.txn, TxnPhase::WbRecv, msg.lineAddr, msg.from,
+                 false);
         writeMemoryLine(msg.lineAddr, msg.data);
         if (msg.fenceAck) {
             Message ack;
@@ -334,6 +387,8 @@ Controller::handleMessage(const Message &msg)
         // The owner's copy raced away via an eviction whose WbData
         // (FIFO-ordered on the same route) has already updated memory.
         DirEntry &e = directory[msg.lineAddr];
+        traceTxn(msg.txn, TxnPhase::WbRecv, msg.lineAddr, msg.from,
+                 false);
         if (e.busy && e.wait == DirEntry::Wait::Data &&
             e.state == DirState::Exclusive && e.owner == msg.from) {
             completePending(msg.lineAddr, e);
@@ -353,6 +408,7 @@ Controller::handleMessage(const Message &msg)
         Message ack;
         ack.type = MsgType::InvAck;
         ack.lineAddr = msg.lineAddr;
+        ack.txn = msg.txn;
         send(msg.from, ack);
         return;
       }
@@ -365,6 +421,7 @@ Controller::handleMessage(const Message &msg)
             wb.lineAddr = msg.lineAddr;
             wb.requester = nodeId;
             wb.data = line->words;
+            wb.txn = msg.txn;
             if (msg.isWrite)
                 _cache.invalidate(msg.lineAddr);
             else
@@ -375,6 +432,7 @@ Controller::handleMessage(const Message &msg)
             Message none;
             none.type = MsgType::WbEmpty;
             none.lineAddr = msg.lineAddr;
+            none.txn = msg.txn;
             send(msg.from, none);
         }
         return;
@@ -398,6 +456,9 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
     bool write = msg.type == MsgType::WriteReq;
     Addr line_addr = msg.lineAddr;
 
+    traceTxn(msg.txn, TxnPhase::HomeHandle, line_addr, msg.requester,
+             write);
+
     // An Exclusive entry whose owner re-requests has lost its copy to
     // an eviction (whose WbData arrived first, FIFO): fold to
     // Uncached.
@@ -417,12 +478,13 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
             e.state = DirState::Exclusive;
             e.owner = msg.requester;
             e.sharers.clear();
+            statInvPerWrite.sample(0);
         } else {
             e.state = DirState::Shared;
             e.sharers = {msg.requester};
         }
         recordTransition(e, old_state, line_addr, msg.requester);
-        replyAndUnpend(line_addr, msg.requester, write);
+        replyAndUnpend(line_addr, msg.requester, write, msg.txn);
         return;
       }
 
@@ -431,32 +493,36 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
             e.busy = true;
             e.sharers.insert(msg.requester);
             recordTransition(e, old_state, line_addr, msg.requester);
-            replyAndUnpend(line_addr, msg.requester, false);
+            replyAndUnpend(line_addr, msg.requester, false, msg.txn);
             return;
         }
         // Strong coherence: invalidate every other sharer and wait
         // for all acknowledgments before granting exclusivity.
         std::set<uint32_t> to_inv = e.sharers;
         to_inv.erase(msg.requester);
+        statInvPerWrite.sample(int64_t(to_inv.size()));
         if (to_inv.empty()) {
             e.busy = true;
             e.state = DirState::Exclusive;
             e.owner = msg.requester;
             e.sharers.clear();
             recordTransition(e, old_state, line_addr, msg.requester);
-            replyAndUnpend(line_addr, msg.requester, true);
+            replyAndUnpend(line_addr, msg.requester, true, msg.txn);
             return;
         }
         e.busy = true;
         e.wait = DirEntry::Wait::Acks;
         e.pendingReq = msg;
         e.pendingAcks = uint32_t(to_inv.size());
+        census[line_addr].invs += to_inv.size();
         for (uint32_t s : to_inv) {
             Message inv;
             inv.type = MsgType::Inv;
             inv.lineAddr = line_addr;
+            inv.txn = msg.txn;
             send(s, inv);
             ++statInvSent;
+            traceTxn(msg.txn, TxnPhase::InvSend, line_addr, s, true);
         }
         return;
       }
@@ -465,24 +531,32 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
         e.busy = true;
         e.wait = DirEntry::Wait::Data;
         e.pendingReq = msg;
+        if (write)
+            statInvPerWrite.sample(1);  // the owner loses its copy
         Message wbreq;
         wbreq.type = MsgType::WbReq;
         wbreq.lineAddr = line_addr;
         wbreq.isWrite = write;
+        wbreq.txn = msg.txn;
         send(e.owner, wbreq);
+        traceTxn(msg.txn, TxnPhase::WbReqSend, line_addr, e.owner,
+                 write);
         return;
       }
     }
 }
 
 void
-Controller::replyAndUnpend(Addr line_addr, uint32_t requester, bool write)
+Controller::replyAndUnpend(Addr line_addr, uint32_t requester,
+                           bool write, uint64_t txn)
 {
     Message reply;
     reply.type = write ? MsgType::WriteReply : MsgType::ReadReply;
     reply.lineAddr = line_addr;
     reply.data = readMemoryLine(line_addr);
+    reply.txn = txn;
     sendAfterMemory(requester, reply);
+    traceTxn(txn, TxnPhase::ReplySend, line_addr, requester, write);
     // Scheduled after the reply at the same time: dispatch order in
     // the delayed queue (and FIFO network routes) keeps the grant
     // ahead of anything a drained waiter triggers.
@@ -517,7 +591,7 @@ Controller::completePending(Addr line_addr, DirEntry &e)
                      was_exclusive ? DirState::Exclusive
                                    : DirState::Shared,
                      line_addr, req.requester);
-    replyAndUnpend(line_addr, req.requester, write);
+    replyAndUnpend(line_addr, req.requester, write, req.txn);
 }
 
 void

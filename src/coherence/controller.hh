@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "coherence/coh_trace.hh"
 #include "coherence/protocol.hh"
 #include "common/trace.hh"
 #include "mem/memory.hh"
@@ -78,6 +79,10 @@ class Controller : public MemPort, public stats::Group
     /** Attach the machine's event recorder (nullptr: tracing off). */
     void setTraceRecorder(trace::Recorder *r) { trec = r; }
 
+    /** Attach the machine's coherence-transaction tracer (nullptr:
+     *  transaction tracing off; census counters stay always-on). */
+    void setTxnTracer(TxnTracer *t) { ttrace = t; }
+
     /** Attach a completed-access observer (nullptr: observation off). */
     void setObserver(MemObserver *o) { observer = o; }
 
@@ -103,13 +108,45 @@ class Controller : public MemPort, public stats::Group
 
     cache::Cache &cacheRef() { return _cache; }
 
+    /** Always-on census of one home line: how often it transitions,
+     *  how many invalidations it caused, how wide its sharer set got.
+     *  The "churn" top-N of april-coh reports. */
+    struct LineCensus
+    {
+        uint64_t transitions = 0;
+        uint64_t invs = 0;
+        uint32_t maxSharers = 0;
+    };
+
+    /** Per-line census for every home line this directory touched
+     *  (std::map: deterministic address order for reports). */
+    const std::map<Addr, LineCensus> &lineCensus() const
+    {
+        return census;
+    }
+
     stats::Scalar statLocalMisses;
     stats::Scalar statRemoteMisses;
     stats::Scalar statInvSent;
+    stats::Scalar statInvAcks;
     stats::Scalar statWritebacks;
     /// Issue-to-fill cycles of remote transactions — the measured T(p)
     /// of Equation 1.
     stats::Histogram statRemoteLatency;
+    /// Sharer-set width sampled at every directory state transition —
+    /// the curve that sizes a limited directory (ROADMAP item 3).
+    stats::Histogram statSharerCount;
+    /// Invalidations each exclusive request triggered at this home.
+    stats::Histogram statInvPerWrite;
+    /// Per-transition directory counters (old state x new state),
+    /// named dirUncachedToShared etc. — the TrapKind-style breakdown
+    /// of the aggregate Coherence trace events.
+    std::vector<stats::Scalar> statDirTransitions;
+    /// High-water mark of the message inbox.
+    stats::Scalar statInboxPeak;
+    /// Instantaneous inbox depth (meaningful on the IntervalSampler
+    /// grid; sampled at deterministic barrier points).
+    stats::Formula statInboxDepth;
 
   private:
     /** Directory entry for one home line. */
@@ -136,6 +173,7 @@ class Controller : public MemPort, public stats::Group
         bool write = false;
         uint64_t issued = 0;    ///< machine cycle the request left
         bool remote = false;    ///< home is another node
+        uint64_t txn = 0;       ///< transaction id (node<<32 | seq)
     };
 
     uint32_t homeOf(Addr line_addr) const;
@@ -154,8 +192,20 @@ class Controller : public MemPort, public stats::Group
     void completePending(Addr line_addr, DirEntry &e);
     void drainWaiting(Addr line_addr);
     void fill(const Message &msg);
-    /** Schedule reply + unpend marker behind the memory access. */
-    void replyAndUnpend(Addr line_addr, uint32_t requester, bool write);
+    /** Schedule reply + unpend marker behind the memory access.
+     *  @p txn is the granted transaction's id (0: untraced). */
+    void replyAndUnpend(Addr line_addr, uint32_t requester, bool write,
+                        uint64_t txn);
+
+    /** Append one transaction leg to the tracer (no-op when off). */
+    void
+    traceTxn(uint64_t txn, TxnPhase phase, Addr line, uint32_t peer,
+             bool write, uint8_t frame = 0)
+    {
+        if (ttrace && txn != 0)
+            ttrace->record({fabric->now(), txn, line, nodeId, peer,
+                            phase, frame, write});
+    }
 
     std::vector<MemWord> readMemoryLine(Addr line_addr) const;
     void writeMemoryLine(Addr line_addr,
@@ -165,6 +215,7 @@ class Controller : public MemPort, public stats::Group
     ControllerParams params;
     uint32_t nodeId;
     trace::Recorder *trec = nullptr;
+    TxnTracer *ttrace = nullptr;
     MemObserver *observer = nullptr;
     SharedMemory *mem;
     Fabric *fabric;
@@ -173,6 +224,8 @@ class Controller : public MemPort, public stats::Group
 
     std::map<Addr, DirEntry> directory;
     std::vector<Mshr> mshrs;
+    std::map<Addr, LineCensus> census;
+    uint64_t txnSeq = 0;        ///< per-node transaction sequence
 
     struct Delayed
     {

@@ -39,6 +39,9 @@ enum class MsgType : uint8_t
                 ///< recalls FIFO on the network.
 };
 
+/** Number of MsgType values (telemetry class-table sizing). */
+inline constexpr size_t kNumMsgTypes = size_t(MsgType::Unpend) + 1;
+
 /** Canonical message-type name ("ReadReq", "Inv", ...). */
 inline const char *
 msgTypeName(MsgType t)
@@ -71,6 +74,9 @@ enum class DirState : uint8_t
     Exclusive,
 };
 
+/** Number of directory states (per-transition stat tables). */
+inline constexpr size_t kNumDirStates = size_t(DirState::Exclusive) + 1;
+
 /** Canonical directory-state name ("Uncached", ...). */
 inline const char *
 dirStateName(DirState s)
@@ -92,6 +98,13 @@ struct Message
     uint32_t requester = 0;     ///< original requester (3-hop paths)
     bool isWrite = false;       ///< WbReq: invalidate the owner too
     bool fenceAck = false;      ///< WbData: caused by FLUSH, ack it
+    /// Coherence-transaction id carried end to end: assigned at MSHR
+    /// allocation as (requester node << 32 | per-node sequence) and
+    /// copied by the home into every message it sends on the
+    /// transaction's behalf (Inv, WbReq, replies) and by sharers into
+    /// their acknowledgments. 0 = unsolicited traffic (evictions,
+    /// flushes) outside any transaction.
+    uint64_t txn = 0;
     std::vector<MemWord> data;  ///< line payload where applicable
 };
 

@@ -155,10 +155,35 @@ Histogram::Histogram(Group *parent, std::string name, std::string desc,
 size_t
 Histogram::bucketIndex(int64_t v) const
 {
+    return logBucket(v, _buckets.size());
+}
+
+size_t
+Histogram::logBucket(int64_t v, size_t num_buckets)
+{
     if (v <= 0)
         return 0;
     size_t idx = size_t(std::bit_width(uint64_t(v)));
-    return std::min(idx, _buckets.size() - 1);
+    return std::min(idx, num_buckets - 1);
+}
+
+void
+Histogram::set(const std::vector<uint64_t> &buckets, uint64_t count,
+               double sum, int64_t min, int64_t max)
+{
+    if (buckets.size() != _buckets.size())
+        panic("Histogram ", name(), ": set() with ", buckets.size(),
+              " buckets, have ", _buckets.size());
+    _buckets = buckets;
+    _count = count;
+    _sum = sum;
+    if (count) {
+        _min = min;
+        _max = max;
+    } else {
+        _min = std::numeric_limits<int64_t>::max();
+        _max = std::numeric_limits<int64_t>::min();
+    }
 }
 
 void

@@ -198,8 +198,25 @@ class Histogram : public Info
     /** Bucket index a value falls into: 0 for v<=0, else min(1+floor(log2 v), n-1). */
     size_t bucketIndex(int64_t v) const;
 
+    /**
+     * The same bucketing rule as a free function, for code that folds
+     * raw per-shard accumulators before handing them to set(): bucket
+     * 0 for v<=0, else min(1+floor(log2 v), num_buckets-1).
+     */
+    static size_t logBucket(int64_t v, size_t num_buckets);
+
+    /**
+     * Overwrite with externally accumulated totals (stat folding, the
+     * Average::set counterpart). @p buckets must have numBuckets()
+     * entries bucketed by logBucket(); @p min / @p max are ignored
+     * when @p count is 0.
+     */
+    void set(const std::vector<uint64_t> &buckets, uint64_t count,
+             double sum, int64_t min, int64_t max);
+
     uint64_t count() const { return _count; }
     double mean() const { return _count ? _sum / double(_count) : 0.0; }
+    double sum() const { return _sum; }
     int64_t min() const { return _min; }
     int64_t max() const { return _max; }
     uint64_t bucketCount(size_t i) const { return _buckets.at(i); }

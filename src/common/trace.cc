@@ -59,7 +59,8 @@ writeEvent(std::ostream &os, bool &first, const std::string &name,
 } // namespace
 
 void
-Recorder::writeChromeTrace(std::ostream &os) const
+Recorder::writeChromeTrace(std::ostream &os,
+                           const ExtraEventWriter &extra) const
 {
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
     bool first = true;
@@ -159,6 +160,9 @@ Recorder::writeChromeTrace(std::ostream &os) const
                        n, "", frame_id(n, f));
         }
     }
+
+    if (extra)
+        extra(os, first);
 
     os << "\n],\"otherData\":{\"droppedEvents\":" << dropped_
        << "}}\n";

@@ -26,6 +26,7 @@
 #define APRIL_COMMON_TRACE_HH
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -111,11 +112,23 @@ class Recorder
     }
 
     /**
+     * Callback appending extra trace events to the JSON stream. The
+     * writer must emit complete event objects, writing "," before
+     * each unless `first` (which it must clear after the first one).
+     * Lets machines stitch higher-level spans (coherence-transaction
+     * flows) into the export without this library knowing about them.
+     */
+    using ExtraEventWriter = std::function<void(std::ostream &, bool &)>;
+
+    /**
      * Serialize as Chrome trace-event JSON ({"traceEvents":[...]}).
      * Deterministic for a given event log, so differential tests can
-     * compare serializations byte for byte.
+     * compare serializations byte for byte. `extra`, when set, is
+     * invoked after the recorded events so callers can append
+     * additional (deterministic) events to the same array.
      */
-    void writeChromeTrace(std::ostream &os) const;
+    void writeChromeTrace(std::ostream &os,
+                          const ExtraEventWriter &extra = {}) const;
 
   private:
     std::string trapName(uint8_t kind) const;

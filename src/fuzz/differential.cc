@@ -20,6 +20,7 @@ struct AlewifeRun
     MachineSnapshot snap;
     std::string stats;
     std::string trace;
+    std::string cohTrace;       ///< transaction-span JSON (always on)
     std::string breakdown;      ///< profile::cycleBreakdownJson
     std::string error;          ///< hang / failed quiesce
 };
@@ -38,6 +39,10 @@ runAlewife(const FuzzCase &c, const Program &prog, bool cycle_skip,
     p.bootRuntime = false;
     p.cycleSkip = cycle_skip;
     p.traceEvents = opts.compareTraces;
+    // Transaction tracing is always on in the differential: the span
+    // log is a deterministic artifact and must be bit-identical
+    // across cycle-skip modes and host-thread counts.
+    p.cohTrace = true;
     p.hostThreads = host_threads;
 
     run.machine = std::make_unique<AlewifeMachine>(p, &prog);
@@ -75,6 +80,9 @@ runAlewife(const FuzzCase &c, const Program &prog, bool cycle_skip,
         m.writeTrace(trace);
         run.trace = trace.str();
     }
+    std::ostringstream coh;
+    m.writeCohTrace(coh);
+    run.cohTrace = coh.str();
     return run;
 }
 
@@ -118,6 +126,11 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
                "differ:\n  on:  " << on.breakdown << "\n  off: "
             << off.breakdown << "\n";
     }
+    if (on.cohTrace != off.cohTrace) {
+        div << "cycle-skip ON vs OFF: coherence-transaction traces "
+               "differ (" << on.cohTrace.size() << " vs "
+            << off.cohTrace.size() << " bytes)\n";
+    }
     if (opts.compareTraces && on.trace != off.trace) {
         div << "cycle-skip ON vs OFF: trace JSON differs ("
             << on.trace.size() << " vs " << off.trace.size()
@@ -147,6 +160,12 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
         if (on.breakdown != par.breakdown) {
             div << "threads=1 vs threads=" << opts.hostThreads
                 << ": cycle-accounting breakdowns differ\n";
+        }
+        if (on.cohTrace != par.cohTrace) {
+            div << "threads=1 vs threads=" << opts.hostThreads
+                << ": coherence-transaction traces differ ("
+                << on.cohTrace.size() << " vs " << par.cohTrace.size()
+                << " bytes)\n";
         }
         if (opts.compareTraces && on.trace != par.trace) {
             div << "threads=1 vs threads=" << opts.hostThreads

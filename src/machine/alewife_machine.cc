@@ -1,6 +1,7 @@
 #include "machine/alewife_machine.hh"
 
 #include <algorithm>
+#include <iostream>
 
 #include "common/bits.hh"
 #include "common/debug.hh"
@@ -22,7 +23,47 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
                return n;
            }(),
            .wordsPerNode = p.wordsPerNode}),
-      net_(p.network, this)
+      net_(p.network, this),
+      telemetry_(mem.numNodes(), messageClassNames(), this),
+      statTraceDropped(
+          this, "traceDropped",
+          "machine trace events dropped at the capacity cap",
+          [this] {
+              if (!trec)
+                  return 0.0;
+              // Thread-count invariant whether or not the lanes have
+              // merged: the merged log would truncate exactly the
+              // events past the global capacity.
+              uint64_t dropped = trec->dropped();
+              uint64_t events = trec->events().size();
+              for (const Shard &s : shards) {
+                  if (s.lane) {
+                      dropped += s.lane->dropped();
+                      events += s.lane->events().size();
+                  }
+              }
+              if (events > params.traceCapacity)
+                  dropped += events - params.traceCapacity;
+              return double(dropped);
+          }),
+      statCohTraceDropped(
+          this, "cohTraceDropped",
+          "coherence-transaction legs dropped at the capacity cap",
+          [this] {
+              if (!cohTrec)
+                  return 0.0;
+              uint64_t dropped = cohTrec->dropped();
+              uint64_t events = cohTrec->events().size();
+              for (const Shard &s : shards) {
+                  if (s.cohLane) {
+                      dropped += s.cohLane->dropped();
+                      events += s.cohLane->events().size();
+                  }
+              }
+              if (events > params.cohTraceCapacity)
+                  dropped += events - params.cohTraceCapacity;
+              return double(dropped);
+          })
 {
     debug::initFromEnv();
     uint32_t n = mem.numNodes();
@@ -44,6 +85,8 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
         trec = std::make_unique<trace::Recorder>(makeRecorderConfig(
             n, p.proc.numFrames, p.traceCapacity));
     }
+    if (p.cohTrace)
+        cohTrec = std::make_unique<coh::TxnTracer>(p.cohTraceCapacity);
     if (p.detectRaces) {
         races = std::make_unique<analysis::RaceDetector>(
             n, p.raceMaxReports, this);
@@ -69,6 +112,10 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
                 makeRecorderConfig(n, p.proc.numFrames,
                                    p.traceCapacity));
         }
+        if (p.cohTrace && w > 1) {
+            shards[s].cohLane = std::make_unique<coh::TxnTracer>(
+                p.cohTraceCapacity);
+        }
     }
     arrivals.resize(n);
 
@@ -88,6 +135,8 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
             pp, prog, ctrls.back().get(), ios.back().get(), this));
         ctrls.back()->setProcessor(procs.back().get());
         ctrls.back()->setTraceRecorder(lane);
+        ctrls.back()->setTxnTracer(sh->cohLane ? sh->cohLane.get()
+                                               : cohTrec.get());
         ctrls.back()->setObserver(races.get());
         procs.back()->setTraceRecorder(lane);
         if (p.bootRuntime)
@@ -178,6 +227,7 @@ AlewifeMachine::shardTransmit(Shard &s, uint32_t to,
                               const coh::Message &msg, uint32_t flits)
 {
     net::Injection inj = net_.inject(msg.from, to, flits, s.cycle);
+    telemetry_.recordSend(msg.from, to, uint8_t(msg.type), flits);
     if (trace::Recorder *r = s.lane ? s.lane.get() : trec.get()) {
         r->record({s.cycle, msg.from, trace::EventKind::NetSend, 0, 0,
                    to, flits});
@@ -209,6 +259,8 @@ AlewifeMachine::deliverNode(Shard &s, uint32_t node)
         q.pop_back();
         net_.recordDelivery(node, s.cycle - f.sendCycle, f.hops,
                             f.flits);
+        telemetry_.recordDeliver(f.src, node, uint8_t(f.msg.type),
+                                 f.flits, s.cycle - f.sendCycle);
         if (trace::Recorder *r = s.lane ? s.lane.get() : trec.get()) {
             r->record({s.cycle, node, trace::EventKind::NetDeliver,
                        0, 0, f.src, uint32_t(s.cycle - f.sendCycle)});
@@ -496,7 +548,7 @@ AlewifeMachine::syncAt(uint64_t t)
             consoleWords.push_back(e.word);
     }
     if (interval_) {
-        net_.foldStats();
+        foldObservability();
         interval_->sampleIfDue(t);
     }
 }
@@ -572,7 +624,8 @@ AlewifeMachine::run(uint64_t max_cycles)
         pool_->runQuantum();
         syncAt(target);
     }
-    net_.foldStats();
+    foldObservability();
+    warnOnTraceOverflow();
     return _cycle - start;
 }
 
@@ -588,8 +641,31 @@ AlewifeMachine::quiesce(uint64_t max_cycles)
     }
     quiet = quiet || nextEventCycle() == kNeverCycle;
     verifyCycleAccounting();
-    net_.foldStats();
+    foldObservability();
     return quiet;
+}
+
+void
+AlewifeMachine::foldObservability()
+{
+    net_.foldStats();
+    telemetry_.foldStats();
+}
+
+void
+AlewifeMachine::warnOnTraceOverflow()
+{
+    if (warnedTraceDrop_)
+        return;
+    auto ev = uint64_t(statTraceDropped.value());
+    auto legs = uint64_t(statCohTraceDropped.value());
+    if (ev == 0 && legs == 0)
+        return;
+    warnedTraceDrop_ = true;
+    std::cerr << "april: trace lane overflow: dropped " << ev
+              << " machine events, " << legs
+              << " coherence-transaction legs (raise traceCapacity/"
+                 "cohTraceCapacity)\n";
 }
 
 uint64_t
@@ -609,6 +685,87 @@ AlewifeMachine::traceRecorder()
         return nullptr;
     mergeTraceLanes();
     return trec.get();
+}
+
+coh::TxnTracer *
+AlewifeMachine::txnTracer()
+{
+    if (!cohTrec)
+        return nullptr;
+    mergeCohLanes();
+    return cohTrec.get();
+}
+
+void
+AlewifeMachine::writeTrace(std::ostream &os)
+{
+    trace::Recorder *r = traceRecorder();
+    if (!r)
+        return;
+    if (coh::TxnTracer *t = txnTracer()) {
+        r->writeChromeTrace(os,
+                            [t](std::ostream &o, bool &first) {
+                                t->writeChromeEvents(o, first);
+                            });
+    } else {
+        r->writeChromeTrace(os);
+    }
+}
+
+void
+AlewifeMachine::writeCohTrace(std::ostream &os)
+{
+    if (coh::TxnTracer *t = txnTracer())
+        t->writeJson(os);
+}
+
+void
+AlewifeMachine::mergeCohLanes()
+{
+    if (shards.size() < 2 || !cohTrec)
+        return;
+    // Same canonical (cycle, node) k-way merge as mergeTraceLanes:
+    // every transaction leg is recorded by the controller whose node
+    // it names, so distinct lanes never share a (cycle, node) pair.
+    struct Cursor
+    {
+        const std::vector<coh::TxnEvent> *events;
+        size_t at = 0;
+    };
+    std::vector<Cursor> cur;
+    for (Shard &s : shards) {
+        if (s.cohLane)
+            cur.push_back({&s.cohLane->events(), 0});
+    }
+    for (;;) {
+        int best = -1;
+        for (size_t i = 0; i < cur.size(); ++i) {
+            if (cur[i].at >= cur[i].events->size())
+                continue;
+            const coh::TxnEvent &e = (*cur[i].events)[cur[i].at];
+            if (best < 0)
+                best = int(i);
+            else {
+                const coh::TxnEvent &b =
+                    (*cur[size_t(best)].events)[cur[size_t(best)].at];
+                if (e.cycle < b.cycle ||
+                    (e.cycle == b.cycle && e.node < b.node)) {
+                    best = int(i);
+                }
+            }
+        }
+        if (best < 0)
+            break;
+        cohTrec->record(
+            (*cur[size_t(best)].events)[cur[size_t(best)].at]);
+        ++cur[size_t(best)].at;
+    }
+    for (Shard &s : shards) {
+        if (s.cohLane) {
+            cohTrec->addDropped(s.cohLane->dropped());
+            s.cohLane->clear();
+        }
+    }
 }
 
 void

@@ -31,6 +31,7 @@
 #include "common/random.hh"
 #include "common/trace.hh"
 #include "network/network.hh"
+#include "network/telemetry.hh"
 #include "proc/processor.hh"
 #include "profile/interval.hh"
 #include "profile/pc_sampler.hh"
@@ -66,6 +67,14 @@ struct AlewifeParams
     bool traceEvents = false;
     /// Recorded-event cap when traceEvents is on.
     uint64_t traceCapacity = 1u << 22;
+    /// Record every coherence transaction as a causally linked span
+    /// (per-leg events keyed by a stable transaction id), exported as
+    /// structured JSON and stitched into the Chrome trace. The
+    /// directory census and network telemetry stay always-on; this
+    /// only controls the per-leg log.
+    bool cohTrace = false;
+    /// Recorded-leg cap when cohTrace is on.
+    uint64_t cohTraceCapacity = 1u << 22;
     /// Attach the Eraser-style full/empty race detector to every
     /// controller. Purely observational: execution (and the trace
     /// event stream, minus Race events) is identical either way.
@@ -140,17 +149,24 @@ class AlewifeMachine : public stats::Group
      *  params.traceEvents). */
     trace::Recorder *traceRecorder();
 
+    /** Coherence-transaction tracer with all lanes merged (nullptr
+     *  unless params.cohTrace). */
+    coh::TxnTracer *txnTracer();
+
+    /** Network telemetry (always on; folded at sync points). */
+    net::Telemetry &telemetry() { return telemetry_; }
+
     /** Race detector (nullptr unless params.detectRaces). */
     analysis::RaceDetector *raceDetector() { return races.get(); }
 
-    /** Serialize the event log as Chrome trace-event JSON.
+    /** Serialize the event log as Chrome trace-event JSON, stitching
+     *  in coherence-transaction flow events when cohTrace is on.
      *  No-op when tracing is off. */
-    void
-    writeTrace(std::ostream &os)
-    {
-        if (trace::Recorder *r = traceRecorder())
-            r->writeChromeTrace(os);
-    }
+    void writeTrace(std::ostream &os);
+
+    /** Serialize the coherence-transaction log as structured JSON.
+     *  No-op when cohTrace is off. */
+    void writeCohTrace(std::ostream &os);
 
     /** Assemble the report writers' view of this run. */
     profile::ProfileSource profileSource() const;
@@ -305,6 +321,8 @@ class AlewifeMachine : public stats::Group
         /// with one shard components write the merged recorder
         /// directly).
         std::unique_ptr<trace::Recorder> lane;
+        /// Per-shard coherence-transaction lane (same scheme).
+        std::unique_ptr<coh::TxnTracer> cohLane;
         std::vector<ConsoleEntry> console;
     };
 
@@ -342,12 +360,28 @@ class AlewifeMachine : public stats::Group
     void syncAt(uint64_t t);
 
     void mergeTraceLanes();
+    void mergeCohLanes();
+
+    /** Fold network/telemetry accumulators into the stats tree (the
+     *  deterministic-sync-point bundle around net_.foldStats()). */
+    void foldObservability();
+
+    /** Emit the one-time stderr overflow warnings (run() exit). */
+    void warnOnTraceOverflow();
 
     AlewifeParams params;
     SharedMemory mem;
     std::unique_ptr<trace::Recorder> trec;
+    std::unique_ptr<coh::TxnTracer> cohTrec;
     std::unique_ptr<analysis::RaceDetector> races;
     net::Network net_;
+    net::Telemetry telemetry_;
+    /// Recorder-lane overflow surfaced in stats JSON (thread-count
+    /// invariant: total events minus capacity regardless of how they
+    /// were distributed over lanes).
+    stats::Formula statTraceDropped;
+    stats::Formula statCohTraceDropped;
+    bool warnedTraceDrop_ = false;
     uint64_t quantum_ = 1;
     std::vector<Shard> shards;
     std::vector<ArrivalQueue> arrivals;

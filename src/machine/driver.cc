@@ -24,34 +24,16 @@ hostThreadCount(uint32_t requested)
     return 1;
 }
 
-DriverResult
-runMultProgram(const std::string &source, const DriverOptions &options)
+namespace
 {
-    if (!options.debugFlags.empty())
-        debug::setFlags(options.debugFlags);
 
-    rt::RuntimeOptions ropts;
-    ropts.encore = options.compile.softwareChecks;
-
-    Assembler as;
-    rt::Runtime runtime(ropts);
-    runtime.emit(as);
-    mult::Compiler compiler(as, options.compile);
-    compiler.compileSource(source);
-    Program prog = as.finish();
-
-    PerfectMachineParams mp;
-    mp.numNodes = options.nodes;
-    mp.wordsPerNode = options.wordsPerNode;
-    mp.proc = options.proc;
-    mp.seed = options.seed;
-    mp.cycleSkip = options.cycleSkip;
-    mp.hostThreads = hostThreadCount(options.hostThreads);
-    mp.traceEvents = options.traceEvents;
-    mp.profile = options.profile;
-    mp.profilePeriod = options.profilePeriod;
-    mp.statsInterval = options.statsInterval;
-    PerfectMachine machine(mp, &prog, runtime);
+/** Result extraction shared by both machine kinds (which expose the
+ *  same accessor surface without a common base). */
+template <typename Machine>
+DriverResult
+collectResult(Machine &machine, const Program &prog,
+              const DriverOptions &options)
+{
     machine.run(options.maxCycles);
     if (!machine.halted()) {
         fatal("driver: program did not halt within ", options.maxCycles,
@@ -94,6 +76,86 @@ runMultProgram(const std::string &source, const DriverOptions &options)
         r.statsSeriesCsv = os.str();
     }
     return r;
+}
+
+/** A square 2-D mesh when netRadix is 0, the explicit shape
+ *  otherwise; fatal unless it covers options.nodes exactly. */
+net::NetworkParams
+meshFor(const DriverOptions &options)
+{
+    net::NetworkParams np;
+    np.dim = options.netDim;
+    np.radix = options.netRadix;
+    if (!np.radix) {
+        np.dim = 2;
+        while (uint32_t(np.radix * np.radix) < options.nodes)
+            ++np.radix;
+    }
+    uint64_t covered = 1;
+    for (int d = 0; d < np.dim; ++d)
+        covered *= uint64_t(np.radix);
+    if (covered != options.nodes) {
+        fatal("driver: ", options.nodes, " nodes do not fill a ",
+              np.radix, "^", np.dim, " mesh");
+    }
+    return np;
+}
+
+} // namespace
+
+DriverResult
+runMultProgram(const std::string &source, const DriverOptions &options)
+{
+    if (!options.debugFlags.empty())
+        debug::setFlags(options.debugFlags);
+
+    rt::RuntimeOptions ropts;
+    ropts.encore = options.compile.softwareChecks;
+
+    Assembler as;
+    rt::Runtime runtime(ropts);
+    runtime.emit(as);
+    mult::Compiler compiler(as, options.compile);
+    compiler.compileSource(source);
+    Program prog = as.finish();
+
+    if (options.alewife) {
+        AlewifeParams ap;
+        ap.network = meshFor(options);
+        ap.wordsPerNode = options.wordsPerNode;
+        ap.proc = options.proc;
+        ap.controller = options.controller;
+        ap.seed = options.seed;
+        ap.cycleSkip = options.cycleSkip;
+        ap.hostThreads = hostThreadCount(options.hostThreads);
+        ap.traceEvents = options.traceEvents;
+        ap.cohTrace = options.cohTrace;
+        ap.profile = options.profile;
+        ap.profilePeriod = options.profilePeriod;
+        ap.statsInterval = options.statsInterval;
+        AlewifeMachine machine(ap, &prog);
+        DriverResult r = collectResult(machine, prog, options);
+        if (options.cohTrace) {
+            std::ostringstream os;
+            machine.writeCohTrace(os);
+            r.cohTraceJson = os.str();
+        }
+        return r;
+    }
+
+    PerfectMachineParams mp;
+    mp.numNodes = options.nodes;
+    mp.wordsPerNode = options.wordsPerNode;
+    mp.proc = options.proc;
+    mp.seed = options.seed;
+    mp.cycleSkip = options.cycleSkip;
+    mp.hostThreads = hostThreadCount(options.hostThreads);
+    mp.traceEvents = options.traceEvents;
+    mp.profile = options.profile;
+    mp.profilePeriod = options.profilePeriod;
+    mp.statsInterval = options.statsInterval;
+    PerfectMachine machine(mp, &prog, runtime);
+    return collectResult(machine, prog, options);
 }
 
 } // namespace april

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "machine/alewife_machine.hh"
 #include "machine/perfect_machine.hh"
 #include "mult/compiler.hh"
 #include "runtime/runtime.hh"
@@ -45,6 +46,20 @@ struct DriverOptions
     /// Snapshot all statistics every N cycles into
     /// DriverResult::statsSeriesCsv (0: off).
     uint64_t statsInterval = 0;
+    /// Run on the full ALEWIFE machine (caches + directories + mesh)
+    /// instead of perfect shared memory. `nodes` must then equal
+    /// netRadix^netDim.
+    bool alewife = false;
+    int netDim = 2;             ///< mesh dimension when alewife is on
+    /// Mesh radix when alewife is on; 0 derives a square 2-D mesh
+    /// from `nodes` (which must be a perfect square).
+    int netRadix = 0;
+    /// Cache/directory configuration when alewife is on.
+    coh::ControllerParams controller;
+    /// Record coherence transactions and return them in
+    /// DriverResult::cohTraceJson (alewife only; the directory census
+    /// and network telemetry are always on).
+    bool cohTrace = false;
 
     /** The Encore Multimax baseline configuration (Section 7). */
     static DriverOptions
@@ -85,6 +100,9 @@ struct DriverResult
     std::string statsJson;
     /// Chrome trace-event JSON; empty unless options.traceEvents.
     std::string traceJson;
+    /// Structured coherence-transaction JSON; empty unless
+    /// options.alewife && options.cohTrace.
+    std::string cohTraceJson;
     /// Profile JSON (schemaVersion 1: per-node buckets, frames,
     /// hotspots); empty unless options.profile.
     std::string profileJson;

@@ -1,6 +1,7 @@
 #include "machine/perfect_machine.hh"
 
 #include <algorithm>
+#include <iostream>
 
 #include "common/bits.hh"
 #include "common/debug.hh"
@@ -14,7 +15,11 @@ PerfectMachine::PerfectMachine(const PerfectMachineParams &p,
                                const Program *prog)
     : stats::Group("machine"),
       params(p),
-      mem({.numNodes = p.numNodes, .wordsPerNode = p.wordsPerNode})
+      mem({.numNodes = p.numNodes, .wordsPerNode = p.wordsPerNode}),
+      statTraceDropped(
+          this, "traceDropped",
+          "machine events lost to recorder overflow",
+          [this] { return trec ? double(trec->dropped()) : 0.0; })
 {
     debug::initFromEnv();
     if (p.traceEvents) {
@@ -181,6 +186,12 @@ PerfectMachine::run(uint64_t max_cycles)
         tick();
         if (interval_)
             interval_->sampleIfDue(_cycle);
+    }
+    if (trec && trec->dropped() && !warnedTraceDrop_) {
+        warnedTraceDrop_ = true;
+        std::cerr << "april: trace overflow: dropped "
+                  << trec->dropped()
+                  << " machine events (raise traceCapacity)\n";
     }
     return _cycle - start;
 }

@@ -179,6 +179,9 @@ class PerfectMachine : public stats::Group
     PerfectMachineParams params;
     SharedMemory mem;
     std::unique_ptr<trace::Recorder> trec;
+    /// Recorder overflow surfaced in stats JSON (single lane here).
+    stats::Formula statTraceDropped;
+    bool warnedTraceDrop_ = false;
     std::vector<std::unique_ptr<PerfectMemPort>> ports;
     std::vector<std::unique_ptr<NodeIo>> ios;
     std::vector<std::unique_ptr<Processor>> procs;

@@ -31,6 +31,18 @@ makeRecorderConfig(uint32_t num_nodes, uint32_t frames, uint64_t capacity)
     return rc;
 }
 
+/** Message-class name table for net::Telemetry (one class per
+ *  coherence MsgType; same injection idiom as the recorder config). */
+inline std::vector<std::string>
+messageClassNames()
+{
+    std::vector<std::string> names;
+    names.reserve(coh::kNumMsgTypes);
+    for (size_t t = 0; t < coh::kNumMsgTypes; ++t)
+        names.emplace_back(coh::msgTypeName(coh::MsgType(t)));
+    return names;
+}
+
 } // namespace april
 
 #endif // APRIL_MACHINE_TRACE_CONFIG_HH

@@ -1,0 +1,142 @@
+#include "network/telemetry.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace april::net
+{
+
+Telemetry::Telemetry(uint32_t num_nodes,
+                     std::vector<std::string> class_names,
+                     stats::Group *parent)
+    : stats::Group("telemetry", parent),
+      statSent(this, "sent", "messages handed to the network"),
+      statDelivered(this, "delivered", "messages delivered"),
+      statInFlight(this, "inFlight",
+                   "messages sent but not yet delivered"),
+      nodes(num_nodes), classNames(std::move(class_names))
+{
+    size_t classes = classNames.size();
+    srcSlots.resize(nodes);
+    dstSlots.resize(nodes);
+    for (SrcSlot &s : srcSlots) {
+        s.count.resize(classes, 0);
+        s.flits.resize(classes, 0);
+    }
+    for (DstSlot &d : dstSlots) {
+        d.count.resize(classes, 0);
+        d.flits.resize(classes, 0);
+        d.latSum.resize(classes, 0);
+        d.latMin.resize(classes, std::numeric_limits<int64_t>::max());
+        d.latMax.resize(classes, std::numeric_limits<int64_t>::min());
+        d.buckets.resize(classes * stats::Histogram::kDefaultBuckets,
+                         0);
+        d.pairCount.resize(size_t(nodes) * classes, 0);
+        d.pairFlits.resize(size_t(nodes) * classes, 0);
+    }
+    statClassSent.reserve(classes);
+    statClassDelivered.reserve(classes);
+    statClassFlits.reserve(classes);
+    statLatency.reserve(classes);
+    for (const std::string &name : classNames) {
+        statClassSent.push_back(std::make_unique<stats::Scalar>(
+            this, "sent" + name, name + " messages sent"));
+        statClassDelivered.push_back(std::make_unique<stats::Scalar>(
+            this, "delivered" + name, name + " messages delivered"));
+        statClassFlits.push_back(std::make_unique<stats::Scalar>(
+            this, "flits" + name, name + " flits delivered"));
+        statLatency.push_back(std::make_unique<stats::Histogram>(
+            this, "latency" + name,
+            name + " send-to-delivery cycles"));
+    }
+}
+
+void
+Telemetry::recordDeliver(uint32_t src, uint32_t dst, uint8_t cls,
+                         uint32_t flits, uint64_t latency)
+{
+    DstSlot &d = dstSlots[dst];
+    ++d.count[cls];
+    d.flits[cls] += flits;
+    d.latSum[cls] += latency;
+    auto lat = int64_t(latency);
+    d.latMin[cls] = std::min(d.latMin[cls], lat);
+    d.latMax[cls] = std::max(d.latMax[cls], lat);
+    ++d.buckets[size_t(cls) * stats::Histogram::kDefaultBuckets +
+                stats::Histogram::logBucket(
+                    lat, stats::Histogram::kDefaultBuckets)];
+    ++d.pairCount[size_t(src) * numClasses() + cls];
+    d.pairFlits[size_t(src) * numClasses() + cls] += flits;
+}
+
+uint64_t
+Telemetry::srcTotal(size_t cls) const
+{
+    uint64_t total = 0;
+    for (const SrcSlot &s : srcSlots)
+        total += s.count[cls];
+    return total;
+}
+
+uint64_t
+Telemetry::classDelivered(size_t cls) const
+{
+    uint64_t total = 0;
+    for (const DstSlot &d : dstSlots)
+        total += d.count[cls];
+    return total;
+}
+
+uint64_t
+Telemetry::classFlits(size_t cls) const
+{
+    uint64_t total = 0;
+    for (const DstSlot &d : dstSlots)
+        total += d.flits[cls];
+    return total;
+}
+
+void
+Telemetry::foldStats()
+{
+    constexpr size_t kBuckets = stats::Histogram::kDefaultBuckets;
+    uint64_t sent_total = 0;
+    uint64_t delivered_total = 0;
+    std::vector<uint64_t> buckets(kBuckets);
+    for (size_t c = 0; c < numClasses(); ++c) {
+        uint64_t sent = 0;
+        uint64_t sent_flits = 0;
+        for (const SrcSlot &s : srcSlots) {
+            sent += s.count[c];
+            sent_flits += s.flits[c];
+        }
+        (void)sent_flits;
+        uint64_t delivered = 0;
+        uint64_t flits = 0;
+        uint64_t lat_sum = 0;
+        int64_t lat_min = std::numeric_limits<int64_t>::max();
+        int64_t lat_max = std::numeric_limits<int64_t>::min();
+        std::fill(buckets.begin(), buckets.end(), 0);
+        for (const DstSlot &d : dstSlots) {
+            delivered += d.count[c];
+            flits += d.flits[c];
+            lat_sum += d.latSum[c];
+            lat_min = std::min(lat_min, d.latMin[c]);
+            lat_max = std::max(lat_max, d.latMax[c]);
+            for (size_t b = 0; b < kBuckets; ++b)
+                buckets[b] += d.buckets[c * kBuckets + b];
+        }
+        *statClassSent[c] = double(sent);
+        *statClassDelivered[c] = double(delivered);
+        *statClassFlits[c] = double(flits);
+        statLatency[c]->set(buckets, delivered, double(lat_sum),
+                            lat_min, lat_max);
+        sent_total += sent;
+        delivered_total += delivered;
+    }
+    statSent = double(sent_total);
+    statDelivered = double(delivered_total);
+    statInFlight = double(sent_total - delivered_total);
+}
+
+} // namespace april::net

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Network telemetry: per-node-pair message counts/flits by message
+ * class, send-to-delivery latency histograms per class, and an
+ * in-flight gauge — the mesh-hotspot evidence for the ROADMAP's
+ * hop-based-routing work.
+ *
+ * The class vocabulary is injected by the enclosing machine as a
+ * plain name table (like trace::RecorderConfig::trapNames), so this
+ * library stays independent of the coherence protocol.
+ *
+ * Determinism follows the Network::foldStats pattern: sends
+ * accumulate into per-source slots (owned by the sending shard),
+ * deliveries into per-destination slots (owned by the delivering
+ * shard), and foldStats() recomputes the stats::Group members in
+ * canonical node order at deterministic synchronization points —
+ * identical for every host-thread count and with cycle-skipping on
+ * or off.
+ */
+
+#ifndef APRIL_NETWORK_TELEMETRY_HH
+#define APRIL_NETWORK_TELEMETRY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace april::net
+{
+
+/** Per-class, per-node-pair accounting of machine messages. */
+class Telemetry : public stats::Group
+{
+  public:
+    Telemetry(uint32_t num_nodes, std::vector<std::string> class_names,
+              stats::Group *parent = nullptr);
+
+    /** Account one message injected into the network at @p src.
+     *  Only @p src's shard may call this for @p src. */
+    void
+    recordSend(uint32_t src, uint32_t dst, uint8_t cls, uint32_t flits)
+    {
+        (void)dst;
+        SrcSlot &s = srcSlots[src];
+        ++s.count[cls];
+        s.flits[cls] += flits;
+    }
+
+    /** Account one message delivered at @p dst after @p latency
+     *  cycles. Only @p dst's shard may call this for @p dst. */
+    void recordDeliver(uint32_t src, uint32_t dst, uint8_t cls,
+                       uint32_t flits, uint64_t latency);
+
+    /**
+     * Recompute the stats::Group members from the per-node slots in
+     * canonical node order. Idempotent; called by the machine at the
+     * same synchronization points as Network::foldStats.
+     */
+    void foldStats();
+
+    uint32_t numNodes() const { return nodes; }
+    size_t numClasses() const { return classNames.size(); }
+    const std::string &className(size_t c) const
+    {
+        return classNames[c];
+    }
+
+    /** Messages delivered src -> dst of class @p cls (post-fold not
+     *  required: reads the raw slot). */
+    uint64_t
+    pairCount(uint32_t src, uint32_t dst, uint8_t cls) const
+    {
+        return dstSlots[dst].pairCount[src * numClasses() + cls];
+    }
+
+    uint64_t
+    pairFlits(uint32_t src, uint32_t dst, uint8_t cls) const
+    {
+        return dstSlots[dst].pairFlits[src * numClasses() + cls];
+    }
+
+    uint64_t classSent(size_t c) const { return srcTotal(c); }
+    uint64_t classDelivered(size_t c) const;
+    uint64_t classFlits(size_t c) const;
+    const stats::Histogram &classLatency(size_t c) const
+    {
+        return *statLatency[c];
+    }
+
+    /// Total messages handed to the network / delivered (post-fold).
+    stats::Scalar statSent;
+    stats::Scalar statDelivered;
+    /// Sent-but-undelivered gauge on the IntervalSampler grid.
+    stats::Scalar statInFlight;
+
+  private:
+    uint64_t srcTotal(size_t cls) const;
+
+    struct alignas(64) SrcSlot
+    {
+        std::vector<uint64_t> count;    ///< [class]
+        std::vector<uint64_t> flits;    ///< [class]
+    };
+
+    struct alignas(64) DstSlot
+    {
+        std::vector<uint64_t> count;     ///< [class]
+        std::vector<uint64_t> flits;     ///< [class]
+        std::vector<uint64_t> latSum;    ///< [class]
+        std::vector<int64_t> latMin;     ///< [class]
+        std::vector<int64_t> latMax;     ///< [class]
+        std::vector<uint64_t> buckets;   ///< [class][latency bucket]
+        std::vector<uint64_t> pairCount; ///< [src][class]
+        std::vector<uint64_t> pairFlits; ///< [src][class]
+    };
+
+    uint32_t nodes;
+    std::vector<std::string> classNames;
+    std::vector<SrcSlot> srcSlots;
+    std::vector<DstSlot> dstSlots;
+
+    // Per-class folded statistics (pointers: stats register their
+    // address with the Group, so they must never move).
+    std::vector<std::unique_ptr<stats::Scalar>> statClassSent;
+    std::vector<std::unique_ptr<stats::Scalar>> statClassDelivered;
+    std::vector<std::unique_ptr<stats::Scalar>> statClassFlits;
+    std::vector<std::unique_ptr<stats::Histogram>> statLatency;
+};
+
+} // namespace april::net
+
+#endif // APRIL_NETWORK_TELEMETRY_HH

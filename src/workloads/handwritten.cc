@@ -89,4 +89,88 @@ buildFineGrainSync()
     return out;
 }
 
+namespace
+{
+constexpr Addr kCohLock = 400;
+constexpr Addr kCohCount = 404;
+} // namespace
+
+CoherentLoop
+buildCoherentLoop(uint32_t nodes, uint32_t iters)
+{
+    using namespace april::tagged;
+
+    CoherentLoop out;
+    out.lock = kCohLock;
+    out.count = kCohCount;
+    out.nodes = nodes;
+    out.iters = iters;
+
+    Assembler as;
+    as.bind("worker");
+    as.movi(1, ptr(kCohLock, Tag::Other));
+    as.movi(2, ptr(kCohCount, Tag::Other));
+    as.movi(3, 0);
+    as.movi(7, fixnum(84));
+    as.movi(8, fixnum(4));
+    as.bind("loop");
+    as.div(9, 7, 8);
+    as.bind("acq");
+    as.ldenw(4, 1, 0);
+    as.jRaw(Cond::EMPTY, "acq");
+    as.nop();
+    as.ldnw(5, 2, 0);
+    as.addi(5, 5, int32_t(fixnum(1)));
+    as.stnw(5, 2, 0);
+    as.stfnw(reg::r0, 1, 0);
+    as.addiR(3, 3, 1);
+    as.cmpiR(3, int32_t(iters));
+    as.jRaw(Cond::LT, "loop");
+    as.nop();
+    as.ldio(6, int(IoReg::NodeId));
+    as.cmpiR(6, 0);
+    as.jRaw(Cond::NE, "done");
+    as.nop();
+    as.bind("wait");
+    as.ldnw(5, 2, 0);
+    as.cmpiR(5, int32_t(fixnum(int32_t(nodes * iters))));
+    as.jRaw(Cond::NE, "wait");
+    as.nop();
+    as.stio(int(IoReg::MachineHalt), reg::r0);
+    as.bind("done");
+    as.halt();
+
+    as.bind("cswitch");
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.nop();
+    as.wrpsr(reg::t(0));
+    as.nop();
+    as.rettRetry();
+    as.bind("fyield");
+    as.moviLabel(reg::t(1), "fyield");
+    as.wrspec(Spec::TrapPC, reg::t(1));
+    as.addiR(reg::t(1), reg::t(1), 1);
+    as.wrspec(Spec::TrapNPC, reg::t(1));
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.wrpsr(reg::t(0));
+    as.rettRetry();
+    out.prog = as.finish();
+    return out;
+}
+
+void
+bootCoherentNode(Processor &proc, const Program &prog)
+{
+    proc.reset(prog.entry("worker"));
+    proc.setTrapVector(TrapKind::RemoteMiss, prog.entry("cswitch"));
+    proc.setTrapVector(TrapKind::FeEmpty, prog.entry("cswitch"));
+    for (uint32_t f = 1; f < proc.numFrames(); ++f) {
+        proc.frame(f).trapPC = prog.entry("fyield");
+        proc.frame(f).trapNPC = prog.entry("fyield") + 1;
+        proc.frame(f).trapRegs[0] = psr::ET;
+    }
+}
+
 } // namespace april::workloads

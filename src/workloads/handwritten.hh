@@ -11,6 +11,7 @@
 
 #include "isa/assembler.hh"
 #include "isa/types.hh"
+#include "proc/processor.hh"
 
 namespace april::workloads
 {
@@ -30,6 +31,31 @@ struct FineGrainSync
 };
 
 FineGrainSync buildFineGrainSync();
+
+/**
+ * The contended coherent-loop microbenchmark shared by
+ * bench_sim_speed, bench_prof_overhead and the april-coh balance
+ * gate: every node increments an f/e-locked shared counter `iters`
+ * times with a DIV per iteration, node 0 spins until the counter
+ * reaches nodes * iters and halts the machine. Pure coherence
+ * traffic — every increment bounces the lock and counter lines
+ * through the directory.
+ */
+struct CoherentLoop
+{
+    Program prog;
+    Addr lock = 0;              ///< f/e lock word
+    Addr count = 0;             ///< shared counter word (init to
+                                ///< fixnum(0) before running)
+    uint32_t nodes = 0;
+    uint32_t iters = 0;
+};
+
+CoherentLoop buildCoherentLoop(uint32_t nodes, uint32_t iters);
+
+/** Point @p proc at the coherent loop's worker entry: reset to
+ *  "worker", wire the context-switch and frame-yield trap stubs. */
+void bootCoherentNode(Processor &proc, const Program &prog);
 
 } // namespace april::workloads
 

@@ -29,6 +29,7 @@ struct RunOut
     MachineSnapshot snap;
     std::string stats;
     std::string trace;
+    std::string cohTrace;
     Word result = 0;
     uint64_t cycles = 0;
     uint32_t threadsUsed = 0;
@@ -57,6 +58,7 @@ makeMachine(const Program &prog, uint32_t threads, bool skip)
     p.controller.cache = {.lineWords = 4, .numLines = 512, .assoc = 4};
     p.cycleSkip = skip;
     p.traceEvents = true;
+    p.cohTrace = true;
     p.hostThreads = threads;
     return std::make_unique<AlewifeMachine>(p, &prog);
 }
@@ -80,6 +82,9 @@ finish(AlewifeMachine &m)
     out.stats = stats.str();
     m.writeTrace(trace);
     out.trace = trace.str();
+    std::ostringstream coh;
+    m.writeCohTrace(coh);
+    out.cohTrace = coh.str();
     return out;
 }
 
@@ -99,6 +104,7 @@ expectTwin(const RunOut &ref, const RunOut &got, const std::string &what)
     EXPECT_EQ(diff, "") << what;
     EXPECT_EQ(got.stats, ref.stats) << what;
     EXPECT_EQ(got.trace, ref.trace) << what;
+    EXPECT_EQ(got.cohTrace, ref.cohTrace) << what;
 }
 
 class ParallelRun : public testing::TestWithParam<const char *>

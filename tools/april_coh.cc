@@ -1,0 +1,368 @@
+/**
+ * @file
+ * april-coh — run a workload on the full ALEWIFE machine with
+ * coherence observability on and report what the protocol did.
+ *
+ * Modes:
+ *
+ *   april-coh [--workload=NAME[:ARGS]] [options]
+ *       Run a Table 3 workload (fib[:n], factor[:lo:hi], queens[:n],
+ *       speech[:layers:width]) on a 2x2 ALEWIFE machine, or the
+ *       hand-written coherent16[:iters] counter loop on a 4x4 one,
+ *       with transaction tracing on, then print the coherence report:
+ *       sharer-count distribution, per-transition directory counters,
+ *       per-class network latency, hottest/widest lines, busiest node
+ *       pairs and slowest transactions. Export options write the
+ *       report or the raw span log as JSON.
+ *
+ *   april-coh --check FILE [--schema=SCHEMA.json]
+ *       Validate a report JSON file against the checked-in schema
+ *       (tools/april_coh_schema.json) plus the invalidation-balance
+ *       invariant. Exit 1 on violation.
+ *
+ * With --verify, the run mode also checks span causality (every
+ * fill's parent is its miss, invalidation acks balance) and exits 1
+ * on any violation — the CI coherence gate.
+ *
+ * Exit codes: 0 ok, 1 check/verify violation, 2 usage or run failure.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.hh"
+#include "common/json_schema.hh"
+#include "common/logging.hh"
+#include "machine/alewife_machine.hh"
+#include "machine/coh_report.hh"
+#include "mult/compiler.hh"
+#include "workloads/handwritten.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using april::json::Json;
+using april::json::parseJson;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: april-coh [--workload=NAME[:ARGS]] [options]\n"
+        "       april-coh --check FILE [--schema=SCHEMA.json]\n"
+        "\n"
+        "workloads: fib[:n] factor[:lo:hi] queens[:n] "
+        "speech[:layers:width] coherent16[:iters]\n"
+        "options:\n"
+        "  --threads=N        host worker threads (default 1; the\n"
+        "                     report is bit-identical at any count)\n"
+        "  --frames=N         task frames per processor (default 4)\n"
+        "  --top=N            rows per top-N table (default 10)\n"
+        "  --max-cycles=N     run budget (default 200000000)\n"
+        "  --no-trace         census + telemetry only (no span log)\n"
+        "  --verify           check span causality and invalidation\n"
+        "                     balance; exit 1 on violation\n"
+        "  --json=FILE        write the report JSON\n"
+        "  --txns=FILE        write the raw transaction-span JSON\n"
+        "  --perfetto=FILE    write the Chrome trace with transaction\n"
+        "                     flow events stitched in\n");
+    return 2;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        april::fatal("april-coh: cannot open ", path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+// --- check mode ------------------------------------------------------
+
+/** Balance invariant over a report: invAcked <= invSent and the ok
+ *  bit agrees. */
+void
+checkBalance(const Json &report, std::vector<std::string> &errors)
+{
+    if (!report.has("balance"))
+        return;
+    const Json &b = report.at("balance");
+    double sent = b.at("invSent").number;
+    double acked = b.at("invAcked").number;
+    if (acked > sent) {
+        errors.push_back("/balance: invAcked " + std::to_string(acked) +
+                         " exceeds invSent " + std::to_string(sent));
+    }
+    if (b.at("ok").number != (acked <= sent ? 1 : 0))
+        errors.push_back("/balance: ok bit disagrees with counts");
+}
+
+int
+runCheck(const std::string &file, const std::string &schema_path)
+{
+    Json report = parseJson(readFile(file));
+    Json schema = parseJson(readFile(schema_path));
+    std::vector<std::string> errors;
+    april::json::validateSchema(report, schema, "", errors);
+    checkBalance(report, errors);
+    if (errors.empty()) {
+        std::printf("%s: ok (schema + balance)\n", file.c_str());
+        return 0;
+    }
+    for (const std::string &e : errors)
+        std::fprintf(stderr, "%s: %s\n", file.c_str(), e.c_str());
+    return 1;
+}
+
+// --- run mode --------------------------------------------------------
+
+struct RunOptions
+{
+    std::string workload = "fib:12";
+    uint32_t threads = 1;
+    uint32_t frames = 4;
+    size_t top = 10;
+    uint64_t maxCycles = 200'000'000;
+    bool trace = true;
+    bool verify = false;
+    std::string jsonFile;
+    std::string txnsFile;
+    std::string perfettoFile;
+};
+
+/** Split "name:arg1:arg2" on colons. */
+std::vector<std::string>
+splitSpec(const std::string &spec)
+{
+    std::vector<std::string> parts;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t colon = spec.find(':', pos);
+        if (colon == std::string::npos) {
+            parts.push_back(spec.substr(pos));
+            break;
+        }
+        parts.push_back(spec.substr(pos, colon - pos));
+        pos = colon + 1;
+    }
+    return parts;
+}
+
+int
+runReport(const RunOptions &opt)
+{
+    using namespace april;
+
+    std::vector<std::string> parts = splitSpec(opt.workload);
+    std::string name = parts.empty() ? "fib" : parts[0];
+    auto arg = [&](size_t i, int fallback) {
+        return parts.size() > i ? std::atoi(parts[i].c_str())
+                                : fallback;
+    };
+
+    std::unique_ptr<AlewifeMachine> m;
+    Program prog;
+    bool raw = name == "coherent16";
+    workloads::CoherentLoop coh_loop;
+
+    if (raw) {
+        coh_loop = workloads::buildCoherentLoop(16, uint32_t(
+            arg(1, 200)));
+        prog = std::move(coh_loop.prog);
+        AlewifeParams p;
+        p.network = {.dim = 2, .radix = 4};          // 16 nodes
+        p.wordsPerNode = 1u << 16;
+        p.bootRuntime = false;
+        p.controller.cache = {.lineWords = 4, .numLines = 64,
+                              .assoc = 2};
+        p.proc.numFrames = opt.frames;
+        p.hostThreads = opt.threads;
+        p.cohTrace = opt.trace;
+        p.traceEvents = !opt.perfettoFile.empty();
+        m = std::make_unique<AlewifeMachine>(p, &prog);
+        for (uint32_t n = 0; n < m->numNodes(); ++n)
+            workloads::bootCoherentNode(m->proc(n), prog);
+        m->memory().write(coh_loop.count, tagged::fixnum(0));
+    } else {
+        namespace wl = april::workloads;
+        std::string source;
+        if (name == "fib")
+            source = wl::fibSource(arg(1, 12));
+        else if (name == "factor")
+            source = wl::factorSource(arg(1, 1000), arg(2, 1040));
+        else if (name == "queens")
+            source = wl::queensSource(arg(1, 6));
+        else if (name == "speech")
+            source = wl::speechSource(arg(1, 8), arg(2, 12));
+        else
+            fatal("april-coh: unknown workload '", name,
+                  "' (try fib, factor, queens, speech, coherent16)");
+        Assembler as;
+        rt::Runtime runtime;
+        runtime.emit(as);
+        mult::CompileOptions copts;
+        copts.futures = mult::CompileOptions::FutureMode::Lazy;
+        mult::Compiler compiler(as, copts);
+        compiler.compileSource(source);
+        prog = as.finish();
+        AlewifeParams p;
+        p.network = {.dim = 2, .radix = 2};          // 4 nodes
+        p.controller.cache = {.lineWords = 4, .numLines = 4096,
+                              .assoc = 4};           // Table 4: 64 KB
+        p.proc.numFrames = opt.frames;
+        p.hostThreads = opt.threads;
+        p.cohTrace = opt.trace;
+        p.traceEvents = !opt.perfettoFile.empty();
+        m = std::make_unique<AlewifeMachine>(p, &prog);
+    }
+
+    m->run(opt.maxCycles);
+    if (!m->halted()) {
+        std::fprintf(stderr, "april-coh: %s did not halt in %llu "
+                             "cycles\n",
+                     opt.workload.c_str(),
+                     (unsigned long long)opt.maxCycles);
+        return 2;
+    }
+    // Raw workloads go fully silent after the halt, so drain the
+    // in-flight coherence traffic: the invalidation balance must then
+    // hold exactly. Runtime-booted workloads never quiesce (idle
+    // workers spin forever) and are reported at the committed halt.
+    bool drained = false;
+    if (raw)
+        drained = m->quiesce(1'000'000);
+
+    CohReportOptions ropt;
+    ropt.topLines = ropt.topSharers = ropt.topTxns = ropt.topPairs =
+        opt.top;
+    writeCohReportText(std::cout, *m, ropt);
+
+    auto writeTo = [](const std::string &path, auto &&writer) {
+        if (path.empty())
+            return;
+        std::ofstream os(path);
+        if (!os)
+            fatal("april-coh: cannot write ", path);
+        writer(os);
+        std::printf("wrote %s\n", path.c_str());
+    };
+    writeTo(opt.jsonFile, [&](std::ostream &os) {
+        writeCohReportJson(os, *m, ropt);
+    });
+    writeTo(opt.txnsFile, [&](std::ostream &os) {
+        m->writeCohTrace(os);
+    });
+    writeTo(opt.perfettoFile, [&](std::ostream &os) {
+        m->writeTrace(os);
+    });
+
+    if (opt.verify) {
+        uint64_t inv_sent = 0;
+        uint64_t inv_acked = 0;
+        for (uint32_t n = 0; n < m->numNodes(); ++n) {
+            inv_sent +=
+                uint64_t(m->controller(n).statInvSent.value());
+            inv_acked +=
+                uint64_t(m->controller(n).statInvAcks.value());
+        }
+        bool balance_ok = drained ? inv_acked == inv_sent
+                                  : inv_acked <= inv_sent;
+        if (!balance_ok) {
+            std::fprintf(stderr,
+                         "april-coh: invalidation balance violated: "
+                         "sent %llu, acked %llu%s\n",
+                         (unsigned long long)inv_sent,
+                         (unsigned long long)inv_acked,
+                         drained ? " (drained)" : "");
+            return 1;
+        }
+        if (coh::TxnTracer *t = m->txnTracer()) {
+            std::string err = checkCohInvariants(*t);
+            if (!err.empty()) {
+                std::fprintf(stderr,
+                             "april-coh: span causality violated: "
+                             "%s\n",
+                             err.c_str());
+                return 1;
+            }
+        }
+        std::printf("verify: ok (balance%s + span causality)\n",
+                    drained ? ", drained" : "");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> positional;
+    std::string mode;
+    std::string schema_path = "../tools/april_coh_schema.json";
+    RunOptions opt;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *prefix) {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg == "--check")
+            mode = arg;
+        else if (arg.rfind("--workload=", 0) == 0)
+            opt.workload = value("--workload=");
+        else if (arg.rfind("--threads=", 0) == 0)
+            opt.threads =
+                uint32_t(std::atoi(value("--threads=").c_str()));
+        else if (arg.rfind("--frames=", 0) == 0)
+            opt.frames =
+                uint32_t(std::atoi(value("--frames=").c_str()));
+        else if (arg.rfind("--top=", 0) == 0)
+            opt.top = size_t(std::atoi(value("--top=").c_str()));
+        else if (arg.rfind("--max-cycles=", 0) == 0)
+            opt.maxCycles = std::strtoull(
+                value("--max-cycles=").c_str(), nullptr, 10);
+        else if (arg == "--no-trace")
+            opt.trace = false;
+        else if (arg == "--verify")
+            opt.verify = true;
+        else if (arg.rfind("--json=", 0) == 0)
+            opt.jsonFile = value("--json=");
+        else if (arg.rfind("--txns=", 0) == 0)
+            opt.txnsFile = value("--txns=");
+        else if (arg.rfind("--perfetto=", 0) == 0)
+            opt.perfettoFile = value("--perfetto=");
+        else if (arg.rfind("--schema=", 0) == 0)
+            schema_path = value("--schema=");
+        else if (arg.rfind("--", 0) == 0)
+            return usage();
+        else
+            positional.push_back(arg);
+    }
+
+    try {
+        if (mode == "--check") {
+            if (positional.size() != 1)
+                return usage();
+            return runCheck(positional[0], schema_path);
+        }
+        if (!positional.empty())
+            return usage();
+        return runReport(opt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "april-coh: %s\n", e.what());
+        return 2;
+    }
+}

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/json_parse.hh"
+#include "common/json_schema.hh"
 #include "common/logging.hh"
 #include "machine/alewife_machine.hh"
 #include "machine/perfect_machine.hh"
@@ -91,60 +92,8 @@ readFile(const std::string &path)
     return os.str();
 }
 
-// --- minimal JSON-schema-subset validator ----------------------------
-//
-// Supports the subset the checked-in schema uses: "type" (object,
-// array, string, number, integer, boolean), "required", "properties",
-// "items". Unknown keywords are ignored (permissive forward
-// compatibility); errors carry a JSON-pointer-ish path.
-
-void
-validateNode(const Json &value, const Json &schema,
-             const std::string &path, std::vector<std::string> &errors)
-{
-    if (schema.has("type")) {
-        const std::string &t = schema.at("type").str;
-        bool ok = true;
-        if (t == "object")
-            ok = value.kind == Json::Kind::Object;
-        else if (t == "array")
-            ok = value.kind == Json::Kind::Array;
-        else if (t == "string")
-            ok = value.kind == Json::Kind::String;
-        else if (t == "boolean")
-            ok = value.kind == Json::Kind::Bool;
-        else if (t == "number")
-            ok = value.kind == Json::Kind::Number;
-        else if (t == "integer")
-            ok = value.kind == Json::Kind::Number &&
-                 value.number == std::floor(value.number);
-        if (!ok) {
-            errors.push_back(path + ": expected " + t);
-            return;
-        }
-    }
-    if (schema.has("required")) {
-        for (const Json &key : schema.at("required").array) {
-            if (!value.has(key.str))
-                errors.push_back(path + ": missing required key '" +
-                                 key.str + "'");
-        }
-    }
-    if (schema.has("properties") && value.kind == Json::Kind::Object) {
-        for (const auto &[key, sub] :
-             schema.at("properties").object) {
-            if (value.has(key))
-                validateNode(value.at(key), sub, path + "/" + key,
-                             errors);
-        }
-    }
-    if (schema.has("items") && value.kind == Json::Kind::Array) {
-        const Json &item_schema = schema.at("items");
-        for (size_t i = 0; i < value.array.size(); ++i)
-            validateNode(value.array[i], item_schema,
-                         path + "/" + std::to_string(i), errors);
-    }
-}
+// Schema validation lives in common/json_schema.hh (shared with
+// april-coh).
 
 /** Accounting invariant: per-node bucket sums equal cycle counts. */
 void
@@ -186,7 +135,7 @@ runCheck(const std::string &file, const std::string &schema_path)
     Json profile = parseJson(readFile(file));
     Json schema = parseJson(readFile(schema_path));
     std::vector<std::string> errors;
-    validateNode(profile, schema, "", errors);
+    april::json::validateSchema(profile, schema, "", errors);
     checkInvariants(profile, errors);
     if (errors.empty()) {
         std::printf("%s: ok (schema + invariants)\n", file.c_str());

@@ -28,6 +28,12 @@ Controller::Controller(const ControllerParams &p, uint32_t node_id,
                       "sharer-set width at directory transitions"),
       statInvPerWrite(this, "invPerWrite",
                       "invalidations per exclusive request"),
+      statOverflowTraps(this, "overflowTraps",
+                        "directory pointer-overflow traps taken"),
+      statSpilledPtrs(this, "spilledPtrs",
+                      "hardware pointers dumped to the spill table"),
+      statSpillWalks(this, "spillWalks",
+                     "exclusive requests that walked the spill table"),
       statInboxPeak(this, "inboxPeak",
                     "high-water mark of the message inbox"),
       statInboxDepth(this, "inboxDepth",
@@ -79,17 +85,18 @@ Controller::pushDelayed(uint64_t due, uint32_t to, const Message &msg)
 }
 
 void
-Controller::send(uint32_t to, Message msg)
+Controller::send(uint32_t to, Message msg, uint32_t extra)
 {
     msg.from = nodeId;
-    pushDelayed(fabric->now() + params.occupancy, to, msg);
+    pushDelayed(fabric->now() + params.occupancy + extra, to, msg);
 }
 
 void
-Controller::sendAfterMemory(uint32_t to, Message msg)
+Controller::sendAfterMemory(uint32_t to, Message msg, uint32_t extra)
 {
     msg.from = nodeId;
-    pushDelayed(fabric->now() + params.occupancy + params.memLatency,
+    pushDelayed(fabric->now() + params.occupancy + params.memLatency +
+                    extra,
                 to, msg);
 }
 
@@ -177,6 +184,46 @@ Controller::recordTransition(const DirEntry &e, DirState old_state,
     TRACE(Coh, "c", fabric->now(), " n", nodeId, " line=", line_addr,
           " ", dirStateName(old_state), "->", dirStateName(e.state),
           " requester=", requester);
+}
+
+uint32_t
+Controller::addSharer(DirEntry &e, Addr line_addr, uint32_t sharer)
+{
+    if (!e.sharers.insert(sharer).second)
+        return 0;               // already present: no new pointer
+    if (params.dirScheme != DirScheme::LimitedPtr)
+        return 0;
+    uint32_t resident = uint32_t(e.sharers.size()) - e.spilled;
+    if (resident <= params.dirPointers)
+        return 0;               // the new sharer fit in hardware
+    // Overflow trap: the software handler dumps every resident
+    // pointer (including the new sharer's) into the spill table,
+    // leaving the hardware array empty. The triggering transaction
+    // pays the handler's occupancy.
+    ++statOverflowTraps;
+    statSpilledPtrs += double(resident);
+    e.spilled = uint32_t(e.sharers.size());
+    ++census[line_addr].spills;
+    TRACE(Coh, "c", fabric->now(), " n", nodeId, " line=", line_addr,
+          " overflow trap: ", resident, " ptrs spilled (",
+          e.sharers.size(), " sharers)");
+    return params.spillPenalty;
+}
+
+void
+Controller::clearSharers(DirEntry &e)
+{
+    e.sharers.clear();
+    e.spilled = 0;
+}
+
+uint32_t
+Controller::spillWalkCost(DirEntry &e)
+{
+    if (params.dirScheme != DirScheme::LimitedPtr || e.spilled == 0)
+        return 0;
+    ++statSpillWalks;
+    return params.spillPenalty;
 }
 
 // ---------------------------------------------------------------------
@@ -375,7 +422,7 @@ Controller::handleMessage(const Message &msg)
             } else if (!e.busy) {
                 // Unsolicited eviction: the owner gave up its copy.
                 e.state = DirState::Uncached;
-                e.sharers.clear();
+                clearSharers(e);
                 recordTransition(e, DirState::Exclusive, msg.lineAddr,
                                  msg.from);
             }
@@ -464,7 +511,7 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
     // Uncached.
     if (e.state == DirState::Exclusive && e.owner == msg.requester) {
         e.state = DirState::Uncached;
-        e.sharers.clear();
+        clearSharers(e);
         recordTransition(e, DirState::Exclusive, line_addr,
                          msg.requester);
     }
@@ -474,26 +521,30 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
     switch (e.state) {
       case DirState::Uncached: {
         e.busy = true;
+        uint32_t extra = 0;
         if (write) {
             e.state = DirState::Exclusive;
             e.owner = msg.requester;
-            e.sharers.clear();
+            clearSharers(e);
             statInvPerWrite.sample(0);
         } else {
             e.state = DirState::Shared;
-            e.sharers = {msg.requester};
+            clearSharers(e);
+            extra = addSharer(e, line_addr, msg.requester);
         }
         recordTransition(e, old_state, line_addr, msg.requester);
-        replyAndUnpend(line_addr, msg.requester, write, msg.txn);
+        replyAndUnpend(line_addr, msg.requester, write, msg.txn,
+                       extra);
         return;
       }
 
       case DirState::Shared: {
         if (!write) {
             e.busy = true;
-            e.sharers.insert(msg.requester);
+            uint32_t extra = addSharer(e, line_addr, msg.requester);
             recordTransition(e, old_state, line_addr, msg.requester);
-            replyAndUnpend(line_addr, msg.requester, false, msg.txn);
+            replyAndUnpend(line_addr, msg.requester, false, msg.txn,
+                           extra);
             return;
         }
         // Strong coherence: invalidate every other sharer and wait
@@ -505,7 +556,7 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
             e.busy = true;
             e.state = DirState::Exclusive;
             e.owner = msg.requester;
-            e.sharers.clear();
+            clearSharers(e);
             recordTransition(e, old_state, line_addr, msg.requester);
             replyAndUnpend(line_addr, msg.requester, true, msg.txn);
             return;
@@ -515,12 +566,15 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
         e.pendingReq = msg;
         e.pendingAcks = uint32_t(to_inv.size());
         census[line_addr].invs += to_inv.size();
+        // Sharers beyond the hardware pointers cost a software walk
+        // of the spill table before the invalidations can go out.
+        uint32_t walk = spillWalkCost(e);
         for (uint32_t s : to_inv) {
             Message inv;
             inv.type = MsgType::Inv;
             inv.lineAddr = line_addr;
             inv.txn = msg.txn;
-            send(s, inv);
+            send(s, inv, walk);
             ++statInvSent;
             traceTxn(msg.txn, TxnPhase::InvSend, line_addr, s, true);
         }
@@ -548,14 +602,14 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
 
 void
 Controller::replyAndUnpend(Addr line_addr, uint32_t requester,
-                           bool write, uint64_t txn)
+                           bool write, uint64_t txn, uint32_t extra)
 {
     Message reply;
     reply.type = write ? MsgType::WriteReply : MsgType::ReadReply;
     reply.lineAddr = line_addr;
     reply.data = readMemoryLine(line_addr);
     reply.txn = txn;
-    sendAfterMemory(requester, reply);
+    sendAfterMemory(requester, reply, extra);
     traceTxn(txn, TxnPhase::ReplySend, line_addr, requester, write);
     // Scheduled after the reply at the same time: dispatch order in
     // the delayed queue (and FIFO network routes) keeps the grant
@@ -563,7 +617,7 @@ Controller::replyAndUnpend(Addr line_addr, uint32_t requester,
     Message unpend;
     unpend.type = MsgType::Unpend;
     unpend.lineAddr = line_addr;
-    sendAfterMemory(nodeId, unpend);
+    sendAfterMemory(nodeId, unpend, extra);
 }
 
 void
@@ -574,16 +628,19 @@ Controller::completePending(Addr line_addr, DirEntry &e)
 
     uint32_t prev_owner = e.owner;
     bool was_exclusive = e.state == DirState::Exclusive;
+    uint32_t extra = 0;
     if (write) {
         e.state = DirState::Exclusive;
         e.owner = req.requester;
-        e.sharers.clear();
+        clearSharers(e);
     } else {
         e.state = DirState::Shared;
-        e.sharers.clear();
-        if (was_exclusive)
-            e.sharers.insert(prev_owner);   // downgraded, kept a copy
-        e.sharers.insert(req.requester);
+        clearSharers(e);
+        if (was_exclusive) {
+            // Downgraded owner kept a copy.
+            extra += addSharer(e, line_addr, prev_owner);
+        }
+        extra += addSharer(e, line_addr, req.requester);
     }
     e.wait = DirEntry::Wait::None;
     e.pendingAcks = 0;
@@ -591,7 +648,7 @@ Controller::completePending(Addr line_addr, DirEntry &e)
                      was_exclusive ? DirState::Exclusive
                                    : DirState::Shared,
                      line_addr, req.requester);
-    replyAndUnpend(line_addr, req.requester, write, req.txn);
+    replyAndUnpend(line_addr, req.requester, write, req.txn, extra);
 }
 
 void

@@ -51,6 +51,17 @@ struct ControllerParams
     uint32_t occupancy = 2;     ///< controller cycles per message
     uint32_t reqFlits = 2;      ///< network size of a request
     uint32_t dataFlits = 6;     ///< network size of a data-carrying msg
+    /// Directory organization; FullMap is the paper's (and the
+    /// differential oracle's) scheme.
+    DirScheme dirScheme = DirScheme::FullMap;
+    /// LimitedPtr: hardware pointers per line before the overflow
+    /// trap. 0 forces the spill handler on every sharer addition —
+    /// the fuzzer's worst case.
+    uint32_t dirPointers = 4;
+    /// LimitedPtr: software spill-handler occupancy in cycles, paid
+    /// by the transaction that overflows the pointer array and by
+    /// exclusive requests that must walk the spilled-sharer table.
+    uint32_t spillPenalty = 50;
 };
 
 /** Message transport provided by the enclosing machine. */
@@ -116,6 +127,7 @@ class Controller : public MemPort, public stats::Group
         uint64_t transitions = 0;
         uint64_t invs = 0;
         uint32_t maxSharers = 0;
+        uint64_t spills = 0;    ///< pointer-overflow traps on this line
     };
 
     /** Per-line census for every home line this directory touched
@@ -142,6 +154,14 @@ class Controller : public MemPort, public stats::Group
     /// named dirUncachedToShared etc. — the TrapKind-style breakdown
     /// of the aggregate Coherence trace events.
     std::vector<stats::Scalar> statDirTransitions;
+    /// LimitedPtr: pointer-array overflow traps taken (the software
+    /// spill handler ran to dump the hardware pointers).
+    stats::Scalar statOverflowTraps;
+    /// LimitedPtr: hardware pointers dumped into the software table.
+    stats::Scalar statSpilledPtrs;
+    /// LimitedPtr: exclusive requests that had to walk the software
+    /// table to enumerate spilled sharers.
+    stats::Scalar statSpillWalks;
     /// High-water mark of the message inbox.
     stats::Scalar statInboxPeak;
     /// Instantaneous inbox depth (meaningful on the IntervalSampler
@@ -156,7 +176,13 @@ class Controller : public MemPort, public stats::Group
         enum class Wait : uint8_t { None, Acks, Data };
 
         DirState state = DirState::Uncached;
+        /// The exact sharer set. Under LimitedPtr the first
+        /// (size() - spilled) members occupy hardware pointers and the
+        /// rest live in the software table; the set itself is always
+        /// precise, so the schemes differ in timing only.
         std::set<uint32_t> sharers;
+        /// LimitedPtr: sharers resident in the software spill table.
+        uint32_t spilled = 0;
         uint32_t owner = 0;
         bool busy = false;          ///< transaction in progress
         Wait wait = Wait::None;
@@ -177,11 +203,31 @@ class Controller : public MemPort, public stats::Group
     };
 
     uint32_t homeOf(Addr line_addr) const;
-    /** Queue @p msg for @p to after controller occupancy. */
-    void send(uint32_t to, Message msg);
-    /** Queue @p msg for @p to after occupancy + memory latency. */
-    void sendAfterMemory(uint32_t to, Message msg);
+    /** Queue @p msg for @p to after controller occupancy (+ @p extra
+     *  software-handler cycles). */
+    void send(uint32_t to, Message msg, uint32_t extra = 0);
+    /** Queue @p msg for @p to after occupancy + memory latency
+     *  (+ @p extra software-handler cycles). */
+    void sendAfterMemory(uint32_t to, Message msg, uint32_t extra = 0);
     void dispatch(uint32_t to, const Message &msg);
+
+    /**
+     * Add @p sharer to @p e's set under the configured directory
+     * scheme. Under LimitedPtr, a new sharer that would need an
+     * (i+1)-th hardware pointer takes the overflow trap: the handler
+     * dumps all resident pointers into the software table and the
+     * caller must charge the returned spill-handler cycles to the
+     * triggering transaction. FullMap always returns 0.
+     */
+    uint32_t addSharer(DirEntry &e, Addr line_addr, uint32_t sharer);
+    /** Empty @p e's sharer set (hardware pointers and spill table). */
+    void clearSharers(DirEntry &e);
+    /**
+     * Software cycles an exclusive request pays before invalidating
+     * @p e's sharers: the spill-table walk when any sharer lives in
+     * software, 0 when the hardware pointers cover the set.
+     */
+    uint32_t spillWalkCost(DirEntry &e);
 
     /** Record a directory transition event (old state -> current). */
     void recordTransition(const DirEntry &e, DirState old_state,
@@ -192,10 +238,11 @@ class Controller : public MemPort, public stats::Group
     void completePending(Addr line_addr, DirEntry &e);
     void drainWaiting(Addr line_addr);
     void fill(const Message &msg);
-    /** Schedule reply + unpend marker behind the memory access.
+    /** Schedule reply + unpend marker behind the memory access (plus
+     *  @p extra software spill-handler cycles, 0 under FullMap).
      *  @p txn is the granted transaction's id (0: untraced). */
     void replyAndUnpend(Addr line_addr, uint32_t requester, bool write,
-                        uint64_t txn);
+                        uint64_t txn, uint32_t extra = 0);
 
     /** Append one transaction leg to the tracer (no-op when off). */
     void

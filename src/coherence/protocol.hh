@@ -77,6 +77,36 @@ enum class DirState : uint8_t
 /** Number of directory states (per-transition stat tables). */
 inline constexpr size_t kNumDirStates = size_t(DirState::Exclusive) + 1;
 
+/**
+ * Directory organization (ROADMAP item 3). FullMap keeps one pointer
+ * per node — the paper's scheme, exact but O(nodes) per line.
+ * LimitedPtr keeps i hardware pointers (ControllerParams::dirPointers)
+ * and traps to a software spill handler when a new sharer would need
+ * an (i+1)-th pointer, LimitLESS-style: the handler dumps the
+ * hardware pointers into a software table (modeled as extra handler
+ * latency on the triggering transaction) and exclusive requests that
+ * must invalidate spilled sharers pay the handler again to walk the
+ * table. Both schemes are architecturally identical — the sharer set
+ * is always exact — so FullMap stays the timing-free oracle for every
+ * differential gate.
+ */
+enum class DirScheme : uint8_t
+{
+    FullMap,
+    LimitedPtr,
+};
+
+/** Canonical directory-scheme name ("FullMap", "LimitedPtr"). */
+inline const char *
+dirSchemeName(DirScheme s)
+{
+    switch (s) {
+      case DirScheme::FullMap: return "FullMap";
+      case DirScheme::LimitedPtr: return "LimitedPtr";
+    }
+    return "?";
+}
+
 /** Canonical directory-state name ("Uncached", ...). */
 inline const char *
 dirStateName(DirState s)

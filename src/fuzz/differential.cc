@@ -25,14 +25,27 @@ struct AlewifeRun
     std::string error;          ///< hang / failed quiesce
 };
 
+/** One machine-shape variant of the dirScheme x mesh axis. */
+struct Variant
+{
+    const char *name = "FullMap";
+    coh::DirScheme scheme = coh::DirScheme::FullMap;
+    uint32_t ptrs = 4;
+    int dim = 0;        ///< 0: the case's own mesh shape
+    int radix = 0;
+};
+
 AlewifeRun
 runAlewife(const FuzzCase &c, const Program &prog, bool cycle_skip,
-           const DiffOptions &opts, uint32_t host_threads = 1)
+           const DiffOptions &opts, uint32_t host_threads = 1,
+           const Variant &v = {})
 {
     AlewifeRun run;
     AlewifeParams p;
-    p.network.dim = c.dim;
-    p.network.radix = c.radix;
+    p.network.dim = v.dim ? v.dim : c.dim;
+    p.network.radix = v.radix ? v.radix : c.radix;
+    p.dirScheme = v.scheme;
+    p.dirPointers = v.ptrs;
     p.wordsPerNode = c.wordsPerNode;
     p.proc.numFrames = c.numFrames;
     p.seed = c.seed;
@@ -54,7 +67,7 @@ runAlewife(const FuzzCase &c, const Program &prog, bool cycle_skip,
     m.run(opts.maxCycles);
     if (!m.halted()) {
         std::ostringstream os;
-        os << "alewife(skip=" << cycle_skip
+        os << "alewife(skip=" << cycle_skip << ", " << v.name
            << ") did not halt within " << opts.maxCycles
            << " cycles; node0 pc=" << m.proc(0).pc() << " ["
            << prog.symbolAt(m.proc(0).pc()) << "]";
@@ -171,6 +184,85 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
             div << "threads=1 vs threads=" << opts.hostThreads
                 << ": trace JSON differs (" << on.trace.size()
                 << " vs " << par.trace.size() << " bytes)\n";
+        }
+    }
+
+    // The dirScheme x mesh axis: the limited directory (default and
+    // forced-spill pointer counts) and — when the case is a 2x2 mesh —
+    // the same four nodes reshaped as a 1-D line, which changes every
+    // hop distance. Each variant changes timing only: it must be
+    // bit-identical across cycle-skip modes (and host-thread counts)
+    // and architecturally identical to the full-map run above.
+    if (opts.schemeAxis) {
+        std::vector<Variant> variants = {
+            {"limited(i=4)", coh::DirScheme::LimitedPtr, 4, 0, 0},
+            {"limited(forced-spill)", coh::DirScheme::LimitedPtr, 0, 0,
+             0},
+        };
+        if (c.dim == 2 && c.radix == 2) {
+            variants.push_back(
+                {"line-mesh+limited(i=1)", coh::DirScheme::LimitedPtr,
+                 1, 1, 4});
+        }
+        for (const Variant &v : variants) {
+            AlewifeRun von = runAlewife(c, prog, true, opts, 1, v);
+            if (!von.error.empty()) {
+                r.divergence = von.error;
+                return r;
+            }
+            AlewifeRun voff = runAlewife(c, prog, false, opts, 1, v);
+            if (!voff.error.empty()) {
+                r.divergence = voff.error;
+                return r;
+            }
+            std::string vexact = compareExact(von.snap, voff.snap);
+            if (!vexact.empty()) {
+                div << v.name << " cycle-skip ON vs OFF:\n" << vexact;
+            }
+            if (von.stats != voff.stats) {
+                div << v.name
+                    << " cycle-skip ON vs OFF: stats dumps differ\n";
+            }
+            if (von.breakdown != voff.breakdown) {
+                div << v.name
+                    << " cycle-skip ON vs OFF: cycle-accounting "
+                       "breakdowns differ\n";
+            }
+            if (von.cohTrace != voff.cohTrace) {
+                div << v.name
+                    << " cycle-skip ON vs OFF: coherence-transaction "
+                       "traces differ\n";
+            }
+            if (opts.compareTraces && von.trace != voff.trace) {
+                div << v.name
+                    << " cycle-skip ON vs OFF: trace JSON differs\n";
+            }
+            if (opts.hostThreads > 1) {
+                AlewifeRun vpar = runAlewife(c, prog, true, opts,
+                                             opts.hostThreads, v);
+                if (!vpar.error.empty()) {
+                    r.divergence = vpar.error;
+                    return r;
+                }
+                std::string ppexact =
+                    compareExact(von.snap, vpar.snap);
+                if (!ppexact.empty()) {
+                    div << v.name << " threads=1 vs threads="
+                        << opts.hostThreads << ":\n" << ppexact;
+                }
+                if (von.stats != vpar.stats ||
+                    von.cohTrace != vpar.cohTrace ||
+                    von.breakdown != vpar.breakdown) {
+                    div << v.name << " threads=1 vs threads="
+                        << opts.hostThreads
+                        << ": deterministic artifacts differ\n";
+                }
+            }
+            std::string varch =
+                compareArchitectural(on.snap, von.snap);
+            if (!varch.empty()) {
+                div << "FullMap vs " << v.name << ":\n" << varch;
+            }
         }
     }
 

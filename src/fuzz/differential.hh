@@ -28,6 +28,7 @@
 #include <functional>
 #include <string>
 
+#include "coherence/protocol.hh"
 #include "fuzz/generator.hh"
 
 namespace april::fuzz
@@ -43,6 +44,14 @@ struct DiffOptions
     /// host worker threads and must be bit-for-bit identical to it
     /// (snapshot, stats dump, cycle breakdown, trace JSON).
     uint32_t hostThreads = 1;
+    /// The directory-scheme x mesh axis (DESIGN.md §7.8): replay the
+    /// case under the limited directory (i = 4), the forced-spill
+    /// variant (i = 0), and — for 2x2 cases — the same node count
+    /// reshaped as a 1-D line mesh. Each variant must stay bit-for-bit
+    /// identical across cycle-skip modes (and hostThreads, when set)
+    /// and architecturally identical to the full-map run, which is
+    /// itself checked against the PerfectMachine oracle.
+    bool schemeAxis = false;
 };
 
 /** Outcome of one differential run. */

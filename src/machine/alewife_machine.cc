@@ -24,7 +24,8 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
            }(),
            .wordsPerNode = p.wordsPerNode}),
       net_(p.network, this),
-      telemetry_(mem.numNodes(), messageClassNames(), this),
+      telemetry_(mem.numNodes(), messageClassNames(), this,
+                 net_.maxHops()),
       statTraceDropped(
           this, "traceDropped",
           "machine trace events dropped at the capacity cap",
@@ -119,13 +120,18 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
     }
     arrivals.resize(n);
 
+    // AlewifeParams::dirScheme is authoritative over whatever the
+    // embedded ControllerParams carries.
+    params.controller.dirScheme = p.dirScheme;
+    params.controller.dirPointers = p.dirPointers;
+
     for (uint32_t i = 0; i < n; ++i) {
         rt::Runtime::initNode(mem, i);
         Shard *sh = &shards[shardOf(i)];
         trace::Recorder *lane = sh->lane ? sh->lane.get() : trec.get();
         fabrics.push_back(std::make_unique<NodeFabric>(this, sh));
         ctrls.push_back(std::make_unique<coh::Controller>(
-            p.controller, i, p.proc.numFrames, &mem,
+            params.controller, i, p.proc.numFrames, &mem,
             fabrics.back().get(), this));
         ios.push_back(std::make_unique<NodeIo>(this, sh, i,
                                                p.seed * 1000003 + i));
@@ -260,7 +266,8 @@ AlewifeMachine::deliverNode(Shard &s, uint32_t node)
         net_.recordDelivery(node, s.cycle - f.sendCycle, f.hops,
                             f.flits);
         telemetry_.recordDeliver(f.src, node, uint8_t(f.msg.type),
-                                 f.flits, s.cycle - f.sendCycle);
+                                 f.flits, s.cycle - f.sendCycle,
+                                 f.hops);
         if (trace::Recorder *r = s.lane ? s.lane.get() : trec.get()) {
             r->record({s.cycle, node, trace::EventKind::NetDeliver,
                        0, 0, f.src, uint32_t(s.cycle - f.sendCycle)});

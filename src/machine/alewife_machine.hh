@@ -48,6 +48,15 @@ struct AlewifeParams
     uint32_t wordsPerNode = 1u << 20;
     ProcParams proc;
     coh::ControllerParams controller;
+    /// Directory organization, copied into every controller at
+    /// construction (authoritative over controller.dirScheme).
+    /// FullMap is the paper's scheme and the differential oracle;
+    /// LimitedPtr is the i-pointer LimitLESS-style directory that
+    /// makes >64-node machines representable.
+    coh::DirScheme dirScheme = coh::DirScheme::FullMap;
+    /// Hardware pointers per line under LimitedPtr (0 forces the
+    /// software spill handler on every sharer addition).
+    uint32_t dirPointers = 4;
     uint64_t seed = 12345;
     /// Boot the Mul-T run-time system on every node (requires the
     /// runtime's symbols in the program). Turn off for raw programs.

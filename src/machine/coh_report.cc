@@ -108,6 +108,9 @@ struct ReportData
     std::vector<uint64_t> dirTransitions;   ///< [old * 3 + new]
     uint64_t invSent = 0;
     uint64_t invAcked = 0;
+    uint64_t overflowTraps = 0;     ///< limited-directory spills
+    uint64_t spilledPtrs = 0;
+    uint64_t spillWalks = 0;
     std::vector<LineEntry> hottest;
     std::vector<LineEntry> widest;
     std::vector<PairEntry> pairs;
@@ -139,6 +142,9 @@ gather(AlewifeMachine &m, const CohReportOptions &opts)
                 uint64_t(c.statDirTransitions[t].value());
         d.invSent += uint64_t(c.statInvSent.value());
         d.invAcked += uint64_t(c.statInvAcks.value());
+        d.overflowTraps += uint64_t(c.statOverflowTraps.value());
+        d.spilledPtrs += uint64_t(c.statSpilledPtrs.value());
+        d.spillWalks += uint64_t(c.statSpillWalks.value());
         for (const auto &[line, census] : c.lineCensus())
             lines.push_back({line, n, census});
     }
@@ -163,8 +169,12 @@ gather(AlewifeMachine &m, const CohReportOptions &opts)
               });
     d.widest.resize(std::min(d.widest.size(), opts.topSharers));
 
+    // The per-pair matrices are dropped above
+    // Telemetry::kPairMatrixMaxNodes (O(nodes^2) memory); the report
+    // then simply has no busiest-pairs table.
     const net::Telemetry &tel = m.telemetry();
-    for (uint32_t src = 0; src < d.nodes; ++src) {
+    for (uint32_t src = 0; tel.hasPairMatrix() && src < d.nodes;
+         ++src) {
         for (uint32_t dst = 0; dst < d.nodes; ++dst) {
             PairEntry p{src, dst, 0, 0};
             for (size_t c = 0; c < tel.numClasses(); ++c) {
@@ -239,6 +249,10 @@ writeCohReportJson(std::ostream &os, AlewifeMachine &machine,
     }
     os << "}";
 
+    os << ",\"spills\":{\"overflowTraps\":" << d.overflowTraps
+       << ",\"spilledPtrs\":" << d.spilledPtrs
+       << ",\"spillWalks\":" << d.spillWalks << "}";
+
     os << ",\"classes\":[";
     for (size_t c = 0; c < tel.numClasses(); ++c) {
         HistAgg lat;
@@ -249,6 +263,22 @@ writeCohReportJson(std::ostream &os, AlewifeMachine &machine,
            << ",\"flits\":" << tel.classFlits(c) << ",\"latency\":";
         writeHistJson(os, lat);
         os << "}";
+    }
+    os << "]";
+
+    os << ",\"hopLatency\":[";
+    bool first_hop = true;
+    for (uint32_t h = 0; h <= tel.maxHops(); ++h) {
+        const stats::Histogram &lat = tel.hopLatency(h);
+        if (!lat.count())
+            continue;
+        HistAgg agg;
+        agg.add(lat);
+        os << (first_hop ? "\n" : ",\n") << "{\"hops\":" << h
+           << ",\"latency\":";
+        writeHistJson(os, agg);
+        os << "}";
+        first_hop = false;
     }
     os << "]";
 
@@ -346,6 +376,28 @@ writeCohReportText(std::ostream &os, AlewifeMachine &machine,
                       tel.className(c).c_str(), tel.classSent(c),
                       tel.classDelivered(c), tel.classFlits(c),
                       lat.percentile(0.50), lat.percentile(0.99));
+        os << buf;
+    }
+
+    if (d.overflowTraps) {
+        os << "\nlimited directory: " << d.overflowTraps
+           << " overflow traps, " << d.spilledPtrs
+           << " pointers spilled, " << d.spillWalks
+           << " software table walks\n";
+    }
+
+    os << "\nper-hop-distance delivery latency (count, p50/p99):\n";
+    for (uint32_t h = 0; h <= tel.maxHops(); ++h) {
+        const stats::Histogram &lat = tel.hopLatency(h);
+        if (!lat.count())
+            continue;
+        HistAgg agg;
+        agg.add(lat);
+        std::snprintf(buf, sizeof buf,
+                      "  %2u hops %12" PRIu64 "   %6" PRIu64 " %6"
+                      PRIu64 "\n",
+                      h, agg.count, agg.percentile(0.50),
+                      agg.percentile(0.99));
         os << buf;
     }
 

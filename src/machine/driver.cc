@@ -125,6 +125,8 @@ runMultProgram(const std::string &source, const DriverOptions &options)
         ap.wordsPerNode = options.wordsPerNode;
         ap.proc = options.proc;
         ap.controller = options.controller;
+        ap.dirScheme = options.dirScheme;
+        ap.dirPointers = options.dirPointers;
         ap.seed = options.seed;
         ap.cycleSkip = options.cycleSkip;
         ap.hostThreads = hostThreadCount(options.hostThreads);

@@ -56,6 +56,13 @@ struct DriverOptions
     int netRadix = 0;
     /// Cache/directory configuration when alewife is on.
     coh::ControllerParams controller;
+    /// Directory organization when alewife is on (FullMap: the
+    /// paper's scheme / the oracle; LimitedPtr: i-pointer directory
+    /// with software spill).
+    coh::DirScheme dirScheme = coh::DirScheme::FullMap;
+    /// Hardware pointers per line under LimitedPtr (0 forces the
+    /// spill handler on every sharer addition).
+    uint32_t dirPointers = 4;
     /// Record coherence transactions and return them in
     /// DriverResult::cohTraceJson (alewife only; the directory census
     /// and network telemetry are always on).

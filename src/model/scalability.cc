@@ -8,6 +8,29 @@
 namespace april::model
 {
 
+ModelParams
+ModelParams::forSimMesh(unsigned nodes)
+{
+    unsigned radix = 0;
+    while (radix * radix < nodes)
+        ++radix;
+    if (radix * radix != nodes || nodes == 0)
+        fatal("forSimMesh: ", nodes, " nodes is not a square 2-D mesh");
+
+    ModelParams p;                  // Table 4 calibrations
+    p.netDim = 2;
+    p.netRadix = int(radix);
+    // The simulator's timing: 1-cycle switch traversals, 10-cycle
+    // local DRAM, 2-cycle controller occupancy, and packets averaging
+    // (reqFlits + dataFlits) / 2 = 4 flits — a request out, a data
+    // reply back.
+    p.hopCycles = 1;
+    p.memLatency = 10;
+    p.controllerCycles = 2;
+    p.packetSize = 4;
+    return p;
+}
+
 ScalabilityModel::ScalabilityModel(const ModelParams &params)
     : _params(params)
 {

@@ -51,6 +51,17 @@ namespace april::model
 /** Machine parameters (defaults are the paper's Table 4). */
 struct ModelParams
 {
+    /**
+     * Table 4 re-derived for the simulated ALEWIFE machine at scale
+     * (DESIGN.md §7.8): a 2-D mesh of @p nodes (radix sqrt(nodes),
+     * which must be a perfect square) with the simulator's per-hop
+     * switch delay, local memory latency, controller occupancy and
+     * mean packet size, so T(1)'s hop term 2 h k/3 tracks the mesh
+     * the machine actually routes over. Cache-interference and
+     * contention calibrations keep their Table 4 values.
+     */
+    static ModelParams forSimMesh(unsigned nodes);
+
     double memLatency = 10;         ///< cycles
     int netDim = 3;                 ///< network dimension n
     int netRadix = 20;              ///< network radix k

@@ -116,6 +116,14 @@ class Network : public stats::Group
     /** Manhattan distance in hops. */
     uint32_t distance(uint32_t a, uint32_t b) const;
 
+    /** Largest distance the topology can produce: corner to corner,
+     *  dim * (radix - 1) hops. Sizes per-hop-distance telemetry. */
+    uint32_t
+    maxHops() const
+    {
+        return uint32_t(params.dim) * uint32_t(params.radix - 1);
+    }
+
     stats::Scalar statPackets;
     stats::Scalar statFlitHops;
     stats::Average statLatency;     ///< send-to-delivery cycles

@@ -8,15 +8,20 @@ namespace april::net
 
 Telemetry::Telemetry(uint32_t num_nodes,
                      std::vector<std::string> class_names,
-                     stats::Group *parent)
+                     stats::Group *parent, uint32_t max_hops)
     : stats::Group("telemetry", parent),
       statSent(this, "sent", "messages handed to the network"),
       statDelivered(this, "delivered", "messages delivered"),
       statInFlight(this, "inFlight",
                    "messages sent but not yet delivered"),
-      nodes(num_nodes), classNames(std::move(class_names))
+      statHops(this, "hops",
+               "mesh hop distance of delivered messages"),
+      nodes(num_nodes), maxHops_(max_hops),
+      pairMatrix(num_nodes <= kPairMatrixMaxNodes),
+      classNames(std::move(class_names))
 {
     size_t classes = classNames.size();
+    size_t hop_slots = size_t(maxHops_) + 1;
     srcSlots.resize(nodes);
     dstSlots.resize(nodes);
     for (SrcSlot &s : srcSlots) {
@@ -31,8 +36,19 @@ Telemetry::Telemetry(uint32_t num_nodes,
         d.latMax.resize(classes, std::numeric_limits<int64_t>::min());
         d.buckets.resize(classes * stats::Histogram::kDefaultBuckets,
                          0);
-        d.pairCount.resize(size_t(nodes) * classes, 0);
-        d.pairFlits.resize(size_t(nodes) * classes, 0);
+        if (pairMatrix) {
+            d.pairCount.resize(size_t(nodes) * classes, 0);
+            d.pairFlits.resize(size_t(nodes) * classes, 0);
+        }
+        d.hopCount.resize(hop_slots, 0);
+        d.hopLatSum.resize(hop_slots, 0);
+        d.hopLatMin.resize(hop_slots,
+                           std::numeric_limits<int64_t>::max());
+        d.hopLatMax.resize(hop_slots,
+                           std::numeric_limits<int64_t>::min());
+        d.hopBuckets.resize(hop_slots *
+                                stats::Histogram::kDefaultBuckets,
+                            0);
     }
     statClassSent.reserve(classes);
     statClassDelivered.reserve(classes);
@@ -49,11 +65,19 @@ Telemetry::Telemetry(uint32_t num_nodes,
             this, "latency" + name,
             name + " send-to-delivery cycles"));
     }
+    statHopLatency.reserve(hop_slots);
+    for (size_t h = 0; h < hop_slots; ++h) {
+        statHopLatency.push_back(std::make_unique<stats::Histogram>(
+            this, "latencyHops" + std::to_string(h),
+            "send-to-delivery cycles at hop distance " +
+                std::to_string(h)));
+    }
 }
 
 void
 Telemetry::recordDeliver(uint32_t src, uint32_t dst, uint8_t cls,
-                         uint32_t flits, uint64_t latency)
+                         uint32_t flits, uint64_t latency,
+                         uint32_t hops)
 {
     DstSlot &d = dstSlots[dst];
     ++d.count[cls];
@@ -65,8 +89,18 @@ Telemetry::recordDeliver(uint32_t src, uint32_t dst, uint8_t cls,
     ++d.buckets[size_t(cls) * stats::Histogram::kDefaultBuckets +
                 stats::Histogram::logBucket(
                     lat, stats::Histogram::kDefaultBuckets)];
-    ++d.pairCount[size_t(src) * numClasses() + cls];
-    d.pairFlits[size_t(src) * numClasses() + cls] += flits;
+    if (pairMatrix) {
+        ++d.pairCount[size_t(src) * numClasses() + cls];
+        d.pairFlits[size_t(src) * numClasses() + cls] += flits;
+    }
+    uint32_t h = std::min(hops, maxHops_);
+    ++d.hopCount[h];
+    d.hopLatSum[h] += latency;
+    d.hopLatMin[h] = std::min(d.hopLatMin[h], lat);
+    d.hopLatMax[h] = std::max(d.hopLatMax[h], lat);
+    ++d.hopBuckets[size_t(h) * stats::Histogram::kDefaultBuckets +
+                   stats::Histogram::logBucket(
+                       lat, stats::Histogram::kDefaultBuckets)];
 }
 
 uint64_t
@@ -137,6 +171,41 @@ Telemetry::foldStats()
     statSent = double(sent_total);
     statDelivered = double(delivered_total);
     statInFlight = double(sent_total - delivered_total);
+
+    // Per-hop-distance aggregates: one latency histogram per distance
+    // plus the distance distribution itself.
+    std::vector<uint64_t> hop_dist_buckets(kBuckets, 0);
+    uint64_t hop_msgs = 0;
+    uint64_t hop_sum = 0;
+    int64_t hop_min = std::numeric_limits<int64_t>::max();
+    int64_t hop_max = std::numeric_limits<int64_t>::min();
+    for (uint32_t h = 0; h <= maxHops_; ++h) {
+        uint64_t count = 0;
+        uint64_t lat_sum = 0;
+        int64_t lat_min = std::numeric_limits<int64_t>::max();
+        int64_t lat_max = std::numeric_limits<int64_t>::min();
+        std::fill(buckets.begin(), buckets.end(), 0);
+        for (const DstSlot &d : dstSlots) {
+            count += d.hopCount[h];
+            lat_sum += d.hopLatSum[h];
+            lat_min = std::min(lat_min, d.hopLatMin[h]);
+            lat_max = std::max(lat_max, d.hopLatMax[h]);
+            for (size_t b = 0; b < kBuckets; ++b)
+                buckets[b] += d.hopBuckets[size_t(h) * kBuckets + b];
+        }
+        statHopLatency[h]->set(buckets, count, double(lat_sum),
+                               lat_min, lat_max);
+        if (count) {
+            hop_dist_buckets[stats::Histogram::logBucket(
+                int64_t(h), kBuckets)] += count;
+            hop_msgs += count;
+            hop_sum += uint64_t(h) * count;
+            hop_min = std::min(hop_min, int64_t(h));
+            hop_max = std::max(hop_max, int64_t(h));
+        }
+    }
+    statHops.set(hop_dist_buckets, hop_msgs, double(hop_sum), hop_min,
+                 hop_max);
 }
 
 } // namespace april::net

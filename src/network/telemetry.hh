@@ -35,8 +35,18 @@ namespace april::net
 class Telemetry : public stats::Group
 {
   public:
+    /// Nodes above this count drop the O(nodes^2 x classes) per-pair
+    /// matrices (at 1024 nodes they alone would cost ~180 MB); the
+    /// per-class and per-hop-distance aggregates stay on at any scale.
+    static constexpr uint32_t kPairMatrixMaxNodes = 256;
+
+    /**
+     * @param max_hops largest hop distance the topology can produce
+     *        (mesh: dim * (radix - 1)); sizes the per-distance
+     *        latency histograms. 0 keeps only the aggregate ones.
+     */
     Telemetry(uint32_t num_nodes, std::vector<std::string> class_names,
-              stats::Group *parent = nullptr);
+              stats::Group *parent = nullptr, uint32_t max_hops = 0);
 
     /** Account one message injected into the network at @p src.
      *  Only @p src's shard may call this for @p src. */
@@ -50,9 +60,11 @@ class Telemetry : public stats::Group
     }
 
     /** Account one message delivered at @p dst after @p latency
-     *  cycles. Only @p dst's shard may call this for @p dst. */
+     *  cycles over @p hops mesh hops. Only @p dst's shard may call
+     *  this for @p dst. */
     void recordDeliver(uint32_t src, uint32_t dst, uint8_t cls,
-                       uint32_t flits, uint64_t latency);
+                       uint32_t flits, uint64_t latency,
+                       uint32_t hops = 0);
 
     /**
      * Recompute the stats::Group members from the per-node slots in
@@ -68,18 +80,36 @@ class Telemetry : public stats::Group
         return classNames[c];
     }
 
+    /** @return true when the per-pair matrices are tracked (nodes <=
+     *  kPairMatrixMaxNodes); pairCount/pairFlits read 0 otherwise. */
+    bool hasPairMatrix() const { return pairMatrix; }
+
     /** Messages delivered src -> dst of class @p cls (post-fold not
      *  required: reads the raw slot). */
     uint64_t
     pairCount(uint32_t src, uint32_t dst, uint8_t cls) const
     {
+        if (!pairMatrix)
+            return 0;
         return dstSlots[dst].pairCount[src * numClasses() + cls];
     }
 
     uint64_t
     pairFlits(uint32_t src, uint32_t dst, uint8_t cls) const
     {
+        if (!pairMatrix)
+            return 0;
         return dstSlots[dst].pairFlits[src * numClasses() + cls];
+    }
+
+    /** Largest hop distance the per-distance histograms cover. */
+    uint32_t maxHops() const { return maxHops_; }
+
+    /** Send-to-delivery latency of messages that crossed exactly
+     *  @p hops mesh hops (post-fold). Requires hops <= maxHops(). */
+    const stats::Histogram &hopLatency(uint32_t hops) const
+    {
+        return *statHopLatency[hops];
     }
 
     uint64_t classSent(size_t c) const { return srcTotal(c); }
@@ -95,6 +125,9 @@ class Telemetry : public stats::Group
     stats::Scalar statDelivered;
     /// Sent-but-undelivered gauge on the IntervalSampler grid.
     stats::Scalar statInFlight;
+    /// Mesh hop distance of every delivered message (post-fold) —
+    /// the traffic-locality curve of the dimension-ordered mesh.
+    stats::Histogram statHops;
 
   private:
     uint64_t srcTotal(size_t cls) const;
@@ -115,9 +148,17 @@ class Telemetry : public stats::Group
         std::vector<uint64_t> buckets;   ///< [class][latency bucket]
         std::vector<uint64_t> pairCount; ///< [src][class]
         std::vector<uint64_t> pairFlits; ///< [src][class]
+        std::vector<uint64_t> hopCount;  ///< [hop distance]
+        std::vector<uint64_t> hopLatSum; ///< [hop distance]
+        std::vector<int64_t> hopLatMin;  ///< [hop distance]
+        std::vector<int64_t> hopLatMax;  ///< [hop distance]
+        /// [hop distance][latency bucket]
+        std::vector<uint64_t> hopBuckets;
     };
 
     uint32_t nodes;
+    uint32_t maxHops_ = 0;
+    bool pairMatrix = true;
     std::vector<std::string> classNames;
     std::vector<SrcSlot> srcSlots;
     std::vector<DstSlot> dstSlots;
@@ -128,6 +169,8 @@ class Telemetry : public stats::Group
     std::vector<std::unique_ptr<stats::Scalar>> statClassDelivered;
     std::vector<std::unique_ptr<stats::Scalar>> statClassFlits;
     std::vector<std::unique_ptr<stats::Histogram>> statLatency;
+    /// [hop distance] send-to-delivery latency histograms.
+    std::vector<std::unique_ptr<stats::Histogram>> statHopLatency;
 };
 
 } // namespace april::net

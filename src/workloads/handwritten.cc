@@ -160,6 +160,88 @@ buildCoherentLoop(uint32_t nodes, uint32_t iters)
     return out;
 }
 
+WideSharing
+buildWideSharing(uint32_t nodes, uint32_t words_per_node)
+{
+    using namespace april::tagged;
+
+    if (words_per_node == 0 || (words_per_node & (words_per_node - 1)))
+        fatal("buildWideSharing: wordsPerNode must be a power of two");
+
+    constexpr Addr kShared = 512;
+    constexpr Addr kDoneOff = 520;
+
+    WideSharing out;
+    out.shared = kShared;
+    out.doneOff = kDoneOff;
+    out.nodes = nodes;
+    out.wordsPerNode = words_per_node;
+
+    int32_t node_shift = 0;
+    while ((1u << node_shift) < words_per_node)
+        ++node_shift;
+    node_shift += int32_t(tagShift);
+    const int32_t done_imm = int32_t(ptr(kDoneOff, Tag::Other));
+
+    Assembler as;
+    as.bind("worker");
+    as.movi(1, ptr(kShared, Tag::Other));
+    as.ldnw(4, 1, 0);                       // join the sharer set
+    as.ldio(5, int(IoReg::NodeId));
+    as.slliR(5, 5, node_shift);             // my segment base, tagged
+    as.addiR(5, 5, done_imm);               // my done flag
+    as.movi(6, fixnum(1));
+    as.stnw(6, 5, 0);                       // announce completion
+    as.ldio(7, int(IoReg::NodeId));
+    as.cmpiR(7, 0);
+    as.jRaw(Cond::NE, "done");
+    as.nop();
+    if (nodes > 1) {
+        // Node 0: wait for every flag. A cached stale flag spins in
+        // the cache until the owner's write invalidates the copy.
+        as.movi(8, 1);
+        as.bind("poll");
+        as.slliR(9, 8, node_shift);
+        as.addiR(9, 9, done_imm);
+        as.bind("pollw");
+        as.ldnw(10, 9, 0);
+        as.cmpiR(10, int32_t(fixnum(1)));
+        as.jRaw(Cond::NE, "pollw");
+        as.nop();
+        as.addiR(8, 8, 1);
+        as.cmpiR(8, int32_t(nodes));
+        as.jRaw(Cond::LT, "poll");
+        as.nop();
+    }
+    // The storm: write the word every node shares. Under the limited
+    // directory this walks the spill table before the invalidations.
+    as.movi(11, fixnum(99));
+    as.stnw(11, 1, 0);
+    as.stio(int(IoReg::ConsoleOut), 11);
+    as.stio(int(IoReg::MachineHalt), reg::r0);
+    as.bind("done");
+    as.halt();
+
+    as.bind("cswitch");
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.nop();
+    as.wrpsr(reg::t(0));
+    as.nop();
+    as.rettRetry();
+    as.bind("fyield");
+    as.moviLabel(reg::t(1), "fyield");
+    as.wrspec(Spec::TrapPC, reg::t(1));
+    as.addiR(reg::t(1), reg::t(1), 1);
+    as.wrspec(Spec::TrapNPC, reg::t(1));
+    as.rdpsr(reg::t(0));
+    as.incfp();
+    as.wrpsr(reg::t(0));
+    as.rettRetry();
+    out.prog = as.finish();
+    return out;
+}
+
 void
 bootCoherentNode(Processor &proc, const Program &prog)
 {

@@ -57,6 +57,34 @@ CoherentLoop buildCoherentLoop(uint32_t nodes, uint32_t iters);
  *  "worker", wire the context-switch and frame-yield trap stubs. */
 void bootCoherentNode(Processor &proc, const Program &prog);
 
+/**
+ * The machine-scaling stress workload (DESIGN.md §7.8): every node
+ * reads one word homed on node 0 — driving the directory's sharer set
+ * as wide as the machine, past any limited-directory pointer budget —
+ * then raises a done flag in its own memory segment. Node 0 polls the
+ * flags and finally *writes* the widely-shared word, forcing a
+ * machine-wide invalidation storm (a spill-table walk under the
+ * limited scheme) before halting. No locks, so the critical path is
+ * O(nodes) remote reads rather than a serialized lock queue — this is
+ * the workload that completes at 1024 nodes.
+ *
+ * `wordsPerNode` must be a power of two (node-local done-flag
+ * addresses are computed with a shift) and every node's program is
+ * identical, so the same build boots every node via
+ * bootCoherentNode().
+ */
+struct WideSharing
+{
+    Program prog;
+    Addr shared = 0;            ///< widely-read word, homed on node 0
+    Addr doneOff = 0;           ///< done-flag offset within each node's
+                                ///< memory segment
+    uint32_t nodes = 0;
+    uint32_t wordsPerNode = 0;
+};
+
+WideSharing buildWideSharing(uint32_t nodes, uint32_t wordsPerNode);
+
 } // namespace april::workloads
 
 #endif // APRIL_WORKLOADS_HANDWRITTEN_HH

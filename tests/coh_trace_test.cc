@@ -98,14 +98,18 @@ buildSharingWorkload()
 }
 
 std::unique_ptr<AlewifeMachine>
-runOnce(const Program &prog, uint32_t threads, bool skip)
+runOnce(const Program &prog, uint32_t threads, bool skip,
+        coh::DirScheme scheme = coh::DirScheme::FullMap,
+        uint32_t pointers = 4, int dim = 2, int radix = 2)
 {
     AlewifeParams p;
-    p.network = {.dim = 2, .radix = 2};
+    p.network = {.dim = dim, .radix = radix};
     p.wordsPerNode = 1u << 16;
     p.bootRuntime = false;
     p.cycleSkip = skip;
     p.controller.cache = {.lineWords = 4, .numLines = 64, .assoc = 2};
+    p.dirScheme = scheme;
+    p.dirPointers = pointers;
     p.cohTrace = true;
     p.hostThreads = threads;
     auto m = std::make_unique<AlewifeMachine>(p, &prog);
@@ -218,6 +222,45 @@ TEST(CohTrace, SpanLogIsBitIdenticalAcrossEngines)
                 continue;       // the reference configuration
             auto m = runOnce(prog, threads, skip);
             EXPECT_EQ(cohJson(*m), ref)
+                << "threads=" << threads << " skip=" << skip;
+        }
+    }
+}
+
+/** The PR 8 machine-scaling configuration (DESIGN.md §7.8): the same
+ *  workload reshaped onto a 1-D line mesh of 4 nodes under the
+ *  limited directory with a single hardware pointer, so the
+ *  three-sharer set overflows, the spill path runs inside the traced
+ *  transactions — and both the span log and the stats dump stay
+ *  bit-identical across host-thread counts and cycle-skip modes. */
+TEST(CohTrace, SpanLogIsBitIdenticalUnderLimitedDirectoryOnMesh)
+{
+    Program prog = buildSharingWorkload();
+    auto run = [&](uint32_t threads, bool skip) {
+        return runOnce(prog, threads, skip,
+                       coh::DirScheme::LimitedPtr, 1, 1, 4);
+    };
+    auto ref_machine = run(1, true);
+    coh::Controller &home = ref_machine->controller(0);
+    EXPECT_GE(home.statOverflowTraps.value(), 1.0);
+    EXPECT_GE(home.statSpilledPtrs.value(), 1.0);
+    EXPECT_EQ(home.statInvSent.value(), home.statInvAcks.value());
+    ASSERT_NE(ref_machine->txnTracer(), nullptr);
+    EXPECT_EQ(checkCohInvariants(*ref_machine->txnTracer()), "");
+    std::string ref = cohJson(*ref_machine);
+    std::ostringstream ref_stats;
+    ref_machine->dump(ref_stats);
+
+    for (bool skip : {true, false}) {
+        for (uint32_t threads : {1u, 2u, 4u}) {
+            if (skip && threads == 1)
+                continue;       // the reference configuration
+            auto m = run(threads, skip);
+            EXPECT_EQ(cohJson(*m), ref)
+                << "threads=" << threads << " skip=" << skip;
+            std::ostringstream stats;
+            m->dump(stats);
+            EXPECT_EQ(stats.str(), ref_stats.str())
                 << "threads=" << threads << " skip=" << skip;
         }
     }

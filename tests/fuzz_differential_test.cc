@@ -55,8 +55,11 @@ TEST(FuzzDifferential, RandomPrograms)
     uint64_t base = testutil::envOrU64("APRIL_FUZZ_SEED", kDefaultSeed);
     // Every fourth case also replays on the parallel engine, cycling
     // through 2, 3 and 4 host threads; APRIL_FUZZ_THREADS pins every
-    // case to one count instead.
+    // case to one count instead. Every fifth case additionally walks
+    // the directory-scheme x mesh axis (limited i=4, forced spill,
+    // line-mesh reshape); APRIL_FUZZ_SCHEMES=1 turns it on everywhere.
     uint64_t pin = testutil::envOrU64("APRIL_FUZZ_THREADS", 0);
+    uint64_t schemes = testutil::envOrU64("APRIL_FUZZ_SCHEMES", 0);
     uint64_t cycles = 0;
     for (uint64_t i = 0; i < iters; ++i) {
         uint64_t seed = deriveSeed(base, i);
@@ -64,6 +67,7 @@ TEST(FuzzDifferential, RandomPrograms)
         DiffOptions opts;
         opts.hostThreads = pin ? uint32_t(pin)
                                : (i % 4 == 3 ? 2 + (i / 4) % 3 : 1);
+        opts.schemeAxis = schemes != 0 || i % 5 == 2;
         DiffResult r = runDifferential(c, opts);
         if (!r.ok)
             FAIL() << "iteration " << i << ":\n" << failureReport(c, r);
@@ -117,7 +121,12 @@ TEST(FuzzDifferential, CorpusReplays)
         FuzzCase c;
         std::string err = parseCase(text.str(), c);
         ASSERT_EQ(err, "");
-        DiffResult r = runDifferential(c);
+        // Corpus entries also walk the directory-scheme x mesh axis:
+        // a past regression is exactly the program most worth running
+        // under the limited directory and the reshaped mesh.
+        DiffOptions sopts;
+        sopts.schemeAxis = true;
+        DiffResult r = runDifferential(c, sopts);
         EXPECT_TRUE(r.ok) << r.divergence;
 
         // Past regressions are exactly the cases most likely to poke

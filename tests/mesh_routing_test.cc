@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The 2-D mesh with dimension-ordered routing. Asserts the hop count
+ * of every node pair equals the Manhattan distance on 4x4 and 8x8
+ * meshes, that an all-to-all burst drains without deadlock (every
+ * packet gets a finite arrival respecting the zero-load bound and
+ * source-link serialization), and that the machine's per-hop-distance
+ * telemetry histograms reflect distance: a message that crossed d
+ * hops can never be delivered faster than d switch traversals plus
+ * its flit drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "machine/alewife_machine.hh"
+#include "network/network.hh"
+#include "workloads/handwritten.hh"
+
+namespace april
+{
+namespace
+{
+
+TEST(MeshRouting, HopCountsMatchManhattanDistance)
+{
+    for (int radix : {4, 8}) {
+        net::NetworkParams np;
+        np.dim = 2;
+        np.radix = radix;
+        net::Network net(np);
+        uint32_t n = net.numNodes();
+        ASSERT_EQ(n, uint32_t(radix * radix));
+        EXPECT_EQ(net.maxHops(), uint32_t(2 * (radix - 1)));
+
+        for (uint32_t a = 0; a < n; ++a) {
+            int ax = int(a) % radix, ay = int(a) / radix;
+            for (uint32_t b = 0; b < n; ++b) {
+                int bx = int(b) % radix, by = int(b) / radix;
+                uint32_t manhattan =
+                    uint32_t(std::abs(ax - bx) + std::abs(ay - by));
+                EXPECT_EQ(net.distance(a, b), manhattan)
+                    << a << " -> " << b << " on " << radix << "x"
+                    << radix;
+                EXPECT_LE(manhattan, net.maxHops());
+            }
+        }
+    }
+}
+
+TEST(MeshRouting, InjectionTimingIsHopBased)
+{
+    net::NetworkParams np;
+    np.dim = 2;
+    np.radix = 4;
+    np.hopCycles = 3;
+    net::Network net(np);
+
+    // An uncontended packet: exactly hops * hopCycles + flits.
+    net::Injection inj = net.inject(0, 15, 2, 100);
+    EXPECT_EQ(inj.start, 100u);
+    EXPECT_EQ(inj.hops, 6u);
+    EXPECT_EQ(inj.arrive, 100 + 6 * 3 + 2u);
+
+    // Same first-hop link (dimension order: +x first): serializes.
+    net::Injection second = net.inject(0, 3, 2, 100);
+    EXPECT_EQ(second.start, 102u);
+
+    // Different first-hop link (+y): pipelines in parallel.
+    net::Injection other = net.inject(0, 12, 2, 100);
+    EXPECT_EQ(other.start, 100u);
+}
+
+TEST(MeshRouting, AllToAllBurstDrainsWithoutDeadlock)
+{
+    net::NetworkParams np;
+    np.dim = 2;
+    np.radix = 4;
+    net::Network net(np);
+    uint32_t n = net.numNodes();
+    constexpr uint32_t kFlits = 2;
+
+    // Every node fires a packet at every other node in one cycle.
+    // The endpoint contention model must hand each one a finite
+    // arrival no earlier than its zero-load bound, with starts on any
+    // one source link strictly serialized.
+    std::map<std::pair<uint32_t, uint32_t>, uint64_t> link_busy;
+    uint64_t last_arrival = 0;
+    for (uint32_t src = 0; src < n; ++src) {
+        for (uint32_t dst = 0; dst < n; ++dst) {
+            if (src == dst)
+                continue;
+            net::Injection inj = net.inject(src, dst, kFlits, 0);
+            uint32_t d = net.distance(src, dst);
+            EXPECT_EQ(inj.hops, d);
+            EXPECT_GE(inj.arrive, inj.start + d + kFlits);
+
+            // First-hop link: lowest differing dimension.
+            int sx = int(src) % np.radix, sy = int(src) / np.radix;
+            int dx = int(dst) % np.radix, dy = int(dst) / np.radix;
+            uint32_t link = sx != dx ? (dx > sx ? 1 : 0)
+                                     : (dy > sy ? 3 : 2);
+            uint64_t &busy = link_busy[{src, link}];
+            EXPECT_GE(inj.start, busy) << src << " -> " << dst;
+            busy = inj.start + kFlits;
+            last_arrival = std::max(last_arrival, inj.arrive);
+        }
+    }
+    // 16 nodes x 15 packets all drain within a bounded horizon: each
+    // source serializes at most 15 two-flit packets over 4 links,
+    // plus the corner-to-corner flight time.
+    EXPECT_LE(last_arrival, uint64_t(15 * kFlits + 6 + kFlits));
+}
+
+TEST(MeshRouting, TelemetryHopHistogramsReflectDistance)
+{
+    // Machine-level all-to-all-ish traffic: the wide-sharing workload
+    // on a 4x4 mesh (every node talks to node 0's home directory and
+    // to its own segment). After the run the telemetry's per-distance
+    // latency histograms must respect the mesh: messages that crossed
+    // d hops took at least d * hopCycles + flits cycles, and farther
+    // distances have strictly larger minimum latency.
+    workloads::WideSharing w = workloads::buildWideSharing(16, 1u << 14);
+    AlewifeParams p;
+    p.network = {.dim = 2, .radix = 4};
+    p.wordsPerNode = w.wordsPerNode;
+    p.bootRuntime = false;
+    p.controller.cache = {.lineWords = 4, .numLines = 64, .assoc = 2};
+    auto m = std::make_unique<AlewifeMachine>(p, &w.prog);
+    for (uint32_t n = 0; n < m->numNodes(); ++n)
+        workloads::bootCoherentNode(m->proc(n), w.prog);
+    m->run(100'000'000);
+    ASSERT_TRUE(m->halted());
+    ASSERT_TRUE(m->quiesce(1'000'000));
+
+    net::Telemetry &tel = m->telemetry();
+    ASSERT_EQ(tel.maxHops(), 6u);
+
+    const uint32_t hop_cycles = m->network().hopCycles();
+    const uint32_t min_flits = 2;   // reqFlits
+    uint64_t histogram_total = 0;
+    uint32_t distances_seen = 0;
+    for (uint32_t d = 0; d <= tel.maxHops(); ++d) {
+        const stats::Histogram &h = tel.hopLatency(d);
+        histogram_total += h.count();
+        if (!h.count())
+            continue;
+        ++distances_seen;
+        // A message that crossed d hops can't beat d switch
+        // traversals plus the smallest (request-sized) flit drain.
+        EXPECT_GE(h.min(), int64_t(d * hop_cycles + min_flits))
+            << "hop distance " << d;
+    }
+    // The workload reaches several distinct distances (node 0's home
+    // serves sharers from 1, 2, ... hops away), every delivered
+    // message landed in exactly one per-distance histogram, and the
+    // aggregate hop distribution agrees.
+    EXPECT_GE(distances_seen, 3u);
+    EXPECT_EQ(histogram_total, uint64_t(tel.statDelivered.value()));
+    EXPECT_EQ(tel.statHops.count(), histogram_total);
+}
+
+} // namespace
+} // namespace april

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/logging.hh"
 #include "model/scalability.hh"
 
@@ -28,6 +30,32 @@ TEST(Model, AvgHopsIs20)
     // nk/3 = 20" for n = 3, k = 20.
     ScalabilityModel m;
     EXPECT_DOUBLE_EQ(m.avgHops(), 20.0);
+}
+
+TEST(Model, ForSimMeshDerivesHopTerms)
+{
+    // The simulated-machine re-derivation (DESIGN.md §7.8): a 2-D
+    // mesh of p nodes has radix sqrt(p), average distance 2 sqrt(p)/3
+    // hops, and T(1) = 2 h + M + (B - 1) + ctl with the simulator's
+    // 1-cycle hops, 10-cycle DRAM, 4-flit mean packet and 2-cycle
+    // controller occupancy.
+    for (unsigned nodes : {64u, 256u, 1024u}) {
+        ModelParams p = ModelParams::forSimMesh(nodes);
+        ScalabilityModel m(p);
+        double k = std::sqrt(double(nodes));
+        EXPECT_EQ(p.netDim, 2);
+        EXPECT_DOUBLE_EQ(double(p.netRadix), k);
+        EXPECT_DOUBLE_EQ(m.avgHops(), 2.0 * k / 3.0);
+        EXPECT_DOUBLE_EQ(m.baseLatency(), 2.0 * (2.0 * k / 3.0) +
+                                          10.0 + 3.0 + 2.0);
+    }
+    // T(p)'s hop term grows with the mesh: a 1024-node machine pays
+    // a longer unloaded round trip than a 64-node one.
+    EXPECT_GT(ScalabilityModel(ModelParams::forSimMesh(1024))
+                  .baseLatency(),
+              ScalabilityModel(ModelParams::forSimMesh(64))
+                  .baseLatency());
+    EXPECT_THROW(ModelParams::forSimMesh(48), FatalError);
 }
 
 TEST(Model, SingleThreadUtilization)

@@ -16,6 +16,7 @@
 #include "machine/alewife_machine.hh"
 #include "machine/snapshot.hh"
 #include "mult/compiler.hh"
+#include "workloads/handwritten.hh"
 #include "workloads/workloads.hh"
 
 namespace april
@@ -170,6 +171,57 @@ TEST(ParallelRunResume, ChunkedRunMatchesContinuousRun)
         RunOut got = finish(*m);
         expectTwin(ref, got,
                    std::string("chunked step=") + std::to_string(step));
+    }
+}
+
+/** The PR 8 machine-scaling configuration (DESIGN.md §7.8): the
+ *  wide-sharing workload on a 4x4 mesh under the limited directory
+ *  (i = 4, so the 16-wide sharer set overflows and the spill walk
+ *  runs inside the timed simulation). The sharded engines must stay
+ *  bit-for-bit twins of the sequential one — snapshot, stats, trace
+ *  and span log — in both cycle-skip modes. */
+TEST(ParallelRunMesh, LimitedDirectoryOnMeshIsBitIdentical)
+{
+    workloads::WideSharing w =
+        workloads::buildWideSharing(16, 1u << 14);
+    auto runWide = [&](uint32_t threads, bool skip) {
+        AlewifeParams p;
+        p.network = {.dim = 2, .radix = 4};
+        p.wordsPerNode = w.wordsPerNode;
+        p.bootRuntime = false;
+        p.controller.cache = {.lineWords = 4, .numLines = 64,
+                              .assoc = 2};
+        p.cycleSkip = skip;
+        p.traceEvents = true;
+        p.cohTrace = true;
+        p.hostThreads = threads;
+        p.dirScheme = coh::DirScheme::LimitedPtr;
+        p.dirPointers = 4;
+        auto m = std::make_unique<AlewifeMachine>(p, &w.prog);
+        for (uint32_t n = 0; n < m->numNodes(); ++n)
+            workloads::bootCoherentNode(m->proc(n), w.prog);
+        m->run(80'000'000);
+        RunOut out = finish(*m);
+        // The spill machinery actually ran in every configuration.
+        double traps = 0;
+        for (uint32_t n = 0; n < m->numNodes(); ++n)
+            traps += m->controller(n).statOverflowTraps.value();
+        EXPECT_GE(traps, 1.0) << "threads=" << threads;
+        return out;
+    };
+
+    for (bool skip : {true, false}) {
+        RunOut ref = runWide(1, skip);
+        EXPECT_EQ(ref.threadsUsed, 1u);
+        EXPECT_EQ(ref.result, tagged::fixnum(99));
+        for (uint32_t threads : {2u, 4u}) {
+            RunOut par = runWide(threads, skip);
+            EXPECT_EQ(par.threadsUsed, threads);
+            expectTwin(ref, par,
+                       std::string("wide-sharing threads=") +
+                           std::to_string(threads) + " skip=" +
+                           (skip ? "on" : "off"));
+        }
     }
 }
 

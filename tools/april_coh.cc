@@ -7,9 +7,12 @@
  *
  *   april-coh [--workload=NAME[:ARGS]] [options]
  *       Run a Table 3 workload (fib[:n], factor[:lo:hi], queens[:n],
- *       speech[:layers:width]) on a 2x2 ALEWIFE machine, or the
- *       hand-written coherent16[:iters] counter loop on a 4x4 one,
- *       with transaction tracing on, then print the coherence report:
+ *       speech[:layers:width]) on a 2x2 ALEWIFE machine, the
+ *       hand-written coherent16[:iters] counter loop on a 4x4 one, or
+ *       the wide[:nodes] wide-sharing workload on a square mesh of
+ *       any size (--dir selects the directory scheme, the CI smoke
+ *       runs wide:256 under the limited directory), with transaction
+ *       tracing on, then print the coherence report:
  *       sharer-count distribution, per-transition directory counters,
  *       per-class network latency, hottest/widest lines, busiest node
  *       pairs and slowest transactions. Export options write the
@@ -61,10 +64,14 @@ usage()
         "       april-coh --check FILE [--schema=SCHEMA.json]\n"
         "\n"
         "workloads: fib[:n] factor[:lo:hi] queens[:n] "
-        "speech[:layers:width] coherent16[:iters]\n"
+        "speech[:layers:width] coherent16[:iters] wide[:nodes]\n"
         "options:\n"
         "  --threads=N        host worker threads (default 1; the\n"
         "                     report is bit-identical at any count)\n"
+        "  --dir=SCHEME       directory scheme: fullmap (default) or\n"
+        "                     limited (i-pointer + software spill)\n"
+        "  --dir-pointers=N   hardware pointers i for --dir=limited\n"
+        "                     (default 4)\n"
         "  --frames=N         task frames per processor (default 4)\n"
         "  --top=N            rows per top-N table (default 10)\n"
         "  --max-cycles=N     run budget (default 200000000)\n"
@@ -135,6 +142,8 @@ struct RunOptions
     uint32_t frames = 4;
     size_t top = 10;
     uint64_t maxCycles = 200'000'000;
+    april::coh::DirScheme dirScheme = april::coh::DirScheme::FullMap;
+    uint32_t dirPointers = 4;
     bool trace = true;
     bool verify = false;
     std::string jsonFile;
@@ -174,10 +183,36 @@ runReport(const RunOptions &opt)
 
     std::unique_ptr<AlewifeMachine> m;
     Program prog;
-    bool raw = name == "coherent16";
+    bool raw = name == "coherent16" || name == "wide";
     workloads::CoherentLoop coh_loop;
 
-    if (raw) {
+    if (name == "wide") {
+        uint32_t nodes = uint32_t(arg(1, 64));
+        int radix = 0;
+        while (uint32_t(radix) * uint32_t(radix) < nodes)
+            ++radix;
+        if (uint32_t(radix) * uint32_t(radix) != nodes || nodes < 2) {
+            fatal("april-coh: wide:", nodes,
+                  " is not a square mesh (>= 2 nodes)");
+        }
+        workloads::WideSharing w =
+            workloads::buildWideSharing(nodes, 1u << 14);
+        prog = std::move(w.prog);
+        AlewifeParams p;
+        p.network = {.dim = 2, .radix = radix};
+        p.wordsPerNode = w.wordsPerNode;
+        p.bootRuntime = false;
+        p.controller.cache = {.lineWords = 4, .numLines = 64,
+                              .assoc = 2};
+        p.hostThreads = opt.threads;
+        p.dirScheme = opt.dirScheme;
+        p.dirPointers = opt.dirPointers;
+        p.cohTrace = opt.trace;
+        p.traceEvents = !opt.perfettoFile.empty();
+        m = std::make_unique<AlewifeMachine>(p, &prog);
+        for (uint32_t n = 0; n < m->numNodes(); ++n)
+            workloads::bootCoherentNode(m->proc(n), prog);
+    } else if (raw) {
         coh_loop = workloads::buildCoherentLoop(16, uint32_t(
             arg(1, 200)));
         prog = std::move(coh_loop.prog);
@@ -189,6 +224,8 @@ runReport(const RunOptions &opt)
                               .assoc = 2};
         p.proc.numFrames = opt.frames;
         p.hostThreads = opt.threads;
+        p.dirScheme = opt.dirScheme;
+        p.dirPointers = opt.dirPointers;
         p.cohTrace = opt.trace;
         p.traceEvents = !opt.perfettoFile.empty();
         m = std::make_unique<AlewifeMachine>(p, &prog);
@@ -223,6 +260,8 @@ runReport(const RunOptions &opt)
                               .assoc = 4};           // Table 4: 64 KB
         p.proc.numFrames = opt.frames;
         p.hostThreads = opt.threads;
+        p.dirScheme = opt.dirScheme;
+        p.dirPointers = opt.dirPointers;
         p.cohTrace = opt.trace;
         p.traceEvents = !opt.perfettoFile.empty();
         m = std::make_unique<AlewifeMachine>(p, &prog);
@@ -326,6 +365,17 @@ main(int argc, char **argv)
         else if (arg.rfind("--threads=", 0) == 0)
             opt.threads =
                 uint32_t(std::atoi(value("--threads=").c_str()));
+        else if (arg.rfind("--dir=", 0) == 0) {
+            std::string s = value("--dir=");
+            if (s == "fullmap")
+                opt.dirScheme = april::coh::DirScheme::FullMap;
+            else if (s == "limited")
+                opt.dirScheme = april::coh::DirScheme::LimitedPtr;
+            else
+                return usage();
+        } else if (arg.rfind("--dir-pointers=", 0) == 0)
+            opt.dirPointers = uint32_t(
+                std::atoi(value("--dir-pointers=").c_str()));
         else if (arg.rfind("--frames=", 0) == 0)
             opt.frames =
                 uint32_t(std::atoi(value("--frames=").c_str()));

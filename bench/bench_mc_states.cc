@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Model-checker throughput benchmark: exhaustive exploration of the
+ * directory protocol per scheme and node count, reporting the state
+ * count, transition count, diameter and states/second. These are the
+ * numbers EXPERIMENTS.md X10 quotes and the CI april-mc job budgets
+ * against — a regression here means the spec grew a new state
+ * dimension (intended or not) or the explorer lost throughput.
+ *
+ * Writes one machine-readable JSON object to stdout and to
+ * BENCH_mc_states.json.
+ *
+ * Usage: bench_mc_states [--quick]   (--quick: 2-node configs only)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "mc/explore.hh"
+
+namespace
+{
+
+using namespace april;
+
+struct ConfigResult
+{
+    std::string name;
+    mc::ExploreResult res;
+    double seconds = 0;
+};
+
+ConfigResult
+runConfig(const std::string &name, coh::DirScheme scheme,
+          uint32_t nodes, uint32_t pointers)
+{
+    mc::ExploreParams p;
+    p.spec.scheme = scheme;
+    p.spec.dirPointers = pointers;
+    p.nodes = nodes;
+    auto t0 = std::chrono::steady_clock::now();
+    ConfigResult r;
+    r.res = mc::explore(p);
+    auto t1 = std::chrono::steady_clock::now();
+    r.name = name;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (!r.res.ok())
+        fatal("bench_mc_states: ", name,
+              " found a violation or hit the state cap — run "
+              "april-mc for the counterexample");
+    return r;
+}
+
+std::string
+toJson(const std::vector<ConfigResult> &results, bool quick)
+{
+    std::string out = "{\"bench\":\"mc_states\",\"quick\":";
+    out += quick ? "true" : "false";
+    out += ",\"configs\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ConfigResult &r = results[i];
+        char buf[320];
+        std::snprintf(
+            buf, sizeof buf,
+            "%s{\"name\":\"%s\",\"states\":%llu,"
+            "\"transitions\":%llu,\"diameter\":%u,"
+            "\"seconds\":%.3f,\"states_per_sec\":%.0f}",
+            i ? "," : "", r.name.c_str(),
+            (unsigned long long)r.res.states,
+            (unsigned long long)r.res.transitions, r.res.diameter,
+            r.seconds,
+            r.seconds > 0 ? double(r.res.states) / r.seconds : 0.0);
+        out += buf;
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+    std::vector<ConfigResult> results;
+    results.push_back(
+        runConfig("fullmap_n2", coh::DirScheme::FullMap, 2, 4));
+    results.push_back(
+        runConfig("limited1_n2", coh::DirScheme::LimitedPtr, 2, 1));
+    if (!quick) {
+        results.push_back(
+            runConfig("fullmap_n3", coh::DirScheme::FullMap, 3, 4));
+        results.push_back(runConfig("limited1_n3",
+                                    coh::DirScheme::LimitedPtr, 3, 1));
+        results.push_back(runConfig("limited2_n3",
+                                    coh::DirScheme::LimitedPtr, 3, 2));
+    }
+
+    for (const ConfigResult &r : results) {
+        std::printf("%-12s %9llu states %10llu transitions "
+                    "diameter %2u  %6.2fs  %.0f states/s\n",
+                    r.name.c_str(), (unsigned long long)r.res.states,
+                    (unsigned long long)r.res.transitions,
+                    r.res.diameter, r.seconds,
+                    r.seconds > 0 ? double(r.res.states) / r.seconds
+                                  : 0.0);
+    }
+    std::string json = toJson(results, quick);
+    std::printf("%s\n", json.c_str());
+    std::ofstream("BENCH_mc_states.json") << json << "\n";
+    return 0;
+}

@@ -327,6 +327,7 @@ checkName(CheckKind kind)
       case CheckKind::StrictFutureUse: return "strict-future-use";
       case CheckKind::Unreachable: return "unreachable";
       case CheckKind::FramePointer: return "frame-pointer";
+      case CheckKind::ProtocolHandler: return "protocol-handler";
       case CheckKind::MalformedCfg: return "malformed-cfg";
     }
     return "?";
@@ -427,6 +428,56 @@ analyzeProgram(const Program &prog, const AnalysisOptions &opts)
             applyInst(prog.at(pc), s, opts.numFrames);
         }
         checker.checkDelaySlot(blk);
+    }
+
+    // Protocol-handler frame discipline: re-solve from each marked
+    // root ALONE, so the rotation attributable to this handler is not
+    // joined with (and masked by) states flowing in from other roots,
+    // then require net rotation zero at every RETT it reaches.
+    for (const auto &r : opts.roots) {
+        if (!r.protocolHandler || r.pc >= prog.size())
+            continue;
+        RegState s0;
+        s0.reachable = true;
+        s0.defined = r.allRegsDefined ? kAllRegs : (r.definedRegs | 1);
+        std::vector<std::pair<uint32_t, RegState>> seed;
+        seed.emplace_back(cfg.blockAt[r.pc], s0);
+        std::vector<RegState> pin =
+            solveForward(cfg, seed, transfer, edge);
+        for (uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+            if (!pin[b].reachable)
+                continue;
+            const Block &blk = cfg.blocks[b];
+            RegState s = pin[b];
+            for (uint32_t pc = blk.first; pc < blk.end; ++pc) {
+                const Instruction &inst = prog.at(pc);
+                if (inst.op == Opcode::RETT && s.fpDelta != 0) {
+                    std::string why =
+                        s.fpDelta == kFpUnknown
+                            ? "a path sets the frame pointer from a "
+                              "register (stfp), so the rotation is "
+                              "not statically restorable"
+                        : s.fpDelta == kFpConflict
+                            ? "paths from the handler entry disagree "
+                              "on the net incfp/decfp rotation, so at "
+                              "least one fails to restore it"
+                            : "the net incfp/decfp rotation is +" +
+                                  std::to_string(s.fpDelta) +
+                                  ", not 0";
+                    checker.report(
+                        CheckKind::ProtocolHandler,
+                        s.fpDelta == kFpUnknown ? Severity::Warning
+                                                : Severity::Error,
+                        pc,
+                        "protocol handler " + r.name +
+                            " can exit here without restoring the "
+                            "frame pointer: " + why +
+                            "; the interrupted context would resume "
+                            "in the wrong register frame");
+                }
+                applyInst(inst, s, opts.numFrames);
+            }
+        }
     }
 
     // Unreachable: group maximal runs of instructions in unreached

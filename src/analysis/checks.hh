@@ -23,6 +23,13 @@
  *   FramePointer     paths reaching the same RETT disagree on the net
  *                    INCFP/DECFP rotation (Warning), or STFP made the
  *                    rotation untrackable (Info)
+ *   ProtocolHandler  a root marked as a coherence-protocol trap
+ *                    handler (directory spill / invalidation walk) can
+ *                    reach a RETT with a nonzero net frame rotation:
+ *                    the interrupted user context resumes in the wrong
+ *                    register frame. Checked with a per-root dataflow
+ *                    pass so one handler's rotation cannot mask
+ *                    another's
  *   MalformedCfg     structural defects: branch into / inside a delay
  *                    slot, slot past the end of the program
  *
@@ -55,6 +62,7 @@ enum class CheckKind : uint8_t
     StrictFutureUse,
     Unreachable,
     FramePointer,
+    ProtocolHandler,
     MalformedCfg,
 };
 
@@ -88,6 +96,11 @@ struct AnalysisOptions
         /// Entered via a trap vector: the FramePointer check expects
         /// its RETTs to rotate consistently.
         bool handler = false;
+        /// A coherence-protocol trap handler (LimitLESS directory
+        /// spill or invalidation walk): every RETT it can reach must
+        /// restore the frame pointer exactly (net rotation zero), or
+        /// the trapped context resumes in another task's frame.
+        bool protocolHandler = false;
     };
 
     std::vector<Root> roots;

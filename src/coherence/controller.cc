@@ -163,8 +163,13 @@ Controller::fillReady(uint8_t frame) const
 
 void
 Controller::recordTransition(const DirEntry &e, DirState old_state,
-                             Addr line_addr, uint32_t requester)
+                             Addr line_addr, uint32_t requester,
+                             MsgType cause)
 {
+    if (tlisten) {
+        tlisten->onDirTransition(nodeId, line_addr, old_state, cause,
+                                 e.state, requester);
+    }
     if (trec) {
         trec->record({fabric->now(), nodeId,
                       trace::EventKind::Coherence, uint8_t(old_state),
@@ -401,7 +406,7 @@ Controller::handleMessage(const Message &msg)
             return;             // stale ack for a dropped copy
         }
         if (--e.pendingAcks == 0)
-            completePending(msg.lineAddr, e);
+            completePending(msg.lineAddr, e, MsgType::InvAck);
         return;
       }
 
@@ -418,13 +423,13 @@ Controller::handleMessage(const Message &msg)
         }
         if (e.state == DirState::Exclusive && e.owner == msg.from) {
             if (e.busy && e.wait == DirEntry::Wait::Data) {
-                completePending(msg.lineAddr, e);
+                completePending(msg.lineAddr, e, MsgType::WbData);
             } else if (!e.busy) {
                 // Unsolicited eviction: the owner gave up its copy.
                 e.state = DirState::Uncached;
                 clearSharers(e);
                 recordTransition(e, DirState::Exclusive, msg.lineAddr,
-                                 msg.from);
+                                 msg.from, MsgType::WbData);
             }
         }
         return;
@@ -436,9 +441,17 @@ Controller::handleMessage(const Message &msg)
         DirEntry &e = directory[msg.lineAddr];
         traceTxn(msg.txn, TxnPhase::WbRecv, msg.lineAddr, msg.from,
                  false);
+        // The txn match pins the answer to the recall it was sent
+        // for: a WbEmpty for an already-settled recall must not
+        // complete a LATER recall to the same (re-granted) owner,
+        // which would hand out a second Modified copy while the real
+        // answer is still in flight. Found by the april-mc explorer
+        // (SWMR counterexample at 2 nodes under unbounded message
+        // delay).
         if (e.busy && e.wait == DirEntry::Wait::Data &&
-            e.state == DirState::Exclusive && e.owner == msg.from) {
-            completePending(msg.lineAddr, e);
+            e.state == DirState::Exclusive && e.owner == msg.from &&
+            msg.txn == e.pendingReq.txn) {
+            completePending(msg.lineAddr, e, MsgType::WbEmpty);
         }
         return;
       }
@@ -513,7 +526,7 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
         e.state = DirState::Uncached;
         clearSharers(e);
         recordTransition(e, DirState::Exclusive, line_addr,
-                         msg.requester);
+                         msg.requester, msg.type);
     }
 
     DirState old_state = e.state;
@@ -532,7 +545,8 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
             clearSharers(e);
             extra = addSharer(e, line_addr, msg.requester);
         }
-        recordTransition(e, old_state, line_addr, msg.requester);
+        recordTransition(e, old_state, line_addr, msg.requester,
+                         msg.type);
         replyAndUnpend(line_addr, msg.requester, write, msg.txn,
                        extra);
         return;
@@ -542,7 +556,8 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
         if (!write) {
             e.busy = true;
             uint32_t extra = addSharer(e, line_addr, msg.requester);
-            recordTransition(e, old_state, line_addr, msg.requester);
+            recordTransition(e, old_state, line_addr, msg.requester,
+                             msg.type);
             replyAndUnpend(line_addr, msg.requester, false, msg.txn,
                            extra);
             return;
@@ -557,7 +572,8 @@ Controller::handleHomeRequest(const Message &msg, DirEntry &e)
             e.state = DirState::Exclusive;
             e.owner = msg.requester;
             clearSharers(e);
-            recordTransition(e, old_state, line_addr, msg.requester);
+            recordTransition(e, old_state, line_addr, msg.requester,
+                             msg.type);
             replyAndUnpend(line_addr, msg.requester, true, msg.txn);
             return;
         }
@@ -621,7 +637,7 @@ Controller::replyAndUnpend(Addr line_addr, uint32_t requester,
 }
 
 void
-Controller::completePending(Addr line_addr, DirEntry &e)
+Controller::completePending(Addr line_addr, DirEntry &e, MsgType cause)
 {
     Message req = e.pendingReq;
     bool write = req.type == MsgType::WriteReq;
@@ -647,7 +663,7 @@ Controller::completePending(Addr line_addr, DirEntry &e)
     recordTransition(e,
                      was_exclusive ? DirState::Exclusive
                                    : DirState::Shared,
-                     line_addr, req.requester);
+                     line_addr, req.requester, cause);
     replyAndUnpend(line_addr, req.requester, write, req.txn, extra);
 }
 

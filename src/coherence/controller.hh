@@ -64,6 +64,24 @@ struct ControllerParams
     uint32_t spillPenalty = 50;
 };
 
+/**
+ * Observer of every recorded directory transition, together with the
+ * message type that caused it. The model checker's conformance bridge
+ * (mc::Conformance) implements this to assert each live transition
+ * legal under the protocol spec; recording must be thread-safe (the
+ * parallel engine calls it from shard workers) and must not throw.
+ */
+class TransitionListener
+{
+  public:
+    virtual ~TransitionListener() = default;
+
+    virtual void onDirTransition(uint32_t home, Addr line_addr,
+                                 DirState old_state, MsgType cause,
+                                 DirState new_state,
+                                 uint32_t requester) = 0;
+};
+
 /** Message transport provided by the enclosing machine. */
 class Fabric
 {
@@ -96,6 +114,9 @@ class Controller : public MemPort, public stats::Group
 
     /** Attach a completed-access observer (nullptr: observation off). */
     void setObserver(MemObserver *o) { observer = o; }
+
+    /** Attach a directory-transition listener (nullptr: off). */
+    void setTransitionListener(TransitionListener *l) { tlisten = l; }
 
     // MemPort interface (processor side).
     MemResult access(const MemAccess &req) override;
@@ -229,13 +250,18 @@ class Controller : public MemPort, public stats::Group
      */
     uint32_t spillWalkCost(DirEntry &e);
 
-    /** Record a directory transition event (old state -> current). */
+    /** Record a directory transition event (old state -> current);
+     *  @p cause is the message type that drove it (the conformance
+     *  listener checks (old, cause) -> new against the spec). */
     void recordTransition(const DirEntry &e, DirState old_state,
-                          Addr line_addr, uint32_t requester);
+                          Addr line_addr, uint32_t requester,
+                          MsgType cause);
 
     void handleMessage(const Message &msg);
     void handleHomeRequest(const Message &msg, DirEntry &e);
-    void completePending(Addr line_addr, DirEntry &e);
+    /** Finish the parked request; @p cause is the message completing
+     *  it (InvAck, WbData or WbEmpty). */
+    void completePending(Addr line_addr, DirEntry &e, MsgType cause);
     void drainWaiting(Addr line_addr);
     void fill(const Message &msg);
     /** Schedule reply + unpend marker behind the memory access (plus
@@ -264,6 +290,7 @@ class Controller : public MemPort, public stats::Group
     trace::Recorder *trec = nullptr;
     TxnTracer *ttrace = nullptr;
     MemObserver *observer = nullptr;
+    TransitionListener *tlisten = nullptr;
     SharedMemory *mem;
     Fabric *fabric;
     Processor *proc = nullptr;

@@ -12,6 +12,7 @@
 #ifndef APRIL_COHERENCE_PROTOCOL_HH
 #define APRIL_COHERENCE_PROTOCOL_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -19,6 +20,22 @@
 
 namespace april::coh
 {
+
+/**
+ * Bounds-checked enum-to-name lookup. Every enum name helper in the
+ * coherence layer routes through this instead of a switch with a "?"
+ * fallthrough: the name table's extent is part of its type, so a raw
+ * `size_t(enum)` from telemetry/census code can never read past it,
+ * and growing an enum without growing its table fails to compile at
+ * the helper's static_assert'ed call sites rather than silently
+ * printing "?".
+ */
+template <size_t N>
+inline const char *
+enumName(const std::array<const char *, N> &names, size_t v)
+{
+    return v < N ? names[v] : "<out-of-range>";
+}
 
 enum class MsgType : uint8_t
 {
@@ -42,24 +59,21 @@ enum class MsgType : uint8_t
 /** Number of MsgType values (telemetry class-table sizing). */
 inline constexpr size_t kNumMsgTypes = size_t(MsgType::Unpend) + 1;
 
-/** Canonical message-type name ("ReadReq", "Inv", ...). */
+/** Name table for MsgType; sized by kNumMsgTypes so it cannot drift
+ *  from the enum, and shared with the model checker's rule tables
+ *  (src/mc/spec.hh static_asserts against kNumMsgTypes too). */
+inline constexpr std::array<const char *, kNumMsgTypes> kMsgTypeNames = {
+    "ReadReq",  "WriteReq", "ReadReply", "WriteReply", "Inv",   "InvAck",
+    "WbReq",    "WbData",   "WbEmpty",   "FenceAck",   "Unpend",
+};
+static_assert(kMsgTypeNames.size() == kNumMsgTypes);
+
+/** Canonical message-type name ("ReadReq", "Inv", ...);
+ *  bounds-checked, so telemetry indexing by raw size_t is safe. */
 inline const char *
 msgTypeName(MsgType t)
 {
-    switch (t) {
-      case MsgType::ReadReq: return "ReadReq";
-      case MsgType::WriteReq: return "WriteReq";
-      case MsgType::ReadReply: return "ReadReply";
-      case MsgType::WriteReply: return "WriteReply";
-      case MsgType::Inv: return "Inv";
-      case MsgType::InvAck: return "InvAck";
-      case MsgType::WbReq: return "WbReq";
-      case MsgType::WbData: return "WbData";
-      case MsgType::WbEmpty: return "WbEmpty";
-      case MsgType::FenceAck: return "FenceAck";
-      case MsgType::Unpend: return "Unpend";
-    }
-    return "?";
+    return enumName(kMsgTypeNames, size_t(t));
 }
 
 /**
@@ -96,27 +110,30 @@ enum class DirScheme : uint8_t
     LimitedPtr,
 };
 
+/** Number of directory schemes (name table / CLI parse sizing). */
+inline constexpr size_t kNumDirSchemes = size_t(DirScheme::LimitedPtr) + 1;
+
+inline constexpr std::array<const char *, kNumDirSchemes>
+    kDirSchemeNames = {"FullMap", "LimitedPtr"};
+static_assert(kDirSchemeNames.size() == kNumDirSchemes);
+
 /** Canonical directory-scheme name ("FullMap", "LimitedPtr"). */
 inline const char *
 dirSchemeName(DirScheme s)
 {
-    switch (s) {
-      case DirScheme::FullMap: return "FullMap";
-      case DirScheme::LimitedPtr: return "LimitedPtr";
-    }
-    return "?";
+    return enumName(kDirSchemeNames, size_t(s));
 }
 
-/** Canonical directory-state name ("Uncached", ...). */
+inline constexpr std::array<const char *, kNumDirStates> kDirStateNames = {
+    "Uncached", "Shared", "Exclusive"};
+static_assert(kDirStateNames.size() == kNumDirStates);
+
+/** Canonical directory-state name ("Uncached", ...); bounds-checked
+ *  like msgTypeName so census tables can index by raw size_t. */
 inline const char *
 dirStateName(DirState s)
 {
-    switch (s) {
-      case DirState::Uncached: return "Uncached";
-      case DirState::Shared: return "Shared";
-      case DirState::Exclusive: return "Exclusive";
-    }
-    return "?";
+    return enumName(kDirStateNames, size_t(s));
 }
 
 /** One protocol message. */

@@ -56,6 +56,10 @@ runAlewife(const FuzzCase &c, const Program &prog, bool cycle_skip,
     // log is a deterministic artifact and must be bit-identical
     // across cycle-skip modes and host-thread counts.
     p.cohTrace = true;
+    // Likewise the spec-conformance listener: every fuzz program also
+    // checks each directory transition against the model checker's
+    // rule tables (mc::Conformance).
+    p.conformance = true;
     p.hostThreads = host_threads;
 
     run.machine = std::make_unique<AlewifeMachine>(p, &prog);

@@ -93,6 +93,8 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
             n, p.raceMaxReports, this);
         races->setTraceRecorder(trec.get());
     }
+    if (p.conformance)
+        conform_ = std::make_unique<mc::Conformance>();
 
     shards.resize(w);
     uint32_t base = n / w;
@@ -144,6 +146,7 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
         ctrls.back()->setTxnTracer(sh->cohLane ? sh->cohLane.get()
                                                : cohTrec.get());
         ctrls.back()->setObserver(races.get());
+        ctrls.back()->setTransitionListener(conform_.get());
         procs.back()->setTraceRecorder(lane);
         if (p.bootRuntime)
             rt::Runtime::bootProcessor(*procs.back(), *prog, mem, i, n);
@@ -558,6 +561,10 @@ AlewifeMachine::syncAt(uint64_t t)
         foldObservability();
         interval_->sampleIfDue(t);
     }
+    // Raise any conformance violation the shard workers recorded
+    // from the coordinating thread (workers must stay noexcept).
+    if (conform_)
+        conform_->check();
 }
 
 void
@@ -648,6 +655,8 @@ AlewifeMachine::quiesce(uint64_t max_cycles)
     }
     quiet = quiet || nextEventCycle() == kNeverCycle;
     verifyCycleAccounting();
+    if (conform_)
+        conform_->check();
     foldObservability();
     return quiet;
 }

@@ -27,6 +27,7 @@
 
 #include "analysis/race_detector.hh"
 #include "coherence/controller.hh"
+#include "mc/conform.hh"
 #include "common/parallel.hh"
 #include "common/random.hh"
 #include "common/trace.hh"
@@ -101,6 +102,12 @@ struct AlewifeParams
     /// cycle-skip windows are clamped at sample boundaries, which is
     /// cycle-exact.
     uint64_t statsInterval = 0;
+    /// Check every directory transition the controllers record
+    /// against the model checker's protocol spec (src/mc); the
+    /// machine panics at the next sync point if the implementation
+    /// performs a step no spec rule allows. Cheap (one table lookup
+    /// per transition), so it defaults on.
+    bool conformance = true;
 };
 
 /** N ALEWIFE nodes on a mesh. */
@@ -167,6 +174,10 @@ class AlewifeMachine : public stats::Group
 
     /** Race detector (nullptr unless params.detectRaces). */
     analysis::RaceDetector *raceDetector() { return races.get(); }
+
+    /** Spec-conformance listener (nullptr unless
+     *  params.conformance). */
+    const mc::Conformance *conformance() const { return conform_.get(); }
 
     /** Serialize the event log as Chrome trace-event JSON, stitching
      *  in coherence-transaction flow events when cohTrace is on.
@@ -383,6 +394,7 @@ class AlewifeMachine : public stats::Group
     std::unique_ptr<trace::Recorder> trec;
     std::unique_ptr<coh::TxnTracer> cohTrec;
     std::unique_ptr<analysis::RaceDetector> races;
+    std::unique_ptr<mc::Conformance> conform_;
     net::Network net_;
     net::Telemetry telemetry_;
     /// Recorder-lane overflow surfaced in stats JSON (thread-count

@@ -1,0 +1,51 @@
+#include "mc/conform.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "mc/spec.hh"
+
+namespace april::mc
+{
+
+void
+Conformance::onDirTransition(uint32_t home, Addr line,
+                             coh::DirState old_state,
+                             coh::MsgType cause,
+                             coh::DirState new_state,
+                             uint32_t requester)
+{
+    checked_.fetch_add(1, std::memory_order_relaxed);
+    if (legalDirTransition(old_state, cause, new_state))
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (detail_.empty()) {
+        std::ostringstream os;
+        os << "directory transition not allowed by the protocol "
+              "spec: home n"
+           << home << " line=" << line << " "
+           << coh::dirStateName(old_state) << " -> "
+           << coh::dirStateName(new_state)
+           << " caused by " << coh::msgTypeName(cause)
+           << " (requester n" << requester << ")";
+        detail_ = os.str();
+    }
+    violated_.store(true, std::memory_order_release);
+}
+
+std::string
+Conformance::firstViolation() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return detail_;
+}
+
+void
+Conformance::check() const
+{
+    if (!violated())
+        return;
+    panic("mc conformance: ", firstViolation());
+}
+
+} // namespace april::mc

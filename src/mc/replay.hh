@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Replay checker for recorded coherence-transaction traces: parses
+ * the structured JSON that AlewifeMachine::writeCohTrace emits
+ * (schemaVersion 1) and validates every transaction's leg sequence
+ * against the protocol's causal span shape — the same vocabulary the
+ * model checker's counterexample traces use (Issue, HomeQueue,
+ * HomeHandle, InvSend, InvAck, WbReqSend, WbRecv, ReplySend, Fill).
+ *
+ * A trace that dropped legs at the capacity cap is refused outright:
+ * every check below is a completeness argument, and a truncated log
+ * can fail (or worse, pass) them vacuously.
+ */
+
+#ifndef APRIL_MC_REPLAY_HH
+#define APRIL_MC_REPLAY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace april::mc
+{
+
+/** Outcome of replaying one recorded trace against the spec. */
+struct ReplayResult
+{
+    uint64_t transactions = 0;  ///< transaction groups examined
+    uint64_t events = 0;        ///< individual legs examined
+    uint64_t complete = 0;      ///< transactions with Issue and Fill
+    /// True when the trace recorded drops and was refused unchecked.
+    bool refused = false;
+    /// Human-readable violations, one per failed check (capped).
+    std::vector<std::string> errors;
+
+    bool ok() const { return !refused && errors.empty(); }
+};
+
+/**
+ * Validate @p json_text (a writeCohTrace document) against the
+ * transaction-span shape. Parse failures and schema mismatches are
+ * reported as errors rather than thrown.
+ */
+ReplayResult replayCohTrace(const std::string &json_text);
+
+/** One-line summary ("N transactions, M legs, clean" or the first
+ *  error) for CLI output. */
+std::string summarizeReplay(const ReplayResult &r);
+
+} // namespace april::mc
+
+#endif // APRIL_MC_REPLAY_HH

@@ -1,0 +1,540 @@
+#include "mc/spec.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace april::mc
+{
+
+namespace
+{
+
+// recordsMask bits (indexed by the DirState transitioned INTO).
+constexpr uint8_t U = 1u << size_t(DirState::Uncached);
+constexpr uint8_t S = 1u << size_t(DirState::Shared);
+constexpr uint8_t E = 1u << size_t(DirState::Exclusive);
+
+constexpr int8_t kU = int8_t(DirState::Uncached);
+constexpr int8_t kS = int8_t(DirState::Shared);
+constexpr int8_t kE = int8_t(DirState::Exclusive);
+constexpr int8_t kWaitAcks = int8_t(Wait::Acks);
+constexpr int8_t kWaitData = int8_t(Wait::Data);
+
+/**
+ * The home-directory FSM, one row per Controller::handleMessage /
+ * handleHomeRequest / completePending branch, in first-match order.
+ * Matching is declarative — (msg, state, busy, wait, guard) — and the
+ * action each row stands for is keyed by its id in applyDir below;
+ * the recordsMask column is the contract the live controller's
+ * recordTransition calls are checked against (legalDirTransitions).
+ */
+constexpr std::array<DirRule, kNumDirRules> kDirRules = {{
+    // Requests against a busy line park in the waiting FIFO.
+    {0, "queue-read", MsgType::ReadReq, kAny, 1, kAny, Guard::Always, 0},
+    {1, "queue-write", MsgType::WriteReq, kAny, 1, kAny, Guard::Always,
+     0},
+    // An Exclusive owner re-requesting has lost its copy to an
+    // eviction whose WbData arrived first (FIFO): fold to Uncached,
+    // then re-handle the same request against the folded entry.
+    {2, "fold-read", MsgType::ReadReq, kE, 0, kAny, Guard::ReqIsOwner,
+     U},
+    {3, "fold-write", MsgType::WriteReq, kE, 0, kAny, Guard::ReqIsOwner,
+     U},
+    // Grants from stable states.
+    {4, "uncached-read", MsgType::ReadReq, kU, 0, kAny, Guard::Always,
+     S},
+    {5, "uncached-write", MsgType::WriteReq, kU, 0, kAny, Guard::Always,
+     E},
+    {6, "shared-read", MsgType::ReadReq, kS, 0, kAny, Guard::Always, S},
+    {7, "shared-write-alone", MsgType::WriteReq, kS, 0, kAny,
+     Guard::NoOtherSharer, E},
+    // Strong coherence: collect every other sharer's ack first.
+    {8, "shared-write-inv", MsgType::WriteReq, kS, 0, kAny,
+     Guard::OtherSharers, 0},
+    // Recall the dirty line from its owner before granting.
+    {9, "excl-read-recall", MsgType::ReadReq, kE, 0, kAny,
+     Guard::ReqNotOwner, 0},
+    {10, "excl-write-recall", MsgType::WriteReq, kE, 0, kAny,
+     Guard::ReqNotOwner, 0},
+    // Invalidation acknowledgments.
+    {11, "ack-count", MsgType::InvAck, kS, 1, kWaitAcks,
+     Guard::AcksRemain, 0},
+    {12, "ack-last", MsgType::InvAck, kS, 1, kWaitAcks, Guard::LastAck,
+     E},
+    {13, "ack-stale", MsgType::InvAck, kAny, kAny, kAny, Guard::Always,
+     0},
+    // Writebacks (every WbData row also updates memory and answers a
+    // fence flag with FenceAck).
+    {14, "wb-complete", MsgType::WbData, kE, 1, kWaitData,
+     Guard::FromIsOwner, S | E},
+    {15, "wb-evict-fold", MsgType::WbData, kE, 0, kAny,
+     Guard::FromIsOwner, U},
+    {16, "wb-memory-only", MsgType::WbData, kAny, kAny, kAny,
+     Guard::Always, 0},
+    {17, "wbempty-complete", MsgType::WbEmpty, kE, 1, kWaitData,
+     Guard::AnswersRecall, S | E},
+    // The raced-away answer for an already-settled recall.
+    {18, "wbempty-ignore", MsgType::WbEmpty, kAny, kAny, kAny,
+     Guard::Always, 0},
+    // Transaction over: clear busy and re-handle the front waiter.
+    {19, "unpend-drain", MsgType::Unpend, kAny, kAny, kAny,
+     Guard::Always, 0},
+}};
+
+constexpr int8_t kCacheM = int8_t(CacheState::Modified);
+
+/** The cache-side FSM (Controller::handleMessage cache branches), in
+ *  first-match order. */
+constexpr std::array<CacheRule, kNumCacheRules> kCacheRules = {{
+    // Invalidations always ack, copy or not (stale sharer bits are
+    // harmless by design).
+    {0, "inv-ack", MsgType::Inv, kAny, kAny, CacheState::Invalid},
+    {1, "wbreq-data-inv", MsgType::WbReq, kCacheM, 1,
+     CacheState::Invalid},
+    {2, "wbreq-data-downgrade", MsgType::WbReq, kCacheM, 0,
+     CacheState::Shared},
+    // No modified copy here: it raced away via an earlier eviction.
+    {3, "wbreq-empty", MsgType::WbReq, kAny, kAny, CacheState::Invalid},
+    {4, "fill-read", MsgType::ReadReply, kAny, kAny, CacheState::Shared},
+    {5, "fill-write", MsgType::WriteReply, kAny, kAny,
+     CacheState::Modified},
+    {6, "fence-dec", MsgType::FenceAck, kAny, kAny, CacheState::Invalid},
+}};
+
+bool
+guardHolds(Guard g, const DirEntry &e, const SpecMsg &m)
+{
+    uint16_t others = e.sharers & uint16_t(~(1u << m.requester));
+    switch (g) {
+      case Guard::Always: return true;
+      case Guard::ReqIsOwner: return m.requester == e.owner;
+      case Guard::ReqNotOwner: return m.requester != e.owner;
+      case Guard::FromIsOwner: return m.from == e.owner;
+      case Guard::FromNotOwner: return m.from != e.owner;
+      case Guard::NoOtherSharer: return others == 0;
+      case Guard::OtherSharers: return others != 0;
+      case Guard::AcksRemain: return e.pendingAcks > 1;
+      case Guard::LastAck: return e.pendingAcks == 1;
+      case Guard::AnswersRecall:
+        return m.from == e.owner &&
+               !((e.staleOwed >> m.from) & 1u);
+    }
+    return false;
+}
+
+bool
+rowMatches(const DirRule &r, const DirEntry &e, const SpecMsg &m)
+{
+    if (r.msg != m.type)
+        return false;
+    if (r.state != kAny && r.state != int8_t(e.state))
+        return false;
+    if (r.busy != kAny && bool(r.busy) != e.busy)
+        return false;
+    if (r.wait != kAny && r.wait != int8_t(e.wait))
+        return false;
+    return guardHolds(r.guard, e, m);
+}
+
+const DirRule *
+matchDir(const DirEntry &e, const SpecMsg &m)
+{
+    for (const DirRule &r : kDirRules) {
+        if (rowMatches(r, e, m))
+            return &r;
+    }
+    return nullptr;
+}
+
+/** Controller::addSharer in miniature: exact sharer set, LimitedPtr
+ *  pointer bookkeeping with the overflow trap spilling every resident
+ *  pointer to software. */
+void
+addSharer(const SpecParams &p, Outcome &o, uint8_t node)
+{
+    uint16_t bit = uint16_t(1u << node);
+    if (o.dir.sharers & bit)
+        return;
+    o.dir.sharers |= bit;
+    if (p.scheme != DirScheme::LimitedPtr)
+        return;
+    uint8_t resident = uint8_t(o.dir.sharerCount() - o.dir.spilled);
+    if (resident <= p.dirPointers)
+        return;
+    o.overflowTrap = true;
+    o.dir.spilled = o.dir.sharerCount();
+}
+
+void
+clearSharers(Outcome &o)
+{
+    o.dir.sharers = 0;
+    o.dir.spilled = 0;
+}
+
+/** Controller::replyAndUnpend: the grant and the Unpend ride the same
+ *  ordered path, reply first, so waiters drained by the Unpend can
+ *  never overtake the grant. */
+void
+replyAndUnpend(Outcome &o, uint8_t requester, bool write, uint8_t home)
+{
+    SpecMsg reply;
+    reply.type = write ? MsgType::WriteReply : MsgType::ReadReply;
+    reply.from = home;
+    reply.requester = requester;
+    reply.fresh = o.memFresh;
+    o.emit(requester, reply);
+    SpecMsg unpend;
+    unpend.type = MsgType::Unpend;
+    unpend.from = home;
+    o.emit(home, unpend);
+}
+
+/** Controller::completePending: finish the request parked while acks
+ *  or data were collected. A read completion keeps the downgraded
+ *  owner as a sharer (even when its copy raced away — the stale bit
+ *  is harmless). */
+void
+completePending(const SpecParams &p, Outcome &o, uint8_t home)
+{
+    SpecMsg req = o.dir.pending;
+    bool write = req.type == MsgType::WriteReq;
+    uint8_t prev_owner = o.dir.owner;
+    bool was_exclusive = o.dir.state == DirState::Exclusive;
+    if (write) {
+        o.dir.state = DirState::Exclusive;
+        o.dir.owner = req.requester;
+        clearSharers(o);
+    } else {
+        o.dir.state = DirState::Shared;
+        clearSharers(o);
+        if (was_exclusive)
+            addSharer(p, o, prev_owner);
+        addSharer(p, o, req.requester);
+    }
+    o.dir.wait = Wait::None;
+    o.dir.pendingAcks = 0;
+    replyAndUnpend(o, req.requester, write, home);
+}
+
+} // namespace
+
+const std::array<DirRule, kNumDirRules> &
+dirRules()
+{
+    return kDirRules;
+}
+
+const std::array<CacheRule, kNumCacheRules> &
+cacheRules()
+{
+    return kCacheRules;
+}
+
+const char *
+guardName(Guard g)
+{
+    static constexpr std::array<const char *, 10> names = {
+        "always",        "req==owner",  "req!=owner",
+        "from==owner",   "from!=owner", "no-other-sharer",
+        "other-sharers", "acks>1",      "acks==1",
+        "answers-recall"};
+    return coh::enumName(names, size_t(g));
+}
+
+bool
+isHomeMsg(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:
+      case MsgType::WriteReq:
+      case MsgType::InvAck:
+      case MsgType::WbData:
+      case MsgType::WbEmpty:
+      case MsgType::Unpend:
+        return true;
+      case MsgType::ReadReply:
+      case MsgType::WriteReply:
+      case MsgType::Inv:
+      case MsgType::WbReq:
+      case MsgType::FenceAck:
+        return false;
+    }
+    return false;
+}
+
+Outcome
+applyDir(const SpecParams &p, const DirEntry &e, const SpecMsg &msg,
+         bool memFresh, uint8_t home)
+{
+    Outcome o;
+    o.dir = e;
+    o.memFresh = memFresh;
+    SpecMsg m = msg;
+    bool mutate_fired = false;
+    bool again = true;
+    while (again) {
+        again = false;
+        const DirRule *r = matchDir(o.dir, m);
+        panicIfNot(r, "mc spec: no dir rule for ",
+                   coh::msgTypeName(m.type), " in ",
+                   coh::dirStateName(o.dir.state));
+        o.matched = true;
+        o.rule = r->id;
+        o.firedRules |= 1u << r->id;
+        if (p.mutateRule == int(r->id))
+            mutate_fired = true;
+        switch (r->id) {
+          case 0:
+          case 1:
+            if (o.dir.numWaiting < kMaxNodes) {
+                o.dir.waiting[o.dir.numWaiting++] = m;
+                o.queued = true;
+            } else {
+                o.queueOverflow = true;
+            }
+            break;
+          case 2:
+          case 3:
+            o.dir.state = DirState::Uncached;
+            clearSharers(o);
+            again = true;       // re-handle against the folded entry
+            break;
+          case 4:
+            o.dir.busy = true;
+            o.dir.state = DirState::Shared;
+            clearSharers(o);
+            addSharer(p, o, m.requester);
+            replyAndUnpend(o, m.requester, false, home);
+            break;
+          case 5:
+            o.dir.busy = true;
+            o.dir.state = DirState::Exclusive;
+            o.dir.owner = m.requester;
+            clearSharers(o);
+            replyAndUnpend(o, m.requester, true, home);
+            break;
+          case 6:
+            o.dir.busy = true;
+            addSharer(p, o, m.requester);
+            replyAndUnpend(o, m.requester, false, home);
+            break;
+          case 7:
+            o.dir.busy = true;
+            o.dir.state = DirState::Exclusive;
+            o.dir.owner = m.requester;
+            clearSharers(o);
+            replyAndUnpend(o, m.requester, true, home);
+            break;
+          case 8: {
+            o.dir.busy = true;
+            o.dir.wait = Wait::Acks;
+            o.dir.pending = m;
+            if (p.scheme == DirScheme::LimitedPtr && o.dir.spilled > 0)
+                o.spillWalk = true;
+            uint8_t acks = 0;
+            for (uint8_t n = 0; n < kMaxNodes; ++n) {
+                if (n == m.requester || !(o.dir.sharers & (1u << n)))
+                    continue;
+                SpecMsg inv;
+                inv.type = MsgType::Inv;
+                inv.from = home;
+                inv.requester = m.requester;
+                o.emit(n, inv);
+                ++acks;
+            }
+            o.dir.pendingAcks = acks;
+            break;
+          }
+          case 9:
+          case 10: {
+            o.dir.busy = true;
+            o.dir.wait = Wait::Data;
+            o.dir.pending = m;
+            SpecMsg wbreq;
+            wbreq.type = MsgType::WbReq;
+            wbreq.from = home;
+            wbreq.requester = m.requester;
+            wbreq.isWrite = r->id == 10;
+            o.emit(o.dir.owner, wbreq);
+            break;
+          }
+          case 11:
+            --o.dir.pendingAcks;
+            break;
+          case 12:
+            o.dir.pendingAcks = 0;
+            completePending(p, o, home);
+            break;
+          case 13:
+            break;              // stale ack for a dropped copy
+          case 14:
+          case 15:
+          case 16:
+            o.memFresh = m.fresh;
+            if (m.fenceAck) {
+                SpecMsg ack;
+                ack.type = MsgType::FenceAck;
+                ack.from = home;
+                o.emit(m.requester, ack);
+            }
+            if (r->id == 14) {
+                // An unsolicited WbData (eviction or FLUSH racing
+                // ahead of the WbReq) completes the recall, but the
+                // owner's real answer — a WbEmpty, guaranteed by
+                // home->owner FIFO to find no copy — is still in
+                // flight: remember to discard it.
+                if (!m.solicited)
+                    o.dir.staleOwed |= uint8_t(1u << m.from);
+                completePending(p, o, home);
+            } else if (r->id == 15) {
+                o.dir.state = DirState::Uncached;
+                clearSharers(o);
+            }
+            break;
+          case 17:
+            completePending(p, o, home);
+            break;
+          case 18:
+            // The stale answer owed by this node (if any) has now
+            // arrived and is consumed here.
+            o.dir.staleOwed &= uint8_t(~(1u << m.from));
+            break;
+          case 19:
+            o.dir.busy = false;
+            if (o.dir.numWaiting > 0) {
+                m = o.dir.waiting[0];
+                for (uint8_t i = 1; i < o.dir.numWaiting; ++i)
+                    o.dir.waiting[i - 1] = o.dir.waiting[i];
+                o.dir.waiting[--o.dir.numWaiting] = SpecMsg{};
+                again = true;   // every grant path re-busies the
+                                // line, so exactly one waiter runs
+            }
+            break;
+        }
+    }
+    // Mutation gate: rotate the resulting directory state once if the
+    // planted rule fired anywhere in this application.
+    if (mutate_fired) {
+        o.dir.state =
+            DirState((size_t(o.dir.state) + 1) % coh::kNumDirStates);
+    }
+    return o;
+}
+
+Outcome
+applyCache(const SpecParams &p, CacheState cs, bool fresh,
+           const SpecMsg &msg, uint8_t self)
+{
+    (void)p;
+    Outcome o;
+    o.cache = cs;
+    o.cacheFresh = fresh;
+    for (const CacheRule &r : kCacheRules) {
+        if (r.msg != msg.type)
+            continue;
+        if (r.state != kAny && r.state != int8_t(cs))
+            continue;
+        if (r.isWrite != kAny && bool(r.isWrite) != msg.isWrite)
+            continue;
+        o.matched = true;
+        o.rule = r.id;
+        o.firedRules |= 1u << r.id;
+        switch (r.id) {
+          case 0: {
+            o.cache = CacheState::Invalid;
+            o.cacheFresh = false;
+            SpecMsg ack;
+            ack.type = MsgType::InvAck;
+            ack.from = self;
+            ack.requester = msg.requester;
+            o.emit(msg.from, ack);
+            break;
+          }
+          case 1:
+          case 2: {
+            SpecMsg wb;
+            wb.type = MsgType::WbData;
+            wb.from = self;
+            wb.requester = self;
+            wb.fresh = fresh;
+            wb.solicited = true; // answers the WbReq (impl: txn != 0)
+            o.emit(msg.from, wb);
+            o.cache = r.id == 1 ? CacheState::Invalid
+                                : CacheState::Shared;
+            o.cacheFresh = r.id == 1 ? false : fresh;
+            break;
+          }
+          case 3: {
+            // Keep whatever (non-Modified) state we have: the
+            // controller only invalidates on the data path.
+            o.cache = cs;
+            o.cacheFresh = fresh;
+            SpecMsg none;
+            none.type = MsgType::WbEmpty;
+            none.from = self;
+            none.requester = msg.requester;
+            o.emit(msg.from, none);
+            break;
+          }
+          case 4:
+          case 5:
+            o.cache = r.id == 4 ? CacheState::Shared
+                                : CacheState::Modified;
+            o.cacheFresh = msg.fresh;
+            break;
+          case 6:
+            o.cache = cs;
+            o.cacheFresh = fresh;
+            o.fenceDelta = -1;
+            break;
+        }
+        return o;
+    }
+    panic("mc spec: no cache rule for ", coh::msgTypeName(msg.type),
+          " in ", cacheStateName(cs));
+}
+
+const LegalTable &
+legalDirTransitions()
+{
+    static const LegalTable table = [] {
+        LegalTable t{};
+        for (const DirRule &r : kDirRules) {
+            if (!r.recordsMask)
+                continue;
+            for (size_t old_s = 0; old_s < coh::kNumDirStates;
+                 ++old_s) {
+                if (r.state != kAny && r.state != int8_t(old_s))
+                    continue;
+                t[old_s * coh::kNumMsgTypes + size_t(r.msg)] |=
+                    r.recordsMask;
+            }
+        }
+        return t;
+    }();
+    return table;
+}
+
+std::string
+describeDirRule(uint8_t id)
+{
+    for (const DirRule &r : kDirRules) {
+        if (r.id != id)
+            continue;
+        std::ostringstream os;
+        os << "R" << int(r.id) << " " << r.name << ": "
+           << coh::msgTypeName(r.msg) << " @ "
+           << (r.state == kAny ? "*"
+                               : coh::dirStateName(DirState(r.state)))
+           << " busy="
+           << (r.busy == kAny ? "*" : (r.busy ? "1" : "0")) << " wait="
+           << (r.wait == kAny ? "*" : waitName(Wait(r.wait))) << " ["
+           << guardName(r.guard) << "]";
+        return os.str();
+    }
+    return "R? <unknown rule>";
+}
+
+} // namespace april::mc

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Side-effect-free, table-driven specification of the directory
+ * coherence protocol (DESIGN.md §7.9) — the object the model checker
+ * explores and the live Controller is conformance-checked against.
+ *
+ * The spec re-states src/coherence/controller.cc as guarded rules
+ *
+ *     (directory state, message)  ->  (state', emitted messages)
+ *     (cache state, message)      ->  (state', emitted messages)
+ *
+ * over ALL kNumMsgTypes message types and kNumDirStates directory
+ * states, with no timing, no stats and no calls back into the
+ * Controller. Everything here is a pure function of its inputs: the
+ * explorer (explore.hh) applies rules to abstract states, and the
+ * conformance bridge (conform.hh) derives the legal
+ * (oldDirState, causeMsg) -> newDirState relation straight from the
+ * same tables, so spec and checker cannot drift apart.
+ *
+ * Data is abstracted to a freshness bit: a copy (or memory) is fresh
+ * iff it equals the globally last-written value. Writes make the
+ * writer's copy fresh and memory stale; data-carrying messages carry
+ * the freshness of what they were read from. "Reads return the last
+ * write" then becomes the invariant that every cached copy is fresh.
+ *
+ * Directory-scheme coverage: under DirScheme::LimitedPtr the rules
+ * additionally track the i-pointer bookkeeping (resident pointers,
+ * software spill table, overflow trap, spill walk) exactly as the
+ * Controller does; the sharer set itself is always exact in both
+ * schemes, so FullMap and LimitedPtr share one rule table with the
+ * spill actions gated on the scheme.
+ */
+
+#ifndef APRIL_MC_SPEC_HH
+#define APRIL_MC_SPEC_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "coherence/protocol.hh"
+
+namespace april::mc
+{
+
+using coh::DirScheme;
+using coh::DirState;
+using coh::MsgType;
+
+/** Nodes the abstract machine supports (explorer configs use 2-4). */
+inline constexpr uint32_t kMaxNodes = 4;
+
+/** What an in-progress home transaction is waiting on (mirrors
+ *  Controller::DirEntry::Wait). */
+enum class Wait : uint8_t { None, Acks, Data };
+
+inline constexpr size_t kNumWaits = size_t(Wait::Data) + 1;
+
+inline const char *
+waitName(Wait w)
+{
+    static constexpr std::array<const char *, kNumWaits> names = {
+        "None", "Acks", "Data"};
+    return coh::enumName(names, size_t(w));
+}
+
+/** Cache-side stable states of the one modeled line. */
+enum class CacheState : uint8_t { Invalid, Shared, Modified };
+
+inline constexpr size_t kNumCacheStates =
+    size_t(CacheState::Modified) + 1;
+
+inline const char *
+cacheStateName(CacheState s)
+{
+    static constexpr std::array<const char *, kNumCacheStates> names = {
+        "Invalid", "Shared", "Modified"};
+    return coh::enumName(names, size_t(s));
+}
+
+/** One abstract protocol message (coh::Message minus addresses,
+ *  transaction ids and payload words). */
+struct SpecMsg
+{
+    MsgType type = MsgType::ReadReq;
+    uint8_t from = 0;
+    uint8_t requester = 0;
+    bool isWrite = false;       ///< WbReq: invalidate the owner too
+    bool fenceAck = false;      ///< WbData: FLUSH-caused, ack it
+    bool fresh = false;         ///< data payload == last written value
+    /// WbData only: true when the writeback answers an outstanding
+    /// recall (the cache-side WbReq handler sent it), false for a
+    /// spontaneous eviction or FLUSH. The abstraction of the
+    /// Controller's txn field (solicited WbData carries the recall's
+    /// transaction id, eviction WbData carries 0).
+    bool solicited = false;
+
+    bool operator==(const SpecMsg &) const = default;
+};
+
+/** Abstract home-directory entry: the protocol-visible fields of
+ *  Controller::DirEntry (sharers as a bitmask, no timing). */
+struct DirEntry
+{
+    DirState state = DirState::Uncached;
+    bool busy = false;
+    Wait wait = Wait::None;
+    uint8_t owner = 0;
+    uint8_t pendingAcks = 0;
+    SpecMsg pending;            ///< request being completed
+    uint16_t sharers = 0;       ///< bitmask over nodes
+    uint8_t spilled = 0;        ///< LimitedPtr: sharers in software
+    /// Bit n: node n still owes the answer to a recall that was
+    /// already completed by that node's own eviction WbData racing
+    /// ahead — the next WbEmpty from n is that stale answer and must
+    /// not complete a LATER recall (the Controller gets the same
+    /// effect exactly from its msg.txn == pendingReq.txn check; the
+    /// spec cannot carry unbounded transaction ids, and per-route
+    /// FIFO guarantees at most one such answer is outstanding per
+    /// node, so one bit per node captures it).
+    uint8_t staleOwed = 0;
+    uint8_t numWaiting = 0;
+    std::array<SpecMsg, kMaxNodes> waiting; ///< FIFO, front at [0]
+
+    bool operator==(const DirEntry &) const = default;
+
+    uint8_t sharerCount() const
+    {
+        uint8_t n = 0;
+        for (uint16_t m = sharers; m; m &= m - 1)
+            ++n;
+        return n;
+    }
+};
+
+/** Spec configuration (the architectural knobs of ControllerParams). */
+struct SpecParams
+{
+    DirScheme scheme = DirScheme::FullMap;
+    uint32_t dirPointers = 4;   ///< LimitedPtr hardware pointers
+    /// Mutation gate (CI checker-checks-itself): when >= 0, the dir
+    /// rule with this id has its resulting directory state rotated by
+    /// one (Uncached -> Shared -> Exclusive -> Uncached) after every
+    /// firing, planting a protocol bug the explorer must catch.
+    int mutateRule = -1;
+};
+
+/** One message to transmit, produced by a rule application. */
+struct Emit
+{
+    uint8_t to = 0;
+    SpecMsg msg;
+};
+
+/// Worst-case emissions of one rule application: N-1 invalidations
+/// plus a reply, an Unpend and a FenceAck.
+inline constexpr size_t kMaxEmits = kMaxNodes + 3;
+
+/** Result of applying one message to the directory or a cache. */
+struct Outcome
+{
+    bool matched = false;       ///< some rule consumed the message
+    DirEntry dir;               ///< next directory entry
+    CacheState cache = CacheState::Invalid; ///< next cache state
+    bool cacheFresh = false;    ///< next cache-copy freshness
+    bool memFresh = false;      ///< next memory freshness
+    int8_t fenceDelta = 0;      ///< FenceAck: -1 at the flusher
+    uint8_t numEmits = 0;
+    std::array<Emit, kMaxEmits> emits;
+    uint8_t rule = 0xff;        ///< id of the rule that fired (last,
+                                ///< for fold-then-grant applications)
+    uint32_t firedRules = 0;    ///< bitmask of every rule id fired
+    bool overflowTrap = false;  ///< LimitedPtr pointer spill ran
+    bool spillWalk = false;     ///< LimitedPtr spill-table walk ran
+    bool queued = false;        ///< request parked behind a busy line
+    bool queueOverflow = false; ///< waiting queue had no slot
+
+    void
+    emit(uint8_t to, const SpecMsg &m)
+    {
+        emits[numEmits++] = {to, m};
+    }
+};
+
+// ---------------------------------------------------------------------
+// The rule tables
+// ---------------------------------------------------------------------
+
+/** Match-any wildcard for the busy/wait/state rule columns. */
+inline constexpr int8_t kAny = -1;
+
+/** Extra guards a rule row can require beyond (state, busy, wait). */
+enum class Guard : uint8_t
+{
+    Always,
+    ReqIsOwner,     ///< msg.requester == entry owner
+    ReqNotOwner,
+    FromIsOwner,    ///< msg.from == entry owner
+    FromNotOwner,
+    NoOtherSharer,  ///< sharers \ {requester} empty
+    OtherSharers,
+    AcksRemain,     ///< pendingAcks > 1
+    LastAck,        ///< pendingAcks == 1
+    /// msg.from == owner AND that node does not owe a stale recall
+    /// answer (DirEntry::staleOwed): the WbEmpty answers the CURRENT
+    /// outstanding recall, not an earlier, already-settled one to the
+    /// same (re-granted) owner — the Controller checks msg.txn ==
+    /// pendingReq.txn for the same effect. Without it a stale WbEmpty
+    /// can complete a later recall and hand out a second Modified
+    /// copy — the first bug april-mc found.
+    AnswersRecall,
+};
+
+const char *guardName(Guard g);
+
+/** One row of the home-directory FSM. */
+struct DirRule
+{
+    uint8_t id;
+    const char *name;
+    MsgType msg;
+    int8_t state;       ///< DirState or kAny
+    int8_t busy;        ///< 0 / 1 / kAny
+    int8_t wait;        ///< Wait or kAny
+    Guard guard;
+    /// Directory states this rule records transitions INTO (bit i =
+    /// DirState i), per recordTransition in the Controller; 0 for
+    /// rules that perform no recorded transition. The fold rules
+    /// (owner re-request) record Exclusive -> Uncached and then the
+    /// grant's transition; their mask lists only the fold target —
+    /// the re-handled grant is covered by the Uncached rows.
+    uint8_t recordsMask;
+};
+
+/// Home-side rule count (see kDirRules in spec.cc).
+inline constexpr size_t kNumDirRules = 20;
+
+/// Cache-side rule count (see kCacheRules in spec.cc).
+inline constexpr size_t kNumCacheRules = 7;
+
+const std::array<DirRule, kNumDirRules> &dirRules();
+
+/** One row of the cache-side FSM. */
+struct CacheRule
+{
+    uint8_t id;
+    const char *name;
+    MsgType msg;
+    int8_t state;       ///< CacheState or kAny
+    int8_t isWrite;     ///< WbReq recall flavor, or kAny
+    CacheState next;
+};
+
+const std::array<CacheRule, kNumCacheRules> &cacheRules();
+
+/** Message types the home-directory side of a controller consumes. */
+bool isHomeMsg(MsgType t);
+
+// ---------------------------------------------------------------------
+// Rule application (pure)
+// ---------------------------------------------------------------------
+
+/**
+ * Apply @p msg to home-directory entry @p e. @p memFresh is the
+ * freshness of the home memory copy on entry; the outcome carries its
+ * possibly-updated value and every emitted message (replies sample
+ * the post-update memory freshness, exactly like the Controller
+ * reading memory after a writeback). @p home is the home node id (the
+ * Unpend self-send destination).
+ *
+ * Unpend applications drain the waiting queue exactly like
+ * Controller::drainWaiting: the front waiter is re-handled in place
+ * (every grant path re-busies the line, so at most one waiter runs).
+ */
+Outcome applyDir(const SpecParams &p, const DirEntry &e,
+                 const SpecMsg &msg, bool memFresh, uint8_t home);
+
+/**
+ * Apply @p msg to a cache in state @p cs holding a copy of freshness
+ * @p fresh on node @p self. FenceAck yields fenceDelta = -1.
+ */
+Outcome applyCache(const SpecParams &p, CacheState cs, bool fresh,
+                   const SpecMsg &msg, uint8_t self);
+
+// ---------------------------------------------------------------------
+// Conformance relation (derived from the tables)
+// ---------------------------------------------------------------------
+
+/**
+ * The legal recorded-transition relation: bit N of
+ * legalDirTransitions()[old * kNumMsgTypes + msg] is set iff some
+ * rule matching (old, msg) records a transition into DirState N.
+ * Built by folding DirRule::recordsMask over the table — the live
+ * Controller's per-transition census is asserted against exactly
+ * this array (mc::Conformance).
+ */
+using LegalTable =
+    std::array<uint8_t, coh::kNumDirStates * coh::kNumMsgTypes>;
+
+const LegalTable &legalDirTransitions();
+
+/** @return true iff (old, cause) -> next is a spec-legal recorded
+ *  directory transition. */
+inline bool
+legalDirTransition(DirState old_s, MsgType cause, DirState next_s)
+{
+    return legalDirTransitions()[size_t(old_s) * coh::kNumMsgTypes +
+                                 size_t(cause)] >>
+               size_t(next_s) &
+           1;
+}
+
+/** Human-readable one-line description of rule @p id (april-mc
+ *  --list-rules and mutation-gate reports). */
+std::string describeDirRule(uint8_t id);
+
+// ---------------------------------------------------------------------
+// Build-time coverage: adding a MsgType without a rule fails here
+// ---------------------------------------------------------------------
+
+/** Message types with at least one home- or cache-side rule row.
+ *  Defined constexpr in spec.cc and static_asserted to cover all
+ *  kNumMsgTypes (ISSUE 9 satellite: the name tables, the census
+ *  index space and the rule tables stay tied together). */
+constexpr size_t kSpecCoveredMsgTypes = 11;
+static_assert(coh::kNumMsgTypes == kSpecCoveredMsgTypes,
+              "MsgType changed: add matching rule rows to "
+              "src/mc/spec.cc (kDirRules/kCacheRules) and update "
+              "kSpecCoveredMsgTypes");
+static_assert(coh::kNumDirStates == 3,
+              "DirState changed: rewrite the DirRule table rows and "
+              "recordsMask bit positions in src/mc/spec.cc");
+
+} // namespace april::mc
+
+#endif // APRIL_MC_SPEC_HH

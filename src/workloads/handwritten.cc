@@ -242,6 +242,80 @@ buildWideSharing(uint32_t nodes, uint32_t words_per_node)
     return out;
 }
 
+DirHandlers
+buildDirHandlers(bool frame_leak)
+{
+    using namespace april::tagged;
+
+    constexpr Addr kSpillCount = 632;
+    constexpr Addr kSpillTable = 640;
+
+    DirHandlers out;
+    out.spillCount = kSpillCount;
+    out.spillTable = kSpillTable;
+    out.handlers = {"coh$spill", "coh$walk"};
+
+    Assembler as;
+    // Pointer-overflow trap: the hardware directory ran out of
+    // pointers; append the faulting line's evicted pointer set (the
+    // trap argument) to the software spill table. Runs in a fresh
+    // frame so the interrupted context's registers survive untouched.
+    as.bind("coh$spill");
+    as.incfp();
+    as.rdspec(reg::t(0), Spec::TrapVA);     // faulting line / ptr set
+    as.movi(reg::t(1), ptr(kSpillCount, Tag::Other));
+    as.ldnw(reg::t(2), reg::t(1), 0);       // entry count (raw)
+    as.movi(reg::t(3), ptr(kSpillTable, Tag::Other));
+    as.slliR(reg::t(4), reg::t(2), int32_t(tagShift));
+    as.addR(reg::t(4), reg::t(3), reg::t(4));
+    as.stnw(reg::t(0), reg::t(4), 0);       // table[count] = entry
+    as.addiR(reg::t(2), reg::t(2), 1);
+    as.stnw(reg::t(2), reg::t(1), 0);
+    as.decfp();
+    as.rettRetry();
+
+    // Invalidation walk: a write reached a spilled line, so the
+    // hardware pointers alone cannot name every sharer. Poke each
+    // spilled sharer with an IPI and drain the table.
+    as.bind("coh$walk");
+    as.incfp();
+    as.movi(reg::t(1), ptr(kSpillCount, Tag::Other));
+    as.ldnw(reg::t(2), reg::t(1), 0);       // entries to visit (raw)
+    as.cmpiR(reg::t(2), 0);
+    if (frame_leak) {
+        // The planted bug: the empty-table fast path forgets the
+        // balancing DECFP, so the interrupted context resumes one
+        // frame off. april-lint's protocol-handler check must flag
+        // the RETT at coh$walk_bail.
+        as.jRaw(Cond::EQ, "coh$walk_bail");
+        as.nop();
+    } else {
+        as.jRaw(Cond::EQ, "coh$walk_done");
+        as.nop();
+    }
+    as.movi(reg::t(3), ptr(kSpillTable, Tag::Other));
+    as.movi(reg::t(4), 0);                  // visited so far
+    as.bind("coh$walk_loop");
+    as.ldnw(reg::t(5), reg::t(3), 0);       // spilled sharer node id
+    as.stio(int(IoReg::IpiDest), reg::t(5));
+    as.stio(int(IoReg::IpiSend), reg::r0);  // fire the invalidation
+    as.addiR(reg::t(3), reg::t(3), kWordOff);
+    as.addiR(reg::t(4), reg::t(4), 1);
+    as.cmpR(reg::t(4), reg::t(2));
+    as.jRaw(Cond::LT, "coh$walk_loop");
+    as.nop();
+    as.stnw(reg::r0, reg::t(1), 0);         // table drained
+    as.bind("coh$walk_done");
+    as.decfp();
+    as.rettRetry();
+    if (frame_leak) {
+        as.bind("coh$walk_bail");
+        as.rettRetry();
+    }
+    out.prog = as.finish();
+    return out;
+}
+
 void
 bootCoherentNode(Processor &proc, const Program &prog)
 {

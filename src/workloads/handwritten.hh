@@ -85,6 +85,34 @@ struct WideSharing
 
 WideSharing buildWideSharing(uint32_t nodes, uint32_t wordsPerNode);
 
+/**
+ * The LimitLESS software directory handlers as a standalone trap
+ * handler image: `coh$spill` (pointer-overflow trap: append the
+ * evicted pointer set to the node's software spill table) and
+ * `coh$walk` (invalidation walk: poke every spilled sharer with an
+ * IPI, then drain the table). Both are entered through trap vectors
+ * and must return to the interrupted context with the frame pointer
+ * exactly restored — the property april-lint's protocol-handler
+ * check gates (the image is only ever entered through `handlers`, so
+ * lint roots are exactly those symbols, not every label).
+ */
+struct DirHandlers
+{
+    Program prog;
+    Addr spillCount = 0;        ///< spill-table entry count word
+    Addr spillTable = 0;        ///< first spill-table word
+    /// Trap-vector entry symbols (the only legal entry points).
+    std::vector<std::string> handlers;
+};
+
+/**
+ * @param frameLeak plant the classic handler bug the lint check
+ *        exists for: coh$walk's empty-table fast path RETTs without
+ *        the balancing DECFP. Used by the analysis tests to prove the
+ *        check fires; production callers leave it false.
+ */
+DirHandlers buildDirHandlers(bool frameLeak = false);
+
 } // namespace april::workloads
 
 #endif // APRIL_WORKLOADS_HANDWRITTEN_HH

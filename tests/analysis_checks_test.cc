@@ -13,6 +13,7 @@
 
 #include "analysis/cfg.hh"
 #include "analysis/checks.hh"
+#include "workloads/handwritten.hh"
 
 namespace april::analysis
 {
@@ -427,6 +428,58 @@ TEST(Severity, CleanAndCountRespectTheGate)
     EXPECT_TRUE(res.clean(Severity::Warning));
     EXPECT_FALSE(res.clean(Severity::Info));
     EXPECT_EQ(res.count(Severity::Info), 1u);
+}
+
+/** Lint @p dh under the protocol-handler profile (roots are exactly
+ *  the trap-vector entry symbols — mirrors april-lint --workloads). */
+AnalysisResult
+analyzeDirHandlers(const workloads::DirHandlers &dh)
+{
+    AnalysisOptions opts;
+    for (const std::string &name : dh.handlers) {
+        AnalysisOptions::Root r;
+        r.pc = dh.prog.entry(name);
+        r.name = name;
+        r.allRegsDefined = true;
+        r.handler = true;
+        r.protocolHandler = true;
+        opts.roots.push_back(std::move(r));
+    }
+    opts.installAllHandlers();
+    return analyzeProgram(dh.prog, opts);
+}
+
+TEST(ProtocolHandler, ShippedSpillAndWalkHandlersAreClean)
+{
+    workloads::DirHandlers dh = workloads::buildDirHandlers();
+    AnalysisResult res = analyzeDirHandlers(dh);
+    EXPECT_FALSE(has(res, CheckKind::ProtocolHandler))
+        << formatFindings(res, dh.prog);
+    EXPECT_TRUE(res.clean(Severity::Warning))
+        << formatFindings(res, dh.prog);
+}
+
+TEST(ProtocolHandler, PlantedFramePointerLeakIsAnError)
+{
+    // The empty-table fast path of coh$walk RETTs without the
+    // balancing DECFP: the interrupted context would resume one
+    // register frame off.
+    workloads::DirHandlers dh =
+        workloads::buildDirHandlers(/*frameLeak=*/true);
+    AnalysisResult res = analyzeDirHandlers(dh);
+    ASSERT_TRUE(has(res, CheckKind::ProtocolHandler))
+        << formatFindings(res, dh.prog);
+    auto it = std::find_if(res.findings.begin(), res.findings.end(),
+                           [](const Finding &f) {
+                               return f.kind ==
+                                      CheckKind::ProtocolHandler;
+                           });
+    EXPECT_EQ(it->sev, Severity::Error);
+    EXPECT_NE(it->message.find("coh$walk"), std::string::npos);
+    EXPECT_FALSE(res.clean());
+    // The leak is on one path only; the clean coh$spill handler and
+    // coh$walk's main loop must not be flagged.
+    EXPECT_EQ(countKind(res, CheckKind::ProtocolHandler), 1u);
 }
 
 TEST(Format, FindingsRenderWithSymbolAndCheckName)

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "machine/alewife_machine.hh"
 
 namespace april
@@ -405,6 +407,254 @@ TEST(Coherence, EvictionStormWritesBack)
     int expect = kLines * (kLines - 1) / 2;
     EXPECT_EQ(rig.machine->proc(0).readReg(6), fixnum(expect));
     EXPECT_GE(rig.machine->controller(0).statWritebacks.value(), 8.0);
+}
+
+// ---------------------------------------------------------------------
+// Directed controller-level tests: a TestFabric captures every
+// transmitted message so the test can deliver them in an adversarial
+// order — the interleavings april-mc's explorer found interesting.
+// ---------------------------------------------------------------------
+
+/** Captures transmitted messages for hand-ordered delivery. */
+struct TestFabric : coh::Fabric
+{
+    struct Pkt
+    {
+        uint32_t to;
+        coh::Message msg;
+    };
+    std::deque<Pkt> queue;
+    uint64_t cycle = 0;
+
+    void
+    transmit(uint32_t to, const coh::Message &msg, uint32_t) override
+    {
+        queue.push_back({to, msg});
+    }
+
+    uint64_t now() const override { return cycle; }
+};
+
+/** Three bare controllers (home node 0) around one shared memory,
+ *  with the mc conformance listener attached — every directed
+ *  interleaving below is also a live spec-conformance run. */
+struct DirectedRig
+{
+    TestFabric fabric;
+    SharedMemory mem;
+    mc::Conformance conform;
+    std::vector<std::unique_ptr<coh::Controller>> ctrls;
+    uint64_t fenceAcks = 0;     ///< FenceAcks delivered so far
+
+    DirectedRig()
+        : mem({.numNodes = 3, .wordsPerNode = 1u << 12})
+    {
+        coh::ControllerParams p;
+        // 4 direct-mapped sets: lines 4 apart collide, so a second
+        // fill can evict a dirty line on demand.
+        p.cache = {.lineWords = 4, .numLines = 4, .assoc = 1};
+        for (uint32_t n = 0; n < 3; ++n) {
+            ctrls.push_back(std::make_unique<coh::Controller>(
+                p, n, 4, &mem, &fabric));
+            ctrls.back()->setTransitionListener(&conform);
+        }
+    }
+
+    /** Advance time so delayed sends drain into the fabric queue. */
+    void
+    settle(int cycles = 64)
+    {
+        for (int i = 0; i < cycles; ++i) {
+            ++fabric.cycle;
+            for (auto &c : ctrls)
+                c->tick();
+        }
+    }
+
+    bool
+    queued(coh::MsgType type, uint32_t to) const
+    {
+        for (const TestFabric::Pkt &p : fabric.queue) {
+            if (p.msg.type == type && p.to == to)
+                return true;
+        }
+        return false;
+    }
+
+    /** Deliver the first queued (type, to) message; test-fails when
+     *  none is queued. */
+    void
+    deliver(coh::MsgType type, uint32_t to)
+    {
+        for (auto it = fabric.queue.begin(); it != fabric.queue.end();
+             ++it) {
+            if (it->msg.type != type || it->to != to)
+                continue;
+            coh::Message m = it->msg;
+            fabric.queue.erase(it);
+            fenceAcks += m.type == coh::MsgType::FenceAck;
+            ctrls[to]->receive(m);
+            settle();
+            return;
+        }
+        ADD_FAILURE() << "no queued " << coh::msgTypeName(type)
+                      << " for node " << to;
+    }
+
+    /** First access of a miss: registers the MSHR and emits the
+     *  request (remote misses hold the core with Retry). */
+    void
+    startWrite(uint32_t node, Addr word)
+    {
+        MemAccess req;
+        req.addr = word;
+        req.op = MemOp::Store;
+        req.storeData = fixnum(int32_t(node + 1));
+        EXPECT_EQ(ctrls[node]->access(req).kind,
+                  MemResult::Kind::Retry);
+        settle();
+    }
+
+    /** The retried access after the fill arrived must hit. */
+    void
+    finishWrite(uint32_t node, Addr word)
+    {
+        ASSERT_TRUE(ctrls[node]->fillReady(0));
+        MemAccess req;
+        req.addr = word;
+        req.op = MemOp::Store;
+        req.storeData = fixnum(int32_t(node + 1));
+        EXPECT_EQ(ctrls[node]->access(req).kind,
+                  MemResult::Kind::Ready);
+    }
+
+    cache::LineState
+    stateOf(uint32_t node, Addr line) const
+    {
+        auto *l = ctrls[node]->cacheRef().find(line);
+        return l ? l->state : cache::LineState::Invalid;
+    }
+};
+
+TEST(CoherenceDirected, StaleWbEmptyCannotCompleteALaterRecall)
+{
+    using coh::MsgType;
+    // The SWMR counterexample april-mc found (DESIGN.md §7.9): an
+    // owner's copy races away via eviction; the eviction WbData
+    // completes the recall; the solicited WbEmpty stays in flight and
+    // must not complete a LATER recall to the same re-granted owner.
+    constexpr Addr kW = 4;      // a word of line 1, homed on node 0
+    constexpr Addr kL = 1;
+    constexpr Addr kW2 = 20;    // line 5: same direct-mapped set
+    DirectedRig rig;
+
+    // n1 takes the line Modified.
+    rig.startWrite(1, kW);
+    rig.deliver(MsgType::WriteReq, 0);
+    rig.deliver(MsgType::WriteReply, 1);
+    rig.finishWrite(1, kW);
+
+    // n2 wants it: the home recalls from n1. Hold the WbReq in
+    // flight.
+    rig.startWrite(2, kW);
+    rig.deliver(MsgType::WriteReq, 0);
+    EXPECT_TRUE(rig.queued(MsgType::WbReq, 1));
+
+    // n1's copy races away first: a conflicting fill evicts the
+    // dirty line, and the eviction WbData completes the recall.
+    rig.startWrite(1, kW2);
+    rig.deliver(MsgType::WriteReq, 0);
+    rig.deliver(MsgType::WriteReply, 1);
+    rig.finishWrite(1, kW2);
+    rig.deliver(MsgType::WbData, 0);
+    rig.deliver(MsgType::WriteReply, 2);
+    rig.finishWrite(2, kW);
+
+    // The recall finally reaches n1, which answers WbEmpty — the
+    // stale answer to an already-settled recall. Hold it.
+    rig.deliver(MsgType::WbReq, 1);
+    EXPECT_TRUE(rig.queued(MsgType::WbEmpty, 0));
+
+    // n1 regains Modified (recall to n2 runs to completion)...
+    rig.startWrite(1, kW);
+    rig.deliver(MsgType::WriteReq, 0);
+    rig.deliver(MsgType::WbReq, 2);
+    rig.deliver(MsgType::WbData, 0);
+    rig.deliver(MsgType::WriteReply, 1);
+    rig.finishWrite(1, kW);
+    rig.deliver(MsgType::WbData, 0);    // n1's L2 eviction (R16 path)
+
+    // ...and n2 asks again: a recall to n1 is outstanding once more.
+    rig.startWrite(2, kW);
+    rig.deliver(MsgType::WriteReq, 0);
+
+    // The stale WbEmpty lands mid-recall. Completing it here would
+    // grant n2 Modified while n1 still holds Modified.
+    rig.deliver(MsgType::WbEmpty, 0);
+    EXPECT_FALSE(rig.queued(MsgType::WriteReply, 2));
+    EXPECT_FALSE(rig.ctrls[2]->fillReady(0));
+    EXPECT_EQ(rig.stateOf(1, kL), cache::LineState::Modified);
+
+    // The genuine answer completes the recall.
+    rig.deliver(MsgType::WbReq, 1);
+    rig.deliver(MsgType::WbData, 0);
+    rig.deliver(MsgType::WriteReply, 2);
+    rig.finishWrite(2, kW);
+    EXPECT_EQ(rig.stateOf(2, kL), cache::LineState::Modified);
+    EXPECT_EQ(rig.stateOf(1, kL), cache::LineState::Invalid);
+
+    EXPECT_GT(rig.conform.checked(), 0u);
+    EXPECT_FALSE(rig.conform.violated()) << rig.conform.firstViolation();
+}
+
+TEST(CoherenceDirected, FlushRacingARecallAcksTheFenceExactlyOnce)
+{
+    using coh::MsgType;
+    // A FLUSH's fence-flagged WbData overtakes the recall sent for
+    // the same line: it must both complete the recall and answer the
+    // fence, and the late stale WbEmpty must not ack a second time.
+    constexpr Addr kW = 4;
+    constexpr Addr kL = 1;
+    DirectedRig rig;
+
+    // n1 Modified; recall for n2's write held in flight.
+    rig.startWrite(1, kW);
+    rig.deliver(MsgType::WriteReq, 0);
+    rig.deliver(MsgType::WriteReply, 1);
+    rig.finishWrite(1, kW);
+    rig.startWrite(2, kW);
+    rig.deliver(MsgType::WriteReq, 0);
+    EXPECT_TRUE(rig.queued(MsgType::WbReq, 1));
+
+    // n1 FLUSHes the dirty line: one fence goes outstanding.
+    MemAccess flush;
+    flush.addr = kW;
+    flush.op = MemOp::Flush;
+    MemResult res = rig.ctrls[1]->access(flush);
+    EXPECT_EQ(res.kind, MemResult::Kind::Ready);
+    EXPECT_EQ(res.fenceDelta, 1u);
+    rig.settle();
+
+    // The flush data reaches home first: recall completed, fence
+    // acknowledged, n2 granted.
+    rig.deliver(MsgType::WbData, 0);
+    rig.deliver(MsgType::FenceAck, 1);
+    EXPECT_EQ(rig.fenceAcks, 1u);
+    rig.deliver(MsgType::WriteReply, 2);
+    rig.finishWrite(2, kW);
+    EXPECT_EQ(rig.stateOf(2, kL), cache::LineState::Modified);
+
+    // The recall arrives late; the stale WbEmpty answer must neither
+    // disturb the new owner nor ack another fence.
+    rig.deliver(MsgType::WbReq, 1);
+    rig.deliver(MsgType::WbEmpty, 0);
+    rig.settle();
+    EXPECT_FALSE(rig.queued(MsgType::FenceAck, 1));
+    EXPECT_EQ(rig.fenceAcks, 1u);
+    EXPECT_EQ(rig.stateOf(2, kL), cache::LineState::Modified);
+
+    EXPECT_GT(rig.conform.checked(), 0u);
+    EXPECT_FALSE(rig.conform.violated()) << rig.conform.firstViolation();
 }
 
 } // namespace

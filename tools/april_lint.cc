@@ -13,7 +13,10 @@
  *   april-lint [--strict] --workloads
  *       Assemble the runtime + the four Table 3 Mul-T benchmarks and
  *       the hand-written fine-grain sync pipeline, and lint each image
- *       under the every-symbol-is-a-root profile.
+ *       under the every-symbol-is-a-root profile; also lint the
+ *       LimitLESS directory-handler image (coh$spill / coh$walk) under
+ *       the protocol-handler profile, which additionally requires
+ *       every handler to restore the frame pointer before RETT.
  *
  * Options:
  *   --strict   gate on Info findings too (default: Warning and up)
@@ -119,6 +122,27 @@ lintCorpusFile(const std::string &path, Gate &gate, bool resign)
     return 0;
 }
 
+/** Lint profile for the LimitLESS directory-handler image: the only
+ *  legal entries are the trap-vector symbols, each held to the
+ *  protocol-handler frame discipline (internal labels are NOT roots —
+ *  nothing enters a handler mid-body). */
+analysis::AnalysisOptions
+dirHandlerOptions(const workloads::DirHandlers &dh)
+{
+    analysis::AnalysisOptions opts;
+    for (const std::string &name : dh.handlers) {
+        analysis::AnalysisOptions::Root r;
+        r.pc = dh.prog.entry(name);
+        r.name = name;
+        r.allRegsDefined = true;
+        r.handler = true;
+        r.protocolHandler = true;
+        opts.roots.push_back(std::move(r));
+    }
+    opts.installAllHandlers();
+    return opts;
+}
+
 Program
 buildMult(const std::string &source)
 {
@@ -151,6 +175,9 @@ lintWorkloads(Gate &gate)
     workloads::FineGrainSync fg = workloads::buildFineGrainSync();
     gate.check("workload:fine_grain_sync", fg.prog,
                analysis::allSymbolRoots(fg.prog));
+    workloads::DirHandlers dh = workloads::buildDirHandlers();
+    gate.check("workload:dir_handlers", dh.prog,
+               dirHandlerOptions(dh));
     return 0;
 }
 

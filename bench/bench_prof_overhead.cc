@@ -64,7 +64,7 @@ struct WorkloadResult
 Measurement
 runAlewifeOnce(const workloads::CoherentLoop &coh, uint32_t nodes,
                bool profile, uint32_t host_threads = 1,
-               bool coh_trace = false)
+               bool coh_trace = false, bool task_trace = false)
 {
     const Program &prog = coh.prog;
     AlewifeParams p;
@@ -77,6 +77,7 @@ runAlewifeOnce(const workloads::CoherentLoop &coh, uint32_t nodes,
     p.statsInterval = profile ? 4096 : 0;
     p.hostThreads = host_threads;
     p.cohTrace = coh_trace;
+    p.taskTrace = task_trace;
     AlewifeMachine m(p, &prog);
     for (uint32_t n = 0; n < nodes; ++n)
         workloads::bootCoherentNode(m.proc(n), prog);
@@ -267,6 +268,43 @@ main(int argc, char **argv)
                          (unsigned long long)traced.insts,
                          traced.stats == off.stats ? "equal"
                                                    : "DIFFER");
+            ok = false;
+        }
+    }
+
+    // Task tracing must also observe, not perturb: the same workload
+    // with taskTrace on must reproduce the untraced simulation digest
+    // exactly, and the event-recording overhead must stay under the
+    // same 10% budget the profiler is held to.
+    {
+        Measurement traced = best(
+            [&] { return runAlewifeOnce(coh, 4, false, 1, false, true); },
+            reps);
+        const Measurement &off = results[0].off;
+        bool same = traced.simCycles == off.simCycles &&
+                    traced.insts == off.insts &&
+                    traced.stats == off.stats;
+        double ovh = traced.seconds / off.seconds - 1.0;
+        std::printf("%-20s %12.4f %12.4f %8.1f%% %10s\n",
+                    "taskTrace on", off.seconds, traced.seconds,
+                    100.0 * ovh, same ? "yes" : "NO");
+        if (!same) {
+            std::fprintf(stderr,
+                         "FAIL: task tracing changed the simulation "
+                         "(cycles %llu vs %llu, insts %llu vs %llu, "
+                         "stats %s)\n",
+                         (unsigned long long)off.simCycles,
+                         (unsigned long long)traced.simCycles,
+                         (unsigned long long)off.insts,
+                         (unsigned long long)traced.insts,
+                         traced.stats == off.stats ? "equal"
+                                                   : "DIFFER");
+            ok = false;
+        }
+        if (ovh >= 0.10) {
+            std::fprintf(stderr,
+                         "FAIL: task tracing overhead %.1f%% >= 10%%\n",
+                         100.0 * ovh);
             ok = false;
         }
     }

@@ -7,6 +7,7 @@
 #include "machine/perfect_machine.hh"
 #include "machine/snapshot.hh"
 #include "profile/report.hh"
+#include "task/task_trace.hh"
 
 namespace april::fuzz
 {
@@ -21,6 +22,7 @@ struct AlewifeRun
     std::string stats;
     std::string trace;
     std::string cohTrace;       ///< transaction-span JSON (always on)
+    std::string taskTrace;      ///< task-plane report JSON (always on)
     std::string breakdown;      ///< profile::cycleBreakdownJson
     std::string error;          ///< hang / failed quiesce
 };
@@ -56,6 +58,11 @@ runAlewife(const FuzzCase &c, const Program &prog, bool cycle_skip,
     // log is a deterministic artifact and must be bit-identical
     // across cycle-skip modes and host-thread counts.
     p.cohTrace = true;
+    // The task plane rides along too: fuzz programs have no runtime
+    // probes, but the processor hook points (future touches, f/e
+    // stalls, TAS retries, frame switches) still emit events, and the
+    // analyzed report must be bit-identical across the same axes.
+    p.taskTrace = true;
     // Likewise the spec-conformance listener: every fuzz program also
     // checks each directory transition against the model checker's
     // rule tables (mc::Conformance).
@@ -100,6 +107,13 @@ runAlewife(const FuzzCase &c, const Program &prog, bool cycle_skip,
     std::ostringstream coh;
     m.writeCohTrace(coh);
     run.cohTrace = coh.str();
+    task::AnalyzeParams tp;
+    tp.numNodes = m.numNodes();
+    tp.totalCycles = m.cycle();
+    std::ostringstream task_os;
+    task::writeReportJson(task_os,
+                          task::analyze(m.taskTracer()->events(), tp));
+    run.taskTrace = task_os.str();
     return run;
 }
 
@@ -148,6 +162,11 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
                "differ (" << on.cohTrace.size() << " vs "
             << off.cohTrace.size() << " bytes)\n";
     }
+    if (on.taskTrace != off.taskTrace) {
+        div << "cycle-skip ON vs OFF: task-trace reports differ ("
+            << on.taskTrace.size() << " vs " << off.taskTrace.size()
+            << " bytes)\n";
+    }
     if (opts.compareTraces && on.trace != off.trace) {
         div << "cycle-skip ON vs OFF: trace JSON differs ("
             << on.trace.size() << " vs " << off.trace.size()
@@ -183,6 +202,12 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
                 << ": coherence-transaction traces differ ("
                 << on.cohTrace.size() << " vs " << par.cohTrace.size()
                 << " bytes)\n";
+        }
+        if (on.taskTrace != par.taskTrace) {
+            div << "threads=1 vs threads=" << opts.hostThreads
+                << ": task-trace reports differ ("
+                << on.taskTrace.size() << " vs "
+                << par.taskTrace.size() << " bytes)\n";
         }
         if (opts.compareTraces && on.trace != par.trace) {
             div << "threads=1 vs threads=" << opts.hostThreads
@@ -237,6 +262,11 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
                     << " cycle-skip ON vs OFF: coherence-transaction "
                        "traces differ\n";
             }
+            if (von.taskTrace != voff.taskTrace) {
+                div << v.name
+                    << " cycle-skip ON vs OFF: task-trace reports "
+                       "differ\n";
+            }
             if (opts.compareTraces && von.trace != voff.trace) {
                 div << v.name
                     << " cycle-skip ON vs OFF: trace JSON differs\n";
@@ -256,6 +286,7 @@ runDifferential(const FuzzCase &c, const DiffOptions &opts)
                 }
                 if (von.stats != vpar.stats ||
                     von.cohTrace != vpar.cohTrace ||
+                    von.taskTrace != vpar.taskTrace ||
                     von.breakdown != vpar.breakdown) {
                     div << v.name << " threads=1 vs threads="
                         << opts.hostThreads

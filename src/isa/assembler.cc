@@ -107,8 +107,10 @@ Assembler::finish(std::vector<AsmDiagnostic> &out)
     Program prog;
     prog._insts = std::move(insts);
     prog._symbols = std::move(symbols);
+    prog._notes = std::move(notes);
     insts.clear();
     symbols.clear();
+    notes.clear();
     fixups.clear();
     diags.clear();
     return prog;

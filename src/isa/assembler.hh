@@ -54,6 +54,19 @@ class Program
     /** The full symbol table (name -> instruction address). */
     const std::map<std::string, uint32_t> &symbols() const { return _symbols; }
 
+    /**
+     * Out-of-band annotations (name, pc) in emission order. Unlike
+     * symbols, notes never participate in symbolAt()/listing(), so
+     * instrumentation markers (e.g. the task-probe `tp$...` notes) do
+     * not perturb profiler symbolization. Several notes may share a
+     * pc, and the same name may appear at several pcs.
+     */
+    const std::vector<std::pair<std::string, uint32_t>> &
+    notes() const
+    {
+        return _notes;
+    }
+
     /** Render the whole program as assembly text. */
     std::string listing() const;
 
@@ -62,6 +75,7 @@ class Program
 
     std::vector<Instruction> _insts;
     std::map<std::string, uint32_t> _symbols;
+    std::vector<std::pair<std::string, uint32_t>> _notes;
 };
 
 /** A label problem found while assembling (see Assembler::finish). */
@@ -87,6 +101,13 @@ class Assembler
 
     /** Create a fresh unique label (not yet bound). */
     Label fresh(const std::string &prefix = "L");
+
+    /**
+     * Attach an out-of-band note naming the current position. Notes
+     * land in Program::notes(), not the symbol table: they are
+     * invisible to symbolAt()/listing() and may repeat freely.
+     */
+    void note(const std::string &name) { notes.push_back({name, here()}); }
 
     /** Current instruction address. */
     uint32_t here() const { return uint32_t(insts.size()); }
@@ -253,6 +274,7 @@ class Assembler
 
     std::vector<Instruction> insts;
     std::map<std::string, uint32_t> symbols;
+    std::vector<std::pair<std::string, uint32_t>> notes;
     std::vector<Fixup> fixups;
     std::vector<AsmDiagnostic> diags;
     uint64_t freshCounter = 0;

@@ -64,6 +64,24 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
               if (events > params.cohTraceCapacity)
                   dropped += events - params.cohTraceCapacity;
               return double(dropped);
+          }),
+      statTaskTraceDropped(
+          this, "taskTraceDropped",
+          "task events dropped at the capacity cap",
+          [this] {
+              if (!taskTrec)
+                  return 0.0;
+              uint64_t dropped = taskTrec->dropped();
+              uint64_t events = taskTrec->events().size();
+              for (const Shard &s : shards) {
+                  if (s.taskLane) {
+                      dropped += s.taskLane->dropped();
+                      events += s.taskLane->events().size();
+                  }
+              }
+              if (events > params.taskTraceCapacity)
+                  dropped += events - params.taskTraceCapacity;
+              return double(dropped);
           })
 {
     debug::initFromEnv();
@@ -88,6 +106,10 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
     }
     if (p.cohTrace)
         cohTrec = std::make_unique<coh::TxnTracer>(p.cohTraceCapacity);
+    if (p.taskTrace) {
+        taskTrec = std::make_unique<task::Tracer>(p.taskTraceCapacity);
+        taskProbes_ = std::make_unique<task::ProbeMap>(*prog);
+    }
     if (p.detectRaces) {
         races = std::make_unique<analysis::RaceDetector>(
             n, p.raceMaxReports, this);
@@ -119,6 +141,10 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
             shards[s].cohLane = std::make_unique<coh::TxnTracer>(
                 p.cohTraceCapacity);
         }
+        if (p.taskTrace && w > 1) {
+            shards[s].taskLane = std::make_unique<task::Tracer>(
+                p.taskTraceCapacity);
+        }
     }
     arrivals.resize(n);
 
@@ -148,6 +174,11 @@ AlewifeMachine::AlewifeMachine(const AlewifeParams &p,
         ctrls.back()->setObserver(races.get());
         ctrls.back()->setTransitionListener(conform_.get());
         procs.back()->setTraceRecorder(lane);
+        if (p.taskTrace) {
+            procs.back()->setTaskProbe(taskProbes_.get(),
+                                       sh->taskLane ? sh->taskLane.get()
+                                                    : taskTrec.get());
+        }
         if (p.bootRuntime)
             rt::Runtime::bootProcessor(*procs.back(), *prog, mem, i, n);
         if (p.profile) {
@@ -675,13 +706,15 @@ AlewifeMachine::warnOnTraceOverflow()
         return;
     auto ev = uint64_t(statTraceDropped.value());
     auto legs = uint64_t(statCohTraceDropped.value());
-    if (ev == 0 && legs == 0)
+    auto tasks = uint64_t(statTaskTraceDropped.value());
+    if (ev == 0 && legs == 0 && tasks == 0)
         return;
     warnedTraceDrop_ = true;
     std::cerr << "april: trace lane overflow: dropped " << ev
               << " machine events, " << legs
-              << " coherence-transaction legs (raise traceCapacity/"
-                 "cohTraceCapacity)\n";
+              << " coherence-transaction legs, " << tasks
+              << " task events (raise traceCapacity/cohTraceCapacity/"
+                 "taskTraceCapacity)\n";
 }
 
 uint64_t
@@ -712,16 +745,30 @@ AlewifeMachine::txnTracer()
     return cohTrec.get();
 }
 
+task::Tracer *
+AlewifeMachine::taskTracer()
+{
+    if (!taskTrec)
+        return nullptr;
+    mergeTaskLanes();
+    return taskTrec.get();
+}
+
 void
 AlewifeMachine::writeTrace(std::ostream &os)
 {
     trace::Recorder *r = traceRecorder();
     if (!r)
         return;
-    if (coh::TxnTracer *t = txnTracer()) {
+    coh::TxnTracer *t = txnTracer();
+    task::Tracer *tt = taskTracer();
+    if (t || tt) {
         r->writeChromeTrace(os,
-                            [t](std::ostream &o, bool &first) {
-                                t->writeChromeEvents(o, first);
+                            [t, tt](std::ostream &o, bool &first) {
+                                if (t)
+                                    t->writeChromeEvents(o, first);
+                                if (tt)
+                                    tt->writeChromeEvents(o, first);
                             });
     } else {
         r->writeChromeTrace(os);
@@ -733,6 +780,69 @@ AlewifeMachine::writeCohTrace(std::ostream &os)
 {
     if (coh::TxnTracer *t = txnTracer())
         t->writeJson(os);
+}
+
+void
+AlewifeMachine::writeTaskTrace(std::ostream &os)
+{
+    task::Tracer *t = taskTracer();
+    if (!t)
+        return;
+    task::AnalyzeParams p;
+    p.numNodes = numNodes();
+    p.totalCycles = _cycle;
+    task::Report r = task::analyze(t->events(), p);
+    r.dropped = uint64_t(statTaskTraceDropped.value());
+    task::writeReportJson(os, r);
+}
+
+void
+AlewifeMachine::mergeTaskLanes()
+{
+    if (shards.size() < 2 || !taskTrec)
+        return;
+    // Same canonical (cycle, node) k-way merge as mergeTraceLanes:
+    // every task event is recorded by the processor whose node it
+    // names, so distinct lanes never share a (cycle, node) pair.
+    struct Cursor
+    {
+        const std::vector<task::TaskEvent> *events;
+        size_t at = 0;
+    };
+    std::vector<Cursor> cur;
+    for (Shard &s : shards) {
+        if (s.taskLane)
+            cur.push_back({&s.taskLane->events(), 0});
+    }
+    for (;;) {
+        int best = -1;
+        for (size_t i = 0; i < cur.size(); ++i) {
+            if (cur[i].at >= cur[i].events->size())
+                continue;
+            const task::TaskEvent &e = (*cur[i].events)[cur[i].at];
+            if (best < 0)
+                best = int(i);
+            else {
+                const task::TaskEvent &b =
+                    (*cur[size_t(best)].events)[cur[size_t(best)].at];
+                if (e.cycle < b.cycle ||
+                    (e.cycle == b.cycle && e.node < b.node)) {
+                    best = int(i);
+                }
+            }
+        }
+        if (best < 0)
+            break;
+        taskTrec->record(
+            (*cur[size_t(best)].events)[cur[size_t(best)].at]);
+        ++cur[size_t(best)].at;
+    }
+    for (Shard &s : shards) {
+        if (s.taskLane) {
+            taskTrec->addDropped(s.taskLane->dropped());
+            s.taskLane->clear();
+        }
+    }
 }
 
 void

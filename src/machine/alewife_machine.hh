@@ -85,6 +85,13 @@ struct AlewifeParams
     bool cohTrace = false;
     /// Recorded-leg cap when cohTrace is on.
     uint64_t cohTraceCapacity = 1u << 22;
+    /// Record the task/future lifecycle event stream (the runtime's
+    /// `tp$...` probe notes plus the processor's wait hooks) for the
+    /// task observability plane (DESIGN.md §7.10). Purely
+    /// observational: execution is identical either way.
+    bool taskTrace = false;
+    /// Recorded-event cap when taskTrace is on.
+    uint64_t taskTraceCapacity = 1u << 20;
     /// Attach the Eraser-style full/empty race detector to every
     /// controller. Purely observational: execution (and the trace
     /// event stream, minus Race events) is identical either way.
@@ -169,6 +176,10 @@ class AlewifeMachine : public stats::Group
      *  unless params.cohTrace). */
     coh::TxnTracer *txnTracer();
 
+    /** Task-event tracer with all lanes merged (nullptr unless
+     *  params.taskTrace). */
+    task::Tracer *taskTracer();
+
     /** Network telemetry (always on; folded at sync points). */
     net::Telemetry &telemetry() { return telemetry_; }
 
@@ -187,6 +198,10 @@ class AlewifeMachine : public stats::Group
     /** Serialize the coherence-transaction log as structured JSON.
      *  No-op when cohTrace is off. */
     void writeCohTrace(std::ostream &os);
+
+    /** Analyze the task-event log and serialize the report as
+     *  structured JSON. No-op when taskTrace is off. */
+    void writeTaskTrace(std::ostream &os);
 
     /** Assemble the report writers' view of this run. */
     profile::ProfileSource profileSource() const;
@@ -343,6 +358,8 @@ class AlewifeMachine : public stats::Group
         std::unique_ptr<trace::Recorder> lane;
         /// Per-shard coherence-transaction lane (same scheme).
         std::unique_ptr<coh::TxnTracer> cohLane;
+        /// Per-shard task-event lane (same scheme).
+        std::unique_ptr<task::Tracer> taskLane;
         std::vector<ConsoleEntry> console;
     };
 
@@ -381,6 +398,7 @@ class AlewifeMachine : public stats::Group
 
     void mergeTraceLanes();
     void mergeCohLanes();
+    void mergeTaskLanes();
 
     /** Fold network/telemetry accumulators into the stats tree (the
      *  deterministic-sync-point bundle around net_.foldStats()). */
@@ -393,6 +411,8 @@ class AlewifeMachine : public stats::Group
     SharedMemory mem;
     std::unique_ptr<trace::Recorder> trec;
     std::unique_ptr<coh::TxnTracer> cohTrec;
+    std::unique_ptr<task::Tracer> taskTrec;
+    std::unique_ptr<task::ProbeMap> taskProbes_;
     std::unique_ptr<analysis::RaceDetector> races;
     std::unique_ptr<mc::Conformance> conform_;
     net::Network net_;
@@ -402,6 +422,7 @@ class AlewifeMachine : public stats::Group
     /// were distributed over lanes).
     stats::Formula statTraceDropped;
     stats::Formula statCohTraceDropped;
+    stats::Formula statTaskTraceDropped;
     bool warnedTraceDrop_ = false;
     uint64_t quantum_ = 1;
     std::vector<Shard> shards;

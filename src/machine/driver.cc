@@ -64,6 +64,11 @@ collectResult(Machine &machine, const Program &prog,
         machine.writeTrace(os);
         r.traceJson = os.str();
     }
+    if (options.taskTrace) {
+        std::ostringstream os;
+        machine.writeTaskTrace(os);
+        r.taskTraceJson = os.str();
+    }
     machine.verifyCycleAccounting();
     if (options.profile) {
         std::ostringstream os;
@@ -132,6 +137,7 @@ runMultProgram(const std::string &source, const DriverOptions &options)
         ap.hostThreads = hostThreadCount(options.hostThreads);
         ap.traceEvents = options.traceEvents;
         ap.cohTrace = options.cohTrace;
+        ap.taskTrace = options.taskTrace;
         ap.profile = options.profile;
         ap.profilePeriod = options.profilePeriod;
         ap.statsInterval = options.statsInterval;
@@ -153,6 +159,7 @@ runMultProgram(const std::string &source, const DriverOptions &options)
     mp.cycleSkip = options.cycleSkip;
     mp.hostThreads = hostThreadCount(options.hostThreads);
     mp.traceEvents = options.traceEvents;
+    mp.taskTrace = options.taskTrace;
     mp.profile = options.profile;
     mp.profilePeriod = options.profilePeriod;
     mp.statsInterval = options.statsInterval;

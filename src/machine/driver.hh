@@ -67,6 +67,9 @@ struct DriverOptions
     /// DriverResult::cohTraceJson (alewife only; the directory census
     /// and network telemetry are always on).
     bool cohTrace = false;
+    /// Record task lifecycle spans and return the analyzed report in
+    /// DriverResult::taskTraceJson (both machine kinds).
+    bool taskTrace = false;
 
     /** The Encore Multimax baseline configuration (Section 7). */
     static DriverOptions
@@ -110,6 +113,9 @@ struct DriverResult
     /// Structured coherence-transaction JSON; empty unless
     /// options.alewife && options.cohTrace.
     std::string cohTraceJson;
+    /// Task-observability report JSON (DAG, wait attribution,
+    /// critical path); empty unless options.taskTrace.
+    std::string taskTraceJson;
     /// Profile JSON (schemaVersion 1: per-node buckets, frames,
     /// hotspots); empty unless options.profile.
     std::string profileJson;

@@ -19,12 +19,22 @@ PerfectMachine::PerfectMachine(const PerfectMachineParams &p,
       statTraceDropped(
           this, "traceDropped",
           "machine events lost to recorder overflow",
-          [this] { return trec ? double(trec->dropped()) : 0.0; })
+          [this] { return trec ? double(trec->dropped()) : 0.0; }),
+      statTaskTraceDropped(
+          this, "taskTraceDropped",
+          "task events dropped at the capacity cap",
+          [this] {
+              return taskTrec ? double(taskTrec->dropped()) : 0.0;
+          })
 {
     debug::initFromEnv();
     if (p.traceEvents) {
         trec = std::make_unique<trace::Recorder>(makeRecorderConfig(
             p.numNodes, p.proc.numFrames, p.traceCapacity));
+    }
+    if (p.taskTrace) {
+        taskTrec = std::make_unique<task::Tracer>(p.taskTraceCapacity);
+        taskProbes_ = std::make_unique<task::ProbeMap>(*prog);
     }
     for (uint32_t n = 0; n < p.numNodes; ++n) {
         rt::Runtime::initNode(mem, n);
@@ -36,6 +46,9 @@ PerfectMachine::PerfectMachine(const PerfectMachineParams &p,
         procs.push_back(std::make_unique<Processor>(
             pp, prog, ports.back().get(), ios.back().get(), this));
         procs.back()->setTraceRecorder(trec.get());
+        if (p.taskTrace)
+            procs.back()->setTaskProbe(taskProbes_.get(),
+                                       taskTrec.get());
         if (p.bootRuntime) {
             rt::Runtime::bootProcessor(*procs.back(), *prog, mem, n,
                                        p.numNodes);
@@ -50,6 +63,19 @@ PerfectMachine::PerfectMachine(const PerfectMachineParams &p,
     if (p.statsInterval)
         interval_ = std::make_unique<profile::IntervalSampler>(
             p.statsInterval, *this);
+}
+
+void
+PerfectMachine::writeTaskTrace(std::ostream &os)
+{
+    if (!taskTrec)
+        return;
+    task::AnalyzeParams p;
+    p.numNodes = params.numNodes;
+    p.totalCycles = _cycle;
+    task::Report r = task::analyze(taskTrec->events(), p);
+    r.dropped = taskTrec->dropped();
+    task::writeReportJson(os, r);
 }
 
 profile::ProfileSource
@@ -187,11 +213,15 @@ PerfectMachine::run(uint64_t max_cycles)
         if (interval_)
             interval_->sampleIfDue(_cycle);
     }
-    if (trec && trec->dropped() && !warnedTraceDrop_) {
+    uint64_t taskDrops = taskTrec ? taskTrec->dropped() : 0;
+    if (((trec && trec->dropped()) || taskDrops) &&
+        !warnedTraceDrop_) {
         warnedTraceDrop_ = true;
         std::cerr << "april: trace overflow: dropped "
-                  << trec->dropped()
-                  << " machine events (raise traceCapacity)\n";
+                  << (trec ? trec->dropped() : 0)
+                  << " machine events, " << taskDrops
+                  << " task events (raise traceCapacity/"
+                     "taskTraceCapacity)\n";
     }
     return _cycle - start;
 }

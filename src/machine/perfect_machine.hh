@@ -27,6 +27,7 @@
 #include "mem/memory.hh"
 #include "proc/perfect_port.hh"
 #include "proc/processor.hh"
+#include "task/task_trace.hh"
 #include "profile/interval.hh"
 #include "profile/pc_sampler.hh"
 #include "profile/report.hh"
@@ -59,6 +60,11 @@ struct PerfectMachineParams
     bool traceEvents = false;
     /// Recorded-event cap when traceEvents is on.
     uint64_t traceCapacity = 1u << 22;
+    /// Record task lifecycle spans (spawn, steal, run, block, resolve)
+    /// for the task-observability report and Perfetto flow events.
+    bool taskTrace = false;
+    /// Recorded task-event cap when taskTrace is on.
+    uint64_t taskTraceCapacity = 1u << 20;
     /// Attach a PC sampler to every processor. Cycle accounting is
     /// always on; this adds the sampled-hotspot layer.
     bool profile = false;
@@ -130,14 +136,32 @@ class PerfectMachine : public stats::Group
     /** Event recorder (nullptr unless params.traceEvents). */
     trace::Recorder *traceRecorder() { return trec.get(); }
 
-    /** Serialize the event log as Chrome trace-event JSON.
-     *  No-op when tracing is off. */
+    /** Task-event lane (nullptr unless params.taskTrace). The single
+     *  sequential lane is already (cycle, node)-canonical. */
+    task::Tracer *taskTracer() { return taskTrec.get(); }
+
+    /** Serialize the event log as Chrome trace-event JSON, stitching
+     *  in task spans when task tracing is on. No-op when machine
+     *  tracing is off. */
     void
     writeTrace(std::ostream &os) const
     {
-        if (trec)
+        if (!trec)
+            return;
+        if (taskTrec) {
+            task::Tracer *t = taskTrec.get();
+            trec->writeChromeTrace(os,
+                                   [t](std::ostream &o, bool &first) {
+                                       t->writeChromeEvents(o, first);
+                                   });
+        } else {
             trec->writeChromeTrace(os);
+        }
     }
+
+    /** Serialize the task-observability report as JSON.
+     *  No-op when task tracing is off. */
+    void writeTaskTrace(std::ostream &os);
 
     /** Assemble the report writers' view of this run. */
     profile::ProfileSource profileSource() const;
@@ -179,8 +203,11 @@ class PerfectMachine : public stats::Group
     PerfectMachineParams params;
     SharedMemory mem;
     std::unique_ptr<trace::Recorder> trec;
+    std::unique_ptr<task::Tracer> taskTrec;
+    std::unique_ptr<task::ProbeMap> taskProbes_;
     /// Recorder overflow surfaced in stats JSON (single lane here).
     stats::Formula statTraceDropped;
+    stats::Formula statTaskTraceDropped;
     bool warnedTraceDrop_ = false;
     std::vector<std::unique_ptr<PerfectMemPort>> ports;
     std::vector<std::unique_ptr<NodeIo>> ios;

@@ -393,6 +393,10 @@ Compiler::compileFuture(const Sexp &e, FnCtx &ctx)
     as.addiR(SCR, sp, wordOff(m));
     as.stnw(SCR, CHK, 0);
     as.addiR(OP2, OP2, 1);
+    // The probe marks the bottom-index store: the event fires exactly
+    // when the marker becomes visible to thieves, with the boxed
+    // marker pointer still live in SCR.
+    as.note("tp$lazy_push");
     as.stnw(OP2, reg::g(0), wordOff(rt::nb::dequeBottom));
 
     compileCall(fn, call_form, 1, ctx);     // inline local call
@@ -431,12 +435,14 @@ Compiler::compileFuture(const Sexp &e, FnCtx &ctx)
     // entry from the top end, so retracting there would undercut top
     // and hide later pushes from every scan.
     as.bind(l_mine);
+    as.note("tp$lazy_mine");            // owner reclaimed the marker
     as.ldnw(OP2, reg::g(0), wordOff(rt::nb::dequeBottom));
     as.subiR(OP2, OP2, 1);
     as.stnw(OP2, reg::g(0), wordOff(rt::nb::dequeBottom));
     as.j(Cond::AL, l_merge);
 
     as.bind(l_resume);                      // thief enters here, r1 = F
+    as.note("tp$lazy_resume");          // r1 = the published future
     storeSlot(reg::a(0), s);
 
     as.bind(l_merge);

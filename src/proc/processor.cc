@@ -212,11 +212,45 @@ Processor::operand2(const Instruction &inst) const
 }
 
 void
+Processor::fireTaskProbe(const task::Site &s)
+{
+    Word a = 0;
+    Word x = 0;
+    if (s.addrReg != task::kNoReg) {
+        a = readReg(s.addrReg);
+        if (s.addrPtr)
+            a = Word(tagged::ptrAddr(a));
+    }
+    if (s.auxReg != task::kNoReg) {
+        x = readReg(s.auxReg);
+        if (s.auxPtr)
+            x = Word(tagged::ptrAddr(x));
+    }
+    taskRecord(s.kind, Addr(a), uint32_t(x));
+}
+
+void
+Processor::taskRecord(task::Ev kind, Addr addr, uint32_t aux)
+{
+    if (!taskLane_)
+        return;
+    // The work stamp snapshots this frame's Useful+Hazard counters;
+    // they advance only on executed instructions, so the stamp (and
+    // with it the whole event) is invariant under cycle skipping.
+    const auto &row = frameCycles_[_fp];
+    taskLane_->record({_cycle,
+                       row[size_t(profile::Bucket::Useful)] +
+                           row[size_t(profile::Bucket::Hazard)],
+                       params.nodeId, addr, aux, kind, uint8_t(_fp)});
+}
+
+void
 Processor::noteSwitch(uint32_t from, uint32_t to)
 {
     ++statSwitches;
     statSwitchGap.sample(int64_t(_cycle - lastSwitchCycle_));
     lastSwitchCycle_ = _cycle;
+    taskRecord(task::Ev::FrameSwitch, Addr(from), to);
     if (trec) {
         trec->record({_cycle, params.nodeId, trace::EventKind::CtxSwitch,
                       uint8_t(from), uint8_t(to), _pc, 0});
@@ -235,6 +269,17 @@ Processor::takeTrap(TrapKind kind, Word arg, Word va)
     }
     TRACE(Trap, "c", _cycle, " n", params.nodeId, " ",
           trapKindName(kind), " trap at pc=", _pc, " arg=", arg);
+    if (taskLane_) {
+        // Future touches are the runtime's wait vocabulary: log them
+        // with the touched cell's word address. (f/e faults are logged
+        // at the memory path instead, where the address is at hand.)
+        if (kind == TrapKind::FutureCompute) {
+            taskRecord(task::Ev::Touch,
+                       Addr(tagged::ptrAddr(readReg(uint8_t(arg)))), 0);
+        } else if (kind == TrapKind::FutureMemory) {
+            taskRecord(task::Ev::Touch, Addr(tagged::ptrAddr(va)), 0);
+        }
+    }
     redirected = true;
 
     // Classify the trap (§7.5). Switch-class traps feed the spin
@@ -339,6 +384,7 @@ Processor::tick()
     }
 
     const Instruction &inst = prog->at(_pc);
+    uint32_t exec_pc = _pc;
     if (params.trace) {
         std::cerr << "[n" << params.nodeId << " c" << _cycle
                   << " f" << _fp << "] " << _pc << " ("
@@ -346,6 +392,14 @@ Processor::tick()
                   << "\n";
     }
     execute(inst);
+    // A probe fires when its marked instruction completes: a trapped
+    // or MHOLD-retried execution redirects and records nothing, so
+    // each completed execution logs exactly one event with the site's
+    // payload registers still live.
+    if (taskProbes_ && !redirected) {
+        if (const task::Site *s = taskProbes_->at(exec_pc))
+            fireTaskProbe(*s);
+    }
     account(acct_frame, cycleBucket_);
 }
 
@@ -505,6 +559,7 @@ Processor::executeMemory(const Instruction &inst)
         TRACE(FE, "c", _cycle, " n", params.nodeId, " f/e ",
               inst.op == Opcode::ST ? "full" : "empty",
               " fault addr=", req.addr, " pc=", _pc);
+        taskRecord(task::Ev::FeStall, req.addr, 0);
         takeTrap(inst.op == Opcode::ST ? TrapKind::FeFull
                                        : TrapKind::FeEmpty,
                  inst.rs1, ea_raw);
@@ -535,10 +590,17 @@ Processor::executeMemory(const Instruction &inst)
 
     if (inst.op == Opcode::LD) {
         writeReg(inst.rd, res.data);
+        // A non-trapping read-and-empty that found the word already
+        // empty is a failed lock acquire spinning in software (the
+        // Jempty-retry idiom): a contention point like a TAS retry.
+        if (inst.feModify && !inst.feTrap && !res.wasFull)
+            taskRecord(task::Ev::TasRetry, req.addr, 0);
     } else if (inst.op == Opcode::TAS) {
         writeReg(inst.rd, res.data);
         setConditions(res.data);
         stall += params.tasExtraCycles;
+        if (res.data != 0)
+            taskRecord(task::Ev::TasRetry, req.addr, 0);
     } else if (inst.op == Opcode::FLUSH) {
         // "A fence counter is incremented for each dirty cache line
         // that is flushed and decremented for each acknowledgement

@@ -46,6 +46,7 @@
 #include "isa/instruction.hh"
 #include "proc/ports.hh"
 #include "profile/accounting.hh"
+#include "task/task_trace.hh"
 
 namespace april::profile
 {
@@ -172,6 +173,20 @@ class Processor : public stats::Group
     /** Attach a PC sampler (nullptr: sampling off, zero overhead). */
     void setPcSampler(profile::PcSampler *s) { pcSampler_ = s; }
 
+    /**
+     * Attach the task probe map and this core's task-event lane
+     * (either nullptr: task tracing off, zero overhead). Probes fire
+     * when the marked instruction *completes* — a trapped or
+     * MHOLD-retried execution records nothing — so each site logs
+     * exactly one event per architectural execution.
+     */
+    void
+    setTaskProbe(const task::ProbeMap *m, task::Tracer *lane)
+    {
+        taskProbes_ = m;
+        taskLane_ = lane;
+    }
+
     /** Fence counter (FLUSH acknowledgments outstanding). */
     Word fenceCounter() const { return _fence; }
     void incFence() { ++_fence; }
@@ -233,6 +248,11 @@ class Processor : public stats::Group
     /** Record a context switch (event log + Ctx debug flag). */
     void noteSwitch(uint32_t from, uint32_t to);
 
+    /** Materialize and log a probe site's event (payload registers). */
+    void fireTaskProbe(const task::Site &s);
+    /** Append one task event stamped with cycle/work/node/frame. */
+    void taskRecord(task::Ev kind, Addr addr, uint32_t aux);
+
     /** Credit the cycle just ticked to @p b for frame @p frame. */
     void account(uint32_t frame, profile::Bucket b);
     /** Bucket class of a trap kind (switch-class vs other). */
@@ -245,6 +265,8 @@ class Processor : public stats::Group
     MemPort *mem;
     IoPort *io;
     trace::Recorder *trec = nullptr;
+    const task::ProbeMap *taskProbes_ = nullptr;
+    task::Tracer *taskLane_ = nullptr;
 
     std::vector<Frame> frames;
     std::array<Word, reg::numGlobal> globals{};

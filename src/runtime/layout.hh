@@ -51,6 +51,7 @@ constexpr int statBlocks = 14;   ///< run-time counter: threads blocked
 constexpr int statResumes = 15;  ///< run-time counter: threads resumed
 constexpr int taskBase = 16;     ///< boxed pointer to the task array
 constexpr int dequeBase = 17;    ///< boxed pointer to the deque array
+constexpr int busyFrames = 18;   ///< frames on this node holding a task
 constexpr int size = 32;
 } // namespace nb
 

@@ -72,10 +72,11 @@ Runtime::emitAlloc(Assembler &as, uint32_t nwords, uint8_t rd,
 }
 
 void
-Runtime::emitCount(Assembler &as, int slot, uint8_t scratch) const
+Runtime::emitCount(Assembler &as, int slot, uint8_t scratch,
+                   int32_t delta) const
 {
     as.ldnw(scratch, reg::g(0), nbo(slot));
-    as.addiR(scratch, scratch, 1);
+    as.addiR(scratch, scratch, delta);
     as.stnw(scratch, reg::g(0), nbo(slot));
 }
 
@@ -146,10 +147,22 @@ Runtime::emitHandlers(Assembler &as) const
     as.wrpsr(t(0));
     as.rettRetry();                     // re-execute the instruction
 
-    // Unresolved: block the thread (Section 6.2's alternative to
-    // switch-spinning; blocking is required for eager futures, where
-    // the producer may be an unloaded task behind the consumer).
+    // Unresolved: either switch-spin (Section 6.2's policy for
+    // hardware-detected touches — the task stays loaded, yields one
+    // frame, and re-executes the touch when the rotation returns) or
+    // block the thread into a descriptor. Blocking is required for
+    // eager futures, where the producer may be an unloaded task
+    // parked behind the consumer; spinning is deadlock-free for lazy
+    // futures, whose producer is always actively computing.
     as.bind("ft$block");
+    if (opts.spinTouch) {
+        as.incfp();             // same 6-cycle tail as rt$cswitch:
+        as.nop();               // rotate one frame and resume via its
+        as.wrpsr(t(0));         // PC chain; our frame's retry chain
+        as.nop();               // still points at the touch, so the
+        as.rettRetry();         // revolution retries it
+        return;
+    }
     emitAlloc(as, thread::size, t(5), t(6));
     for (uint8_t r = 1; r < 32; ++r)
         as.stnw(r, t(5), wordOff(thread::regsBase + r - 1));
@@ -178,11 +191,13 @@ Runtime::emitHandlers(Assembler &as) const
     as.rettRetry();
 
     as.bind("ft$enq");
+    as.note("tp$block");                // t3 = future cell, t5 = thread
     as.ldnw(t(6), t(3), wordOff(fut::waiters));
     as.stnw(t(6), t(5), wordOff(thread::link));
     as.stnw(t(5), t(3), wordOff(fut::waiters));
     emitLockRelease(as, t(3), fut::lock, t(7));
     emitCount(as, nb::statBlocks, t(7));
+    emitCount(as, nb::busyFrames, t(7), -1);
     // Enter the scheduler with traps re-enabled; the thread's state
     // lives in the descriptor now, so this frame is free.
     as.rdpsr(t(7));
@@ -205,12 +220,14 @@ Runtime::emitFutureOps(Assembler &as) const
     emitEncoreChecks(as, {reg::a(0)});
     // Retag other(010) -> future(101).
     as.addiR(reg::a(0), reg::a(0), 3);
+    as.note("tp$mkfut");                // r1 = the new future
     as.ret();
 
     // resolve: r1 = future, r2 = value. Stores the value, marks the
     // future resolved, and moves all waiting threads to the local
     // ready queue.
     as.bind(sym::resolve);
+    as.note("tp$resolve");              // r1 = future being resolved
     emitEncoreChecks(as, {reg::a(0), reg::a(1)});
     as.subiR(t(0), reg::a(0), 3);
     emitLockAcquire(as, t(0), fut::lock, t(1));
@@ -256,6 +273,7 @@ Runtime::emitFutureOps(Assembler &as) const
     as.stnw(reg::a(2), t(0), wordOff(task::argc));
     for (int i = 0; i < 4; ++i)
         as.stnw(uint8_t(4 + i), t(0), wordOff(task::arg0 + i));
+    as.note("tp$spawn");                // t0 = descriptor, r2 = future
     // t4 = the target node's block (same computation the scheduler
     // uses to address a steal victim).
     as.push({.op = Opcode::SLL, .rd = t(4), .rs1 = 8,
@@ -312,11 +330,13 @@ Runtime::emitFutureOps(Assembler &as) const
     as.cmpiR(t(6), 0);
     as.jRaw(Cond::NE, "tsw$won");
     as.nop();
+    as.note("tp$block");                // t3 = future cell, t5 = thread
     as.ldnw(t(6), t(3), wordOff(fut::waiters));
     as.stnw(t(6), t(5), wordOff(thread::link));
     as.stnw(t(5), t(3), wordOff(fut::waiters));
     emitLockRelease(as, t(3), fut::lock, t(7));
     emitCount(as, nb::statBlocks, t(7));
+    emitCount(as, nb::busyFrames, t(7), -1);
     as.j(Cond::AL, sym::sched);
 
     as.bind("tsw$won");             // resolved while we prepared
@@ -379,10 +399,12 @@ Runtime::emitHeapOps(Assembler &as) const
     // needs under the deque lock, and our pop held that same lock),
     // and become a worker.
     as.bind(sym::stolenExit);
+    as.note("tp$stolen_exit");          // r1 = the continuation's future
     as.call(sym::resolve);
     as.ldnw(t(0), reg::g(0), nbo(nb::stackFree));
     as.stnw(t(0), reg::sb, 0);
     as.stnw(reg::sb, reg::g(0), nbo(nb::stackFree));
+    emitCount(as, nb::busyFrames, t(0), -1);
     as.j(Cond::AL, sym::sched);
 }
 
@@ -409,6 +431,7 @@ Runtime::emitScheduler(Assembler &as) const
     as.rdpsr(t(0));
     as.oriR(t(0), t(0), int32_t(psr::ET));
     as.wrpsr(t(0));
+    as.movi(t(7), 1);           // fruitless-round backoff exponent
 
     as.bind("sc$loop");
     // --- 1. ready queue -----------------------------------------------
@@ -428,7 +451,23 @@ Runtime::emitScheduler(Assembler &as) const
     as.nop();
     emitLockRelease(as, reg::g(0), nb::taskLock, t(0));
 
-    // --- 3. pick a random victim ---------------------------------------
+    // --- 3. steal, but only while the node is idle ---------------------
+    // A node holding any task already has work to run and stalls to
+    // hide behind it; stealing more only lifts remote continuations
+    // whose distribution cost (stack copy, future churn) exceeds the
+    // stall they would hide, and the scan itself occupies the pipe
+    // and the victims' queue locks that loaded frames need for their
+    // retries. So work acquisition is purely demand-driven: only a
+    // frame on an otherwise-empty node goes hunting. Local pops and
+    // ready-queue resumes above are never gated, and the unlocked
+    // read races benignly — a late thief costs one wasted scan.
+    as.ldnw(t(1), reg::g(0), nbo(nb::busyFrames));
+    as.cmpiR(t(1), 0);
+    as.jRaw(Cond::GT, "sc$backoff");
+    as.nop();
+    // The probe marks the random read: exactly one completion per
+    // steal round, and never inside a lock-acquire spin.
+    as.note("tp$steal_try");
     as.ldio(t(3), int(IoReg::Random));
     as.andiR(t(3), t(3), 0x7FFFFFFF);
     as.push({.op = Opcode::REM, .rd = t(3), .rs1 = t(3),
@@ -489,7 +528,9 @@ Runtime::emitScheduler(Assembler &as) const
     as.j(Cond::AL, "sc$deq_scan");
 
     as.bind("sc$deq_won");
+    as.note("tp$deq_won");              // t5 = the claimed marker
     emitCount(as, nb::statSteals, t(0));
+    emitCount(as, nb::busyFrames, t(0));
 
     // Copy the continuation's stack — everything from the victim
     // thread's stack base up to the top of the marked frame — onto a
@@ -525,6 +566,7 @@ Runtime::emitScheduler(Assembler &as) const
     // Only now that the copy is complete may the owner proceed:
     // create the future and refill the state word with it.
     as.call(sym::makeFuture);                   // r1 = new future
+    as.note("tp$lazy_pub");             // t5 = marker, r1 = its future
     as.stfnw(reg::a(0), t(5), wordOff(marker::state));
     emitLockRelease(as, t(4), nb::dequeLock, t(0));
     // Resume the continuation on the copy: sp' = dst + (frameBase -
@@ -539,14 +581,27 @@ Runtime::emitScheduler(Assembler &as) const
 
     as.bind("sc$deq_empty");
     emitLockRelease(as, t(4), nb::dequeLock, t(0));
-    // A fruitless round ends with a voluntary switch-spin yield so
-    // task frames waiting on remote fills get their retry (the
-    // rotation of Section 3.1), then a short backoff so a swarm of
-    // idle processors does not starve working ones of their locks.
+    as.bind("sc$backoff");
+    // A fruitless round ends in yields, not a busy wait: every yield
+    // hands the pipe to the task frames waiting on remote fills or
+    // unresolved futures (the rotation of Section 3.1 runs their
+    // retry chains), and the number of yields per round doubles up to
+    // a cap, so a swarm of idle frames neither starves working nodes
+    // of their deque locks nor delays loaded frames' retries behind
+    // full steal scans — the steal-convoy pathology the task plane's
+    // health detector flags (DESIGN.md §7.10).
+    as.addR(t(7), t(7), t(7));
+    as.cmpiR(t(7), 32);
+    as.jRaw(Cond::LE, "sc$backoff_go");
+    as.nop();
+    as.movi(t(7), 32);
+    as.bind("sc$backoff_go");
+    as.mov(t(2), t(7));         // this round's yield countdown
+    as.bind("sc$byield");
     if (opts.hardwareSwitch) {
         as.incfp();             // custom APRIL: 4-cycle hardware switch
     } else {
-        as.moviLabel(t(1), "sc$backoff_in");
+        as.moviLabel(t(1), "sc$bnext");
         as.wrspec(Spec::TrapPC, t(1));
         as.addiR(t(1), t(1), 1);
         as.wrspec(Spec::TrapNPC, t(1));
@@ -554,18 +609,16 @@ Runtime::emitScheduler(Assembler &as) const
         as.incfp();
         as.wrpsr(t(0));
         as.rettRetry();
+        as.bind("sc$bnext");
     }
-    as.bind("sc$backoff_in");
-    as.ldio(t(0), int(IoReg::Random));
-    as.andiR(t(0), t(0), 63);
-    as.bind("sc$backoff");
-    as.subiR(t(0), t(0), 1);
-    as.jRaw(Cond::GT, "sc$backoff");
+    as.subiR(t(2), t(2), 1);
+    as.jRaw(Cond::GT, "sc$byield");
     as.nop();
     as.j(Cond::AL, "sc$loop");
 
     // --- steal a woken thread (victim readyLock held, t1 = desc) -------
     as.bind("sc$steal_ready");
+    as.note("tp$resume_steal");         // t1 = the migrating thread
     as.ldnw(t(2), t(1), wordOff(thread::link));
     as.stnw(t(2), t(4), nbo(nb::readyHead));
     emitLockRelease(as, t(4), nb::readyLock, t(0));
@@ -574,11 +627,13 @@ Runtime::emitScheduler(Assembler &as) const
 
     // --- resume a woken thread (readyLock held, t1 = descriptor) -------
     as.bind("sc$resume");
+    as.note("tp$resume");               // t1 = the woken thread
     as.ldnw(t(2), t(1), wordOff(thread::link));
     as.stnw(t(2), reg::g(0), nbo(nb::readyHead));
     emitLockRelease(as, reg::g(0), nb::readyLock, t(0));
     emitCount(as, nb::statResumes, t(0));
     as.bind("sc$restore");
+    emitCount(as, nb::busyFrames, t(0));
     as.ldnw(t(2), t(1), wordOff(thread::psr));
     as.ldnw(t(3), t(1), wordOff(thread::pc));
     as.wrspec(Spec::TrapPC, t(3));
@@ -598,6 +653,7 @@ Runtime::emitScheduler(Assembler &as) const
     as.ldnw(t(3), reg::g(0), nbo(nb::taskBase));
     as.addR(t(2), t(2), t(3));
     as.ldnw(t(5), t(2), 0);
+    as.note("tp$pop");                  // t5 = the popped descriptor
     emitLockRelease(as, reg::g(0), nb::taskLock, t(0));
     as.j(Cond::AL, "sc$run_task");
 
@@ -608,6 +664,7 @@ Runtime::emitScheduler(Assembler &as) const
     as.ldnw(t(6), t(4), nbo(nb::taskBase));
     as.addR(t(5), t(5), t(6));
     as.ldnw(t(5), t(5), 0);
+    as.note("tp$steal_task");           // t5 = the stolen descriptor
     as.addiR(t(2), t(2), 1);
     as.stnw(t(2), t(4), nbo(nb::taskTop));
     emitLockRelease(as, t(4), nb::taskLock, t(0));
@@ -616,6 +673,7 @@ Runtime::emitScheduler(Assembler &as) const
 
     // --- common task execution (t5 = task descriptor) -------------------
     as.bind("sc$run_task");
+    emitCount(as, nb::busyFrames, t(0));
     // Get a stack segment: free list first, else carve from the heap.
     as.ldnw(t(6), reg::g(0), nbo(nb::stackFree));
     as.cmpiR(t(6), 0);
@@ -637,6 +695,7 @@ Runtime::emitScheduler(Assembler &as) const
         as.ldnw(uint8_t(1 + i), t(5), wordOff(task::arg0 + i));
     emitEncoreChecks(as, {1, 2, 3, 4});
     as.ldnw(t(7), t(5), wordOff(task::fn));
+    as.note("tp$run");                  // t5 = descriptor entering run
     as.callReg(t(7));
     // Back with the result in r1: resolve the future, recycle the
     // stack, and look for more work. (t-registers were clobbered by
@@ -645,9 +704,11 @@ Runtime::emitScheduler(Assembler &as) const
     as.mov(reg::a(1), reg::a(0));
     as.ldnw(reg::a(0), t(6), 0);
     as.call(sym::resolve);
+    emitCount(as, nb::busyFrames, t(1), -1);
     as.ldnw(t(0), reg::g(0), nbo(nb::stackFree));
     as.stnw(t(0), t(6), 0);
     as.stnw(t(6), reg::g(0), nbo(nb::stackFree));
+    as.movi(t(7), 1);           // fresh work search, fresh backoff
     as.j(Cond::AL, "sc$loop");
 }
 
@@ -657,9 +718,12 @@ Runtime::emitBoot(Assembler &as) const
     // Boot thread (node 0): run the compiled main function, report the
     // result on the console, stop the machine.
     as.bind(sym::boot);
+    as.note("tp$root");
+    emitCount(as, nb::busyFrames, t(0));
     as.ldnw(reg::sp, reg::g(0), nbo(nb::mainStack));
     as.mov(reg::sb, reg::sp);
     as.call(sym::userMain);
+    as.note("tp$root_end");
     as.stio(int(IoReg::ConsoleOut), reg::a(0));
     as.stio(int(IoReg::MachineHalt), reg::a(0));
     as.halt();

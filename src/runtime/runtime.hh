@@ -49,6 +49,17 @@ struct RuntimeOptions
     /// whole 4-cycle switch) instead of the SPARC trap-based one; the
     /// scheduler's idle yield differs between the two.
     bool hardwareSwitch = false;
+
+    /// Touching an unresolved future switch-spins (Section 6.2's
+    /// other policy): the task stays loaded and yields one frame per
+    /// revolution, re-executing the touch when the rotation returns,
+    /// instead of unloading into a thread descriptor. Latency is then
+    /// hidden only by the *other* task frames — the regime where the
+    /// frame count buys tolerance. Safe for lazy futures, whose
+    /// producer is always actively computing on some node; eager
+    /// futures still require blocking (the producer may be an
+    /// unloaded descriptor parked behind the spinning consumer).
+    bool spinTouch = false;
 };
 
 /** Well-known symbol names the run-time system defines. */
@@ -122,8 +133,9 @@ class Runtime
     void emitAlloc(Assembler &as, uint32_t nwords, uint8_t rd,
                    uint8_t scratch) const;
 
-    /** Increment a node-block statistics counter. */
-    void emitCount(Assembler &as, int slot, uint8_t scratch) const;
+    /** Adjust a node-block statistics counter by @p delta. */
+    void emitCount(Assembler &as, int slot, uint8_t scratch,
+                   int32_t delta = 1) const;
 
     /**
      * Encore mode only: emit the software future-detection sequence

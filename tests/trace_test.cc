@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <sstream>
 
 #include "common/debug.hh"
@@ -289,6 +290,42 @@ TEST(TraceDifferential, UntracedRunHasNoRecorder)
     std::ostringstream os;
     m.writeTrace(os);
     EXPECT_TRUE(os.str().empty());
+}
+
+// ---------------------------------------------------------------------
+// Overflow warning: once per machine run, never per event
+// ---------------------------------------------------------------------
+
+TEST(TraceOverflow, DroppedWarningPrintsOncePerMachine)
+{
+    Program prog = testutil::buildStallStress(4);
+    AlewifeParams p;
+    p.network = {.dim = 2, .radix = 2};
+    p.wordsPerNode = 1u << 16;
+    p.bootRuntime = false;
+    p.traceEvents = true;
+    p.traceCapacity = 8;        // guaranteed overflow
+    p.controller.cache = {.lineWords = 4, .numLines = 64, .assoc = 2};
+    AlewifeMachine m(p, &prog);
+    testutil::bootStallStress(m, prog);
+
+    std::ostringstream captured;
+    std::streambuf *old = std::cerr.rdbuf(captured.rdbuf());
+    m.run(1'000'000);
+    m.run(1'000'000);           // a second run must not warn again
+    std::cerr.rdbuf(old);
+
+    ASSERT_GT(m.traceRecorder()->dropped(), 0u);
+    std::string text = captured.str();
+    size_t count = 0;
+    for (size_t at = text.find("trace lane overflow");
+         at != std::string::npos;
+         at = text.find("trace lane overflow", at + 1)) {
+        ++count;
+    }
+    EXPECT_EQ(count, 1u)
+        << "overflow warning must be rate-limited to once per machine"
+        << " run, got:\n" << text;
 }
 
 // ---------------------------------------------------------------------

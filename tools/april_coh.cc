@@ -41,7 +41,6 @@
 #include <vector>
 
 #include "common/json_parse.hh"
-#include "common/json_schema.hh"
 #include "common/logging.hh"
 #include "machine/alewife_machine.hh"
 #include "machine/coh_report.hh"
@@ -49,11 +48,12 @@
 #include "workloads/handwritten.hh"
 #include "workloads/workloads.hh"
 
+#include "cli_common.hh"
+
 namespace
 {
 
 using april::json::Json;
-using april::json::parseJson;
 
 int
 usage()
@@ -85,17 +85,6 @@ usage()
     return 2;
 }
 
-std::string
-readFile(const std::string &path)
-{
-    std::ifstream is(path);
-    if (!is)
-        april::fatal("april-coh: cannot open ", path);
-    std::ostringstream os;
-    os << is.rdbuf();
-    return os.str();
-}
-
 // --- check mode ------------------------------------------------------
 
 /** Balance invariant over a report: invAcked <= invSent and the ok
@@ -116,23 +105,6 @@ checkBalance(const Json &report, std::vector<std::string> &errors)
         errors.push_back("/balance: ok bit disagrees with counts");
 }
 
-int
-runCheck(const std::string &file, const std::string &schema_path)
-{
-    Json report = parseJson(readFile(file));
-    Json schema = parseJson(readFile(schema_path));
-    std::vector<std::string> errors;
-    april::json::validateSchema(report, schema, "", errors);
-    checkBalance(report, errors);
-    if (errors.empty()) {
-        std::printf("%s: ok (schema + balance)\n", file.c_str());
-        return 0;
-    }
-    for (const std::string &e : errors)
-        std::fprintf(stderr, "%s: %s\n", file.c_str(), e.c_str());
-    return 1;
-}
-
 // --- run mode --------------------------------------------------------
 
 struct RunOptions
@@ -151,34 +123,15 @@ struct RunOptions
     std::string perfettoFile;
 };
 
-/** Split "name:arg1:arg2" on colons. */
-std::vector<std::string>
-splitSpec(const std::string &spec)
-{
-    std::vector<std::string> parts;
-    size_t pos = 0;
-    while (pos <= spec.size()) {
-        size_t colon = spec.find(':', pos);
-        if (colon == std::string::npos) {
-            parts.push_back(spec.substr(pos));
-            break;
-        }
-        parts.push_back(spec.substr(pos, colon - pos));
-        pos = colon + 1;
-    }
-    return parts;
-}
-
 int
 runReport(const RunOptions &opt)
 {
     using namespace april;
 
-    std::vector<std::string> parts = splitSpec(opt.workload);
+    std::vector<std::string> parts = cli::splitSpec(opt.workload);
     std::string name = parts.empty() ? "fib" : parts[0];
     auto arg = [&](size_t i, int fallback) {
-        return parts.size() > i ? std::atoi(parts[i].c_str())
-                                : fallback;
+        return cli::specArg(parts, i, fallback);
     };
 
     std::unique_ptr<AlewifeMachine> m;
@@ -288,24 +241,18 @@ runReport(const RunOptions &opt)
         opt.top;
     writeCohReportText(std::cout, *m, ropt);
 
-    auto writeTo = [](const std::string &path, auto &&writer) {
-        if (path.empty())
-            return;
-        std::ofstream os(path);
-        if (!os)
-            fatal("april-coh: cannot write ", path);
-        writer(os);
-        std::printf("wrote %s\n", path.c_str());
-    };
-    writeTo(opt.jsonFile, [&](std::ostream &os) {
-        writeCohReportJson(os, *m, ropt);
-    });
-    writeTo(opt.txnsFile, [&](std::ostream &os) {
-        m->writeCohTrace(os);
-    });
-    writeTo(opt.perfettoFile, [&](std::ostream &os) {
-        m->writeTrace(os);
-    });
+    cli::writeReportFile("april-coh", opt.jsonFile,
+                         [&](std::ostream &os) {
+                             writeCohReportJson(os, *m, ropt);
+                         });
+    cli::writeReportFile("april-coh", opt.txnsFile,
+                         [&](std::ostream &os) {
+                             m->writeCohTrace(os);
+                         });
+    cli::writeReportFile("april-coh", opt.perfettoFile,
+                         [&](std::ostream &os) {
+                             m->writeTrace(os);
+                         });
 
     if (opt.verify) {
         uint64_t inv_sent = 0;
@@ -406,7 +353,10 @@ main(int argc, char **argv)
         if (mode == "--check") {
             if (positional.size() != 1)
                 return usage();
-            return runCheck(positional[0], schema_path);
+            return april::cli::checkReport("april-coh", positional[0],
+                                           schema_path,
+                                           "schema + balance",
+                                           checkBalance);
         }
         if (!positional.empty())
             return usage();

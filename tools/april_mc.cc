@@ -48,8 +48,12 @@
 #include "mc/replay.hh"
 #include "mc/spec.hh"
 
+#include "cli_common.hh"
+
 namespace
 {
+
+using april::cli::parseU32;
 
 int
 usage()
@@ -80,17 +84,6 @@ usage()
     return 2;
 }
 
-bool
-parseU32(const char *s, uint32_t &out)
-{
-    char *end = nullptr;
-    unsigned long v = std::strtoul(s, &end, 10);
-    if (!end || *end || v > UINT32_MAX)
-        return false;
-    out = uint32_t(v);
-    return true;
-}
-
 void
 printRules()
 {
@@ -119,14 +112,13 @@ printCoverage(const april::mc::ExploreResult &res)
 int
 runReplay(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr, "april-mc: cannot open %s\n", path.c_str());
+    std::string text;
+    try {
+        text = april::cli::readFile("april-mc", path);
+    } catch (const std::exception &) {
         return 2;
     }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    april::mc::ReplayResult r = april::mc::replayCohTrace(ss.str());
+    april::mc::ReplayResult r = april::mc::replayCohTrace(text);
     std::printf("replay %s: %s\n", path.c_str(),
                 april::mc::summarizeReplay(r).c_str());
     for (const std::string &e : r.errors)

@@ -37,13 +37,14 @@
 #include <vector>
 
 #include "common/json_parse.hh"
-#include "common/json_schema.hh"
 #include "common/logging.hh"
 #include "machine/alewife_machine.hh"
 #include "machine/perfect_machine.hh"
 #include "mult/compiler.hh"
 #include "profile/report.hh"
 #include "workloads/workloads.hh"
+
+#include "cli_common.hh"
 
 namespace
 {
@@ -84,16 +85,8 @@ usage()
 std::string
 readFile(const std::string &path)
 {
-    std::ifstream is(path);
-    if (!is)
-        april::fatal("april-prof: cannot open ", path);
-    std::ostringstream os;
-    os << is.rdbuf();
-    return os.str();
+    return april::cli::readFile("april-prof", path);
 }
-
-// Schema validation lives in common/json_schema.hh (shared with
-// april-coh).
 
 /** Accounting invariant: per-node bucket sums equal cycle counts. */
 void
@@ -127,23 +120,6 @@ checkInvariants(const Json &profile, std::vector<std::string> &errors)
                              std::to_string(frame_sum) + " != cycles");
         }
     }
-}
-
-int
-runCheck(const std::string &file, const std::string &schema_path)
-{
-    Json profile = parseJson(readFile(file));
-    Json schema = parseJson(readFile(schema_path));
-    std::vector<std::string> errors;
-    april::json::validateSchema(profile, schema, "", errors);
-    checkInvariants(profile, errors);
-    if (errors.empty()) {
-        std::printf("%s: ok (schema + invariants)\n", file.c_str());
-        return 0;
-    }
-    for (const std::string &e : errors)
-        std::fprintf(stderr, "%s: %s\n", file.c_str(), e.c_str());
-    return 1;
 }
 
 // --- diff mode -------------------------------------------------------
@@ -201,20 +177,9 @@ Workload
 parseWorkload(const std::string &spec)
 {
     namespace wl = april::workloads;
-    std::vector<std::string> parts;
-    size_t pos = 0;
-    while (pos <= spec.size()) {
-        size_t colon = spec.find(':', pos);
-        if (colon == std::string::npos) {
-            parts.push_back(spec.substr(pos));
-            break;
-        }
-        parts.push_back(spec.substr(pos, colon - pos));
-        pos = colon + 1;
-    }
+    std::vector<std::string> parts = april::cli::splitSpec(spec);
     auto arg = [&](size_t i, int fallback) {
-        return parts.size() > i ? std::atoi(parts[i].c_str())
-                                : fallback;
+        return april::cli::specArg(parts, i, fallback);
     };
     Workload w;
     w.name = parts.empty() ? "fib" : parts[0];
@@ -347,14 +312,11 @@ runProfile(const RunOptions &opt)
     profile::writeProfileText(std::cout, src, opt.top);
 
     auto writeTo = [](const std::string &path, auto &&writer) {
-        if (path.empty())
-            return;
-        std::ofstream os(path);
-        if (!os)
-            fatal("april-prof: cannot write ", path);
-        writer(os);
-        os << "\n";
-        std::printf("wrote %s\n", path.c_str());
+        cli::writeReportFile("april-prof", path,
+                             [&](std::ostream &os) {
+                                 writer(os);
+                                 os << "\n";
+                             });
     };
     writeTo(opt.jsonFile, [&](std::ostream &os) {
         profile::writeProfileJson(os, src);
@@ -437,7 +399,10 @@ main(int argc, char **argv)
         if (mode == "--check") {
             if (positional.size() != 1)
                 return usage();
-            return runCheck(positional[0], schema_path);
+            return april::cli::checkReport("april-prof", positional[0],
+                                           schema_path,
+                                           "schema + invariants",
+                                           checkInvariants);
         }
         if (!positional.empty())
             return usage();

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * april-task — run a workload with task-level observability on and
+ * report what the runtime's tasks did (DESIGN.md §7.10).
+ *
+ * Modes:
+ *
+ *   april-task [--workload=NAME[:ARGS]] [options]
+ *       Run a Table 3 workload (fib[:n], factor[:lo:hi], queens[:n],
+ *       speech[:layers:width]) on a 2x2 ALEWIFE machine (or perfect
+ *       shared memory with --perfect), or the hand-written
+ *       coherent16[:iters] loop on a 4x4 one, with task tracing on,
+ *       then print the task report: latency-tolerance breakdown
+ *       (T_actual vs the DAG lower bound), slowest tasks, hottest
+ *       synchronization words, the critical path, and runtime health
+ *       (starvation, steal convoys, lost wakeups). The report is
+ *       bit-identical across cycle-skip modes and host-thread counts.
+ *
+ *   april-task --diff A.json B.json
+ *       Compare two report JSON files: cycle/score movement, task and
+ *       steal count deltas.
+ *
+ *   april-task --check FILE [--schema=SCHEMA.json]
+ *       Validate a report JSON file against the checked-in schema
+ *       (tools/april_task_schema.json) plus the work-conservation and
+ *       score-range invariants. Exit 1 on violation.
+ *
+ * Exit codes: 0 ok, 1 check/diff violation, 2 usage or run failure.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.hh"
+#include "common/logging.hh"
+#include "machine/alewife_machine.hh"
+#include "machine/perfect_machine.hh"
+#include "mult/compiler.hh"
+#include "task/task_trace.hh"
+#include "workloads/handwritten.hh"
+#include "workloads/workloads.hh"
+
+#include "cli_common.hh"
+
+namespace
+{
+
+using april::json::Json;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: april-task [--workload=NAME[:ARGS]] [options]\n"
+        "       april-task --diff A.json B.json\n"
+        "       april-task --check FILE [--schema=SCHEMA.json]\n"
+        "\n"
+        "workloads: fib[:n] factor[:lo:hi] queens[:n] "
+        "speech[:layers:width] coherent16[:iters]\n"
+        "options:\n"
+        "  --perfect          perfect shared memory instead of ALEWIFE\n"
+        "  --nodes=N          node count with --perfect (default 4)\n"
+        "  --threads=N        host worker threads for the ALEWIFE run\n"
+        "                     (default 1; the report is bit-identical\n"
+        "                     at any thread count)\n"
+        "  --frames=N         task frames per processor (default 4)\n"
+        "  --spin-touch       switch-spin on unresolved future touches\n"
+        "                     instead of unload-blocking (EXPERIMENTS.md\n"
+        "                     X11's frames-sweep policy; lazy futures\n"
+        "                     only)\n"
+        "  --max-cycles=N     run budget (default 200000000)\n"
+        "  --no-skip          tick every cycle (differential runs)\n"
+        "  --json=FILE        write the report JSON\n"
+        "  --perfetto=FILE    write the Chrome trace with task spans\n"
+        "                     and steal flow arrows stitched in\n");
+    return 2;
+}
+
+// --- check mode ------------------------------------------------------
+
+/** Work conservation, score range and critical-chain referential
+ *  integrity over a report. */
+void
+checkInvariants(const Json &report, std::vector<std::string> &errors)
+{
+    if (report.has("tasks") && report.has("totalWork")) {
+        double sum = 0;
+        for (const Json &t : report.at("tasks").array)
+            sum += t.at("work").number;
+        if (sum != report.at("totalWork").number) {
+            errors.push_back("/totalWork: task work sums to " +
+                             std::to_string(sum) + ", report says " +
+                             std::to_string(
+                                 report.at("totalWork").number));
+        }
+    }
+    if (report.has("score")) {
+        double s = report.at("score").number;
+        if (s < 0.0 || s > 1.0)
+            errors.push_back("/score: " + std::to_string(s) +
+                             " outside [0, 1]");
+    }
+    if (report.has("criticalChain") && report.has("tasks")) {
+        for (const Json &id : report.at("criticalChain").array) {
+            bool found = false;
+            for (const Json &t : report.at("tasks").array) {
+                if (t.at("id").number == id.number) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                errors.push_back("/criticalChain: task " +
+                                 std::to_string(id.number) +
+                                 " not in /tasks");
+            }
+        }
+    }
+}
+
+// --- diff mode -------------------------------------------------------
+
+int
+runDiff(const std::string &file_a, const std::string &file_b)
+{
+    Json a = april::json::parseJson(
+        april::cli::readFile("april-task", file_a));
+    Json b = april::json::parseJson(
+        april::cli::readFile("april-task", file_b));
+    std::printf("diff %s -> %s\n", file_a.c_str(), file_b.c_str());
+    auto row = [&](const char *key, const char *label) {
+        double va = a.at(key).number;
+        double vb = b.at(key).number;
+        std::printf("%-16s %12.0f -> %12.0f (%+.0f)\n", label, va, vb,
+                    vb - va);
+    };
+    row("totalCycles", "total cycles");
+    row("totalWork", "total work");
+    row("criticalPath", "critical path");
+    row("exposed", "exposed");
+    row("waitTotal", "wait total");
+    row("spawns", "spawns");
+    row("steals", "steals");
+    std::printf("%-16s %12.4f -> %12.4f (%+.4f)\n", "score",
+                a.at("score").number, b.at("score").number,
+                b.at("score").number - a.at("score").number);
+    size_t ta = a.at("tasks").array.size();
+    size_t tb = b.at("tasks").array.size();
+    std::printf("%-16s %12zu -> %12zu (%+lld)\n", "tasks", ta, tb,
+                (long long)tb - (long long)ta);
+    return 0;
+}
+
+// --- run mode --------------------------------------------------------
+
+struct RunOptions
+{
+    std::string workload = "fib:12";
+    bool perfect = false;
+    uint32_t nodes = 4;
+    uint32_t threads = 1;
+    uint32_t frames = 4;
+    bool spinTouch = false;
+    uint64_t maxCycles = 200'000'000;
+    bool cycleSkip = true;
+    std::string jsonFile;
+    std::string perfettoFile;
+};
+
+int
+runReport(const RunOptions &opt)
+{
+    using namespace april;
+
+    std::vector<std::string> parts = cli::splitSpec(opt.workload);
+    std::string name = parts.empty() ? "fib" : parts[0];
+    auto arg = [&](size_t i, int fallback) {
+        return cli::specArg(parts, i, fallback);
+    };
+
+    std::unique_ptr<AlewifeMachine> alewife;
+    std::unique_ptr<PerfectMachine> perfect;
+    Program prog;
+
+    if (name == "coherent16") {
+        workloads::CoherentLoop loop = workloads::buildCoherentLoop(
+            16, uint32_t(arg(1, 200)));
+        prog = std::move(loop.prog);
+        AlewifeParams p;
+        p.network = {.dim = 2, .radix = 4};          // 16 nodes
+        p.wordsPerNode = 1u << 16;
+        p.bootRuntime = false;
+        p.controller.cache = {.lineWords = 4, .numLines = 64,
+                              .assoc = 2};
+        p.proc.numFrames = opt.frames;
+        p.hostThreads = opt.threads;
+        p.cycleSkip = opt.cycleSkip;
+        p.taskTrace = true;
+        p.traceEvents = !opt.perfettoFile.empty();
+        alewife = std::make_unique<AlewifeMachine>(p, &prog);
+        for (uint32_t n = 0; n < alewife->numNodes(); ++n)
+            workloads::bootCoherentNode(alewife->proc(n), prog);
+        alewife->memory().write(loop.count, tagged::fixnum(0));
+    } else {
+        namespace wl = april::workloads;
+        std::string source;
+        if (name == "fib")
+            source = wl::fibSource(arg(1, 12));
+        else if (name == "factor")
+            source = wl::factorSource(arg(1, 1000), arg(2, 1040));
+        else if (name == "queens")
+            source = wl::queensSource(arg(1, 6));
+        else if (name == "speech")
+            source = wl::speechSource(arg(1, 8), arg(2, 12));
+        else
+            fatal("april-task: unknown workload '", name,
+                  "' (try fib, factor, queens, speech, coherent16)");
+        Assembler as;
+        rt::Runtime runtime({.spinTouch = opt.spinTouch});
+        runtime.emit(as);
+        mult::CompileOptions copts;
+        copts.futures = mult::CompileOptions::FutureMode::Lazy;
+        mult::Compiler compiler(as, copts);
+        compiler.compileSource(source);
+        prog = as.finish();
+        if (opt.perfect) {
+            PerfectMachineParams p;
+            p.numNodes = opt.nodes;
+            p.proc.numFrames = opt.frames;
+            p.cycleSkip = opt.cycleSkip;
+            p.taskTrace = true;
+            p.traceEvents = !opt.perfettoFile.empty();
+            perfect = std::make_unique<PerfectMachine>(p, &prog);
+        } else {
+            AlewifeParams p;
+            p.network = {.dim = 2, .radix = 2};      // 4 nodes
+            p.controller.cache = {.lineWords = 4, .numLines = 4096,
+                                  .assoc = 4};       // Table 4: 64 KB
+            p.proc.numFrames = opt.frames;
+            p.hostThreads = opt.threads;
+            p.cycleSkip = opt.cycleSkip;
+            p.taskTrace = true;
+            p.traceEvents = !opt.perfettoFile.empty();
+            alewife = std::make_unique<AlewifeMachine>(p, &prog);
+        }
+    }
+
+    uint64_t cycles;
+    bool halted;
+    task::Tracer *tracer;
+    uint32_t num_nodes;
+    if (perfect) {
+        perfect->run(opt.maxCycles);
+        cycles = perfect->cycle();
+        halted = perfect->halted();
+        tracer = perfect->taskTracer();
+        num_nodes = perfect->numNodes();
+    } else {
+        alewife->run(opt.maxCycles);
+        cycles = alewife->cycle();
+        halted = alewife->halted();
+        tracer = alewife->taskTracer();
+        num_nodes = alewife->numNodes();
+    }
+    if (!halted) {
+        std::fprintf(stderr,
+                     "april-task: %s did not halt in %llu cycles\n",
+                     opt.workload.c_str(),
+                     (unsigned long long)opt.maxCycles);
+        return 2;
+    }
+
+    std::printf("%s on %s: %llu cycles\n\n", opt.workload.c_str(),
+                perfect ? "perfect shared memory"
+                        : (name == "coherent16" ? "4x4 ALEWIFE"
+                                                : "2x2 ALEWIFE"),
+                (unsigned long long)cycles);
+
+    task::AnalyzeParams ap;
+    ap.numNodes = num_nodes;
+    ap.totalCycles = cycles;
+    task::Report report = task::analyze(tracer->events(), ap);
+    report.dropped = tracer->dropped();
+    task::writeReportText(std::cout, report);
+
+    april::cli::writeReportFile(
+        "april-task", opt.jsonFile, [&](std::ostream &os) {
+            task::writeReportJson(os, report);
+            os << "\n";
+        });
+    april::cli::writeReportFile(
+        "april-task", opt.perfettoFile, [&](std::ostream &os) {
+            if (perfect)
+                perfect->writeTrace(os);
+            else
+                alewife->writeTrace(os);
+        });
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> positional;
+    std::string mode;
+    std::string schema_path = "../tools/april_task_schema.json";
+    RunOptions opt;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--diff" || arg == "--check")
+            mode = arg;
+        else if (const char *v = april::cli::optValue(arg, "--workload="))
+            opt.workload = v;
+        else if (arg == "--perfect")
+            opt.perfect = true;
+        else if (const char *v = april::cli::optValue(arg, "--nodes=")) {
+            if (!april::cli::parseU32(v, opt.nodes))
+                return usage();
+        } else if (const char *v =
+                       april::cli::optValue(arg, "--threads=")) {
+            if (!april::cli::parseU32(v, opt.threads))
+                return usage();
+        } else if (const char *v =
+                       april::cli::optValue(arg, "--frames=")) {
+            if (!april::cli::parseU32(v, opt.frames))
+                return usage();
+        } else if (arg == "--spin-touch")
+            opt.spinTouch = true;
+        else if (const char *v =
+                     april::cli::optValue(arg, "--max-cycles=")) {
+            if (!april::cli::parseU64(v, opt.maxCycles))
+                return usage();
+        } else if (arg == "--no-skip")
+            opt.cycleSkip = false;
+        else if (const char *v = april::cli::optValue(arg, "--json="))
+            opt.jsonFile = v;
+        else if (const char *v =
+                     april::cli::optValue(arg, "--perfetto="))
+            opt.perfettoFile = v;
+        else if (const char *v = april::cli::optValue(arg, "--schema="))
+            schema_path = v;
+        else if (arg.rfind("--", 0) == 0)
+            return usage();
+        else
+            positional.push_back(arg);
+    }
+
+    try {
+        if (mode == "--diff") {
+            if (positional.size() != 2)
+                return usage();
+            return runDiff(positional[0], positional[1]);
+        }
+        if (mode == "--check") {
+            if (positional.size() != 1)
+                return usage();
+            return april::cli::checkReport("april-task", positional[0],
+                                           schema_path,
+                                           "schema + invariants",
+                                           checkInvariants);
+        }
+        if (!positional.empty())
+            return usage();
+        return runReport(opt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "april-task: %s\n", e.what());
+        return 2;
+    }
+}

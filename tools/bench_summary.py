@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Aggregate every BENCH_*.json in a directory into BENCH_summary.json.
+
+Each bench run drops one free-standing JSON file (BENCH_sim_speed.json,
+BENCH_task_tolerance.json, ...); per-run trajectories were previously
+unaggregated. This collects them into a single artifact
+
+    { "schema": "bench-summary/1",
+      "count": N,
+      "benches": { "<name>": { "file": ..., "data": {...} }, ... } }
+
+and validates the result against tools/bench_summary_schema.json with
+the same minimal JSON-Schema subset the C++ --check tools implement
+(type / required / properties / additionalProperties / items).
+
+Usage: bench_summary.py [DIR] [--out FILE] [--schema FILE]
+Exit codes: 0 ok, 1 validation failure, 2 usage / no inputs.
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def validate(value, schema, path, errors):
+    """Minimal JSON-Schema subset checker (mirrors cli_common's)."""
+    t = schema.get("type")
+    if t:
+        ok = {
+            "object": lambda v: isinstance(v, dict),
+            "array": lambda v: isinstance(v, list),
+            "string": lambda v: isinstance(v, str),
+            "number": lambda v: isinstance(v, (int, float))
+            and not isinstance(v, bool),
+            "boolean": lambda v: isinstance(v, bool),
+        }[t](value)
+        if not ok:
+            errors.append(f"{path or '/'}: expected {t}")
+            return
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path or '/'}: missing required '{key}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], f"{path}/{key}", errors)
+            elif isinstance(extra, dict):
+                validate(sub, extra, f"{path}/{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, sub in enumerate(value):
+            validate(sub, schema["items"], f"{path}/{i}", errors)
+
+
+def main(argv):
+    directory = "."
+    out = None
+    schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "bench_summary_schema.json")
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--out":
+            out = args.pop(0)
+        elif arg.startswith("--out="):
+            out = arg.split("=", 1)[1]
+        elif arg == "--schema":
+            schema_path = args.pop(0)
+        elif arg.startswith("--schema="):
+            schema_path = arg.split("=", 1)[1]
+        elif arg.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            directory = arg
+    if out is None:
+        out = os.path.join(directory, "BENCH_summary.json")
+
+    benches = {}
+    for f in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        base = os.path.basename(f)
+        if base == "BENCH_summary.json":
+            continue
+        name = base[len("BENCH_"):-len(".json")]
+        try:
+            with open(f) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_summary: {f}: {e}", file=sys.stderr)
+            return 1
+        benches[name] = {"file": base, "data": data}
+    if not benches:
+        print(f"bench_summary: no BENCH_*.json under {directory}",
+              file=sys.stderr)
+        return 2
+
+    summary = {"schema": "bench-summary/1", "count": len(benches),
+               "benches": benches}
+
+    with open(schema_path) as fh:
+        schema = json.load(fh)
+    errors = []
+    validate(summary, schema, "", errors)
+    if errors:
+        for e in errors:
+            print(f"bench_summary: {e}", file=sys.stderr)
+        return 1
+
+    with open(out, "w") as fh:
+        json.dump(summary, fh, indent=1)
+        fh.write("\n")
+    print(f"bench_summary: {len(benches)} benches -> {out}")
+    for name in benches:
+        print(f"  {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,111 @@
+#include "cli_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/json_schema.hh"
+#include "common/logging.hh"
+
+namespace april::cli
+{
+
+const char *
+optValue(const std::string &arg, const char *prefix)
+{
+    size_t n = std::strlen(prefix);
+    return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+}
+
+bool
+parseU32(const char *s, uint32_t &out)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (!end || end == s || *end || v > UINT32_MAX)
+        return false;
+    out = uint32_t(v);
+    return true;
+}
+
+bool
+parseU64(const char *s, uint64_t &out)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (!end || end == s || *end)
+        return false;
+    out = uint64_t(v);
+    return true;
+}
+
+std::string
+readFile(const char *tool, const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal(tool, ": cannot open ", path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+std::vector<std::string>
+splitSpec(const std::string &spec)
+{
+    std::vector<std::string> parts;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t colon = spec.find(':', pos);
+        if (colon == std::string::npos) {
+            parts.push_back(spec.substr(pos));
+            break;
+        }
+        parts.push_back(spec.substr(pos, colon - pos));
+        pos = colon + 1;
+    }
+    return parts;
+}
+
+int
+specArg(const std::vector<std::string> &parts, size_t i, int fallback)
+{
+    return parts.size() > i ? std::atoi(parts[i].c_str()) : fallback;
+}
+
+void
+writeReportFile(const char *tool, const std::string &path,
+                const std::function<void(std::ostream &)> &writer)
+{
+    if (path.empty())
+        return;
+    std::ofstream os(path);
+    if (!os)
+        fatal(tool, ": cannot write ", path);
+    writer(os);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+int
+checkReport(const char *tool, const std::string &file,
+            const std::string &schema_path, const char *what,
+            const ExtraCheck &extra)
+{
+    json::Json report = json::parseJson(readFile(tool, file));
+    json::Json schema = json::parseJson(readFile(tool, schema_path));
+    std::vector<std::string> errors;
+    json::validateSchema(report, schema, "", errors);
+    if (extra)
+        extra(report, errors);
+    if (errors.empty()) {
+        std::printf("%s: ok (%s)\n", file.c_str(), what);
+        return 0;
+    }
+    for (const std::string &e : errors)
+        std::fprintf(stderr, "%s: %s\n", file.c_str(), e.c_str());
+    return 1;
+}
+
+} // namespace april::cli

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Plumbing shared by the report tools (april-prof, april-coh,
+ * april-mc, april-task): --name=value option parsing, workload-spec
+ * splitting, file slurping, report-file writing with the "wrote X"
+ * confirmation, and the --check mode's schema-plus-invariants
+ * validation loop.
+ */
+
+#ifndef APRIL_TOOLS_CLI_COMMON_HH
+#define APRIL_TOOLS_CLI_COMMON_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.hh"
+
+namespace april::cli
+{
+
+/** Value of a "--name=" option: the text after @p prefix when @p arg
+ *  starts with it, nullptr otherwise (so `if (const char *v = ...)`
+ *  chains read like april-mc's parser). */
+const char *optValue(const std::string &arg, const char *prefix);
+
+/** Strict decimal parses; false on trailing junk or overflow. */
+bool parseU32(const char *s, uint32_t &out);
+bool parseU64(const char *s, uint64_t &out);
+
+/** Slurp @p path; fatal("<tool>: cannot open <path>") on failure. */
+std::string readFile(const char *tool, const std::string &path);
+
+/** Split a "name:arg1:arg2" workload spec on colons. */
+std::vector<std::string> splitSpec(const std::string &spec);
+
+/** Spec part @p i as an int, @p fallback when absent. */
+int specArg(const std::vector<std::string> &parts, size_t i,
+            int fallback);
+
+/** When @p path is non-empty: open it, run @p writer on the stream,
+ *  print "wrote <path>"; fatal on open failure. */
+void writeReportFile(const char *tool, const std::string &path,
+                     const std::function<void(std::ostream &)> &writer);
+
+/** Extra invariant pass run by checkReport after schema validation;
+ *  append human-readable violations to the error list. */
+using ExtraCheck =
+    std::function<void(const json::Json &, std::vector<std::string> &)>;
+
+/**
+ * The tools' --check mode: parse @p file and @p schema_path, validate
+ * the report against the schema subset, run @p extra (may be null),
+ * then print "<file>: ok (<what>)" or every violation to stderr.
+ * @return process exit code: 0 ok, 1 violation.
+ */
+int checkReport(const char *tool, const std::string &file,
+                const std::string &schema_path, const char *what,
+                const ExtraCheck &extra);
+
+} // namespace april::cli
+
+#endif // APRIL_TOOLS_CLI_COMMON_HH
